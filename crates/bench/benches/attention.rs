@@ -1,0 +1,61 @@
+//! Criterion benches for the paper's "lightweight" claims (Table VI and the
+//! TAPE O(n) claim): vanilla SA vs IAAB attention latency, and vanilla PE vs
+//! TAPE position-encoding cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stisan_nn::{
+    attention, causal_mask, sinusoidal_encoding, tape_positions, vanilla_positions, ParamStore,
+    Session,
+};
+use stisan_tensor::Array;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    for &n in &[50usize, 100] {
+        let d = 64usize;
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Array::randn(vec![1, n, d], 1.0, &mut rng);
+        let mask = causal_mask(1, n);
+        let relation = Array::uniform(vec![1, n, n], 0.0, 1.0, &mut rng);
+        let store = ParamStore::new();
+        group.bench_with_input(BenchmarkId::new("vanilla_sa", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sess = Session::new(&store, false, 0);
+                let xv = sess.constant(x.clone());
+                let bias = sess.constant(mask.clone());
+                std::hint::black_box(attention(&mut sess, xv, xv, xv, Some(bias)).out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("iaab", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sess = Session::new(&store, false, 0);
+                let xv = sess.constant(x.clone());
+                // IAAB = SA + point-wise relation addition.
+                let bias = sess.constant(mask.add(&relation));
+                std::hint::black_box(attention(&mut sess, xv, xv, xv, Some(bias)).out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_positions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("positional_encoding");
+    for &n in &[100usize, 1000] {
+        let d = 64usize;
+        let times: Vec<f64> =
+            (0..n).map(|i| i as f64 * 3600.0 * (1.0 + (i % 7) as f64)).collect();
+        group.bench_with_input(BenchmarkId::new("vanilla_pe", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(sinusoidal_encoding(&vanilla_positions(n), d)))
+        });
+        group.bench_with_input(BenchmarkId::new("tape", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(sinusoidal_encoding(&tape_positions(&times, 0), d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention, bench_positions);
+criterion_main!(benches);

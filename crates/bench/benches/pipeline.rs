@@ -1,0 +1,73 @@
+//! Criterion benches for the data pipeline: synthetic generation,
+//! preprocessing, relation-matrix construction (Eq 4) and KNN negative
+//! sampling — the per-batch host-side costs of training STiSAN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stisan_data::{
+    generate, iaab_bias, preprocess, relation_matrix, DatasetPreset, GenConfig,
+    KnnNegativeSampler, PrepConfig, RelationConfig,
+};
+use stisan_geo::GeoPoint;
+
+fn small_cfg() -> GenConfig {
+    GenConfig { users: 100, pois: 400, mean_seq_len: 40.0, ..DatasetPreset::Gowalla.config(0.01) }
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let cfg = small_cfg();
+    c.bench_function("generate_100users", |b| b.iter(|| std::hint::black_box(generate(&cfg, 7))));
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let raw = generate(&small_cfg(), 7);
+    let prep = PrepConfig { max_len: 50, min_user_checkins: 20, min_poi_interactions: 3 };
+    c.bench_function("preprocess_100users", |b| {
+        b.iter(|| std::hint::black_box(preprocess(&raw, &prep)))
+    });
+}
+
+fn bench_relation_matrix(c: &mut Criterion) {
+    let n = 100usize;
+    let mut rng = StdRng::seed_from_u64(0);
+    use rand::Rng;
+    let times: Vec<f64> = {
+        let mut t = 0.0;
+        (0..n)
+            .map(|_| {
+                t += rng.gen_range(600.0..86_400.0);
+                t
+            })
+            .collect()
+    };
+    let locs: Vec<GeoPoint> = (0..n)
+        .map(|_| GeoPoint::new(43.0 + rng.gen_range(0.0..0.5), 125.0 + rng.gen_range(0.0..0.5)))
+        .collect();
+    let cfg = RelationConfig::default();
+    c.bench_function("relation_matrix_n100", |b| {
+        b.iter(|| std::hint::black_box(relation_matrix(&times, &locs, 0, &cfg)))
+    });
+    let r = relation_matrix(&times, &locs, 0, &cfg);
+    c.bench_function("iaab_bias_n100", |b| b.iter(|| std::hint::black_box(iaab_bias(&r, 0))));
+}
+
+fn bench_negative_sampling(c: &mut Criterion) {
+    let raw = generate(&small_cfg(), 7);
+    let prep = PrepConfig { max_len: 50, min_user_checkins: 20, min_poi_interactions: 3 };
+    let data = preprocess(&raw, &prep);
+    let sampler = KnnNegativeSampler::build(&data, 200);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("knn_sample_15_negatives", |b| {
+        b.iter(|| std::hint::black_box(sampler.sample(1, 15, &mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_preprocess,
+    bench_relation_matrix,
+    bench_negative_sampling
+);
+criterion_main!(benches);

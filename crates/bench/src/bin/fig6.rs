@@ -1,0 +1,48 @@
+//! **Fig 6** — extensibility of IAAB: a vanilla self-attention network (SA)
+//! vs the same network with IAAB, across sequence lengths {16, 32, 64, 128}.
+//!
+//! ```text
+//! cargo run -p stisan-bench --bin fig6 --release
+//! ```
+
+use stisan_bench::{default_scale, prep_config, Flags};
+use stisan_data::{generate, preprocess, DatasetPreset};
+use stisan_eval::{build_candidates, evaluate};
+use stisan_models::{AttentionMode, PositionMode, SasRec};
+
+const LENGTHS: [usize; 4] = [16, 32, 64, 128];
+
+fn main() {
+    let flags = Flags::parse();
+    println!("Fig 6 — extensibility of IAAB (vanilla SA vs SA+IAAB) across sequence lengths\n");
+    println!("| {:<12} | {:>4} | {:<8} | HR@10  | NDCG@10 |", "Dataset", "n", "Attention");
+    println!("|{}|", "-".repeat(54));
+    for preset in [DatasetPreset::Gowalla, DatasetPreset::Brightkite, DatasetPreset::Weeplaces] {
+        if !flags.wants_dataset(preset.name()) {
+            continue;
+        }
+        let scale = flags.scale.unwrap_or_else(|| default_scale(preset));
+        let raw = generate(&preset.config(scale), flags.seed);
+        for n in LENGTHS {
+            let data = preprocess(&raw, &prep_config(n, scale));
+            let cands = build_candidates(&data, 100);
+            for (label, mode) in [("SA", AttentionMode::Plain), ("IAAB", AttentionMode::Iaab)] {
+                let mut m =
+                    SasRec::new(&data, flags.train_config(), PositionMode::Vanilla, mode);
+                m.fit(&data);
+                let metrics = evaluate(&m, &data, &cands);
+                println!(
+                    "| {:<12} | {:>4} | {:<8} | {:.4} | {:.4}  |",
+                    preset.name(),
+                    n,
+                    label,
+                    metrics.hr10,
+                    metrics.ndcg10
+                );
+            }
+        }
+        println!("|{}|", "-".repeat(54));
+    }
+    println!("\npaper's reading: plain SA degrades as n grows (insufficient local attention);");
+    println!("IAAB's relation bias recovers the loss, most visibly at n >= 64.");
+}

@@ -1,0 +1,66 @@
+//! **Fig 7** — interpretability of IAAB: one user's geography intervals to
+//! the target, and the average attention each history position receives
+//! under plain SA vs IAAB.
+//!
+//! ```text
+//! cargo run -p stisan-bench --bin fig7 --release -- --datasets Weeplaces
+//! ```
+
+use stisan_bench::{load, relation_for, temperature_for, Flags};
+use stisan_core::{StiSan, StisanConfig};
+use stisan_data::DatasetPreset;
+use stisan_models::TrainConfig;
+
+fn main() {
+    let mut flags = Flags::parse();
+    if flags.datasets.is_none() {
+        flags.datasets = Some(vec!["weeplaces".into()]);
+    }
+    let preset = DatasetPreset::all()
+        .into_iter()
+        .find(|p| flags.wants_dataset(p.name()))
+        .expect("no dataset selected");
+    let data = load(preset, &flags);
+    let inst = data.eval.iter().min_by_key(|e| e.valid_from).expect("no eval instances");
+    let n = data.max_len;
+    let vf = inst.valid_from;
+    println!("Fig 7 — interpretability of IAAB ({} user, {} real check-ins)\n", preset.name(), n - vf);
+
+    let base = StisanConfig {
+        train: TrainConfig {
+            negatives: 15,
+            temperature: temperature_for(preset),
+            ..flags.train_config()
+        },
+        relation: relation_for(preset),
+        ..Default::default()
+    };
+
+    // (a) geography interval from each position to the target.
+    println!("(a) geography interval to the target POI (km):");
+    let tloc = data.loc(inst.target);
+    for (i, &p) in inst.poi.iter().enumerate().skip(vf) {
+        let km = data.loc(p).distance_km(&tloc);
+        println!("    pos {:>3}: {:>7.2} km {}", i - vf, km, bar(km, 30.0));
+    }
+
+    // (b)/(c) average attention per key under SA vs IAAB.
+    for (label, cfg) in [("SA", base.clone().remove_iaab()), ("IAAB", base.clone())] {
+        let mut m = StiSan::new(&data, cfg);
+        m.fit(&data);
+        let ins = m.inspect(&data, inst);
+        let profile = ins.mean_attention_per_key();
+        println!("\n({label}) mean attention per history position:");
+        let max = profile.iter().cloned().fold(0.0f64, f64::max);
+        for (j, &a) in profile.iter().enumerate().skip(vf) {
+            println!("    pos {:>3}: {:>7.4} {}", j - vf, a, bar(a, max.max(1e-9)));
+        }
+    }
+    println!("\npaper's reading: IAAB redirects attention toward the spatially-correlated POIs,");
+    println!("including those early in the sequence that plain SA under-weights.");
+}
+
+fn bar(v: f64, max: f64) -> String {
+    let w = ((v / max) * 30.0).round() as usize;
+    "#".repeat(w.min(30))
+}

@@ -1,0 +1,52 @@
+//! **Fig 9** — hyper-parameter sensitivity: NDCG@5 under the
+//! `(k_t, k_d)` relation-matrix threshold grid {(0,0), (5d,5km), (10d,10km),
+//! (20d,15km)} on all four datasets.
+//!
+//! ```text
+//! cargo run -p stisan-bench --bin fig9 --release
+//! ```
+
+use stisan_bench::{load, temperature_for, Flags};
+use stisan_core::{StiSan, StisanConfig};
+use stisan_data::{DatasetPreset, RelationConfig};
+use stisan_eval::{build_candidates, evaluate};
+use stisan_models::TrainConfig;
+
+const GRID: [(f64, f64); 4] = [(0.0, 0.0), (5.0, 5.0), (10.0, 10.0), (20.0, 15.0)];
+
+fn main() {
+    let flags = Flags::parse();
+    println!("Fig 9 — sensitivity to (k_t days, k_d km) — NDCG@5\n");
+    println!(
+        "| {:<12} | {:>9} | {:>9} | {:>9} | {:>9} |",
+        "Dataset", "(0,0)", "(5,5)", "(10,10)", "(20,15)"
+    );
+    println!("|{}|", "-".repeat(64));
+    for preset in DatasetPreset::all() {
+        if !flags.wants_dataset(preset.name()) {
+            continue;
+        }
+        let data = load(preset, &flags);
+        let cands = build_candidates(&data, 100);
+        print!("| {:<12} |", preset.name());
+        for (kt, kd) in GRID {
+            let cfg = StisanConfig {
+                train: TrainConfig {
+                    negatives: 15,
+                    temperature: temperature_for(preset),
+                    ..flags.train_config()
+                },
+                relation: RelationConfig { k_t_days: kt, k_d_km: kd },
+                ..Default::default()
+            };
+            let mut m = StiSan::new(&data, cfg);
+            m.fit(&data);
+            let metrics = evaluate(&m, &data, &cands);
+            print!(" {:>9.4} |", metrics.ndcg5);
+        }
+        println!();
+    }
+    println!("\npaper's reading: (0,0) zeroes the relation matrix (uniform softmax bias —");
+    println!("IAAB disabled) and is worst everywhere; accuracy recovers once the thresholds");
+    println!("admit real intervals and then plateaus.");
+}

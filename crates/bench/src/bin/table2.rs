@@ -1,0 +1,38 @@
+//! **Table II** — dataset statistics after preprocessing.
+//!
+//! ```text
+//! cargo run -p stisan-bench --bin table2 --release [-- --scale 0.02 ...]
+//! ```
+
+use stisan_bench::{default_scale, load, Flags};
+use stisan_data::DatasetPreset;
+
+fn main() {
+    let flags = Flags::parse();
+    println!("Table II — dataset statistics (synthetic, after preprocessing)\n");
+    println!(
+        "| {:<12} | {:>8} | {:>8} | {:>10} | {:>8} | {:>14} | {:>6} |",
+        "Dataset", "#user", "#POI", "#check-in", "sparsity", "avg.seq.length", "scale"
+    );
+    println!("|{}|", "-".repeat(85));
+    for preset in DatasetPreset::all() {
+        if !flags.wants_dataset(preset.name()) {
+            continue;
+        }
+        let scale = flags.scale.unwrap_or_else(|| default_scale(preset));
+        let data = load(preset, &flags);
+        let s = data.stats();
+        println!(
+            "| {:<12} | {:>8} | {:>8} | {:>10} | {:>7.2}% | {:>14.1} | {:>6} |",
+            preset.name(),
+            s.users,
+            s.pois,
+            s.checkins,
+            s.sparsity * 100.0,
+            s.avg_seq_len,
+            scale
+        );
+    }
+    println!("\npaper (scale 1.0): Gowalla 31708u/131329p/2.96M, Brightkite 5247u/48181p/1.70M,");
+    println!("                   Weeplaces 1362u/18364p/0.65M, Changchun 344258u/2135p/21.5M");
+}

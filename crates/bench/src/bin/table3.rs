@@ -1,0 +1,88 @@
+//! **Table III** — overall recommendation performance: the twelve baselines
+//! and STiSAN on all four datasets (HR@{5,10}, NDCG@{5,10}).
+//!
+//! ```text
+//! cargo run -p stisan-bench --bin table3 --release
+//! cargo run -p stisan-bench --bin table3 --release -- \
+//!     --datasets Gowalla --models SASRec,GeoSAN,STAN,STiSAN --rounds 3
+//! ```
+
+use std::time::Instant;
+
+use stisan_bench::{load, print_metric_header, print_metric_row, train_model, Flags, MODEL_NAMES};
+use stisan_data::DatasetPreset;
+use stisan_eval::{build_candidates, evaluate, MeanVar, Metrics};
+
+fn main() {
+    let flags = Flags::parse();
+    println!("Table III — overall performance comparison (synthetic data, scaled)\n");
+    for preset in DatasetPreset::all() {
+        if !flags.wants_dataset(preset.name()) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let data = load(preset, &flags);
+        let cands = build_candidates(&data, 100);
+        let s = data.stats();
+        println!(
+            "== {} — {} users, {} POIs, {} check-ins, {} eval instances (prep {:.1?}s)",
+            preset.name(),
+            s.users,
+            s.pois,
+            s.checkins,
+            data.eval.len(),
+            t0.elapsed().as_secs_f32()
+        );
+        print_metric_header("Model");
+        let mut best: Option<(String, Metrics)> = None;
+        let mut stisan: Option<Metrics> = None;
+        for name in MODEL_NAMES {
+            if !flags.wants_model(name) {
+                continue;
+            }
+            let t1 = Instant::now();
+            let mut mv = [MeanVar::new(), MeanVar::new(), MeanVar::new(), MeanVar::new()];
+            for round in 0..flags.rounds.max(1) {
+                let model = train_model(name, &data, preset, &flags, flags.seed + round as u64);
+                let m = evaluate(model.as_ref(), &data, &cands);
+                mv[0].push(m.hr5);
+                mv[1].push(m.ndcg5);
+                mv[2].push(m.hr10);
+                mv[3].push(m.ndcg10);
+            }
+            let m = Metrics {
+                hr5: mv[0].mean(),
+                ndcg5: mv[1].mean(),
+                hr10: mv[2].mean(),
+                ndcg10: mv[3].mean(),
+            };
+            print_metric_row(name, &m);
+            if flags.verbose {
+                println!("    ({:.1}s / {} rounds)", t1.elapsed().as_secs_f32(), flags.rounds);
+            }
+            if name == "STiSAN" {
+                stisan = Some(m);
+            } else if best.as_ref().map(|(_, b)| m.hr10 > b.hr10).unwrap_or(true) {
+                best = Some((name.to_string(), m));
+            }
+        }
+        if let (Some((bname, b)), Some(s)) = (best, stisan) {
+            println!(
+                "Improv. over strongest baseline ({bname}): HR@5 {:+.2}%  NDCG@5 {:+.2}%  HR@10 {:+.2}%  NDCG@10 {:+.2}%",
+                pct(s.hr5, b.hr5),
+                pct(s.ndcg5, b.ndcg5),
+                pct(s.hr10, b.hr10),
+                pct(s.ndcg10, b.ndcg10)
+            );
+        }
+        println!();
+    }
+}
+
+fn pct(ours: f64, theirs: f64) -> f64 {
+    if theirs > 0.0 {
+        (ours - theirs) / theirs * 100.0
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,50 @@
+//! **Table IV** — ablation study: Original vs variants I–V on
+//! Gowalla / Brightkite / Weeplaces.
+//!
+//! ```text
+//! cargo run -p stisan-bench --bin table4 --release
+//! ```
+
+use stisan_bench::{load, print_metric_header, print_metric_row, relation_for, temperature_for, Flags};
+use stisan_core::{StiSan, StisanConfig};
+use stisan_data::DatasetPreset;
+use stisan_eval::{build_candidates, evaluate};
+use stisan_models::TrainConfig;
+
+fn main() {
+    let flags = Flags::parse();
+    println!("Table IV — ablation study (synthetic data, scaled)\n");
+    for preset in [DatasetPreset::Gowalla, DatasetPreset::Brightkite, DatasetPreset::Weeplaces] {
+        if !flags.wants_dataset(preset.name()) {
+            continue;
+        }
+        let data = load(preset, &flags);
+        let cands = build_candidates(&data, 100);
+        println!("== {} ({} eval instances)", preset.name(), data.eval.len());
+        print_metric_header("Variant");
+        let base = StisanConfig {
+            train: TrainConfig {
+                negatives: 15,
+                temperature: temperature_for(preset),
+                ..flags.train_config()
+            },
+            relation: relation_for(preset),
+            ..Default::default()
+        };
+        let variants: Vec<(&str, StisanConfig)> = vec![
+            ("Original", base.clone()),
+            ("I.  -GE", base.clone().remove_ge()),
+            ("II. -TAPE", base.clone().remove_tape()),
+            ("III.-IAAB", base.clone().remove_iaab()),
+            ("IV. -SA", base.clone().remove_sa()),
+            ("V.  -TAAD", base.clone().remove_taad()),
+        ];
+        for (label, cfg) in variants {
+            let mut model = StiSan::new(&data, cfg);
+            model.fit(&data);
+            let m = evaluate(&model, &data, &cands);
+            print_metric_row(label, &m);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,75 @@
+//! **Table V + Fig 8** — sensitivity to sparsity: Weeplaces filtered at four
+//! increasingly aggressive cold-user/POI thresholds; STiSAN vs the two
+//! strongest baselines (GeoSAN, STAN).
+//!
+//! ```text
+//! cargo run -p stisan-bench --bin table5_fig8 --release
+//! ```
+
+use stisan_bench::{default_scale, relation_for, temperature_for, Flags};
+use stisan_core::{StiSan, StisanConfig};
+use stisan_data::{generate, preprocess, DatasetPreset, PrepConfig};
+use stisan_eval::{build_candidates, evaluate};
+use stisan_models::{GeoSan, Stan, TrainConfig};
+
+fn main() {
+    let flags = Flags::parse();
+    let preset = DatasetPreset::Weeplaces;
+    let scale = flags.scale.unwrap_or_else(|| default_scale(preset));
+    let raw = generate(&preset.config(scale), flags.seed);
+
+    // The paper's threshold ladder, scaled by the same factor as the data so
+    // each level filters a comparable fraction of the population.
+    let ratio = (scale / 0.08).max(0.05);
+    let levels: Vec<(usize, usize)> = [(30usize, 60usize), (60, 120), (80, 140), (90, 150)]
+        .iter()
+        .map(|&(p, u)| (((p as f64 * ratio).round() as usize).max(2), ((u as f64 * ratio).round() as usize).max(20)))
+        .collect();
+
+    println!("Table V / Fig 8 — Weeplaces under different sparsity levels (scale {scale})\n");
+    for (poi_thr, user_thr) in levels {
+        let data = preprocess(
+            &raw,
+            &PrepConfig { max_len: flags.max_len, min_user_checkins: user_thr, min_poi_interactions: poi_thr },
+        );
+        let s = data.stats();
+        println!(
+            "== cold POI >= {poi_thr}, cold user >= {user_thr}: {} users, {} POIs, {} check-ins, sparsity {:.2}%",
+            s.users,
+            s.pois,
+            s.checkins,
+            s.sparsity * 100.0
+        );
+        let cands = build_candidates(&data, 100);
+        let t = flags.train_config();
+
+        let mut geosan = GeoSan::new(
+            &data,
+            TrainConfig { negatives: 15, temperature: temperature_for(preset), ..t.clone() },
+        );
+        geosan.fit(&data);
+        let mg = evaluate(&geosan, &data, &cands);
+
+        let mut stan = Stan::new(&data, TrainConfig { negatives: 5, ..t.clone() });
+        stan.fit(&data);
+        let ms = evaluate(&stan, &data, &cands);
+
+        let mut stisan = StiSan::new(
+            &data,
+            StisanConfig {
+                train: TrainConfig { negatives: 15, temperature: temperature_for(preset), ..t },
+                relation: relation_for(preset),
+                ..Default::default()
+            },
+        );
+        stisan.fit(&data);
+        let mst = evaluate(&stisan, &data, &cands);
+
+        println!("   {:<8} HR@5 {:.4}  NDCG@5 {:.4}  HR@10 {:.4}  NDCG@10 {:.4}", "GeoSAN", mg.hr5, mg.ndcg5, mg.hr10, mg.ndcg10);
+        println!("   {:<8} HR@5 {:.4}  NDCG@5 {:.4}  HR@10 {:.4}  NDCG@10 {:.4}", "STAN", ms.hr5, ms.ndcg5, ms.hr10, ms.ndcg10);
+        println!("   {:<8} HR@5 {:.4}  NDCG@5 {:.4}  HR@10 {:.4}  NDCG@10 {:.4}\n", "STiSAN", mst.hr5, mst.ndcg5, mst.hr10, mst.ndcg10);
+    }
+    println!("paper's reading: STiSAN leads at every sparsity level; all models first improve");
+    println!("with densification, then degrade when so few users/POIs remain that training");
+    println!("under-fits.");
+}

@@ -1,0 +1,70 @@
+//! **Table VI** — computational complexity: FLOPs of the 4-layer vanilla
+//! self-attention mechanism (SA) vs IAAB, per dataset, plus measured
+//! wall-clock latency of the two attention flavours on this machine.
+//!
+//! ```text
+//! cargo run -p stisan-bench --bin table6 --release
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stisan_bench::Flags;
+use stisan_core::flops::{iaab_flops, iaab_overhead, sa_flops};
+use stisan_data::DatasetPreset;
+use stisan_nn::{attention, causal_mask, ParamStore, Session};
+use stisan_tensor::Array;
+
+fn main() {
+    let flags = Flags::parse();
+    let layers = 4; // the paper's N
+    let n = flags.max_len;
+    let d = flags.dim;
+    println!("Table VI — computational complexity (N = {layers} layers, n = {n}, d = {d})\n");
+    println!("| {:<12} | {:>12} | {:>12} | {:>10} |", "Dataset", "SA FLOPs", "IAAB FLOPs", "overhead");
+    println!("|{}|", "-".repeat(58));
+    for preset in DatasetPreset::all() {
+        if !flags.wants_dataset(preset.name()) {
+            continue;
+        }
+        let sa = sa_flops(n, d, layers);
+        let ia = iaab_flops(n, d, layers);
+        println!(
+            "| {:<12} | {:>10.2}M | {:>10.2}M | {:>9.4}% |",
+            preset.name(),
+            sa as f64 / 1e6,
+            ia as f64 / 1e6,
+            iaab_overhead(n, d, layers) * 100.0
+        );
+    }
+
+    // Measured latency of one attention application with/without the bias add.
+    let mut rng = StdRng::seed_from_u64(flags.seed);
+    let store = ParamStore::new();
+    let x = Array::randn(vec![1, n, d], 1.0, &mut rng);
+    let mask = causal_mask(1, n);
+    let relation = Array::uniform(vec![1, n, n], 0.0, 1.0, &mut rng);
+    let reps = 50;
+
+    let timed = |with_relation: bool| -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut sess = Session::new(&store, false, 0);
+            let xv = sess.constant(x.clone());
+            let bias = if with_relation { mask.add(&relation) } else { mask.clone() };
+            let b = sess.constant(bias);
+            for _ in 0..layers {
+                let _ = attention(&mut sess, xv, xv, xv, Some(b));
+            }
+        }
+        t0.elapsed().as_secs_f64() / reps as f64 * 1e3
+    };
+
+    let t_sa = timed(false);
+    let t_iaab = timed(true);
+    println!("\nmeasured on this machine ({reps} reps, {layers} layers):");
+    println!("  SA   attention: {t_sa:.3} ms/sequence");
+    println!("  IAAB attention: {t_iaab:.3} ms/sequence  ({:+.2}%)", (t_iaab - t_sa) / t_sa * 100.0);
+    println!("\npaper's claim: the point-wise relation addition is negligible (<= 0.01M FLOPs).");
+}

@@ -1,0 +1,219 @@
+//! The paper's reported numbers (Tables III and IV), embedded so experiment
+//! binaries and EXPERIMENTS.md can print paper-vs-measured comparisons and
+//! check that the *shape* of the results (orderings, relative gaps) holds.
+
+use stisan_data::DatasetPreset;
+use stisan_eval::Metrics;
+
+/// Paper Table III: `(model, [gowalla, brightkite, weeplaces, changchun])`,
+/// each entry `[HR@5, NDCG@5, HR@10, NDCG@10]` (means; the reported variances
+/// are dropped).
+pub const TABLE3: [(&str, [[f64; 4]; 4]); 13] = [
+    ("POP", [
+        [0.0146, 0.0110, 0.0266, 0.0170],
+        [0.0259, 0.0202, 0.0423, 0.0273],
+        [0.0369, 0.0292, 0.0575, 0.0373],
+        [0.0246, 0.0189, 0.0420, 0.0287],
+    ]),
+    ("BPR", [
+        [0.0142, 0.0107, 0.0263, 0.0168],
+        [0.0450, 0.0344, 0.0760, 0.0492],
+        [0.0749, 0.0574, 0.1023, 0.0807],
+        [0.0681, 0.0462, 0.0954, 0.0699],
+    ]),
+    ("FPMC-LR", [
+        [0.1264, 0.0889, 0.2005, 0.1121],
+        [0.1731, 0.1307, 0.2534, 0.1574],
+        [0.1975, 0.1182, 0.2811, 0.2082],
+        [0.1738, 0.0942, 0.2567, 0.1840],
+    ]),
+    ("PRME-G", [
+        [0.3408, 0.2638, 0.4579, 0.3019],
+        [0.4260, 0.3329, 0.5442, 0.3711],
+        [0.2595, 0.1951, 0.3549, 0.2258],
+        [0.2317, 0.1684, 0.3372, 0.2017],
+    ]),
+    ("GRU4Rec", [
+        [0.3264, 0.2471, 0.4503, 0.2911],
+        [0.4078, 0.3301, 0.5282, 0.3550],
+        [0.2817, 0.2094, 0.3838, 0.2423],
+        [0.2535, 0.1806, 0.3528, 0.2185],
+    ]),
+    ("Caser", [
+        [0.2327, 0.1876, 0.3688, 0.2049],
+        [0.3164, 0.2123, 0.4302, 0.3145],
+        [0.2735, 0.1964, 0.3712, 0.2403],
+        [0.2691, 0.1786, 0.3577, 0.2322],
+    ]),
+    ("STGN", [
+        [0.1655, 0.1171, 0.2915, 0.1603],
+        [0.2721, 0.1892, 0.3614, 0.2375],
+        [0.1864, 0.1089, 0.2671, 0.1980],
+        [0.1378, 0.0854, 0.2176, 0.1563],
+    ]),
+    ("SASRec", [
+        [0.3243, 0.2452, 0.4489, 0.2853],
+        [0.4042, 0.3217, 0.5115, 0.3562],
+        [0.2907, 0.2171, 0.3950, 0.2507],
+        [0.1956, 0.1435, 0.3094, 0.2387],
+    ]),
+    ("Bert4Rec", [
+        [0.3317, 0.2440, 0.4625, 0.2853],
+        [0.3950, 0.3051, 0.5036, 0.3424],
+        [0.2902, 0.2105, 0.3997, 0.2614],
+        [0.2140, 0.1577, 0.3384, 0.2703],
+    ]),
+    ("TiSASRec", [
+        [0.3326, 0.2562, 0.4831, 0.3161],
+        [0.4086, 0.3143, 0.5122, 0.3593],
+        [0.3051, 0.2316, 0.4379, 0.2791],
+        [0.2039, 0.1462, 0.3143, 0.2455],
+    ]),
+    ("GeoSAN", [
+        [0.4153, 0.3327, 0.5251, 0.3680],
+        [0.4843, 0.3958, 0.5916, 0.4303],
+        [0.3480, 0.2677, 0.4699, 0.3069],
+        [0.2306, 0.1725, 0.3424, 0.2706],
+    ]),
+    ("STAN", [
+        [0.4369, 0.3544, 0.5384, 0.3864],
+        [0.4736, 0.3819, 0.5670, 0.4263],
+        [0.3276, 0.2341, 0.4349, 0.2830],
+        [0.2218, 0.1695, 0.3259, 0.2597],
+    ]),
+    ("STiSAN", [
+        [0.4617, 0.3721, 0.5679, 0.4053],
+        [0.5310, 0.4339, 0.6512, 0.4727],
+        [0.4332, 0.3437, 0.5558, 0.3833],
+        [0.2653, 0.1944, 0.3786, 0.3075],
+    ]),
+];
+
+/// Paper Table IV (ablation), `[gowalla, brightkite, weeplaces]` per variant.
+pub const TABLE4: [(&str, [[f64; 4]; 3]); 6] = [
+    ("Original", [
+        [0.4617, 0.3721, 0.5679, 0.4053],
+        [0.5310, 0.4339, 0.6512, 0.4727],
+        [0.4332, 0.3437, 0.5558, 0.3833],
+    ]),
+    ("I.-GE", [
+        [0.4080, 0.3269, 0.5082, 0.3588],
+        [0.4002, 0.3270, 0.4911, 0.3563],
+        [0.3737, 0.2935, 0.4853, 0.3297],
+    ]),
+    ("II.-TAPE", [
+        [0.4485, 0.3573, 0.5524, 0.3902],
+        [0.5203, 0.4227, 0.6388, 0.4611],
+        [0.3899, 0.3161, 0.4993, 0.3512],
+    ]),
+    ("III.-IAAB", [
+        [0.4522, 0.3592, 0.5564, 0.3921],
+        [0.5230, 0.4279, 0.6394, 0.4658],
+        [0.3994, 0.3222, 0.5132, 0.3588],
+    ]),
+    ("IV.-SA", [
+        [0.4145, 0.3172, 0.5217, 0.3511],
+        [0.4835, 0.3893, 0.5956, 0.4255],
+        [0.3634, 0.2767, 0.4875, 0.3165],
+    ]),
+    ("V.-TAAD", [
+        [0.4643, 0.3780, 0.5682, 0.4087],
+        [0.5176, 0.4233, 0.6322, 0.4602],
+        [0.4134, 0.3246, 0.5257, 0.3609],
+    ]),
+];
+
+/// Column index of a preset in the paper tables.
+pub fn dataset_column(preset: DatasetPreset) -> usize {
+    match preset {
+        DatasetPreset::Gowalla => 0,
+        DatasetPreset::Brightkite => 1,
+        DatasetPreset::Weeplaces => 2,
+        DatasetPreset::Changchun => 3,
+    }
+}
+
+/// The paper's Table III metrics for one model on one dataset.
+pub fn table3_ref(model: &str, preset: DatasetPreset) -> Option<Metrics> {
+    let col = dataset_column(preset);
+    TABLE3.iter().find(|(m, _)| *m == model).map(|(_, rows)| {
+        let r = rows[col];
+        Metrics { hr5: r[0], ndcg5: r[1], hr10: r[2], ndcg10: r[3] }
+    })
+}
+
+/// Ranks model names by a metric column in the paper's Table III for one
+/// dataset (descending) — used to compare orderings against measured results.
+pub fn table3_ranking(preset: DatasetPreset) -> Vec<&'static str> {
+    let col = dataset_column(preset);
+    let mut rows: Vec<(&str, f64)> = TABLE3.iter().map(|(m, r)| (*m, r[col][2])).collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    rows.into_iter().map(|(m, _)| m).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stisan_is_the_papers_best_everywhere() {
+        for preset in DatasetPreset::all() {
+            assert_eq!(table3_ranking(preset)[0], "STiSAN", "{preset:?}");
+        }
+    }
+
+    #[test]
+    fn lookup_matches_known_cell() {
+        let m = table3_ref("GeoSAN", DatasetPreset::Gowalla).unwrap();
+        assert_eq!(m.hr5, 0.4153);
+        assert!(table3_ref("NotAModel", DatasetPreset::Gowalla).is_none());
+    }
+
+    #[test]
+    fn ablation_table_is_consistent_with_table3() {
+        // Table IV's "Original" row equals Table III's STiSAN row.
+        let stisan = &TABLE3[12].1;
+        let original = &TABLE4[0].1;
+        for c in 0..3 {
+            assert_eq!(stisan[c], original[c]);
+        }
+    }
+
+    #[test]
+    fn paper_improvement_claim_recomputed() {
+        // The abstract claims an average 13.01% improvement over the
+        // "strongest baseline". Recomputing from the paper's own Table III
+        // gives 11.37%: on Changchun, Caser (0.2691 HR@5) and GRU4Rec
+        // (0.1806 NDCG@5) actually exceed/narrow on STiSAN in cells the
+        // paper's improvement row ignores (it compares against GeoSAN
+        // there). We pin the recomputed value and the three Gowalla /
+        // Brightkite / Weeplaces columns, where the claim is consistent.
+        let mut total = 0.0;
+        let mut count = 0;
+        for col in 0..4 {
+            for metric in 0..4 {
+                let stisan = TABLE3[12].1[col][metric];
+                let best = TABLE3[..12]
+                    .iter()
+                    .map(|(_, r)| r[col][metric])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                total += (stisan - best) / best * 100.0;
+                count += 1;
+            }
+        }
+        let avg = total / count as f64;
+        assert!((avg - 11.37).abs() < 0.05, "recomputed improvement drifted: {avg:.2}%");
+        // On the three LBSN datasets STiSAN strictly dominates every
+        // baseline in every metric (the headline shape we reproduce).
+        for col in 0..3 {
+            for metric in 0..4 {
+                let stisan = TABLE3[12].1[col][metric];
+                let best = TABLE3[..12]
+                    .iter()
+                    .map(|(_, r)| r[col][metric])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert!(stisan > best, "col {col} metric {metric}");
+            }
+        }
+    }
+}

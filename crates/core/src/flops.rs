@@ -1,0 +1,62 @@
+//! Analytic floating-point operation counts for Table VI.
+//!
+//! The paper's lightweight claim: relative to an `N`-layer vanilla
+//! self-attention mechanism, IAAB adds only the point-wise addition of the
+//! (pre-computed) relation matrix to the attention map — a negligible
+//! `N · n²` FLOPs (the paper quotes the per-layer `n·d` order; both are
+//! vanishing against the `O(n²·d)` attention terms).
+
+/// FLOPs of one vanilla scaled-dot self-attention layer on an `n × d`
+/// sequence (Q/K/V projections, QKᵀ, scaling, softmax, A·V).
+pub fn sa_layer_flops(n: usize, d: usize) -> u64 {
+    let (n, d) = (n as u64, d as u64);
+    let proj = 3 * 2 * n * d * d; // three d×d matmuls
+    let qkt = 2 * n * n * d;
+    let scale = n * n;
+    let softmax = 5 * n * n; // exp + max + sub + sum + div, ~5 ops/entry
+    let av = 2 * n * n * d;
+    proj + qkt + scale + softmax + av
+}
+
+/// FLOPs of `layers` stacked vanilla self-attention layers.
+pub fn sa_flops(n: usize, d: usize, layers: usize) -> u64 {
+    layers as u64 * sa_layer_flops(n, d)
+}
+
+/// FLOPs of `layers` stacked interval-aware attention layers: vanilla SA plus
+/// one point-wise `n × n` addition of `Softmax(R)` per layer.
+pub fn iaab_flops(n: usize, d: usize, layers: usize) -> u64 {
+    sa_flops(n, d, layers) + (layers as u64) * (n as u64) * (n as u64)
+}
+
+/// The relative overhead of IAAB over SA.
+pub fn iaab_overhead(n: usize, d: usize, layers: usize) -> f64 {
+    let sa = sa_flops(n, d, layers) as f64;
+    (iaab_flops(n, d, layers) as f64 - sa) / sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_negligible() {
+        // The paper's Table VI claim: the addition is lost in rounding at
+        // two decimal places of MFLOPs.
+        let oh = iaab_overhead(100, 256, 4);
+        assert!(oh < 0.01, "IAAB overhead {oh} should be < 1%");
+    }
+
+    #[test]
+    fn flops_scale_quadratically_in_n() {
+        let f1 = sa_flops(50, 64, 1) as f64;
+        let f2 = sa_flops(100, 64, 1) as f64;
+        assert!(f2 / f1 > 2.0 && f2 / f1 < 4.5);
+    }
+
+    #[test]
+    fn iaab_exceeds_sa_by_exactly_the_addition() {
+        let n = 64;
+        assert_eq!(iaab_flops(n, 32, 4) - sa_flops(n, 32, 4), 4 * (n as u64) * (n as u64));
+    }
+}

@@ -1,0 +1,214 @@
+//! Interpretability probes for the paper's Figs 5 and 7: attention heat-maps,
+//! TAPE position traces, and interval series for a chosen user.
+
+use stisan_data::{EvalInstance, Processed};
+use stisan_models::common::SeqBatch;
+use stisan_nn::{tape_positions, Session};
+use stisan_tensor::Array;
+
+use crate::model::StiSan;
+
+/// Everything the visualization figures need for one evaluation instance.
+pub struct Inspection {
+    /// Sequence length.
+    pub n: usize,
+    /// First real position.
+    pub valid_from: usize,
+    /// Consecutive time intervals in hours (`Δt_{k-1,k}`; Fig 5a).
+    pub dt_hours: Vec<f64>,
+    /// Geography interval from each position to the target, km (Fig 7a).
+    pub dd_to_target_km: Vec<f64>,
+    /// TAPE positions for the sequence (Eq 2).
+    pub tape_positions: Vec<f32>,
+    /// Per-block `[n, n]` attention maps (lower-triangular).
+    pub attention: Vec<Array>,
+}
+
+impl StiSan {
+    /// The paper's future-work question, made measurable: how similar are the
+    /// dependencies *learned* by self-attention to the ones *contained* in
+    /// the spatial-temporal relation matrix?
+    ///
+    /// Returns the Pearson correlation between the last block's attention
+    /// weights and the row-normalized relation matrix over the valid
+    /// lower-triangle pairs of one evaluation instance. Values near 1 mean
+    /// self-attention rediscovers the interval structure on its own; values
+    /// near 0 mean the two carry complementary information (which is the
+    /// regime where adding `R` to the attention map helps).
+    pub fn attention_relation_correlation(&self, data: &Processed, inst: &EvalInstance) -> f64 {
+        use stisan_data::{iaab_bias, relation_matrix};
+        let ins = self.inspect(data, inst);
+        let batch = SeqBatch::from_eval(data, inst);
+        let n = batch.n;
+        let vf = batch.valid_from[0];
+        let locs: Vec<_> = batch
+            .src
+            .iter()
+            .map(|&p| if p == 0 { data.loc(1) } else { data.loc(p as u32) })
+            .collect();
+        let r = relation_matrix(&batch.time, &locs, vf, &self.cfg.relation);
+        let r_soft = iaab_bias(&r, vf);
+        let att = ins.attention.last().expect("no blocks");
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in vf..n {
+            for j in vf..=i {
+                xs.push(att.at(&[i, j]) as f64);
+                ys.push(r_soft.at(&[i, j]) as f64);
+            }
+        }
+        pearson(&xs, &ys)
+    }
+
+    /// Extracts the interpretability data for one evaluation instance.
+    pub fn inspect(&self, data: &Processed, inst: &EvalInstance) -> Inspection {
+        let batch = SeqBatch::from_eval(data, inst);
+        let n = batch.n;
+        let vf = batch.valid_from[0];
+        let mut dt_hours = vec![0.0f64; n];
+        #[allow(clippy::needless_range_loop)] // k-1/k pairing is the point
+        for k in (vf + 1)..n {
+            dt_hours[k] = (batch.time[k] - batch.time[k - 1]) / 3600.0;
+        }
+        let tloc = data.loc(inst.target);
+        let dd_to_target_km: Vec<f64> = batch
+            .src
+            .iter()
+            .map(|&p| if p == 0 { 0.0 } else { data.loc(p as u32).distance_km(&tloc) })
+            .collect();
+        let tape = tape_positions(&batch.time, vf);
+        let mut sess = Session::new(self.param_store(), false, 0);
+        let (_, weights) = self.encode_full(&mut sess, data, &batch);
+        let attention: Vec<Array> =
+            weights.into_iter().map(|w| sess.g.value(w).reshape(vec![n, n])).collect();
+        Inspection { n, valid_from: vf, dt_hours, dd_to_target_km, tape_positions: tape, attention }
+    }
+}
+
+impl Inspection {
+    /// Mean attention each query position pays to key position `j`, averaged
+    /// over the real queries of the last block — the column profile plotted
+    /// in Figs 5/7.
+    pub fn mean_attention_per_key(&self) -> Vec<f64> {
+        let w = self.attention.last().expect("no blocks");
+        let mut out = vec![0.0f64; self.n];
+        let mut rows = 0usize;
+        for i in self.valid_from..self.n {
+            rows += 1;
+            #[allow(clippy::needless_range_loop)] // indexing two aligned buffers
+            for j in 0..self.n {
+                out[j] += w.at(&[i, j]) as f64;
+            }
+        }
+        if rows > 0 {
+            for v in &mut out {
+                *v /= rows as f64;
+            }
+        }
+        out
+    }
+}
+
+/// Pearson correlation of two equal-length samples (0 when degenerate).
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StisanConfig;
+    use stisan_data::{generate, preprocess, DatasetPreset, GenConfig, PrepConfig};
+    use stisan_models::common::TrainConfig;
+
+    #[test]
+    fn pearson_basics() {
+        assert!((super::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((super::pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(super::pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(super::pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn relation_only_variant_correlates_perfectly_with_relation() {
+        // In the Remove-SA variant the attention weights ARE Softmax(R), so
+        // the correlation with the relation bias must be ~1: a built-in
+        // correctness check for the future-work probe.
+        let cfg =
+            GenConfig { users: 25, pois: 150, mean_seq_len: 28.0, ..DatasetPreset::Gowalla.config(0.01) };
+        let d = generate(&cfg, 304);
+        let p = preprocess(&d, &PrepConfig { max_len: 8, min_user_checkins: 15, min_poi_interactions: 2 });
+        let m = StiSan::new(
+            &p,
+            StisanConfig {
+                train: TrainConfig { dim: 16, blocks: 1, epochs: 0, dropout: 0.0, ..Default::default() },
+                ..Default::default()
+            }
+            .remove_sa(),
+        );
+        let corr = m.attention_relation_correlation(&p, &p.eval[0]);
+        assert!(corr > 0.99, "RelationOnly correlation was {corr}");
+        // The full model's learned attention should correlate less than the
+        // degenerate RelationOnly case.
+        let full = StiSan::new(
+            &p,
+            StisanConfig {
+                train: TrainConfig { dim: 16, blocks: 1, epochs: 0, dropout: 0.0, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let corr_full = full.attention_relation_correlation(&p, &p.eval[0]);
+        assert!(corr_full < corr);
+    }
+
+    #[test]
+    fn inspection_shapes_and_masking() {
+        let cfg =
+            GenConfig { users: 25, pois: 150, mean_seq_len: 28.0, ..DatasetPreset::Gowalla.config(0.01) };
+        let d = generate(&cfg, 303);
+        let p = preprocess(&d, &PrepConfig { max_len: 8, min_user_checkins: 15, min_poi_interactions: 2 });
+        let m = StiSan::new(
+            &p,
+            StisanConfig {
+                train: TrainConfig { dim: 16, blocks: 2, epochs: 0, dropout: 0.0, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let ins = m.inspect(&p, &p.eval[0]);
+        assert_eq!(ins.attention.len(), 2);
+        assert_eq!(ins.attention[0].shape(), &[8, 8]);
+        assert_eq!(ins.dt_hours.len(), 8);
+        assert!(ins.dt_hours.iter().all(|&x| x >= 0.0));
+        // Attention is causal.
+        for w in &ins.attention {
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    assert!(w.at(&[i, j]) < 1e-5);
+                }
+            }
+        }
+        // Mean-per-key sums to ~1 across keys.
+        let mean = ins.mean_attention_per_key();
+        let sum: f64 = mean.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "mean attention profile sums to {sum}");
+    }
+}

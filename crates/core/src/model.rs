@@ -1,0 +1,597 @@
+//! The STiSAN model and its Table IV ablation variants.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stisan_data::{
+    iaab_bias, relation_matrix, Batcher, EvalInstance, KnnNegativeSampler, Processed,
+    RelationConfig,
+};
+use stisan_eval::Recommender;
+use stisan_geo::quadkey::tokens_for;
+use stisan_geo::GeoEncoder;
+use stisan_models::common::{
+    interleave_candidates, taad_eval_mask, taad_scores, taad_train_mask, SeqBatch, TrainConfig,
+};
+use stisan_nn::{
+    causal_mask, padding_row_mask, sinusoidal_encoding, tape_positions, vanilla_positions,
+    weighted_bce_loss, Adam, Embedding, FeedForward, LayerNorm, Linear, ParamStore, Session,
+};
+use stisan_tensor::{Array, Var};
+
+/// Quadkey zoom level of the geography encoder (GeoSAN uses 17; we default
+/// lower so the n-gram vocabulary stays proportionate at reduced scale).
+const QK_LEVEL: u8 = 16;
+/// Quadkey n-gram width.
+const QK_N: usize = 5;
+
+/// Which terms the interval-aware attention layer keeps (Table IV variants
+/// III and IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreAttention {
+    /// `A = Softmax(QKᵀ/√d + Softmax(R)) V` — the full IAAB (Eq 6).
+    Full,
+    /// `A = Softmax(QKᵀ/√d) V` — variant III, *Remove IAAB* (Eq 15).
+    NoRelation,
+    /// `A = Softmax(R) V` — variant IV, *Remove SA* (Eq 16).
+    RelationOnly,
+}
+
+/// STiSAN configuration: shared training hyper-parameters, relation-matrix
+/// thresholds, and the ablation switches.
+#[derive(Clone, Debug)]
+pub struct StisanConfig {
+    /// Shared neural training hyper-parameters.
+    pub train: TrainConfig,
+    /// `k_t` / `k_d` clipping thresholds for the relation matrix (Fig 9).
+    pub relation: RelationConfig,
+    /// Use the GPS geography encoder (off = variant I, *Remove GE*).
+    pub use_geo_encoder: bool,
+    /// Use TAPE positions (off = vanilla positions; variant II, *Remove TAPE*).
+    pub use_tape: bool,
+    /// Attention composition (variants III / IV).
+    pub attention: CoreAttention,
+    /// Use the target-aware attention decoder (off = variant V, Eq 17).
+    pub use_taad: bool,
+}
+
+impl Default for StisanConfig {
+    /// The paper's full model ("Original") with N=4-style stacking scaled to
+    /// the workspace defaults and L=15 weighted-BCE negatives.
+    fn default() -> Self {
+        StisanConfig {
+            train: TrainConfig { negatives: 15, ..TrainConfig::default() },
+            relation: RelationConfig::default(),
+            use_geo_encoder: true,
+            use_tape: true,
+            attention: CoreAttention::Full,
+            use_taad: true,
+        }
+    }
+}
+
+impl StisanConfig {
+    /// Variant I: *Remove GE* — POI embedding + TAPE only.
+    pub fn remove_ge(mut self) -> Self {
+        self.use_geo_encoder = false;
+        self
+    }
+
+    /// Variant II: *Remove TAPE* — vanilla positional encoding.
+    pub fn remove_tape(mut self) -> Self {
+        self.use_tape = false;
+        self
+    }
+
+    /// Variant III: *Remove IAAB* — drop the relation matrix (Eq 15).
+    pub fn remove_iaab(mut self) -> Self {
+        self.attention = CoreAttention::NoRelation;
+        self
+    }
+
+    /// Variant IV: *Remove SA* — relation matrix only (Eq 16).
+    pub fn remove_sa(mut self) -> Self {
+        self.attention = CoreAttention::RelationOnly;
+        self
+    }
+
+    /// Variant V: *Remove TAAD* — match encoder output directly (Eq 17).
+    pub fn remove_taad(mut self) -> Self {
+        self.use_taad = false;
+        self
+    }
+}
+
+/// One Interval Aware Attention Block (paper Algorithm 2): the interval-aware
+/// attention layer and a two-layer feed-forward network, each under
+/// `x + Layer(LayerNorm(x))` (Eq 8).
+pub struct Iaab {
+    ln1: LayerNorm,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    ln2: LayerNorm,
+    ff: FeedForward,
+    dropout: f32,
+}
+
+impl Iaab {
+    /// Builds one block of width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, dropout: f32, rng: &mut StdRng) -> Self {
+        Iaab {
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, false, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, false, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, false, rng),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+            ff: FeedForward::new(store, &format!("{name}.ff"), dim, 2 * dim, dropout, rng),
+            dropout,
+        }
+    }
+
+    /// Applies the block.
+    ///
+    /// * `soft_bias`: `Softmax(R)` + mask (used by [`CoreAttention::Full`]);
+    /// * `mask_bias`: plain causal/padding mask ([`CoreAttention::NoRelation`]);
+    /// * `raw_bias`: masked raw `R` ([`CoreAttention::RelationOnly`] —
+    ///   attention weights are `Softmax(R)` alone, Eq 16).
+    ///
+    /// Returns the block output and the attention weights.
+    pub fn forward(
+        &self,
+        sess: &mut Session<'_>,
+        x: Var,
+        mode: CoreAttention,
+        soft_bias: &Array,
+        mask_bias: &Array,
+        raw_bias: &Array,
+    ) -> (Var, Var) {
+        let h = self.ln1.forward(sess, x);
+        let v = self.wv.forward(sess, h);
+        let (att_out, weights) = match mode {
+            CoreAttention::RelationOnly => {
+                // Eq 16: weights depend only on R — a constant per batch.
+                let logits = sess.constant(raw_bias.clone());
+                let w = sess.g.softmax_last(logits);
+                (sess.g.bmm(w, v), w)
+            }
+            _ => {
+                let d = *sess.g.value(x).shape().last().expect("Iaab: scalar input");
+                let q = self.wq.forward(sess, h);
+                let k = self.wk.forward(sess, h);
+                let kt = sess.g.transpose_last2(k);
+                let logits = sess.g.bmm(q, kt);
+                let logits = sess.g.scale(logits, 1.0 / (d as f32).sqrt());
+                let bias = match mode {
+                    CoreAttention::Full => soft_bias,
+                    _ => mask_bias,
+                };
+                let logits = sess.g.add_const(logits, bias.clone());
+                let w = sess.g.softmax_last(logits);
+                (sess.g.bmm(w, v), w)
+            }
+        };
+        let att_out = sess.dropout(att_out, self.dropout);
+        let x = sess.g.add(x, att_out);
+        let h2 = self.ln2.forward(sess, x);
+        let f = self.ff.forward(sess, h2);
+        let f = sess.dropout(f, self.dropout);
+        (sess.g.add(x, f), weights)
+    }
+}
+
+/// The STiSAN recommender (see crate docs).
+pub struct StiSan {
+    store: ParamStore,
+    poi_emb: Embedding,
+    geo_enc: Option<GeoEncoder>,
+    blocks: Vec<Iaab>,
+    final_ln: LayerNorm,
+    /// Model configuration (public so harnesses can report it).
+    pub cfg: StisanConfig,
+    poi_tokens: Vec<usize>,
+    tokens_per_loc: usize,
+}
+
+impl StiSan {
+    /// Builds an untrained model for `data`.
+    pub fn new(data: &Processed, cfg: StisanConfig) -> Self {
+        let t = &cfg.train;
+        assert!(t.dim.is_multiple_of(2), "STiSAN needs an even dim (poi ⊕ geo halves)");
+        let mut rng = StdRng::seed_from_u64(t.seed);
+        let mut store = ParamStore::new();
+        let (poi_dim, geo_enc) = if cfg.use_geo_encoder {
+            let half = t.dim / 2;
+            let enc = GeoEncoder::new(&mut store, "geo", QK_LEVEL, QK_N, half, &mut rng);
+            (half, Some(enc))
+        } else {
+            (t.dim, None)
+        };
+        let poi_emb = Embedding::new(&mut store, "poi", data.num_pois + 1, poi_dim, Some(0), &mut rng);
+        let blocks = (0..t.blocks)
+            .map(|i| Iaab::new(&mut store, &format!("iaab{i}"), t.dim, t.dropout, &mut rng))
+            .collect();
+        let final_ln = LayerNorm::new(&mut store, "final_ln", t.dim);
+        let tokens_per_loc =
+            geo_enc.as_ref().map(GeoEncoder::tokens_per_location).unwrap_or(0);
+        let mut poi_tokens = Vec::new();
+        if geo_enc.is_some() {
+            poi_tokens.reserve((data.num_pois + 1) * tokens_per_loc);
+            poi_tokens.extend(tokens_for(data.loc(1), QK_LEVEL, QK_N)); // padding slot
+            for poi in 1..=data.num_pois {
+                poi_tokens.extend(tokens_for(data.loc(poi as u32), QK_LEVEL, QK_N));
+            }
+        }
+        StiSan { store, poi_emb, geo_enc, blocks, final_ln, cfg, poi_tokens, tokens_per_loc }
+    }
+
+    /// Number of scalar parameters (for the "lightweight" claims).
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// The parameter store (read access for inspection sessions).
+    pub fn param_store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Saves the trained weights to a checkpoint file (see
+    /// [`ParamStore::save_file`]).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.store.save_file(path)
+    }
+
+    /// Loads weights saved by [`StiSan::save`] into this model. The model
+    /// must have been built with the same configuration and dataset shape.
+    pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), stisan_nn::LoadError> {
+        self.store.load_file(path)
+    }
+
+    /// Embeds POI ids (Section III-B): `poi_embedding (⊕ geo encoding)`,
+    /// returning `[rows, d]`. Padding ids are exactly zero.
+    ///
+    /// Ids are de-duplicated before the geography encoder runs (a training
+    /// batch references each POI many times across steps and negative slots),
+    /// then the unique encodings are gathered back into position — a pure
+    /// optimization with identical outputs and gradients.
+    pub fn embed(&self, sess: &mut Session<'_>, ids: &[usize]) -> Var {
+        match &self.geo_enc {
+            None => self.poi_emb.forward(sess, ids, &[ids.len()]),
+            Some(enc) => {
+                let mut unique: Vec<usize> = ids.to_vec();
+                unique.sort_unstable();
+                unique.dedup();
+                let mut slot = vec![usize::MAX; unique.last().map(|&m| m + 1).unwrap_or(0)];
+                for (i, &u) in unique.iter().enumerate() {
+                    slot[u] = i;
+                }
+                let p = self.poi_emb.forward(sess, &unique, &[unique.len()]);
+                let mut tokens = Vec::with_capacity(unique.len() * self.tokens_per_loc);
+                for &id in &unique {
+                    let base = id * self.tokens_per_loc;
+                    tokens.extend_from_slice(&self.poi_tokens[base..base + self.tokens_per_loc]);
+                }
+                let g = enc.forward(sess, &tokens, unique.len());
+                let mask: Vec<f32> =
+                    unique.iter().map(|&i| if i == 0 { 0.0 } else { 1.0 }).collect();
+                let g = sess.g.mul_const(g, Array::from_vec(vec![unique.len(), 1], mask));
+                let table = sess.g.concat_last(&[p, g]); // [U, d]
+                let positions: Vec<usize> = ids.iter().map(|&id| slot[id]).collect();
+                sess.g.gather(table, &positions, &[ids.len()])
+            }
+        }
+    }
+
+    /// The TAPE (or vanilla, under variant II) positional matrix `[b, n, d]`.
+    fn position_matrix(&self, batch: &SeqBatch) -> Array {
+        let (b, n, d) = (batch.b, batch.n, self.cfg.train.dim);
+        let mut data = Vec::with_capacity(b * n * d);
+        for row in 0..b {
+            let vf = batch.valid_from[row];
+            let pos: Vec<f32> = if self.cfg.use_tape {
+                tape_positions(&batch.time[row * n..(row + 1) * n], vf)
+            } else {
+                let mut p = vec![0.0f32; n];
+                p[vf..].copy_from_slice(&vanilla_positions(n - vf));
+                p
+            };
+            data.extend_from_slice(sinusoidal_encoding(&pos, d).data());
+        }
+        Array::from_vec(vec![b, n, d], data)
+    }
+
+    /// Builds the three per-batch attention biases: `Softmax(R)`+mask, plain
+    /// mask, and masked raw `R`.
+    fn biases(&self, data: &Processed, batch: &SeqBatch) -> (Array, Array, Array) {
+        let (b, n) = (batch.b, batch.n);
+        let mask = causal_mask(b, n).add(&padding_row_mask(&batch.src_valid(), b, n));
+        let mut soft = Vec::with_capacity(b * n * n);
+        let mut raw = Vec::with_capacity(b * n * n);
+        for row in 0..b {
+            let vf = batch.valid_from[row];
+            let times = &batch.time[row * n..(row + 1) * n];
+            let locs: Vec<_> = batch.src[row * n..(row + 1) * n]
+                .iter()
+                .map(|&p| if p == 0 { data.loc(1) } else { data.loc(p as u32) })
+                .collect();
+            let r = relation_matrix(times, &locs, vf, &self.cfg.relation);
+            soft.extend_from_slice(iaab_bias(&r, vf).data());
+            // Raw R with the leak mask for the RelationOnly variant.
+            let mut masked = vec![-1e9f32; n * n];
+            for i in vf..n {
+                for j in vf..=i {
+                    masked[i * n + j] = r.at(&[i, j]);
+                }
+            }
+            raw.extend_from_slice(&masked);
+        }
+        (
+            Array::from_vec(vec![b, n, n], soft),
+            mask,
+            Array::from_vec(vec![b, n, n], raw),
+        )
+    }
+
+    /// Encodes a batch into per-step representations `[b, n, d]`; also
+    /// returns every block's attention weights (Fig 5/7 inspection).
+    pub fn encode_full(
+        &self,
+        sess: &mut Session<'_>,
+        data: &Processed,
+        batch: &SeqBatch,
+    ) -> (Var, Vec<Var>) {
+        let (b, n, d) = (batch.b, batch.n, self.cfg.train.dim);
+        let e = self.embed(sess, &batch.src);
+        let e = sess.g.reshape(e, vec![b, n, d]);
+        let e = sess.g.add_const(e, self.position_matrix(batch)); // E = E + P
+        let mut x = sess.dropout(e, self.cfg.train.dropout);
+        let (soft, mask, raw) = self.biases(data, batch);
+        let mut all_weights = Vec::with_capacity(self.blocks.len());
+        for blk in &self.blocks {
+            let (nx, w) = blk.forward(sess, x, self.cfg.attention, &soft, &mask, &raw);
+            x = nx;
+            all_weights.push(w);
+        }
+        (self.final_ln.forward(sess, x), all_weights)
+    }
+
+    /// [`StiSan::encode_full`] without the inspection weights.
+    pub fn encode(&self, sess: &mut Session<'_>, data: &Processed, batch: &SeqBatch) -> Var {
+        self.encode_full(sess, data, batch).0
+    }
+
+    /// Trains with the weighted BCE (Eq 12) over `L` KNN negatives.
+    pub fn fit(&mut self, data: &Processed) {
+        let t = self.cfg.train.clone();
+        let mut rng = StdRng::seed_from_u64(t.seed ^ 0x57AB);
+        let sampler = KnnNegativeSampler::build(data, t.neg_pool);
+        let mut opt = Adam::new(t.lr);
+        let mut batcher = Batcher::new(data.train.len(), t.batch);
+        let l = t.negatives.max(1);
+        for epoch in 0..t.epochs {
+            batcher.shuffle(&mut rng);
+            let idx_lists: Vec<Vec<usize>> = batcher.batches().map(|c| c.to_vec()).collect();
+            let mut total = 0.0f64;
+            let mut steps = 0usize;
+            for idxs in idx_lists {
+                let batch = SeqBatch::from_train(data, &idxs);
+                let negs = batch.sample_negatives(l, |tgt, l| sampler.sample(tgt, l, &mut rng));
+                let loss = self.train_step(data, &batch, &negs, l, &mut opt, epoch);
+                total += loss as f64;
+                steps += 1;
+            }
+            if t.verbose {
+                println!("  [STiSAN] epoch {epoch}: loss {:.4}", total / steps.max(1) as f64);
+            }
+        }
+    }
+
+    fn train_step(
+        &mut self,
+        data: &Processed,
+        batch: &SeqBatch,
+        negs: &[usize],
+        l: usize,
+        opt: &mut Adam,
+        epoch: usize,
+    ) -> f32 {
+        let t = &self.cfg.train;
+        let (b, n, d) = (batch.b, batch.n, t.dim);
+        let mut sess = Session::new(&self.store, true, t.seed ^ (epoch as u64) << 27);
+        let f = self.encode(&mut sess, data, batch);
+        let cand_ids = interleave_candidates(&batch.tgt, negs, l);
+        let c = self.embed(&mut sess, &cand_ids);
+        let y = if self.cfg.use_taad {
+            let c = sess.g.reshape(c, vec![b, n * (l + 1), d]);
+            let mask = taad_train_mask(b, n, l + 1, &batch.valid_from);
+            let y = taad_scores(&mut sess, f, c, mask);
+            sess.g.reshape(y, vec![b, n, l + 1])
+        } else {
+            // Variant V (Eq 17): match F_i with candidates directly.
+            let c = sess.g.reshape(c, vec![b * n, l + 1, d]);
+            let f2 = sess.g.reshape(f, vec![b * n, 1, d]);
+            let ct = sess.g.transpose_last2(c);
+            let y = sess.g.bmm(f2, ct);
+            sess.g.reshape(y, vec![b, n, l + 1])
+        };
+        let pos = sess.g.slice_last(y, 0, 1);
+        let pos = sess.g.reshape(pos, vec![b, n]);
+        let neg = sess.g.slice_last(y, 1, l);
+        let loss = weighted_bce_loss(&mut sess, pos, neg, t.temperature, &batch.step_mask);
+        let loss_val = sess.g.value(loss).item();
+        let grads = sess.backward_and_grads(loss);
+        opt.step(&mut self.store, &grads, Some(t.grad_clip));
+        loss_val
+    }
+}
+
+impl Recommender for StiSan {
+    fn name(&self) -> String {
+        match (
+            self.cfg.use_geo_encoder,
+            self.cfg.use_tape,
+            self.cfg.attention,
+            self.cfg.use_taad,
+        ) {
+            (true, true, CoreAttention::Full, true) => "STiSAN".into(),
+            (false, _, _, _) => "STiSAN-GE".into(),
+            (_, false, _, _) => "STiSAN-TAPE".into(),
+            (_, _, CoreAttention::NoRelation, _) => "STiSAN-IAAB".into(),
+            (_, _, CoreAttention::RelationOnly, _) => "STiSAN-SA".into(),
+            (_, _, _, false) => "STiSAN-TAAD".into(),
+        }
+    }
+
+    fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        let batch = SeqBatch::from_eval(data, inst);
+        let (n, d) = (batch.n, self.cfg.train.dim);
+        let mut sess = Session::new(&self.store, false, 0);
+        let f = self.encode(&mut sess, data, &batch);
+        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
+        let c = self.embed(&mut sess, &ids);
+        if self.cfg.use_taad {
+            let c = sess.g.reshape(c, vec![1, ids.len(), d]);
+            let mask = taad_eval_mask(ids.len(), n, batch.valid_from[0]);
+            let y = taad_scores(&mut sess, f, c, mask);
+            sess.g.value(y).data().to_vec()
+        } else {
+            let h_last = sess.g.slice_axis1(f, n - 1);
+            let c = sess.g.reshape(c, vec![1, ids.len(), d]);
+            let h3 = sess.g.reshape(h_last, vec![1, 1, d]);
+            let ct = sess.g.transpose_last2(c);
+            let y = sess.g.bmm(h3, ct);
+            sess.g.value(y).data().to_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stisan_data::{generate, preprocess, DatasetPreset, GenConfig, PrepConfig};
+    use stisan_eval::{build_candidates, evaluate};
+
+    fn processed() -> Processed {
+        let cfg =
+            GenConfig { users: 30, pois: 180, mean_seq_len: 30.0, ..DatasetPreset::Gowalla.config(0.01) };
+        let d = generate(&cfg, 201);
+        preprocess(&d, &PrepConfig { max_len: 10, min_user_checkins: 15, min_poi_interactions: 2 })
+    }
+
+    fn tiny() -> StisanConfig {
+        StisanConfig {
+            train: TrainConfig {
+                dim: 16,
+                blocks: 2,
+                epochs: 2,
+                batch: 8,
+                dropout: 0.0,
+                negatives: 5,
+                neg_pool: 50,
+                temperature: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_model_trains_and_evaluates() {
+        let p = processed();
+        let mut m = StiSan::new(&p, tiny());
+        m.fit(&p);
+        let cands = build_candidates(&p, 20);
+        let metrics = evaluate(&m, &p, &cands);
+        assert!(metrics.hr10 >= 0.0 && metrics.hr10 <= 1.0);
+    }
+
+    #[test]
+    fn all_ablation_variants_run() {
+        let p = processed();
+        let short = StisanConfig {
+            train: TrainConfig { epochs: 1, ..tiny().train },
+            ..StisanConfig::default()
+        };
+        let variants: Vec<StisanConfig> = vec![
+            short.clone().remove_ge(),
+            short.clone().remove_tape(),
+            short.clone().remove_iaab(),
+            short.clone().remove_sa(),
+            short.clone().remove_taad(),
+        ];
+        let cands = build_candidates(&p, 10);
+        for cfg in variants {
+            let mut m = StiSan::new(&p, cfg);
+            m.fit(&p);
+            let metrics = evaluate(&m, &p, &cands);
+            assert!(metrics.hr10 <= 1.0, "{} produced invalid metrics", m.name());
+        }
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        let p = processed();
+        assert_eq!(StiSan::new(&p, tiny()).name(), "STiSAN");
+        assert_eq!(StiSan::new(&p, tiny().remove_ge()).name(), "STiSAN-GE");
+        assert_eq!(StiSan::new(&p, tiny().remove_tape()).name(), "STiSAN-TAPE");
+        assert_eq!(StiSan::new(&p, tiny().remove_iaab()).name(), "STiSAN-IAAB");
+        assert_eq!(StiSan::new(&p, tiny().remove_sa()).name(), "STiSAN-SA");
+        assert_eq!(StiSan::new(&p, tiny().remove_taad()).name(), "STiSAN-TAAD");
+    }
+
+    #[test]
+    fn tape_changes_encoding_when_intervals_change() {
+        let p = processed();
+        let m = StiSan::new(&p, StisanConfig { train: TrainConfig { epochs: 0, ..tiny().train }, ..tiny() });
+        let mut batch = SeqBatch::from_eval(&p, &p.eval[0]);
+        let rep = |m: &StiSan, batch: &SeqBatch| {
+            let mut sess = Session::new(&m.store, false, 0);
+            let f = m.encode(&mut sess, &p, batch);
+            let h = sess.g.slice_axis1(f, batch.n - 1);
+            sess.g.value(h).data().to_vec()
+        };
+        let a = rep(&m, &batch);
+        for (i, t) in batch.time.iter_mut().enumerate() {
+            *t += (i * i) as f64 * 10_000.0;
+        }
+        let b = rep(&m, &batch);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-6, "TAPE ignored the time intervals");
+    }
+
+    #[test]
+    fn vanilla_variant_ignores_interval_warp_without_relation() {
+        // Variant II + III together (no TAPE, no R): time intervals must have
+        // NO effect on the encoding — the control for the test above.
+        let p = processed();
+        let cfg = StisanConfig { train: TrainConfig { epochs: 0, ..tiny().train }, ..tiny() }
+            .remove_tape()
+            .remove_iaab();
+        let m = StiSan::new(&p, cfg);
+        let mut batch = SeqBatch::from_eval(&p, &p.eval[0]);
+        let rep = |m: &StiSan, batch: &SeqBatch| {
+            let mut sess = Session::new(&m.store, false, 0);
+            let f = m.encode(&mut sess, &p, batch);
+            let h = sess.g.slice_axis1(f, batch.n - 1);
+            sess.g.value(h).data().to_vec()
+        };
+        let a = rep(&m, &batch);
+        for (i, t) in batch.time.iter_mut().enumerate() {
+            *t += (i * i) as f64 * 10_000.0;
+        }
+        let b = rep(&m, &batch);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff < 1e-9, "time leaked into the TAPE-less, R-less variant");
+    }
+
+    #[test]
+    fn parameter_count_unchanged_by_tape_and_relation() {
+        // The paper's "no extra parameters" claim: TAPE and the relation
+        // matrix add zero learnable scalars.
+        let p = processed();
+        let full = StiSan::new(&p, tiny());
+        let no_tape = StiSan::new(&p, tiny().remove_tape());
+        let no_rel = StiSan::new(&p, tiny().remove_iaab());
+        assert_eq!(full.num_parameters(), no_tape.num_parameters());
+        assert_eq!(full.num_parameters(), no_rel.num_parameters());
+    }
+}

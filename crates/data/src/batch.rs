@@ -1,0 +1,171 @@
+//! Mini-batching and negative sampling.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::prep::Processed;
+
+/// Shuffled mini-batch scheduler over training-sequence indices.
+pub struct Batcher {
+    order: Vec<usize>,
+    batch: usize,
+}
+
+impl Batcher {
+    /// Schedules `len` items in batches of `batch`.
+    pub fn new(len: usize, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        Batcher { order: (0..len).collect(), batch }
+    }
+
+    /// Reshuffles for a new epoch.
+    pub fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        self.order.shuffle(rng);
+    }
+
+    /// The batches of the current epoch (last one may be short).
+    pub fn batches(&self) -> impl Iterator<Item = &[usize]> {
+        self.order.chunks(self.batch)
+    }
+
+    /// Number of batches per epoch.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch)
+    }
+}
+
+/// Geography-aware negative sampler: for each target POI, negatives are drawn
+/// uniformly from its `pool` nearest POIs (the paper draws `L = 15` from the
+/// target's nearest 2000 neighbours).
+pub struct KnnNegativeSampler {
+    neighbors: Vec<Vec<u32>>,
+    /// Neighbour pool size per POI.
+    pub pool: usize,
+}
+
+impl KnnNegativeSampler {
+    /// Precomputes per-POI neighbour lists from the processed dataset's
+    /// spatial index. `pool` is clamped to `num_pois - 1`.
+    pub fn build(data: &Processed, pool: usize) -> Self {
+        let pool = pool.min(data.num_pois.saturating_sub(1)).max(1);
+        let mut neighbors = Vec::with_capacity(data.num_pois + 1);
+        neighbors.push(Vec::new()); // padding id 0
+        for poi in 1..=data.num_pois {
+            let loc = data.loc(poi as u32);
+            // Grid index entry i is POI id i+1; exclude the target itself.
+            let near = data.index.k_nearest(loc, pool, |i| (i + 1) as u32 != poi as u32);
+            neighbors.push(near.into_iter().map(|(i, _)| (i + 1) as u32).collect());
+        }
+        KnnNegativeSampler { neighbors, pool }
+    }
+
+    /// The precomputed neighbour list of `target` (ascending by distance).
+    pub fn neighbors(&self, target: u32) -> &[u32] {
+        &self.neighbors[target as usize]
+    }
+
+    /// Draws `l` negatives for `target` uniformly from its neighbour pool
+    /// (with replacement when the pool is smaller than `l`). Never returns
+    /// the target itself or padding.
+    pub fn sample<R: Rng>(&self, target: u32, l: usize, rng: &mut R) -> Vec<u32> {
+        let pool = &self.neighbors[target as usize];
+        assert!(!pool.is_empty(), "no neighbours for POI {target}");
+        (0..l).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+    }
+}
+
+/// Uniform negative sampler over all real POI ids (the SASRec-style
+/// objective), excluding the target.
+pub struct UniformNegativeSampler {
+    num_pois: usize,
+}
+
+impl UniformNegativeSampler {
+    /// Samples from `1..=num_pois`.
+    pub fn new(num_pois: usize) -> Self {
+        assert!(num_pois >= 2, "need at least two POIs to sample negatives");
+        UniformNegativeSampler { num_pois }
+    }
+
+    /// Draws `l` negatives uniformly, excluding `target`.
+    pub fn sample<R: Rng>(&self, target: u32, l: usize, rng: &mut R) -> Vec<u32> {
+        (0..l)
+            .map(|_| loop {
+                let c = rng.gen_range(1..=self.num_pois) as u32;
+                if c != target {
+                    break c;
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::{preprocess, PrepConfig};
+    use crate::synth::{generate, DatasetPreset, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn processed() -> Processed {
+        let cfg = GenConfig { users: 40, pois: 200, mean_seq_len: 40.0, ..DatasetPreset::Gowalla.config(0.01) };
+        let d = generate(&cfg, 3);
+        preprocess(&d, &PrepConfig { max_len: 20, min_user_checkins: 15, min_poi_interactions: 2 })
+    }
+
+    #[test]
+    fn batcher_covers_everything_once() {
+        let mut b = Batcher::new(10, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        b.shuffle(&mut rng);
+        let mut seen: Vec<usize> = b.batches().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(b.num_batches(), 4);
+    }
+
+    #[test]
+    fn knn_negatives_are_nearby_valid_pois() {
+        let p = processed();
+        let sampler = KnnNegativeSampler::build(&p, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = 1u32;
+        let negs = sampler.sample(target, 15, &mut rng);
+        assert_eq!(negs.len(), 15);
+        let tloc = p.loc(target);
+        for &neg in &negs {
+            assert_ne!(neg, target);
+            assert_ne!(neg, 0);
+            assert!((neg as usize) <= p.num_pois);
+            // All negatives come from the 50-NN pool: must be fairly close.
+            let d = p.loc(neg).distance_km(&tloc);
+            let worst = sampler
+                .neighbors(target)
+                .iter()
+                .map(|&x| p.loc(x).distance_km(&tloc))
+                .fold(0.0f64, f64::max);
+            assert!(d <= worst + 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_pool_clamps_to_population() {
+        let p = processed();
+        let sampler = KnnNegativeSampler::build(&p, 10_000);
+        assert_eq!(sampler.pool, p.num_pois - 1);
+        assert_eq!(sampler.neighbors(1).len(), p.num_pois - 1);
+    }
+
+    #[test]
+    fn uniform_sampler_excludes_target() {
+        let s = UniformNegativeSampler::new(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            for &n in &s.sample(3, 4, &mut rng) {
+                assert_ne!(n, 3);
+                assert!((1..=5).contains(&n));
+            }
+        }
+    }
+}

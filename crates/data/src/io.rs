@@ -1,0 +1,240 @@
+//! Dataset IO: loading real LBSN dumps and round-tripping our own format.
+//!
+//! [`load_snap`] parses the SNAP check-in format used by the actual Gowalla
+//! and Brightkite datasets the paper evaluates on
+//! (`user \t ISO-8601 time \t latitude \t longitude \t location id`), so this
+//! library runs on the real data wherever it is available — the synthetic
+//! generators are only the stand-in for environments without it.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use stisan_geo::GeoPoint;
+
+use crate::types::{CheckIn, Dataset, Poi};
+
+/// A parse failure with its line number.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a SNAP-format check-in stream
+/// (`user<TAB>time<TAB>lat<TAB>lon<TAB>location_id`, one check-in per line,
+/// newest first per user — as distributed for Gowalla/Brightkite).
+///
+/// * Raw user/location ids are re-mapped to dense ids.
+/// * Timestamps are ISO-8601 `YYYY-MM-DDTHH:MM:SSZ`, converted to seconds
+///   since the dataset's earliest check-in.
+/// * Per-user sequences are sorted chronologically.
+/// * Lines with unparsable coordinates are rejected with a [`ParseError`].
+pub fn load_snap(reader: impl Read, name: &str) -> Result<Dataset, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut poi_ids: HashMap<String, u32> = HashMap::new();
+    let mut pois: Vec<Poi> = Vec::new();
+    let mut user_ids: HashMap<String, usize> = HashMap::new();
+    let mut users: Vec<Vec<CheckIn>> = Vec::new();
+    let mut min_time = f64::INFINITY;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| ParseError { line: lineno, message: e.to_string() })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected 5 tab-separated fields, got {}", fields.len()),
+            });
+        }
+        let time = parse_iso8601(fields[1])
+            .ok_or_else(|| ParseError { line: lineno, message: format!("bad timestamp '{}'", fields[1]) })?;
+        let lat: f64 = fields[2]
+            .parse()
+            .map_err(|_| ParseError { line: lineno, message: format!("bad latitude '{}'", fields[2]) })?;
+        let lon: f64 = fields[3]
+            .parse()
+            .map_err(|_| ParseError { line: lineno, message: format!("bad longitude '{}'", fields[3]) })?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(ParseError { line: lineno, message: format!("coordinates out of range ({lat}, {lon})") });
+        }
+
+        let poi = *poi_ids.entry(fields[4].to_string()).or_insert_with(|| {
+            pois.push(Poi { id: pois.len() as u32, loc: GeoPoint::new(lat, lon) });
+            (pois.len() - 1) as u32
+        });
+        let user = *user_ids.entry(fields[0].to_string()).or_insert_with(|| {
+            users.push(Vec::new());
+            users.len() - 1
+        });
+        users[user].push(CheckIn { poi, time });
+        if time < min_time {
+            min_time = time;
+        }
+    }
+
+    // Normalize times to the dataset epoch and sort chronologically.
+    if min_time.is_finite() {
+        for seq in &mut users {
+            for c in seq.iter_mut() {
+                c.time -= min_time;
+            }
+            seq.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        }
+    }
+
+    Ok(Dataset { name: name.to_string(), pois, users })
+}
+
+/// Writes a dataset back out in the SNAP format (users in id order,
+/// check-ins chronologically).
+pub fn save_snap(dataset: &Dataset, mut w: impl Write) -> std::io::Result<()> {
+    for (u, seq) in dataset.users.iter().enumerate() {
+        for c in seq {
+            let loc = dataset.pois[c.poi as usize].loc;
+            writeln!(
+                w,
+                "{u}\t{}\t{:.7}\t{:.7}\t{}",
+                format_iso8601(c.time),
+                loc.lat,
+                loc.lon,
+                c.poi
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Minimal ISO-8601 `YYYY-MM-DDTHH:MM:SSZ` → seconds since 1970 (UTC, no
+/// leap seconds — the convention of the SNAP dumps).
+fn parse_iso8601(s: &str) -> Option<f64> {
+    let b = s.as_bytes();
+    if b.len() != 20 || b[4] != b'-' || b[7] != b'-' || b[10] != b'T' || b[13] != b':' || b[16] != b':' || b[19] != b'Z' {
+        return None;
+    }
+    let num = |r: std::ops::Range<usize>| -> Option<i64> { s.get(r)?.parse().ok() };
+    let year = num(0..4)?;
+    let month = num(5..7)?;
+    let day = num(8..10)?;
+    let hour = num(11..13)?;
+    let minute = num(14..16)?;
+    let second = num(17..19)?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) || hour > 23 || minute > 59 || second > 60 {
+        return None;
+    }
+    Some((days_from_civil(year, month, day) * 86_400 + hour * 3_600 + minute * 60 + second) as f64)
+}
+
+/// Seconds since 1970 → ISO-8601 (inverse of [`parse_iso8601`]).
+fn format_iso8601(t: f64) -> String {
+    let total = t.round() as i64;
+    let (days, mut secs) = (total.div_euclid(86_400), total.rem_euclid(86_400));
+    let (y, m, d) = civil_from_days(days);
+    let hour = secs / 3_600;
+    secs %= 3_600;
+    format!("{y:04}-{m:02}-{d:02}T{hour:02}:{:02}:{:02}Z", secs / 60, secs % 60)
+}
+
+/// Howard Hinnant's `days_from_civil` (proleptic Gregorian).
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+0\t2010-10-19T23:55:27Z\t30.2359091167\t-97.7951395833\t22847
+0\t2010-10-18T22:17:43Z\t30.2691029532\t-97.7493953705\t420315
+1\t2010-10-17T23:42:03Z\t30.2557309927\t-97.7633857727\t316637
+";
+
+    #[test]
+    fn parses_snap_sample() {
+        let d = load_snap(SAMPLE.as_bytes(), "gowalla").unwrap();
+        assert_eq!(d.users.len(), 2);
+        assert_eq!(d.pois.len(), 3);
+        assert!(d.is_chronological());
+        // User 0's two check-ins are ~1 day + ~1.6 h apart.
+        let gap = d.users[0][1].time - d.users[0][0].time;
+        assert!((gap - 92_264.0).abs() < 1.0, "gap {gap}");
+        // Epoch normalization: the earliest check-in is t=0.
+        let min = d.users.iter().flatten().map(|c| c.time).fold(f64::INFINITY, f64::min);
+        assert_eq!(min, 0.0);
+    }
+
+    #[test]
+    fn roundtrip_through_save() {
+        let d = load_snap(SAMPLE.as_bytes(), "gowalla").unwrap();
+        let mut buf = Vec::new();
+        save_snap(&d, &mut buf).unwrap();
+        let d2 = load_snap(buf.as_slice(), "gowalla").unwrap();
+        assert_eq!(d.users.len(), d2.users.len());
+        // POI ids may permute (first-appearance order changes after the
+        // chronological sort), so compare each check-in's resolved location.
+        for (a, b) in d.users.iter().flatten().zip(d2.users.iter().flatten()) {
+            assert!((a.time - b.time).abs() < 1.0);
+            let la = d.pois[a.poi as usize].loc;
+            let lb = d2.pois[b.poi as usize].loc;
+            assert!(la.distance_km(&lb) < 0.001);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(load_snap("not a snap line".as_bytes(), "x").is_err());
+        assert!(load_snap("0\t2010-13-19T23:55:27Z\t30.0\t-97.0\t1".as_bytes(), "x").is_err());
+        assert!(load_snap("0\t2010-10-19T23:55:27Z\t300.0\t-97.0\t1".as_bytes(), "x").is_err());
+        let err = load_snap("0\t2010-10-19T23:55:27Z\tabc\t-97.0\t1".as_bytes(), "x").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn iso8601_roundtrip() {
+        for s in ["1970-01-01T00:00:00Z", "2010-10-19T23:55:27Z", "2026-07-05T12:00:00Z", "2000-02-29T23:59:59Z"] {
+            let t = parse_iso8601(s).unwrap();
+            assert_eq!(format_iso8601(t), s);
+        }
+        assert_eq!(parse_iso8601("1970-01-01T00:00:00Z"), Some(0.0));
+    }
+
+    #[test]
+    fn empty_input_is_empty_dataset() {
+        let d = load_snap("".as_bytes(), "empty").unwrap();
+        assert_eq!(d.users.len(), 0);
+        assert_eq!(d.pois.len(), 0);
+    }
+}

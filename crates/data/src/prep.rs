@@ -1,0 +1,396 @@
+//! Preprocessing: cold filtering, id remapping, partitioning, windowing.
+//!
+//! Follows Section IV-A of the paper:
+//!
+//! * remove users with fewer than 20 check-ins and POIs with fewer than 10
+//!   interactions (thresholds configurable — Table V varies them);
+//! * per user, the most recent previously-unvisited POI is the evaluation
+//!   target, the `n` check-ins before it are the evaluation source, and all
+//!   check-ins prior to the target are training data;
+//! * training sequences are split into **non-overlapping** windows of length
+//!   `n + 1` from the end (`n` source steps, each predicting the next
+//!   check-in) and left-padded with the padding POI `0`.
+
+use std::collections::HashSet;
+
+use stisan_geo::{GeoPoint, GridIndex};
+
+use crate::types::{CheckIn, Dataset};
+
+/// Preprocessing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PrepConfig {
+    /// Maximum sequence length `n` (the paper uses 100).
+    pub max_len: usize,
+    /// Minimum check-ins per user (cold-user threshold; paper: 20).
+    pub min_user_checkins: usize,
+    /// Minimum interactions per POI (cold-POI threshold; paper: 10).
+    pub min_poi_interactions: usize,
+}
+
+impl Default for PrepConfig {
+    fn default() -> Self {
+        PrepConfig { max_len: 100, min_user_checkins: 20, min_poi_interactions: 10 }
+    }
+}
+
+/// One fixed-length training window.
+#[derive(Clone, Debug)]
+pub struct Seq {
+    /// Owning (remapped) user id.
+    pub user: u32,
+    /// `max_len + 1` POI ids, left-padded with 0. `poi[i]` for `i < n` is the
+    /// source step `i`; `poi[i + 1]` is its prediction target.
+    pub poi: Vec<u32>,
+    /// Matching timestamps (seconds). Padding positions repeat the first
+    /// valid timestamp so interval computations see zero gaps there.
+    pub time: Vec<f64>,
+    /// Index of the first non-padding position (in `0..=max_len`).
+    pub valid_from: usize,
+}
+
+impl Seq {
+    /// Number of real (non-padding) prediction steps.
+    pub fn real_steps(&self) -> usize {
+        self.poi.len() - 1 - self.valid_from.min(self.poi.len() - 1)
+    }
+}
+
+/// One evaluation instance: `n` source check-ins and the held-out target.
+#[derive(Clone, Debug)]
+pub struct EvalInstance {
+    /// Owning (remapped) user id.
+    pub user: u32,
+    /// `max_len` source POI ids, left-padded with 0.
+    pub poi: Vec<u32>,
+    /// Matching timestamps.
+    pub time: Vec<f64>,
+    /// Index of the first non-padding position.
+    pub valid_from: usize,
+    /// Held-out target POI (previously unvisited by this user).
+    pub target: u32,
+    /// Target timestamp.
+    pub target_time: f64,
+}
+
+/// The preprocessed dataset every model trains and evaluates on.
+pub struct Processed {
+    /// Dataset name.
+    pub name: String,
+    /// Window length `n`.
+    pub max_len: usize,
+    /// Number of POIs after filtering; valid ids are `1..=num_pois`
+    /// (0 is padding).
+    pub num_pois: usize,
+    /// Number of surviving users.
+    pub num_users: usize,
+    /// POI locations, indexed by remapped id (entry 0 is a dummy).
+    pub locs: Vec<GeoPoint>,
+    /// Training windows.
+    pub train: Vec<Seq>,
+    /// Evaluation instances (at most one per user).
+    pub eval: Vec<EvalInstance>,
+    /// Spatial index over POI locations; index entry `i` is POI id `i + 1`.
+    pub index: GridIndex,
+    /// Per-user visited POI sets (over the full history, for candidate and
+    /// negative exclusion).
+    pub visited: Vec<HashSet<u32>>,
+    /// Total check-ins after filtering.
+    pub checkins: usize,
+}
+
+impl Processed {
+    /// Location of a remapped POI id (`1..=num_pois`).
+    pub fn loc(&self, poi: u32) -> GeoPoint {
+        debug_assert!(poi >= 1 && (poi as usize) <= self.num_pois, "invalid POI id {poi}");
+        self.locs[poi as usize]
+    }
+
+    /// Table II-style statistics of the *processed* data.
+    pub fn stats(&self) -> crate::types::DatasetStats {
+        let distinct: usize = self.visited.iter().map(HashSet::len).sum();
+        let cells = (self.num_users * self.num_pois) as f64;
+        crate::types::DatasetStats {
+            users: self.num_users,
+            pois: self.num_pois,
+            checkins: self.checkins,
+            sparsity: if cells > 0.0 { 1.0 - distinct as f64 / cells } else { 1.0 },
+            avg_seq_len: if self.num_users > 0 {
+                self.checkins as f64 / self.num_users as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Runs the full preprocessing pipeline (see module docs).
+pub fn preprocess(dataset: &Dataset, cfg: &PrepConfig) -> Processed {
+    // --- iterative cold filtering (removing users can re-chill POIs) ----
+    let mut user_alive: Vec<bool> = dataset.users.iter().map(|s| !s.is_empty()).collect();
+    let mut poi_alive = vec![true; dataset.pois.len()];
+    loop {
+        let mut poi_count = vec![0usize; dataset.pois.len()];
+        for (u, seq) in dataset.users.iter().enumerate() {
+            if !user_alive[u] {
+                continue;
+            }
+            for c in seq {
+                if poi_alive[c.poi as usize] {
+                    poi_count[c.poi as usize] += 1;
+                }
+            }
+        }
+        let mut changed = false;
+        for (p, alive) in poi_alive.iter_mut().enumerate() {
+            if *alive && poi_count[p] < cfg.min_poi_interactions {
+                *alive = false;
+                changed = true;
+            }
+        }
+        for (u, seq) in dataset.users.iter().enumerate() {
+            if !user_alive[u] {
+                continue;
+            }
+            let kept = seq.iter().filter(|c| poi_alive[c.poi as usize]).count();
+            if kept < cfg.min_user_checkins {
+                user_alive[u] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- remap ids (0 = padding) ----------------------------------------
+    let mut poi_map = vec![0u32; dataset.pois.len()];
+    let mut locs = vec![GeoPoint::new(0.0, 0.0)]; // dummy padding slot
+    for (p, alive) in poi_alive.iter().enumerate() {
+        if *alive {
+            poi_map[p] = locs.len() as u32;
+            locs.push(dataset.pois[p].loc);
+        }
+    }
+    let num_pois = locs.len() - 1;
+    assert!(num_pois > 0, "preprocess: all POIs filtered out — lower the thresholds or raise the scale");
+
+    // --- per-user partition ----------------------------------------------
+    let n = cfg.max_len;
+    let mut train = Vec::new();
+    let mut eval = Vec::new();
+    let mut visited_sets = Vec::new();
+    let mut num_users = 0usize;
+    let mut checkins = 0usize;
+
+    for (raw_u, raw_seq) in dataset.users.iter().enumerate() {
+        if !user_alive[raw_u] {
+            continue;
+        }
+        let seq: Vec<CheckIn> = raw_seq
+            .iter()
+            .filter(|c| poi_alive[c.poi as usize])
+            .map(|c| CheckIn { poi: poi_map[c.poi as usize], time: c.time })
+            .collect();
+        if seq.len() < cfg.min_user_checkins {
+            continue;
+        }
+        let user = num_users as u32;
+        num_users += 1;
+        checkins += seq.len();
+
+        // Evaluation target: the most recent check-in whose POI was not
+        // visited earlier in the sequence ("previously unvisited").
+        let mut seen_before: HashSet<u32> = HashSet::new();
+        let mut first_visit = vec![false; seq.len()];
+        for (i, c) in seq.iter().enumerate() {
+            first_visit[i] = seen_before.insert(c.poi);
+        }
+        let target_idx = (1..seq.len()).rev().find(|&i| first_visit[i]);
+
+        let train_end = match target_idx {
+            Some(ti) => {
+                let (src_poi, src_time, valid_from) = window(&seq[..ti], n);
+                eval.push(EvalInstance {
+                    user,
+                    poi: src_poi,
+                    time: src_time,
+                    valid_from,
+                    target: seq[ti].poi,
+                    target_time: seq[ti].time,
+                });
+                ti // everything before the target trains
+            }
+            None => seq.len(),
+        };
+
+        // Non-overlapping training windows of length n+1, from the end.
+        let mut end = train_end;
+        while end >= 2 {
+            let start = end.saturating_sub(n + 1);
+            let (poi, time, valid_from) = window(&seq[start..end], n + 1);
+            train.push(Seq { user, poi, time, valid_from });
+            if start == 0 {
+                break;
+            }
+            // Step by n so each check-in is a prediction target exactly once
+            // (windows share one boundary check-in as context).
+            end = start + 1;
+        }
+
+        visited_sets.push(seq.iter().map(|c| c.poi).collect());
+    }
+
+    assert!(num_users > 0, "preprocess: all users filtered out");
+    let index = GridIndex::build(&locs[1..], 0.05);
+
+    Processed {
+        name: dataset.name.clone(),
+        max_len: n,
+        num_pois,
+        num_users,
+        locs,
+        train,
+        eval,
+        index,
+        visited: visited_sets,
+        checkins,
+    }
+}
+
+/// Left-pads the trailing `len` check-ins of `seq` into fixed-width vectors.
+/// Returns `(pois, times, valid_from)`.
+fn window(seq: &[CheckIn], len: usize) -> (Vec<u32>, Vec<f64>, usize) {
+    let take = seq.len().min(len);
+    let tail = &seq[seq.len() - take..];
+    let valid_from = len - take;
+    let mut poi = vec![0u32; len];
+    let mut time = vec![0.0f64; len];
+    let t0 = tail.first().map(|c| c.time).unwrap_or(0.0);
+    for t in time.iter_mut().take(valid_from) {
+        *t = t0; // padding repeats the first valid timestamp: zero intervals
+    }
+    for (i, c) in tail.iter().enumerate() {
+        poi[valid_from + i] = c.poi;
+        time[valid_from + i] = c.time;
+    }
+    (poi, time, valid_from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, DatasetPreset, GenConfig};
+    use crate::types::Poi;
+
+    fn small() -> Processed {
+        let cfg = GenConfig { users: 50, pois: 250, mean_seq_len: 45.0, ..DatasetPreset::Gowalla.config(0.01) };
+        let d = generate(&cfg, 11);
+        preprocess(&d, &PrepConfig { max_len: 32, min_user_checkins: 20, min_poi_interactions: 3 })
+    }
+
+    #[test]
+    fn ids_remapped_with_padding_zero() {
+        let p = small();
+        assert!(p.num_pois > 0);
+        for s in &p.train {
+            for (i, &poi) in s.poi.iter().enumerate() {
+                if i < s.valid_from {
+                    assert_eq!(poi, 0, "padding prefix must be POI 0");
+                } else {
+                    assert!(poi >= 1 && poi as usize <= p.num_pois, "poi {poi} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn training_windows_are_fixed_width_and_chronological() {
+        let p = small();
+        assert!(!p.train.is_empty());
+        for s in &p.train {
+            assert_eq!(s.poi.len(), p.max_len + 1);
+            assert_eq!(s.time.len(), p.max_len + 1);
+            for w in s.time.windows(2) {
+                assert!(w[0] <= w[1], "timestamps must be non-decreasing");
+            }
+            assert!(s.real_steps() >= 1);
+        }
+    }
+
+    #[test]
+    fn eval_target_is_previously_unvisited() {
+        let p = small();
+        assert!(!p.eval.is_empty());
+        for e in &p.eval {
+            // Target must not appear in the source window before it... stronger:
+            // the preprocessor guarantees first visit over the *whole* history,
+            // so it can never be in the source.
+            assert!(!e.poi.contains(&e.target), "target leaked into source");
+            assert!(e.target >= 1 && (e.target as usize) <= p.num_pois);
+            assert_eq!(e.poi.len(), p.max_len);
+        }
+    }
+
+    #[test]
+    fn eval_targets_not_in_training_targets_after_split_point() {
+        // The eval target check-in must not be a training target.
+        let p = small();
+        for e in &p.eval {
+            for s in p.train.iter().filter(|s| s.user == e.user) {
+                for i in s.valid_from..(s.poi.len() - 1) {
+                    assert!(
+                        !(s.poi[i + 1] == e.target && (s.time[i + 1] - e.target_time).abs() < 1e-9),
+                        "eval target check-in used as a training target"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cold_filtering_enforces_thresholds() {
+        let p = small();
+        // Every surviving user's total check-ins >= threshold.
+        let mut per_user = vec![0usize; p.num_users];
+        for s in &p.train {
+            per_user[s.user as usize] += s.real_steps();
+        }
+        // A user whose last first-visit sits at index 1 has no training
+        // window (everything else is eval context); that must stay rare.
+        let with_train = per_user.iter().filter(|&&c| c > 0).count();
+        assert!(with_train * 10 >= p.num_users * 9, "{with_train}/{} users have training data", p.num_users);
+        assert_eq!(p.visited.len(), p.num_users);
+    }
+
+    #[test]
+    fn long_sequences_split_without_target_overlap() {
+        // A 2n+5 sequence must produce multiple windows whose target sets are
+        // disjoint (each check-in predicted at most once).
+        let n = 8usize;
+        let pois: Vec<Poi> =
+            (0..30).map(|i| Poi { id: i, loc: GeoPoint::new(1.0 + i as f64 * 0.001, 2.0) }).collect();
+        let seq: Vec<CheckIn> =
+            (0..(2 * n + 5)).map(|i| CheckIn { poi: (i % 30) as u32, time: i as f64 * 100.0 }).collect();
+        let d = Dataset { name: "t".into(), pois, users: vec![seq] };
+        let p = preprocess(&d, &PrepConfig { max_len: n, min_user_checkins: 2, min_poi_interactions: 1 });
+        assert!(p.train.len() >= 2, "expected multiple windows, got {}", p.train.len());
+        let mut target_times = Vec::new();
+        for s in &p.train {
+            for i in s.valid_from..(s.poi.len() - 1) {
+                target_times.push(s.time[i + 1].to_bits());
+            }
+        }
+        let unique: HashSet<u64> = target_times.iter().copied().collect();
+        assert_eq!(unique.len(), target_times.len(), "a check-in was targeted twice");
+    }
+
+    #[test]
+    fn stats_reflect_processed_data() {
+        let p = small();
+        let s = p.stats();
+        assert_eq!(s.users, p.num_users);
+        assert_eq!(s.pois, p.num_pois);
+        assert!(s.sparsity > 0.0 && s.sparsity < 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The spatial-temporal relation matrix **R** (paper Section III-D, Eq 4).
+//!
+//! For a sequence of check-ins, `r̂_ij = Δt_ij + Δd_ij` combines the clipped
+//! time interval (days, capped at `k_t`) and geography interval (km, capped at
+//! `k_d`); the relation is inverted (`r_ij = r̂_max − r̂_ij`) so *closer* pairs
+//! get *larger* values, and the matrix is lower-triangular to prevent
+//! information leakage. IAAB adds `Softmax(R)` (row-wise over the valid lower
+//! triangle) to the attention map.
+
+use stisan_geo::GeoPoint;
+use stisan_tensor::Array;
+
+/// Interval clipping thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct RelationConfig {
+    /// Maximum time interval `k_t`, in days (paper sweeps {0, 5, 10, 20}).
+    pub k_t_days: f64,
+    /// Maximum geography interval `k_d`, in km (paper sweeps {0, 5, 10, 15}).
+    pub k_d_km: f64,
+}
+
+impl Default for RelationConfig {
+    /// The paper's best general-purpose setting (`k_t = 10` days,
+    /// `k_d = 15` km, used for Gowalla/Brightkite).
+    fn default() -> Self {
+        RelationConfig { k_t_days: 10.0, k_d_km: 15.0 }
+    }
+}
+
+const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Builds the lower-triangular relation matrix `R` (`[n, n]`) for one
+/// sequence. Entries with `j > i`, or touching padding positions
+/// (`< valid_from`), are 0.
+///
+/// `times` are seconds, `locs` the per-position coordinates (padding entries
+/// ignored).
+pub fn relation_matrix(
+    times: &[f64],
+    locs: &[GeoPoint],
+    valid_from: usize,
+    cfg: &RelationConfig,
+) -> Array {
+    let n = times.len();
+    assert_eq!(locs.len(), n, "relation_matrix: times/locs length mismatch");
+    let mut rhat = vec![0.0f32; n * n];
+    let mut rhat_max = 0.0f32;
+    for i in valid_from..n {
+        for j in valid_from..=i {
+            let dt = ((times[i] - times[j]).abs() / SECONDS_PER_DAY).min(cfg.k_t_days);
+            let dd = locs[i].distance_km(&locs[j]).min(cfg.k_d_km);
+            let v = (dt + dd) as f32;
+            rhat[i * n + j] = v;
+            if v > rhat_max {
+                rhat_max = v;
+            }
+        }
+    }
+    // Invert: r = r̂_max − r̂ over the valid lower triangle.
+    let mut r = vec![0.0f32; n * n];
+    for i in valid_from..n {
+        for j in valid_from..=i {
+            r[i * n + j] = rhat_max - rhat[i * n + j];
+        }
+    }
+    Array::from_vec(vec![n, n], r)
+}
+
+/// The additive attention bias used by IAAB: row-wise softmax of `R` over the
+/// *valid lower triangle* (masked positions excluded from the normalization),
+/// placed on top of a causal/padding mask of `-1e9`.
+///
+/// Returns `[n, n]`: `softmax(R)_ij` for valid `j ≤ i`, `-1e9` elsewhere, so a
+/// single `add` to the attention logits applies both the relation bias and
+/// the leakage mask.
+pub fn iaab_bias(relation: &Array, valid_from: usize) -> Array {
+    let n = relation.shape()[0];
+    assert_eq!(relation.shape(), &[n, n], "iaab_bias: relation must be square");
+    let mut out = vec![-1e9f32; n * n];
+    for i in valid_from..n {
+        let row = &relation.data()[i * n..(i + 1) * n];
+        let valid = &row[valid_from..=i];
+        let max = valid.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let exps: Vec<f32> = valid.iter().map(|&v| (v - max).exp()).collect();
+        for &e in &exps {
+            sum += e;
+        }
+        for (k, &e) in exps.iter().enumerate() {
+            out[i * n + valid_from + k] = e / sum;
+        }
+    }
+    Array::from_vec(vec![n, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_inputs() -> (Vec<f64>, Vec<GeoPoint>) {
+        let times = vec![0.0, 3600.0, 7200.0, 100_000.0];
+        let locs = vec![
+            GeoPoint::new(43.88, 125.35),
+            GeoPoint::new(43.881, 125.351),
+            GeoPoint::new(43.95, 125.45),
+            GeoPoint::new(44.2, 125.9),
+        ];
+        (times, locs)
+    }
+
+    #[test]
+    fn lower_triangular_shape() {
+        let (t, l) = sample_inputs();
+        let r = relation_matrix(&t, &l, 0, &RelationConfig::default());
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(r.at(&[i, j]), 0.0, "upper triangle must be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn closer_pairs_have_larger_relation() {
+        let (t, l) = sample_inputs();
+        let r = relation_matrix(&t, &l, 0, &RelationConfig::default());
+        // POI 1 is much closer to POI 0 (in both space and time) than POI 3 is.
+        assert!(r.at(&[1, 0]) > r.at(&[3, 0]));
+        // Diagonal (self) is always the max possible relation.
+        assert!(r.at(&[1, 1]) >= r.at(&[1, 0]));
+    }
+
+    #[test]
+    fn clipping_caps_intervals() {
+        let times = vec![0.0, 100.0 * SECONDS_PER_DAY];
+        let locs = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(10.0, 10.0)];
+        let cfg = RelationConfig { k_t_days: 5.0, k_d_km: 7.0 };
+        let r = relation_matrix(&times, &locs, 0, &cfg);
+        // r̂_max comes from the clipped (5 + 7) pair; diagonal r = r̂_max - 0.
+        assert!((r.at(&[1, 1]) - 12.0).abs() < 1e-5);
+        assert_eq!(r.at(&[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn zero_thresholds_make_uniform_relation() {
+        // Fig 9's k_t = k_d = 0 case: every entry clips to 0, so R is all
+        // zeros and softmax adds a constant — IAAB is effectively disabled.
+        let (t, l) = sample_inputs();
+        let cfg = RelationConfig { k_t_days: 0.0, k_d_km: 0.0 };
+        let r = relation_matrix(&t, &l, 0, &cfg);
+        assert!(r.data().iter().all(|&v| v == 0.0));
+        let bias = iaab_bias(&r, 0);
+        // Row 2: three valid entries, uniform 1/3 each.
+        assert!((bias.at(&[2, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_rows_sum_to_one_over_valid_entries() {
+        let (t, l) = sample_inputs();
+        let r = relation_matrix(&t, &l, 1, &RelationConfig::default());
+        let bias = iaab_bias(&r, 1);
+        for i in 1..4 {
+            let s: f32 = (1..=i).map(|j| bias.at(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+            // Padding column and upper triangle are the mask value.
+            assert!(bias.at(&[i, 0]) < -1e8);
+        }
+        for j in 0..4 {
+            assert!(bias.at(&[0, j]) < -1e8, "padding row must be masked");
+        }
+    }
+
+    #[test]
+    fn padding_positions_are_excluded() {
+        let (t, l) = sample_inputs();
+        let r = relation_matrix(&t, &l, 2, &RelationConfig::default());
+        for j in 0..2 {
+            for i in 0..4 {
+                assert_eq!(r.at(&[i, j]), 0.0);
+                assert_eq!(r.at(&[j, i]), 0.0);
+            }
+        }
+    }
+}

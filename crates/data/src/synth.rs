@@ -1,0 +1,523 @@
+//! Synthetic LBSN check-in generation.
+//!
+//! Real Gowalla/Brightkite/Weeplaces dumps and the proprietary Changchun
+//! transportation trace are unavailable in this environment, so experiments
+//! run on synthetic datasets that reproduce the structural properties the
+//! paper's mechanisms exploit:
+//!
+//! * **Zipf POI popularity** — a heavy-tailed visit distribution (drives POP
+//!   and the sampled-metric evaluation);
+//! * **spatially clustered POIs** and **distance-decayed exploration** — the
+//!   spatial clustering phenomenon of individual mobility (Fig 2's signal,
+//!   what IAAB/GeoSAN/STAN feed on);
+//! * **exploration and preferential return** (Song et al., *Science* 2010) —
+//!   users mostly revisit known POIs, occasionally exploring new ones nearby
+//!   (gives sequences their predictability);
+//! * **circadian + log-normal inter-check-in gaps** — strongly non-uniform
+//!   time intervals within sequences (what TAPE/TiSASRec feed on).
+//!
+//! Presets are calibrated so that `scale = 1.0` matches the paper's Table II
+//! sizes; the default experiment scale is much smaller (see EXPERIMENTS.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stisan_geo::{GeoPoint, GridIndex};
+
+use crate::types::{CheckIn, Dataset, Poi};
+
+/// The four evaluation datasets of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetPreset {
+    /// Gowalla-like: many users, very sparse, short sequences (avg 53).
+    Gowalla,
+    /// Brightkite-like: medium size, medium sequences (avg 146).
+    Brightkite,
+    /// Weeplaces-like: few users, very long sequences (avg 325.5).
+    Weeplaces,
+    /// Changchun-like city transportation: huge user base, only ~2k
+    /// stations, short dense sequences (avg 43), strong commuting pattern.
+    Changchun,
+}
+
+impl DatasetPreset {
+    /// All four presets, in the paper's column order.
+    pub fn all() -> [DatasetPreset; 4] {
+        [Self::Gowalla, Self::Brightkite, Self::Weeplaces, Self::Changchun]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Gowalla => "Gowalla",
+            Self::Brightkite => "Brightkite",
+            Self::Weeplaces => "Weeplaces",
+            Self::Changchun => "Changchun",
+        }
+    }
+
+    /// The generator configuration at `scale` ∈ (0, 1]. Users and POIs both
+    /// scale linearly so that per-POI interaction density (and therefore the
+    /// cold-filtering survival rate) stays comparable across scales.
+    pub fn config(self, scale: f64) -> GenConfig {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let (users, pois, mean_len, cfg) = match self {
+            Self::Gowalla => (
+                31_708,
+                131_329,
+                53.0,
+                GenConfig {
+                    clusters: 60,
+                    city_radius_km: 300.0,
+                    cluster_sigma_km: 8.0,
+                    popularity_zipf: 0.85,
+                    seq_len_sigma: 0.55,
+                    rho: 0.6,
+                    gamma: 0.21,
+                    distance_decay_km: 6.0,
+                    median_gap_hours: 30.0,
+                    gap_sigma: 1.4,
+                    ..GenConfig::base("Gowalla")
+                },
+            ),
+            Self::Brightkite => (
+                5_247,
+                48_181,
+                146.0,
+                GenConfig {
+                    clusters: 40,
+                    city_radius_km: 250.0,
+                    cluster_sigma_km: 6.0,
+                    popularity_zipf: 0.85,
+                    seq_len_sigma: 0.5,
+                    rho: 0.5,
+                    gamma: 0.25,
+                    distance_decay_km: 5.0,
+                    median_gap_hours: 16.0,
+                    gap_sigma: 1.3,
+                    ..GenConfig::base("Brightkite")
+                },
+            ),
+            Self::Weeplaces => (
+                1_362,
+                18_364,
+                325.5,
+                GenConfig {
+                    clusters: 30,
+                    city_radius_km: 200.0,
+                    cluster_sigma_km: 5.0,
+                    popularity_zipf: 0.8,
+                    seq_len_sigma: 0.45,
+                    rho: 0.55,
+                    gamma: 0.2,
+                    distance_decay_km: 4.0,
+                    median_gap_hours: 9.0,
+                    gap_sigma: 1.2,
+                    ..GenConfig::base("Weeplaces")
+                },
+            ),
+            Self::Changchun => (
+                344_258,
+                2_135,
+                43.0,
+                GenConfig {
+                    clusters: 12,
+                    city_radius_km: 18.0,
+                    cluster_sigma_km: 2.5,
+                    popularity_zipf: 0.75,
+                    seq_len_sigma: 0.4,
+                    rho: 0.25, // commuters revisit stations heavily
+                    gamma: 0.3,
+                    distance_decay_km: 3.0,
+                    median_gap_hours: 10.0,
+                    gap_sigma: 0.9,
+                    commuter_fraction: 0.6,
+                    ..GenConfig::base("Changchun")
+                },
+            ),
+        };
+        GenConfig {
+            users: ((users as f64 * scale).round() as usize).max(30),
+            pois: ((pois as f64 * scale).round() as usize).max(150),
+            mean_seq_len: mean_len,
+            ..cfg
+        }
+    }
+}
+
+/// Generator parameters (see module docs for the model).
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Dataset name recorded on the output.
+    pub name: String,
+    /// Number of users.
+    pub users: usize,
+    /// Number of POIs.
+    pub pois: usize,
+    /// Number of spatial clusters.
+    pub clusters: usize,
+    /// Dataset centroid.
+    pub city_center: GeoPoint,
+    /// Radius of the disk holding cluster centres, km.
+    pub city_radius_km: f64,
+    /// POI scatter within a cluster, km.
+    pub cluster_sigma_km: f64,
+    /// Zipf exponent of POI popularity.
+    pub popularity_zipf: f64,
+    /// Mean check-ins per user.
+    pub mean_seq_len: f64,
+    /// Log-normal sigma of per-user sequence length.
+    pub seq_len_sigma: f64,
+    /// Hard floor on per-user check-ins (cold-user threshold is 20).
+    pub min_seq_len: usize,
+    /// EPR exploration probability scale (`p_new = rho * S^-gamma`).
+    pub rho: f64,
+    /// EPR exploration exponent.
+    pub gamma: f64,
+    /// Exploration distance-decay length, km.
+    pub distance_decay_km: f64,
+    /// Median inter-check-in gap, hours.
+    pub median_gap_hours: f64,
+    /// Log-normal sigma of the gap distribution.
+    pub gap_sigma: f64,
+    /// Fraction of users with a home/work commuting routine (the Changchun
+    /// transportation preset models a transit network; LBSN presets use 0).
+    pub commuter_fraction: f64,
+}
+
+impl GenConfig {
+    fn base(name: &str) -> GenConfig {
+        GenConfig {
+            name: name.to_string(),
+            users: 100,
+            pois: 500,
+            clusters: 20,
+            city_center: GeoPoint::new(43.88, 125.35),
+            city_radius_km: 100.0,
+            cluster_sigma_km: 5.0,
+            popularity_zipf: 0.85,
+            mean_seq_len: 60.0,
+            seq_len_sigma: 0.5,
+            min_seq_len: 22,
+            rho: 0.6,
+            gamma: 0.21,
+            distance_decay_km: 5.0,
+            median_gap_hours: 20.0,
+            gap_sigma: 1.2,
+            commuter_fraction: 0.0,
+        }
+    }
+}
+
+/// Generates a synthetic dataset. Deterministic in `(cfg, seed)`.
+pub fn generate(cfg: &GenConfig, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- POI geography -------------------------------------------------
+    let centers: Vec<GeoPoint> = (0..cfg.clusters)
+        .map(|_| {
+            let r = cfg.city_radius_km * rng.gen_range(0.0f64..1.0).sqrt();
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            offset_km(cfg.city_center, r * theta.cos(), r * theta.sin())
+        })
+        .collect();
+    // Cluster sizes follow a power law: weight ∝ (rank+1)^-0.8.
+    let cluster_weights: Vec<f64> = (0..cfg.clusters).map(|i| 1.0 / (i as f64 + 1.0).powf(0.8)).collect();
+    let pois: Vec<Poi> = (0..cfg.pois)
+        .map(|id| {
+            let c = sample_weighted(&cluster_weights, &mut rng);
+            let dx = gauss(&mut rng) * cfg.cluster_sigma_km;
+            let dy = gauss(&mut rng) * cfg.cluster_sigma_km;
+            Poi { id: id as u32, loc: offset_km(centers[c], dx, dy) }
+        })
+        .collect();
+
+    // --- POI popularity (Zipf over a random permutation) ---------------
+    let mut perm: Vec<usize> = (0..cfg.pois).collect();
+    for i in (1..perm.len()).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    let mut popularity = vec![0.0f64; cfg.pois];
+    for (rank, &p) in perm.iter().enumerate() {
+        popularity[p] = 1.0 / (rank as f64 + 1.0).powf(cfg.popularity_zipf);
+    }
+
+    let locs: Vec<GeoPoint> = pois.iter().map(|p| p.loc).collect();
+    let index = GridIndex::build(&locs, 0.05);
+
+    // --- Users ----------------------------------------------------------
+    let users: Vec<Vec<CheckIn>> = (0..cfg.users)
+        .map(|_| generate_user(cfg, &locs, &popularity, &index, &mut rng))
+        .collect();
+
+    Dataset { name: cfg.name.clone(), pois, users }
+}
+
+fn generate_user(
+    cfg: &GenConfig,
+    locs: &[GeoPoint],
+    popularity: &[f64],
+    index: &GridIndex,
+    rng: &mut StdRng,
+) -> Vec<CheckIn> {
+    // Sequence length: log-normal around the target mean.
+    let mu = cfg.mean_seq_len.ln() - cfg.seq_len_sigma * cfg.seq_len_sigma / 2.0;
+    let len = (mu + cfg.seq_len_sigma * gauss(rng)).exp().round() as usize;
+    let len = len.clamp(cfg.min_seq_len, (cfg.mean_seq_len * 4.0) as usize + cfg.min_seq_len);
+
+    // Home: popularity-weighted random POI. Commuters additionally get a
+    // work anchor a few km away and alternate between the two by time of day.
+    let home = sample_weighted(popularity, rng);
+    let commuter = rng.gen_range(0.0..1.0f64) < cfg.commuter_fraction;
+    let work = if commuter {
+        let near = index.k_nearest(locs[home], 40, |i| i != home);
+        near[near.len() / 2..][rng.gen_range(0..near.len() - near.len() / 2)].0
+    } else {
+        home
+    };
+
+    // Start time: random day in a two-year window, morning-ish hour.
+    let mut t = rng.gen_range(0..700) as f64 * 86_400.0 + rng.gen_range(7.0..11.0) * 3_600.0;
+
+    let mut visited: Vec<(u32, f64)> = Vec::new(); // (poi, visit count)
+    let mut current = home;
+    let mut out: Vec<CheckIn> = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(CheckIn { poi: current as u32, time: t });
+        match visited.iter_mut().find(|(p, _)| *p == current as u32) {
+            Some((_, c)) => *c += 1.0,
+            None => visited.push((current as u32, 1.0)),
+        }
+
+        // --- next timestamp: log-normal gap + circadian correction ------
+        let gap_mu = (cfg.median_gap_hours * 3_600.0).ln();
+        let gap = (gap_mu + cfg.gap_sigma * gauss(rng)).exp().clamp(300.0, 60.0 * 86_400.0);
+        let mut t_next = t + gap;
+        let hour = (t_next / 3_600.0) % 24.0;
+        if hour < 6.5 {
+            // Humans rarely check in between midnight and dawn: push to morning.
+            t_next += (7.5 - hour + rng.gen_range(0.0..1.5)) * 3_600.0;
+        }
+
+        // --- next POI ----------------------------------------------------
+        // Commuters: most moves are the home/work shuttle, keyed to the
+        // time of day — the strong routine of a city transit trace.
+        if commuter && rng.gen_range(0.0..1.0f64) < 0.65 {
+            let hour = (t_next / 3_600.0) % 24.0;
+            current = if (6.0..14.0).contains(&hour) { work } else { home };
+            t = t_next;
+            continue;
+        }
+        // Everyone else (and commuters' leisure trips): EPR.
+        let s = visited.len() as f64;
+        let p_new = (cfg.rho * s.powf(-cfg.gamma)).min(1.0);
+        current = if rng.gen_range(0.0..1.0f64) < p_new {
+            // Exploration is anchored on the *recent history window*, gated
+            // by the time gap: after a long break the user restarts from a
+            // habitual POI; after a short gap the trip continues from a
+            // recently visited place, with recency-decayed weights. This is
+            // the spatial-TEMPORAL structure the paper's TAPE/IAAB exploit —
+            // a first-order (Markov) model only sees the last check-in and
+            // cannot recover which history entry anchors the move.
+            let anchor = if (t_next - t) > 48.0 * 3_600.0 {
+                let weights: Vec<f64> = visited.iter().map(|&(_, c)| c).collect();
+                visited[sample_weighted(&weights, rng)].0 as usize
+            } else {
+                let window = &out[out.len().saturating_sub(8)..];
+                let tau = 12.0 * 3_600.0;
+                let weights: Vec<f64> =
+                    window.iter().map(|c| (-(t_next - c.time) / tau).exp().max(1e-9)).collect();
+                window[sample_weighted(&weights, rng)].poi as usize
+            };
+            // Distance-decayed, popularity-weighted choice near the anchor.
+            let here = locs[anchor];
+            let mut cands = index.within_radius(here, cfg.distance_decay_km * 4.0);
+            if cands.len() < 5 {
+                cands = index.k_nearest(here, 30, |_| true);
+            }
+            let weights: Vec<f64> = cands
+                .iter()
+                .map(|&(i, d)| popularity[i] * (-d / cfg.distance_decay_km).exp().max(1e-12))
+                .collect();
+            cands[sample_weighted(&weights, rng)].0
+        } else {
+            // Preferential return: revisit ∝ past visit frequency.
+            let weights: Vec<f64> = visited.iter().map(|&(_, c)| c).collect();
+            visited[sample_weighted(&weights, rng)].0 as usize
+        };
+        t = t_next;
+    }
+    out
+}
+
+/// Samples an index with probability proportional to `weights`.
+fn sample_weighted(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "sample_weighted: zero total weight");
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Standard normal via Box–Muller.
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Moves a point by `(east_km, north_km)`.
+fn offset_km(p: GeoPoint, east_km: f64, north_km: f64) -> GeoPoint {
+    let dlat = north_km / 111.19;
+    let dlon = east_km / (111.19 * p.lat.to_radians().cos().abs().max(0.05));
+    GeoPoint::new(p.lat + dlat, p.lon + dlon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> GenConfig {
+        GenConfig { users: 40, pois: 200, mean_seq_len: 40.0, ..DatasetPreset::Gowalla.config(0.01) }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = tiny_cfg();
+        let a = generate(&cfg, 7);
+        let b = generate(&cfg, 7);
+        assert_eq!(a.users, b.users);
+        let c = generate(&cfg, 8);
+        assert_ne!(
+            a.users.iter().flatten().map(|c| c.poi).collect::<Vec<_>>(),
+            c.users.iter().flatten().map(|c| c.poi).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chronological_and_sized() {
+        let cfg = tiny_cfg();
+        let d = generate(&cfg, 1);
+        assert!(d.is_chronological());
+        assert_eq!(d.users.len(), 40);
+        assert_eq!(d.pois.len(), 200);
+        for seq in &d.users {
+            assert!(seq.len() >= cfg.min_seq_len);
+        }
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let d = generate(&tiny_cfg(), 2);
+        let mut counts = vec![0usize; d.pois.len()];
+        for c in d.users.iter().flatten() {
+            counts[c.poi as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = counts.iter().sum();
+        let top10: usize = counts.iter().take(d.pois.len() / 10).sum();
+        assert!(
+            top10 as f64 > 0.35 * total as f64,
+            "top-10% POIs only got {top10}/{total} check-ins"
+        );
+    }
+
+    #[test]
+    fn consecutive_checkins_are_spatially_local() {
+        let d = generate(&tiny_cfg(), 3);
+        let mut near = 0usize;
+        let mut total = 0usize;
+        for seq in &d.users {
+            for w in seq.windows(2) {
+                let a = d.pois[w[0].poi as usize].loc;
+                let b = d.pois[w[1].poi as usize].loc;
+                if a.distance_km(&b) <= 10.0 {
+                    near += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(
+            near as f64 > 0.5 * total as f64,
+            "only {near}/{total} consecutive hops within 10 km"
+        );
+    }
+
+    #[test]
+    fn time_gaps_are_nonuniform() {
+        let d = generate(&tiny_cfg(), 4);
+        let mut gaps = Vec::new();
+        for seq in &d.users {
+            for w in seq.windows(2) {
+                gaps.push(w[1].time - w[0].time);
+            }
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 0.8, "coefficient of variation {cv} too uniform");
+        assert!(gaps.iter().all(|&g| g > 0.0));
+    }
+
+    #[test]
+    fn users_revisit_pois() {
+        // Preferential return must produce repeat visits.
+        let d = generate(&tiny_cfg(), 5);
+        let mut any_repeat = 0;
+        for seq in &d.users {
+            let distinct: std::collections::HashSet<u32> = seq.iter().map(|c| c.poi).collect();
+            if distinct.len() < seq.len() {
+                any_repeat += 1;
+            }
+        }
+        assert!(any_repeat > d.users.len() / 2);
+    }
+
+    #[test]
+    fn changchun_commuters_have_dominant_station_pairs() {
+        let cfg = GenConfig { users: 40, pois: 200, mean_seq_len: 40.0, ..DatasetPreset::Changchun.config(0.001) };
+        let d = generate(&cfg, 13);
+        // For a commuting majority, the two most-visited POIs should cover
+        // most of a typical user's check-ins.
+        let mut dominated = 0usize;
+        for seq in &d.users {
+            let mut counts = std::collections::HashMap::new();
+            for c in seq {
+                *counts.entry(c.poi).or_insert(0usize) += 1;
+            }
+            let mut freqs: Vec<usize> = counts.values().copied().collect();
+            freqs.sort_unstable_by(|a, b| b.cmp(a));
+            let top2: usize = freqs.iter().take(2).sum();
+            if top2 * 2 > seq.len() {
+                dominated += 1;
+            }
+        }
+        assert!(
+            dominated * 2 > d.users.len(),
+            "only {dominated}/{} users show a commuting routine",
+            d.users.len()
+        );
+    }
+
+    #[test]
+    fn lbsn_presets_have_no_commuters() {
+        for p in [DatasetPreset::Gowalla, DatasetPreset::Brightkite, DatasetPreset::Weeplaces] {
+            assert_eq!(p.config(0.01).commuter_fraction, 0.0);
+        }
+        assert!(DatasetPreset::Changchun.config(0.01).commuter_fraction > 0.0);
+    }
+
+    #[test]
+    fn presets_scale_sizes() {
+        let g = DatasetPreset::Gowalla.config(1.0);
+        assert_eq!(g.users, 31_708);
+        assert_eq!(g.pois, 131_329);
+        let small = DatasetPreset::Gowalla.config(0.01);
+        assert!((small.users as f64 - 317.0).abs() < 2.0);
+        assert!((small.pois as f64 - 1313.0).abs() < 2.0); // linear scaling
+    }
+}

@@ -1,0 +1,21 @@
+//! # stisan-eval
+//!
+//! The paper's evaluation protocol:
+//!
+//! * [`Recommender`] — the trait every model (baselines and STiSAN)
+//!   implements: score a candidate list given a user's source sequence;
+//! * [`build_candidates`] — for each evaluation instance, the target plus its
+//!   100 nearest *previously unvisited* POIs (Section IV-C);
+//! * [`evaluate`] — ranks the 101 candidates and accumulates HR@k and NDCG@k
+//!   (Eqs 13–14);
+//! * [`MeanVar`] — mean ± variance aggregation across evaluation rounds
+//!   (the paper reports 10-round averages);
+//! * [`spatial_stats`] — the Fig 2 statistic: how many historical POIs sit
+//!   within 10 km of the target, bucketed by sequence position.
+
+mod metrics;
+mod protocol;
+pub mod spatial_stats;
+
+pub use metrics::{MeanVar, Metrics, MetricsAccum};
+pub use protocol::{build_candidates, evaluate, CandidateSet, Recommender};

@@ -1,0 +1,177 @@
+//! HR@k and NDCG@k (paper Eqs 13–14) plus round aggregation.
+
+/// The four headline metrics of Tables III–IV.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Hit rate at 5.
+    pub hr5: f64,
+    /// NDCG at 5.
+    pub ndcg5: f64,
+    /// Hit rate at 10.
+    pub hr10: f64,
+    /// NDCG at 10.
+    pub ndcg10: f64,
+}
+
+impl Metrics {
+    /// Formats as the paper's four-column row.
+    pub fn row(&self) -> String {
+        format!("{:.4}  {:.4}  {:.4}  {:.4}", self.hr5, self.ndcg5, self.hr10, self.ndcg10)
+    }
+}
+
+/// Accumulates per-instance ranks into [`Metrics`].
+///
+/// With a single relevant item per instance (the held-out target), HR@k is
+/// the fraction of instances whose target lands in the top-k, and NDCG@k is
+/// `1 / log2(rank + 2)` for targets inside the top-k (`D = 1` in Eq 14 since
+/// the ideal DCG places the single target first).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsAccum {
+    n: usize,
+    hit5: usize,
+    hit10: usize,
+    ndcg5: f64,
+    ndcg10: f64,
+}
+
+impl MetricsAccum {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one instance by the 0-based `rank` of its target among the
+    /// candidates (rank 0 = top of the list).
+    pub fn add_rank(&mut self, rank: usize) {
+        self.n += 1;
+        let gain = 1.0 / ((rank as f64) + 2.0).log2();
+        if rank < 5 {
+            self.hit5 += 1;
+            self.ndcg5 += gain;
+        }
+        if rank < 10 {
+            self.hit10 += 1;
+            self.ndcg10 += gain;
+        }
+    }
+
+    /// Number of recorded instances.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Final averaged metrics.
+    pub fn finalize(&self) -> Metrics {
+        if self.n == 0 {
+            return Metrics::default();
+        }
+        let n = self.n as f64;
+        Metrics {
+            hr5: self.hit5 as f64 / n,
+            ndcg5: self.ndcg5 / n,
+            hr10: self.hit10 as f64 / n,
+            ndcg10: self.ndcg10 / n,
+        }
+    }
+}
+
+/// Streaming mean and (population) variance over evaluation rounds, as the
+/// paper reports (`0.4617 ± 0.003` style).
+#[derive(Clone, Debug, Default)]
+pub struct MeanVar {
+    n: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanVar {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one round's value (Welford update).
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Mean over rounds.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance over rounds.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// `mean ± variance` in the paper's table format.
+    pub fn row(&self) -> String {
+        format!("{:.4}±{:.3}", self.mean(), self.variance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let mut a = MetricsAccum::new();
+        a.add_rank(0);
+        a.add_rank(0);
+        let m = a.finalize();
+        assert_eq!(m.hr5, 1.0);
+        assert_eq!(m.hr10, 1.0);
+        assert!((m.ndcg5 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_boundaries() {
+        let mut a = MetricsAccum::new();
+        a.add_rank(4); // inside top-5
+        a.add_rank(5); // outside top-5, inside top-10
+        a.add_rank(10); // outside both
+        let m = a.finalize();
+        assert!((m.hr5 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.hr10 - 2.0 / 3.0).abs() < 1e-12);
+        // NDCG@10 for ranks 4 and 5: 1/log2(6) + 1/log2(7), averaged over 3.
+        let expect = (1.0 / 6.0f64.log2() + 1.0 / 7.0f64.log2()) / 3.0;
+        assert!((m.ndcg10 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_decreases_with_rank() {
+        let rank_gain = |r: usize| {
+            let mut a = MetricsAccum::new();
+            a.add_rank(r);
+            a.finalize().ndcg10
+        };
+        assert!(rank_gain(0) > rank_gain(1));
+        assert!(rank_gain(1) > rank_gain(9));
+        assert_eq!(rank_gain(10), 0.0);
+    }
+
+    #[test]
+    fn empty_accum_is_zero() {
+        assert_eq!(MetricsAccum::new().finalize(), Metrics::default());
+    }
+
+    #[test]
+    fn meanvar_matches_closed_form() {
+        let mut mv = MeanVar::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            mv.push(x);
+        }
+        assert!((mv.mean() - 2.5).abs() < 1e-12);
+        assert!((mv.variance() - 1.25).abs() < 1e-12);
+    }
+}

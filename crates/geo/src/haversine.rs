@@ -1,0 +1,52 @@
+//! Great-circle distance.
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Haversine great-circle distance between two GPS coordinates, in km.
+///
+/// This is the `Haversine(·)` of the paper's Eq 4, used to clip geography
+/// intervals into the spatial-temporal relation matrix.
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let dphi = (lat2 - lat1).to_radians();
+    let dlambda = (lon2 - lon1).to_radians();
+    let a = (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        assert_eq!(haversine_km(43.88, 125.35, 43.88, 125.35), 0.0);
+    }
+
+    #[test]
+    fn known_city_pair() {
+        // Beijing (39.9042, 116.4074) to Shanghai (31.2304, 121.4737): ~1068 km.
+        let d = haversine_km(39.9042, 116.4074, 31.2304, 121.4737);
+        assert!((d - 1068.0).abs() < 10.0, "got {d}");
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let d = haversine_km(0.0, 0.0, 1.0, 0.0);
+        assert!((d - 111.19).abs() < 0.5, "got {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = haversine_km(10.0, 20.0, -30.0, 40.0);
+        let b = haversine_km(-30.0, 40.0, 10.0, 20.0);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_does_not_nan() {
+        let d = haversine_km(0.0, 0.0, 0.0, 180.0);
+        assert!(d.is_finite() && d > 20_000.0 && d < 20_100.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! A uniform-grid spatial index over POIs.
+//!
+//! Answers the two geography queries the paper's pipeline needs many millions
+//! of times: *k nearest POIs to a target* (training negatives are drawn from
+//! the target's 2000 nearest neighbours; evaluation ranks the target against
+//! its 100 nearest unvisited POIs) and *all POIs within a radius* (Fig 2's
+//! 10 km spatial-correlation statistic, FPMC-LR's region constraint).
+
+use crate::{haversine_km, GeoPoint};
+
+/// Spatial grid index. Cells are fixed-size in degrees; queries expand in
+/// rings of cells until enough candidates are found, then rank exactly by
+/// haversine distance.
+pub struct GridIndex {
+    cell_deg: f64,
+    min_lat: f64,
+    min_lon: f64,
+    rows: usize,
+    cols: usize,
+    cells: Vec<Vec<u32>>,
+    points: Vec<GeoPoint>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` (indexed by their position in the slice)
+    /// with the given cell size in degrees (0.05° ≈ 5.5 km at mid latitudes).
+    pub fn build(points: &[GeoPoint], cell_deg: f64) -> Self {
+        assert!(cell_deg > 0.0, "cell size must be positive");
+        assert!(!points.is_empty(), "GridIndex::build: no points");
+        let min_lat = points.iter().map(|p| p.lat).fold(f64::INFINITY, f64::min);
+        let max_lat = points.iter().map(|p| p.lat).fold(f64::NEG_INFINITY, f64::max);
+        let min_lon = points.iter().map(|p| p.lon).fold(f64::INFINITY, f64::min);
+        let max_lon = points.iter().map(|p| p.lon).fold(f64::NEG_INFINITY, f64::max);
+        let rows = (((max_lat - min_lat) / cell_deg).floor() as usize + 1).max(1);
+        let cols = (((max_lon - min_lon) / cell_deg).floor() as usize + 1).max(1);
+        let mut cells = vec![Vec::new(); rows * cols];
+        for (i, p) in points.iter().enumerate() {
+            let (r, c) = cell_of(p, min_lat, min_lon, cell_deg, rows, cols);
+            cells[r * cols + c].push(i as u32);
+        }
+        GridIndex { cell_deg, min_lat, min_lon, rows, cols, cells, points: points.to_vec() }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `k` nearest indexed points to `query` (by haversine distance,
+    /// ascending), filtered by `keep`. Returns `(index, distance_km)` pairs.
+    ///
+    /// The ring search guarantees exactness: it keeps expanding until the
+    /// k-th best distance is covered by the scanned ring radius.
+    pub fn k_nearest(
+        &self,
+        query: GeoPoint,
+        k: usize,
+        mut keep: impl FnMut(usize) -> bool,
+    ) -> Vec<(usize, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let (qr, qc) = cell_of(&query, self.min_lat, self.min_lon, self.cell_deg, self.rows, self.cols);
+        let mut found: Vec<(usize, f64)> = Vec::new();
+        let max_ring = self.rows.max(self.cols);
+        // Approximate km covered by one ring of cells at this latitude.
+        let km_per_ring = self.cell_deg * 111.19 * query.lat.to_radians().cos().abs().max(0.2);
+        for ring in 0..=max_ring {
+            for (r, c) in ring_cells(qr, qc, ring, self.rows, self.cols) {
+                for &pi in &self.cells[r * self.cols + c] {
+                    let pi = pi as usize;
+                    if !keep(pi) {
+                        continue;
+                    }
+                    let d = haversine_km(query.lat, query.lon, self.points[pi].lat, self.points[pi].lon);
+                    found.push((pi, d));
+                }
+            }
+            if found.len() >= k {
+                // Safe to stop when the worst kept distance fits inside the
+                // scanned radius (ring+1 would only add farther cells).
+                found.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                found.truncate(k.max(found.len().min(k * 2)));
+                let kth = found[k.min(found.len()) - 1].1;
+                if kth <= ring as f64 * km_per_ring {
+                    found.truncate(k);
+                    return found;
+                }
+            }
+        }
+        found.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        found.truncate(k);
+        found
+    }
+
+    /// All indexed points within `radius_km` of `query` as
+    /// `(index, distance_km)` pairs (unsorted).
+    pub fn within_radius(&self, query: GeoPoint, radius_km: f64) -> Vec<(usize, f64)> {
+        let lat_cos = query.lat.to_radians().cos().abs().max(0.05);
+        let ring_span_lat = (radius_km / 111.19 / self.cell_deg).ceil() as usize + 1;
+        let ring_span_lon = (radius_km / (111.19 * lat_cos) / self.cell_deg).ceil() as usize + 1;
+        let (qr, qc) = cell_of(&query, self.min_lat, self.min_lon, self.cell_deg, self.rows, self.cols);
+        let r0 = qr.saturating_sub(ring_span_lat);
+        let r1 = (qr + ring_span_lat).min(self.rows - 1);
+        let c0 = qc.saturating_sub(ring_span_lon);
+        let c1 = (qc + ring_span_lon).min(self.cols - 1);
+        let mut out = Vec::new();
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for &pi in &self.cells[r * self.cols + c] {
+                    let pi = pi as usize;
+                    let d = haversine_km(query.lat, query.lon, self.points[pi].lat, self.points[pi].lon);
+                    if d <= radius_km {
+                        out.push((pi, d));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn cell_of(
+    p: &GeoPoint,
+    min_lat: f64,
+    min_lon: f64,
+    cell_deg: f64,
+    rows: usize,
+    cols: usize,
+) -> (usize, usize) {
+    let r = (((p.lat - min_lat) / cell_deg).floor() as isize).clamp(0, rows as isize - 1) as usize;
+    let c = (((p.lon - min_lon) / cell_deg).floor() as isize).clamp(0, cols as isize - 1) as usize;
+    (r, c)
+}
+
+/// Cells at Chebyshev distance exactly `ring` from `(qr, qc)`, clipped to the
+/// grid bounds.
+fn ring_cells(qr: usize, qc: usize, ring: usize, rows: usize, cols: usize) -> Vec<(usize, usize)> {
+    if ring == 0 {
+        return vec![(qr, qc)];
+    }
+    let mut out = Vec::new();
+    let r_lo = qr as isize - ring as isize;
+    let r_hi = qr as isize + ring as isize;
+    let c_lo = qc as isize - ring as isize;
+    let c_hi = qc as isize + ring as isize;
+    let push = |out: &mut Vec<(usize, usize)>, r: isize, c: isize| {
+        if r >= 0 && (r as usize) < rows && c >= 0 && (c as usize) < cols {
+            out.push((r as usize, c as usize));
+        }
+    };
+    for c in c_lo..=c_hi {
+        push(&mut out, r_lo, c);
+        push(&mut out, r_hi, c);
+    }
+    for r in (r_lo + 1)..r_hi {
+        push(&mut out, r, c_lo);
+        push(&mut out, r, c_hi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<GeoPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| GeoPoint::new(43.0 + rng.gen_range(0.0..1.0), 125.0 + rng.gen_range(0.0..1.0)))
+            .collect()
+    }
+
+    /// Brute-force reference for k-nearest.
+    fn brute_k_nearest(points: &[GeoPoint], q: GeoPoint, k: usize) -> Vec<(usize, f64)> {
+        let mut all: Vec<(usize, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, haversine_km(q.lat, q.lon, p.lat, p.lon)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let pts = random_points(500, 7);
+        let idx = GridIndex::build(&pts, 0.05);
+        let q = GeoPoint::new(43.5, 125.5);
+        let got = idx.k_nearest(q, 10, |_| true);
+        let want = brute_k_nearest(&pts, q, 10);
+        assert_eq!(got.len(), 10);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.1 - w.1).abs() < 1e-9, "distance mismatch: {g:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_respects_filter() {
+        let pts = random_points(100, 8);
+        let idx = GridIndex::build(&pts, 0.05);
+        let q = pts[0];
+        let got = idx.k_nearest(q, 5, |i| i != 0);
+        assert!(got.iter().all(|(i, _)| *i != 0));
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let pts = random_points(5, 9);
+        let idx = GridIndex::build(&pts, 0.05);
+        let got = idx.k_nearest(pts[0], 50, |_| true);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let pts = random_points(400, 10);
+        let idx = GridIndex::build(&pts, 0.05);
+        let q = GeoPoint::new(43.5, 125.5);
+        let got = idx.within_radius(q, 10.0);
+        let want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| haversine_km(q.lat, q.lon, p.lat, p.lon) <= 10.0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut got_ids: Vec<usize> = got.iter().map(|(i, _)| *i).collect();
+        got_ids.sort_unstable();
+        assert_eq!(got_ids, want);
+    }
+
+    #[test]
+    fn single_point_grid() {
+        let pts = vec![GeoPoint::new(0.0, 0.0)];
+        let idx = GridIndex::build(&pts, 0.1);
+        assert_eq!(idx.k_nearest(pts[0], 1, |_| true).len(), 1);
+    }
+}

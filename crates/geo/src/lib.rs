@@ -1,0 +1,66 @@
+//! # stisan-geo
+//!
+//! The geography subsystem of the STiSAN reproduction:
+//!
+//! * [`haversine_km`] — great-circle distance (paper Eq 4 uses it to clip
+//!   geography intervals);
+//! * [`quadkey`] — Bing-maps-style quadkey tiling of GPS coordinates and the
+//!   n-gram tokenization used by the GeoSAN geography encoder;
+//! * [`GeoEncoder`] — the self-attention-based GPS coordinate encoder of
+//!   GeoSAN (Lian et al., KDD 2020), which STiSAN adopts for its embedding
+//!   module (re-implemented from the paper's description);
+//! * [`GridIndex`] — a uniform spatial grid over POIs answering the k-nearest
+//!   queries that drive negative sampling and evaluation-candidate retrieval.
+
+mod encoder;
+mod haversine;
+mod index;
+pub mod quadkey;
+
+pub use encoder::GeoEncoder;
+pub use haversine::haversine_km;
+pub use index::GridIndex;
+
+/// A GPS coordinate (degrees).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Constructs a point, clamping latitude into the Mercator-safe range.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat: lat.clamp(-85.0, 85.0), lon: wrap_lon(lon) }
+    }
+
+    /// Great-circle distance to `other` in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        haversine_km(self.lat, self.lon, other.lat, other.lon)
+    }
+}
+
+fn wrap_lon(lon: f64) -> f64 {
+    let mut l = lon;
+    while l > 180.0 {
+        l -= 360.0;
+    }
+    while l < -180.0 {
+        l += 360.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geopoint_clamps_and_wraps() {
+        let p = GeoPoint::new(92.0, 190.0);
+        assert_eq!(p.lat, 85.0);
+        assert_eq!(p.lon, -170.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Quadkey tiling (Bing Maps convention) and n-gram tokenization.
+//!
+//! The GeoSAN geography encoder maps a GPS coordinate to a map tile at a fixed
+//! zoom level, writes the tile address as a base-4 *quadkey* string, splits it
+//! into overlapping n-grams and embeds those tokens. Nearby locations share
+//! long quadkey prefixes, so n-gram embeddings interpolate smoothly in space.
+
+use crate::GeoPoint;
+
+/// Converts a GPS coordinate to tile `(x, y)` at `level` (Web-Mercator).
+pub fn tile_at(p: GeoPoint, level: u8) -> (u32, u32) {
+    assert!((1..=23).contains(&level), "quadkey level must be in 1..=23");
+    let lat = p.lat.clamp(-85.05112878, 85.05112878);
+    let n = (1u64 << level) as f64;
+    let x = ((p.lon + 180.0) / 360.0 * n).floor();
+    let sin_lat = lat.to_radians().sin();
+    let y = ((0.5 - ((1.0 + sin_lat) / (1.0 - sin_lat)).ln() / (4.0 * std::f64::consts::PI)) * n)
+        .floor();
+    let max = n - 1.0;
+    (x.clamp(0.0, max) as u32, y.clamp(0.0, max) as u32)
+}
+
+/// The quadkey digits (each in `0..=3`) of a coordinate at `level`.
+/// Digit `i` interleaves bit `level-1-i` of the tile x and y.
+pub fn quadkey_digits(p: GeoPoint, level: u8) -> Vec<u8> {
+    let (x, y) = tile_at(p, level);
+    (0..level)
+        .map(|i| {
+            let bit = level - 1 - i;
+            let dx = ((x >> bit) & 1) as u8;
+            let dy = ((y >> bit) & 1) as u8;
+            dx | (dy << 1)
+        })
+        .collect()
+}
+
+/// The quadkey as a string of `'0'..='3'` characters.
+pub fn quadkey_string(p: GeoPoint, level: u8) -> String {
+    quadkey_digits(p, level).iter().map(|d| char::from(b'0' + d)).collect()
+}
+
+/// Tokenizes a quadkey into overlapping `n`-gram token ids in `0..4^n`.
+/// A quadkey of length `level` yields `level - n + 1` tokens.
+pub fn ngram_tokens(digits: &[u8], n: usize) -> Vec<usize> {
+    assert!(n >= 1 && n <= digits.len(), "ngram size {n} out of 1..={}", digits.len());
+    digits
+        .windows(n)
+        .map(|w| w.iter().fold(0usize, |acc, &d| acc * 4 + d as usize))
+        .collect()
+}
+
+/// Full pipeline: coordinate → quadkey(level) → n-gram token ids.
+pub fn tokens_for(p: GeoPoint, level: u8, n: usize) -> Vec<usize> {
+    ngram_tokens(&quadkey_digits(p, level), n)
+}
+
+/// The n-gram vocabulary size for a given `n`: `4^n`.
+pub fn vocab_size(n: usize) -> usize {
+    4usize.pow(n as u32)
+}
+
+/// Number of tokens produced per coordinate at `(level, n)`.
+pub fn tokens_per_point(level: u8, n: usize) -> usize {
+    level as usize - n + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadkey_matches_bing_reference() {
+        // Bing Maps documentation example: (41.850, -87.650) (Chicago) at
+        // level 3 lands in tile (2, 2) with quadkey "030".
+        let p = GeoPoint::new(41.850, -87.650);
+        assert_eq!(tile_at(p, 3), (2, 2));
+        assert_eq!(quadkey_string(p, 3), "030");
+    }
+
+    #[test]
+    fn nearby_points_share_prefixes() {
+        let a = quadkey_digits(GeoPoint::new(43.88, 125.35), 17);
+        let b = quadkey_digits(GeoPoint::new(43.8801, 125.3501), 17);
+        let far = quadkey_digits(GeoPoint::new(40.0, 116.0), 17);
+        let common = |x: &[u8], y: &[u8]| x.iter().zip(y).take_while(|(a, b)| a == b).count();
+        assert!(common(&a, &b) > common(&a, &far));
+        assert!(common(&a, &b) >= 10);
+    }
+
+    #[test]
+    fn ngram_tokens_count_and_range() {
+        let digits = vec![0, 1, 2, 3, 0, 1];
+        let toks = ngram_tokens(&digits, 3);
+        assert_eq!(toks.len(), 4);
+        assert!(toks.iter().all(|&t| t < vocab_size(3)));
+        // 012 base-4 = 6; 123 base-4 = 27
+        assert_eq!(toks[0], 6);
+        assert_eq!(toks[1], 27);
+    }
+
+    #[test]
+    fn tokens_for_is_deterministic() {
+        let p = GeoPoint::new(51.5, -0.12);
+        assert_eq!(tokens_for(p, 17, 6), tokens_for(p, 17, 6));
+        assert_eq!(tokens_for(p, 17, 6).len(), tokens_per_point(17, 6));
+    }
+
+    #[test]
+    fn quadkey_string_charset() {
+        let s = quadkey_string(GeoPoint::new(0.0, 0.0), 8);
+        assert_eq!(s.len(), 8);
+        assert!(s.chars().all(|c| ('0'..='3').contains(&c)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Caser: Convolutional Sequence Embedding Recommendation (Tang & Wang,
+//! WSDM 2018).
+//!
+//! The last `h` check-ins form an `h × d` "image"; horizontal convolutions
+//! (widths 2..=h, max-pooled over time) capture union-level patterns,
+//! vertical convolutions capture weighted point-level aggregation, and the
+//! concatenation with a user embedding feeds a fully-connected layer whose
+//! output is matched against 2d-wide item output embeddings.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use stisan_data::{EvalInstance, Processed};
+use stisan_eval::Recommender;
+use stisan_nn::{bce_loss, Adam, Embedding, Linear, ParamStore, Session};
+use stisan_tensor::{Array, Var};
+
+use crate::common::{uniform_negatives, TrainConfig};
+
+/// Caser hyper-parameters beyond [`TrainConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct CaserShape {
+    /// Window length `h` (Markov order).
+    pub window: usize,
+    /// Horizontal filters per width.
+    pub n_h: usize,
+    /// Vertical filters.
+    pub n_v: usize,
+}
+
+impl Default for CaserShape {
+    fn default() -> Self {
+        CaserShape { window: 5, n_h: 4, n_v: 2 }
+    }
+}
+
+/// The Caser model.
+pub struct Caser {
+    store: ParamStore,
+    emb: Embedding,      // input item embeddings [P+1, d]
+    user_emb: Embedding, // user embeddings [U, d]
+    out_emb: Embedding,  // output item embeddings [P+1, 2d]
+    out_bias: Embedding, // output item bias [P+1, 1]
+    h_convs: Vec<Linear>, // one per width: (w*d) -> n_h
+    v_conv: Linear,      // h -> n_v applied over the position axis
+    fc: Linear,          // concat -> d
+    shape: CaserShape,
+    cfg: TrainConfig,
+}
+
+impl Caser {
+    /// Builds an untrained model for `data`.
+    pub fn new(data: &Processed, cfg: TrainConfig, shape: CaserShape) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let d = cfg.dim;
+        let emb = Embedding::new(&mut store, "poi", data.num_pois + 1, d, Some(0), &mut rng);
+        let user_emb = Embedding::new(&mut store, "user", data.num_users, d, None, &mut rng);
+        let out_emb = Embedding::new(&mut store, "out", data.num_pois + 1, 2 * d, Some(0), &mut rng);
+        let out_bias = Embedding::new(&mut store, "outb", data.num_pois + 1, 1, Some(0), &mut rng);
+        let h_convs = (2..=shape.window)
+            .map(|w| Linear::new(&mut store, &format!("hconv{w}"), w * d, shape.n_h, true, &mut rng))
+            .collect();
+        let v_conv = Linear::new(&mut store, "vconv", shape.window, shape.n_v, false, &mut rng);
+        let concat_dim = (shape.window - 1) * shape.n_h + shape.n_v * d;
+        let fc = Linear::new(&mut store, "fc", concat_dim, d, true, &mut rng);
+        Caser { store, emb, user_emb, out_emb, out_bias, h_convs, v_conv, fc, shape, cfg }
+    }
+
+    /// Encodes `[b, h]` windows (plus user ids) into the `2d`-wide matching
+    /// vector `[b, 2d]` = `[conv features ; user embedding]`.
+    fn encode(&self, sess: &mut Session<'_>, windows: &[usize], users: &[u32], b: usize) -> Var {
+        let h = self.shape.window;
+        let e = self.emb.forward(sess, windows, &[b, h]); // [b, h, d]
+        let e = sess.dropout(e, self.cfg.dropout);
+        let mut feats: Vec<Var> = Vec::new();
+        for (wi, conv) in self.h_convs.iter().enumerate() {
+            let w = wi + 2;
+            let u = sess.g.unfold1(e, w); // [b, h-w+1, w*d]
+            let c = conv.forward(sess, u); // [b, h-w+1, n_h]
+            let c = sess.g.relu(c);
+            feats.push(sess.g.max_axis1(c)); // [b, n_h]
+        }
+        // Vertical: linear over the position axis.
+        let et = sess.g.transpose_last2(e); // [b, d, h]
+        let v = self.v_conv.forward(sess, et); // [b, d, n_v]
+        let v = sess.g.reshape(v, vec![b, self.cfg.dim * self.shape.n_v]);
+        feats.push(v);
+        let concat = sess.g.concat_last(&feats);
+        let z = self.fc.forward(sess, concat);
+        let z = sess.g.relu(z);
+        let z = sess.dropout(z, self.cfg.dropout);
+        let uids: Vec<usize> = users.iter().map(|&u| u as usize).collect();
+        let pu = self.user_emb.forward(sess, &uids, &[b]);
+        sess.g.concat_last(&[z, pu]) // [b, 2d]
+    }
+
+    /// Scores candidate ids for each row: `z · W_c + b_c`.
+    fn score_candidates(&self, sess: &mut Session<'_>, z: Var, cand_ids: &[usize], b: usize, c: usize) -> Var {
+        let w = self.out_emb.forward(sess, cand_ids, &[b, c]); // [b, c, 2d]
+        let bias = self.out_bias.forward(sess, cand_ids, &[b, c]); // [b, c, 1]
+        let z3 = sess.g.reshape(z, vec![b, 1, 2 * self.cfg.dim]);
+        let wt = sess.g.transpose_last2(w); // [b, 2d, c]
+        let y = sess.g.bmm(z3, wt); // [b, 1, c]
+        let y = sess.g.reshape(y, vec![b, c]);
+        let bias = sess.g.reshape(bias, vec![b, c]);
+        sess.g.add(y, bias)
+    }
+
+    /// All (window, target, user) training samples.
+    fn samples(&self, data: &Processed) -> Vec<(Vec<usize>, u32, u32)> {
+        let h = self.shape.window;
+        let mut out = Vec::new();
+        for s in &data.train {
+            let n = s.poi.len() - 1;
+            for i in s.valid_from..n {
+                if s.poi[i + 1] == 0 {
+                    continue;
+                }
+                let mut w = vec![0usize; h];
+                for (k, slot) in w.iter_mut().enumerate() {
+                    let j = i as isize - (h - 1 - k) as isize;
+                    if j >= s.valid_from as isize {
+                        *slot = s.poi[j as usize] as usize;
+                    }
+                }
+                out.push((w, s.poi[i + 1], s.user));
+            }
+        }
+        out
+    }
+
+    /// Trains with BCE over uniform negatives on sliding-window samples.
+    pub fn fit(&mut self, data: &Processed) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x8d8d);
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut samples = self.samples(data);
+        if samples.is_empty() {
+            return;
+        }
+        let l = self.cfg.negatives.max(1);
+        let bsz = self.cfg.batch * 4; // windows are tiny; use bigger batches
+        for epoch in 0..self.cfg.epochs {
+            samples.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            let mut steps = 0usize;
+            for chunk in samples.chunks(bsz) {
+                let b = chunk.len();
+                let mut windows = Vec::with_capacity(b * self.shape.window);
+                let mut users = Vec::with_capacity(b);
+                let mut cand_ids = Vec::with_capacity(b * (l + 1));
+                for (w, tgt, u) in chunk {
+                    windows.extend_from_slice(w);
+                    users.push(*u);
+                    cand_ids.push(*tgt as usize);
+                    cand_ids
+                        .extend(uniform_negatives(data.num_pois, *tgt, l, &mut rng).iter().map(|&x| x as usize));
+                }
+                let mut sess = Session::new(&self.store, true, self.cfg.seed ^ (epoch as u64) << 13);
+                let z = self.encode(&mut sess, &windows, &users, b);
+                let y = self.score_candidates(&mut sess, z, &cand_ids, b, l + 1);
+                let pos = sess.g.slice_last(y, 0, 1); // [b, 1]
+                let neg = sess.g.slice_last(y, 1, l); // [b, l]
+                let neg = sess.g.reshape(neg, vec![b, 1, l]);
+                let mask = Array::ones(vec![b, 1]);
+                let loss = bce_loss(&mut sess, pos, neg, &mask);
+                total += sess.g.value(loss).item() as f64;
+                steps += 1;
+                let grads = sess.backward_and_grads(loss);
+                opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
+            }
+            if self.cfg.verbose {
+                println!("  [Caser] epoch {epoch}: loss {:.4}", total / steps.max(1) as f64);
+            }
+        }
+    }
+}
+
+impl Recommender for Caser {
+    fn name(&self) -> String {
+        "Caser".into()
+    }
+
+    fn score(&self, _data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        let h = self.shape.window;
+        let n = inst.poi.len();
+        let window: Vec<usize> = (0..h)
+            .map(|k| {
+                let j = n as isize - (h - k) as isize;
+                if j >= 0 {
+                    inst.poi[j as usize] as usize
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut sess = Session::new(&self.store, false, 0);
+        let z = self.encode(&mut sess, &window, &[inst.user], 1);
+        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
+        let y = self.score_candidates(&mut sess, z, &ids, 1, ids.len());
+        sess.g.value(y).data().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stisan_data::{generate, preprocess, DatasetPreset, GenConfig, PrepConfig};
+    use stisan_eval::{build_candidates, evaluate};
+
+    fn processed() -> Processed {
+        let cfg =
+            GenConfig { users: 30, pois: 180, mean_seq_len: 30.0, ..DatasetPreset::Gowalla.config(0.01) };
+        let d = generate(&cfg, 123);
+        preprocess(&d, &PrepConfig { max_len: 10, min_user_checkins: 15, min_poi_interactions: 2 })
+    }
+
+    #[test]
+    fn samples_have_valid_windows() {
+        let p = processed();
+        let m = Caser::new(&p, TrainConfig { dim: 12, ..Default::default() }, CaserShape::default());
+        let samples = m.samples(&p);
+        assert!(!samples.is_empty());
+        for (w, tgt, _) in &samples {
+            assert_eq!(w.len(), 5);
+            assert!(*tgt >= 1);
+            // The most recent window slot is always a real POI.
+            assert!(*w.last().unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    fn trains_and_evaluates() {
+        let p = processed();
+        let mut m = Caser::new(
+            &p,
+            TrainConfig { dim: 12, epochs: 2, batch: 16, dropout: 0.0, ..Default::default() },
+            CaserShape { window: 4, n_h: 3, n_v: 2 },
+        );
+        m.fit(&p);
+        let cands = build_candidates(&p, 20);
+        let metrics = evaluate(&m, &p, &cands);
+        assert!(metrics.hr10 >= 0.0 && metrics.hr10 <= 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! FPMC-LR: Factorized Personalized Markov Chains with Localized Regions
+//! (Cheng et al., IJCAI 2013).
+//!
+//! Extends FPMC's factorized user-item + item-item transition model with a
+//! geographic locality constraint: candidate next POIs (and the ranking
+//! negatives) are restricted to a neighbourhood of the current POI.
+//!
+//! Score: `x(u, prev, i) = <V_u^{U,I}, V_i^{I,U}> + <V_prev^{L,I}, V_i^{I,L}>`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stisan_data::{EvalInstance, KnnNegativeSampler, Processed};
+use stisan_eval::Recommender;
+
+/// FPMC-LR hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct FpmcConfig {
+    /// Latent dimension of each factor space.
+    pub dim: usize,
+    /// SGD epochs over the transition set.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 regularization.
+    pub reg: f32,
+    /// Localized-region neighbour pool for negative sampling.
+    pub region_pool: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FpmcConfig {
+    fn default() -> Self {
+        FpmcConfig { dim: 32, epochs: 20, lr: 0.05, reg: 0.01, region_pool: 300, seed: 42 }
+    }
+}
+
+/// Trained FPMC-LR model.
+pub struct FpmcLr {
+    dim: usize,
+    v_ui: Vec<f32>, // user -> item space [num_users, d]
+    v_iu: Vec<f32>, // item <- user space [np, d]
+    v_li: Vec<f32>, // prev-item -> item space [np, d]
+    v_il: Vec<f32>, // item <- prev-item space [np, d]
+}
+
+impl FpmcLr {
+    /// Trains on consecutive POI transitions with BPR ranking and
+    /// region-local negatives.
+    pub fn fit(data: &Processed, cfg: &FpmcConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let d = cfg.dim;
+        let np = data.num_pois + 1;
+        let mut init = |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-0.05..0.05f32)).collect() };
+        let mut m = FpmcLr {
+            dim: d,
+            v_ui: init(data.num_users * d),
+            v_iu: init(np * d),
+            v_li: init(np * d),
+            v_il: init(np * d),
+        };
+        // Transition triples (user, prev, next).
+        let mut transitions: Vec<(u32, u32, u32)> = Vec::new();
+        for s in &data.train {
+            for i in s.valid_from..(s.poi.len() - 1) {
+                if s.poi[i] != 0 && s.poi[i + 1] != 0 {
+                    transitions.push((s.user, s.poi[i], s.poi[i + 1]));
+                }
+            }
+        }
+        if transitions.is_empty() {
+            return m;
+        }
+        let sampler = KnnNegativeSampler::build(data, cfg.region_pool);
+        for _ in 0..cfg.epochs {
+            for _ in 0..transitions.len() {
+                let (u, prev, next) = transitions[rng.gen_range(0..transitions.len())];
+                // Localized region: negatives come from the *current* POI's
+                // neighbourhood (where the user could realistically go next).
+                let pool = sampler.neighbors(prev);
+                let j = loop {
+                    let c = pool[rng.gen_range(0..pool.len())];
+                    if c != next {
+                        break c;
+                    }
+                };
+                m.sgd_step(u, prev, next, j, cfg.lr, cfg.reg);
+            }
+        }
+        m
+    }
+
+    /// The FPMC transition score `x(u, prev, i)`.
+    pub fn transition_score(&self, u: u32, prev: u32, i: u32) -> f32 {
+        let d = self.dim;
+        let ui = &self.v_ui[u as usize * d..(u as usize + 1) * d];
+        let iu = &self.v_iu[i as usize * d..(i as usize + 1) * d];
+        let li = &self.v_li[prev as usize * d..(prev as usize + 1) * d];
+        let il = &self.v_il[i as usize * d..(i as usize + 1) * d];
+        let a: f32 = ui.iter().zip(iu).map(|(x, y)| x * y).sum();
+        let b: f32 = li.iter().zip(il).map(|(x, y)| x * y).sum();
+        a + b
+    }
+
+    fn sgd_step(&mut self, u: u32, prev: u32, i: u32, j: u32, lr: f32, reg: f32) {
+        let x = self.transition_score(u, prev, i) - self.transition_score(u, prev, j);
+        let sig = 1.0 / (1.0 + x.exp());
+        let d = self.dim;
+        let (ub, pb, ib, jb) = (u as usize * d, prev as usize * d, i as usize * d, j as usize * d);
+        for k in 0..d {
+            let vu = self.v_ui[ub + k];
+            let viu = self.v_iu[ib + k];
+            let vju = self.v_iu[jb + k];
+            let vl = self.v_li[pb + k];
+            let vil = self.v_il[ib + k];
+            let vjl = self.v_il[jb + k];
+            self.v_ui[ub + k] += lr * (sig * (viu - vju) - reg * vu);
+            self.v_iu[ib + k] += lr * (sig * vu - reg * viu);
+            self.v_iu[jb + k] += lr * (-sig * vu - reg * vju);
+            self.v_li[pb + k] += lr * (sig * (vil - vjl) - reg * vl);
+            self.v_il[ib + k] += lr * (sig * vl - reg * vil);
+            self.v_il[jb + k] += lr * (-sig * vl - reg * vjl);
+        }
+    }
+}
+
+impl Recommender for FpmcLr {
+    fn name(&self) -> String {
+        "FPMC-LR".into()
+    }
+
+    fn score(&self, _data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        // prev = last real POI of the source window.
+        let prev = *inst.poi.last().expect("empty eval window");
+        candidates.iter().map(|&c| self.transition_score(inst.user, prev, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stisan_data::{generate, preprocess, DatasetPreset, GenConfig, PrepConfig};
+
+    fn processed() -> Processed {
+        let cfg =
+            GenConfig { users: 40, pois: 200, mean_seq_len: 40.0, ..DatasetPreset::Gowalla.config(0.01) };
+        let d = generate(&cfg, 66);
+        preprocess(&d, &PrepConfig { max_len: 20, min_user_checkins: 15, min_poi_interactions: 2 })
+    }
+
+    #[test]
+    fn learns_observed_transitions() {
+        let p = processed();
+        let m = FpmcLr::fit(&p, &FpmcConfig { epochs: 12, ..Default::default() });
+        // Observed transitions should outscore random nearby alternatives.
+        let mut better = 0usize;
+        let mut total = 0usize;
+        let mut rng = StdRng::seed_from_u64(9);
+        for s in p.train.iter().take(30) {
+            for i in s.valid_from..(s.poi.len() - 1).min(s.valid_from + 5) {
+                let (u, prev, next) = (s.user, s.poi[i], s.poi[i + 1]);
+                if prev == 0 || next == 0 {
+                    continue;
+                }
+                let alt = rng.gen_range(1..=p.num_pois) as u32;
+                if alt == next {
+                    continue;
+                }
+                total += 1;
+                if m.transition_score(u, prev, next) > m.transition_score(u, prev, alt) {
+                    better += 1;
+                }
+            }
+        }
+        assert!(
+            better as f64 > 0.6 * total as f64,
+            "FPMC-LR preferred observed transitions only {better}/{total} times"
+        );
+    }
+}

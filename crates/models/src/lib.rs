@@ -1,0 +1,50 @@
+//! # stisan-models
+//!
+//! The twelve baseline recommenders of the paper's Table III, re-implemented
+//! from their original papers on the shared substrates of this workspace,
+//! plus the shared training machinery they (and STiSAN) use. All models
+//! implement [`stisan_eval::Recommender`] and train on the same
+//! [`stisan_data::Processed`] splits, exactly as the paper's protocol demands.
+//!
+//! | Model | Module | Family |
+//! |---|---|---|
+//! | POP | [`pop`] | popularity |
+//! | BPR | [`bpr`] | matrix factorization |
+//! | FPMC-LR | [`fpmc`] | factorized Markov chain + locality |
+//! | PRME-G | [`prme`] | metric embedding + geo weight |
+//! | GRU4Rec | [`gru4rec`] | RNN |
+//! | Caser | [`caser`] | CNN |
+//! | STGN | [`stgn`] | spatio-temporal gated LSTM |
+//! | SASRec | [`sasrec`] | self-attention (also hosts the Fig 4/6 variants) |
+//! | BERT4Rec | [`bert4rec`] | bidirectional self-attention, cloze |
+//! | TiSASRec | [`tisasrec`] | time-interval-aware self-attention |
+//! | GeoSAN | [`geosan`] | geography encoder + importance sampling |
+//! | STAN | [`stan`] | bi-layer spatio-temporal attention |
+
+pub mod bert4rec;
+pub mod bpr;
+pub mod caser;
+pub mod common;
+pub mod fpmc;
+pub mod geosan;
+pub mod gru4rec;
+pub mod pop;
+pub mod prme;
+pub mod sasrec;
+pub mod stan;
+pub mod stgn;
+pub mod tisasrec;
+
+pub use bert4rec::Bert4Rec;
+pub use bpr::BprMf;
+pub use caser::Caser;
+pub use common::TrainConfig;
+pub use fpmc::FpmcLr;
+pub use geosan::GeoSan;
+pub use gru4rec::Gru4Rec;
+pub use pop::Pop;
+pub use prme::PrmeG;
+pub use sasrec::{AttentionMode, PositionMode, SasRec};
+pub use stan::Stan;
+pub use stgn::Stgn;
+pub use tisasrec::TiSasRec;

@@ -1,0 +1,226 @@
+//! PRME-G: Personalized Ranking Metric Embedding with geographical influence
+//! (Feng et al., IJCAI 2015).
+//!
+//! Users and POIs are embedded in two metric spaces — a *user preference*
+//! space `P` and a *sequential transition* space `S`. The compatibility of
+//! candidate `i` after `prev` for user `u` is the weighted sum of squared
+//! distances, multiplied by a travel-distance weight:
+//!
+//! `D(u, prev, i) = w(Δd) · [ α‖P_u − P_i‖² + (1−α)‖S_prev − S_i‖² ]`,
+//! `w(Δd) = (1 + Δd_km)^τ` — the paper's "travel-distance based weight".
+//!
+//! Ranking score is `−D`; training minimizes BPR loss over transitions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stisan_data::{EvalInstance, Processed};
+use stisan_eval::Recommender;
+
+/// PRME-G hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct PrmeConfig {
+    /// Metric-space dimension.
+    pub dim: usize,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Preference/sequential trade-off `α`.
+    pub alpha: f32,
+    /// Travel-distance weight exponent `τ`.
+    pub tau: f64,
+    /// L2 regularization.
+    pub reg: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PrmeConfig {
+    fn default() -> Self {
+        PrmeConfig { dim: 32, epochs: 20, lr: 0.05, alpha: 0.2, tau: 0.25, reg: 0.01, seed: 42 }
+    }
+}
+
+/// Trained PRME-G model.
+pub struct PrmeG {
+    dim: usize,
+    alpha: f32,
+    tau: f64,
+    user_p: Vec<f32>, // preference space [num_users, d]
+    item_p: Vec<f32>, // preference space [np, d]
+    item_s: Vec<f32>, // sequential space [np, d]
+}
+
+impl PrmeG {
+    /// Trains on consecutive transitions with BPR over the metric distances.
+    pub fn fit(data: &Processed, cfg: &PrmeConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let d = cfg.dim;
+        let np = data.num_pois + 1;
+        let mut init = |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-0.1..0.1f32)).collect() };
+        let mut m = PrmeG {
+            dim: d,
+            alpha: cfg.alpha,
+            tau: cfg.tau,
+            user_p: init(data.num_users * d),
+            item_p: init(np * d),
+            item_s: init(np * d),
+        };
+        let mut transitions: Vec<(u32, u32, u32)> = Vec::new();
+        for s in &data.train {
+            for i in s.valid_from..(s.poi.len() - 1) {
+                if s.poi[i] != 0 && s.poi[i + 1] != 0 {
+                    transitions.push((s.user, s.poi[i], s.poi[i + 1]));
+                }
+            }
+        }
+        if transitions.is_empty() {
+            return m;
+        }
+        for _ in 0..cfg.epochs {
+            for _ in 0..transitions.len() {
+                let (u, prev, next) = transitions[rng.gen_range(0..transitions.len())];
+                let j = loop {
+                    let c = rng.gen_range(1..=data.num_pois) as u32;
+                    if c != next {
+                        break c;
+                    }
+                };
+                m.sgd_step(data, u, prev, next, j, cfg.lr, cfg.reg);
+            }
+        }
+        m
+    }
+
+    fn sq_dist(space: &[f32], a: usize, b: usize, d: usize) -> f32 {
+        let xa = &space[a * d..(a + 1) * d];
+        let xb = &space[b * d..(b + 1) * d];
+        xa.iter().zip(xb).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// The geographic travel weight `w = (1 + Δd_km)^τ`.
+    fn geo_weight(&self, data: &Processed, prev: u32, i: u32) -> f32 {
+        let dd = data.loc(prev).distance_km(&data.loc(i));
+        (1.0 + dd).powf(self.tau) as f32
+    }
+
+    /// The (negated-for-ranking) weighted metric compatibility `D(u, prev, i)`.
+    pub fn metric(&self, data: &Processed, u: u32, prev: u32, i: u32) -> f32 {
+        let d = self.dim;
+        let dp = {
+            let xu = &self.user_p[u as usize * d..(u as usize + 1) * d];
+            let xi = &self.item_p[i as usize * d..(i as usize + 1) * d];
+            xu.iter().zip(xi).map(|(x, y)| (x - y) * (x - y)).sum::<f32>()
+        };
+        let ds = Self::sq_dist(&self.item_s, prev as usize, i as usize, d);
+        self.geo_weight(data, prev, i) * (self.alpha * dp + (1.0 - self.alpha) * ds)
+    }
+
+    #[allow(clippy::too_many_arguments)] // one BPR triple + its hyper-parameters
+    fn sgd_step(&mut self, data: &Processed, u: u32, prev: u32, i: u32, j: u32, lr: f32, reg: f32) {
+        // BPR on −D: maximize σ(D(j) − D(i)).
+        let x = self.metric(data, u, prev, j) - self.metric(data, u, prev, i);
+        let sig = 1.0 / (1.0 + x.exp());
+        let wi = self.geo_weight(data, prev, i);
+        let wj = self.geo_weight(data, prev, j);
+        let d = self.dim;
+        let (ub, pb, ib, jb) = (u as usize * d, prev as usize * d, i as usize * d, j as usize * d);
+        let (alpha, beta) = (self.alpha, 1.0 - self.alpha);
+        for k in 0..d {
+            // d D_i / d P_u = w_i * α * 2 (P_u − P_i); the loss gradient is
+            // sig * (dD_j − dD_i) going *down* hill on −ln σ.
+            let pu = self.user_p[ub + k];
+            let pi = self.item_p[ib + k];
+            let pj = self.item_p[jb + k];
+            let sp = self.item_s[pb + k];
+            let si = self.item_s[ib + k];
+            let sj = self.item_s[jb + k];
+            // Gradients of L = -ln σ(D_j - D_i): dL/dθ = -σ(-(D_j-D_i)) (dD_j - dD_i)/dθ.
+            let g_pu = -sig * 2.0 * alpha * (wj * (pu - pj) - wi * (pu - pi));
+            let g_pi = sig * 2.0 * alpha * wi * (pi - pu);
+            let g_pj = -sig * 2.0 * alpha * wj * (pj - pu);
+            let g_sp = -sig * 2.0 * beta * (wj * (sp - sj) - wi * (sp - si));
+            let g_si = sig * 2.0 * beta * wi * (si - sp);
+            let g_sj = -sig * 2.0 * beta * wj * (sj - sp);
+            self.user_p[ub + k] -= lr * (g_pu + reg * pu);
+            self.item_p[ib + k] -= lr * (g_pi + reg * pi);
+            self.item_p[jb + k] -= lr * (g_pj + reg * pj);
+            self.item_s[pb + k] -= lr * (g_sp + reg * sp);
+            self.item_s[ib + k] -= lr * (g_si + reg * si);
+            self.item_s[jb + k] -= lr * (g_sj + reg * sj);
+        }
+    }
+}
+
+impl Recommender for PrmeG {
+    fn name(&self) -> String {
+        "PRME-G".into()
+    }
+
+    fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        let prev = *inst.poi.last().expect("empty eval window");
+        candidates.iter().map(|&c| -self.metric(data, inst.user, prev, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stisan_data::{generate, preprocess, DatasetPreset, GenConfig, PrepConfig};
+
+    fn processed() -> Processed {
+        let cfg =
+            GenConfig { users: 40, pois: 200, mean_seq_len: 40.0, ..DatasetPreset::Gowalla.config(0.01) };
+        let d = generate(&cfg, 77);
+        preprocess(&d, &PrepConfig { max_len: 20, min_user_checkins: 15, min_poi_interactions: 2 })
+    }
+
+    #[test]
+    fn observed_transitions_get_smaller_distance() {
+        let p = processed();
+        let m = PrmeG::fit(&p, &PrmeConfig { epochs: 12, ..Default::default() });
+        let mut better = 0usize;
+        let mut total = 0usize;
+        let mut rng = StdRng::seed_from_u64(5);
+        for s in p.train.iter().take(30) {
+            for i in s.valid_from..(s.poi.len() - 1).min(s.valid_from + 5) {
+                let (u, prev, next) = (s.user, s.poi[i], s.poi[i + 1]);
+                if prev == 0 || next == 0 {
+                    continue;
+                }
+                let alt = rng.gen_range(1..=p.num_pois) as u32;
+                if alt == next {
+                    continue;
+                }
+                total += 1;
+                if m.metric(&p, u, prev, next) < m.metric(&p, u, prev, alt) {
+                    better += 1;
+                }
+            }
+        }
+        assert!(
+            better as f64 > 0.6 * total as f64,
+            "PRME-G put observed transitions closer only {better}/{total} times"
+        );
+    }
+
+    #[test]
+    fn geo_weight_penalizes_distance() {
+        let p = processed();
+        let m = PrmeG::fit(&p, &PrmeConfig { epochs: 1, ..Default::default() });
+        // Find a far and a near candidate pair relative to POI 1.
+        let base = p.loc(1);
+        let mut near = (2u32, f64::INFINITY);
+        let mut far = (2u32, 0.0f64);
+        for c in 2..=p.num_pois as u32 {
+            let d = p.loc(c).distance_km(&base);
+            if d < near.1 {
+                near = (c, d);
+            }
+            if d > far.1 {
+                far = (c, d);
+            }
+        }
+        assert!(m.geo_weight(&p, 1, near.0) < m.geo_weight(&p, 1, far.0));
+    }
+}

@@ -1,0 +1,379 @@
+//! STAN: Spatio-Temporal Attention Network (Luo, Liu & Liu, WWW 2021).
+//!
+//! A bi-layer attention architecture that *explicitly* models the relative
+//! spatial-temporal intervals between **all** (not just successive) check-in
+//! pairs:
+//!
+//! * **layer 1 (self-attention aggregation)** — attention logits are shifted
+//!   by interval embeddings obtained by *linear interpolation* between
+//!   learned unit embeddings (`e_min`/`e_max` for time, likewise for
+//!   distance), projected against the query;
+//! * **layer 2 (attention matching)** — each candidate attends over the
+//!   aggregated sequence with interval biases computed between the candidate
+//!   (at the prediction time) and every historical check-in, and is scored by
+//!   the attended summary.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stisan_data::{Batcher, EvalInstance, KnnNegativeSampler, Processed};
+use stisan_eval::Recommender;
+use stisan_nn::{
+    bce_loss, causal_mask, padding_row_mask, sinusoidal_encoding, vanilla_positions, Adam,
+    Embedding, LayerNorm, Linear, ParamStore, Session,
+};
+use stisan_tensor::{Array, Var};
+
+use crate::common::{interleave_candidates, EncoderBlock, SeqBatch, TrainConfig};
+
+/// Interval clipping for the interpolation (days / km).
+const T_MAX_DAYS: f64 = 20.0;
+const D_MAX_KM: f64 = 20.0;
+
+/// Learned interval-interpolation head: projects queries against the
+/// min/max unit embeddings of one interval type. The bias a query `q_i` puts
+/// on key `j` is `(1-λ_ij)·(q·w_min) + λ_ij·(q·w_max)` where `λ` is the
+/// normalized clipped interval — STAN's linear-interpolation embedding
+/// contracted against the query.
+struct InterpHead {
+    w_min: Linear, // d -> 1
+    w_max: Linear, // d -> 1
+}
+
+impl InterpHead {
+    fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut StdRng) -> Self {
+        InterpHead {
+            w_min: Linear::new(store, &format!("{name}.min"), dim, 1, false, rng),
+            w_max: Linear::new(store, &format!("{name}.max"), dim, 1, false, rng),
+        }
+    }
+
+    /// `q: [b, m, d]`, `lambda: [b, m, n]` → bias `[b, m, n]`.
+    fn bias(&self, sess: &mut Session<'_>, q: Var, lambda: &Array) -> Var {
+        let u_min = self.w_min.forward(sess, q); // [b, m, 1]
+        let u_max = self.w_max.forward(sess, q); // [b, m, 1]
+        let one_minus: Array = lambda.map(|x| 1.0 - x);
+        let a = sess.g.mul_const(u_min, one_minus); // broadcast [b,m,1]*[b,m,n]
+        let b = sess.g.mul_const(u_max, lambda.clone());
+        sess.g.add(a, b)
+    }
+}
+
+/// The STAN model.
+pub struct Stan {
+    store: ParamStore,
+    emb: Embedding,
+    blocks: Vec<EncoderBlock>,
+    t_head: InterpHead,
+    d_head: InterpHead,
+    match_q: Linear,
+    t_head2: InterpHead,
+    d_head2: InterpHead,
+    final_ln: LayerNorm,
+    cfg: TrainConfig,
+}
+
+impl Stan {
+    /// Builds an untrained model for `data`.
+    pub fn new(data: &Processed, cfg: TrainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "poi", data.num_pois + 1, cfg.dim, Some(0), &mut rng);
+        let blocks = (0..cfg.blocks)
+            .map(|i| EncoderBlock::new(&mut store, &format!("block{i}"), cfg.dim, cfg.dropout, &mut rng))
+            .collect();
+        let t_head = InterpHead::new(&mut store, "t1", cfg.dim, &mut rng);
+        let d_head = InterpHead::new(&mut store, "d1", cfg.dim, &mut rng);
+        let match_q = Linear::new(&mut store, "match_q", cfg.dim, cfg.dim, false, &mut rng);
+        let t_head2 = InterpHead::new(&mut store, "t2", cfg.dim, &mut rng);
+        let d_head2 = InterpHead::new(&mut store, "d2", cfg.dim, &mut rng);
+        let final_ln = LayerNorm::new(&mut store, "final_ln", cfg.dim);
+        Stan { store, emb, blocks, t_head, d_head, match_q, t_head2, d_head2, final_ln, cfg }
+    }
+
+    /// Normalized clipped pairwise time intervals `λt: [b, n, n]`.
+    fn lambda_t(batch: &SeqBatch) -> Array {
+        let (b, n) = (batch.b, batch.n);
+        let mut out = vec![0.0f32; b * n * n];
+        for row in 0..b {
+            let t = &batch.time[row * n..(row + 1) * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let days = (t[i] - t[j]).abs() / 86_400.0;
+                    out[(row * n + i) * n + j] = (days.min(T_MAX_DAYS) / T_MAX_DAYS) as f32;
+                }
+            }
+        }
+        Array::from_vec(vec![b, n, n], out)
+    }
+
+    /// Normalized clipped pairwise geography intervals `λd: [b, n, n]`.
+    fn lambda_d(data: &Processed, batch: &SeqBatch) -> Array {
+        let (b, n) = (batch.b, batch.n);
+        let mut out = vec![0.0f32; b * n * n];
+        for row in 0..b {
+            let ids = &batch.src[row * n..(row + 1) * n];
+            for i in 0..n {
+                if ids[i] == 0 {
+                    continue;
+                }
+                let li = data.loc(ids[i] as u32);
+                for j in 0..n {
+                    if ids[j] == 0 {
+                        continue;
+                    }
+                    let km = li.distance_km(&data.loc(ids[j] as u32));
+                    out[(row * n + i) * n + j] = (km.min(D_MAX_KM) / D_MAX_KM) as f32;
+                }
+            }
+        }
+        Array::from_vec(vec![b, n, n], out)
+    }
+
+    /// Layer 1: interval-aware self-attention aggregation → `[b, n, d]`.
+    pub fn encode(&self, sess: &mut Session<'_>, data: &Processed, batch: &SeqBatch) -> Var {
+        let (b, n, d) = (batch.b, batch.n, self.cfg.dim);
+        let e = self.emb.forward(sess, &batch.src, &[b, n]);
+        let mut pos_data = Vec::with_capacity(b * n * d);
+        for row in 0..b {
+            let vf = batch.valid_from[row];
+            let mut pos = vec![0.0f32; n];
+            pos[vf..].copy_from_slice(&vanilla_positions(n - vf));
+            pos_data.extend_from_slice(sinusoidal_encoding(&pos, d).data());
+        }
+        let e = sess.g.add_const(e, Array::from_vec(vec![b, n, d], pos_data));
+        let mut x = sess.dropout(e, self.cfg.dropout);
+        let mask = causal_mask(b, n).add(&padding_row_mask(&batch.src_valid(), b, n));
+        let lt = Self::lambda_t(batch);
+        let ld = Self::lambda_d(data, batch);
+        for blk in &self.blocks {
+            // Interval biases are query-dependent: recompute per block from x.
+            let tb = self.t_head.bias(sess, x, &lt);
+            let db = self.d_head.bias(sess, x, &ld);
+            let bias = sess.g.add(tb, db);
+            let bias = sess.g.add_const(bias, mask.clone());
+            let (nx, _) = blk.forward(sess, x, Some(bias));
+            x = nx;
+        }
+        self.final_ln.forward(sess, x)
+    }
+
+    /// Layer 2: attention matching of candidates against the aggregated
+    /// sequence. `cand_lambda_*` are `[b, m, n]` normalized intervals between
+    /// each candidate (at its prediction time) and each history position.
+    fn match_candidates(
+        &self,
+        sess: &mut Session<'_>,
+        f: Var,
+        cands: Var, // [b, m, d]
+        mask: Array,
+        cand_lt: &Array,
+        cand_ld: &Array,
+    ) -> Var {
+        let d = self.cfg.dim;
+        let q = self.match_q.forward(sess, cands);
+        let ft = sess.g.transpose_last2(f);
+        let logits = sess.g.bmm(q, ft);
+        let logits = sess.g.scale(logits, 1.0 / (d as f32).sqrt());
+        let tb = self.t_head2.bias(sess, q, cand_lt);
+        let db = self.d_head2.bias(sess, q, cand_ld);
+        let logits = sess.g.add(logits, tb);
+        let logits = sess.g.add(logits, db);
+        let logits = sess.g.add_const(logits, mask);
+        let w = sess.g.softmax_last(logits);
+        let s = sess.g.bmm(w, f);
+        let prod = sess.g.mul(s, cands);
+        sess.g.sum_last(prod) // [b, m]
+    }
+
+    /// Candidate-to-history intervals for training: candidate slots at step
+    /// `i` use the *target* check-in's time and the candidate's location.
+    #[allow(clippy::too_many_arguments)]
+    fn train_cand_lambdas(
+        data: &Processed,
+        batch: &SeqBatch,
+        cand_ids: &[usize],
+        l1: usize,
+    ) -> (Array, Array, Array) {
+        let (b, n) = (batch.b, batch.n);
+        let m = n * l1;
+        let mut lt = vec![0.0f32; b * m * n];
+        let mut ld = vec![0.0f32; b * m * n];
+        let mut mask = vec![-1e9f32; b * m * n];
+        for row in 0..b {
+            let t = &batch.time[row * n..(row + 1) * n];
+            let ids = &batch.src[row * n..(row + 1) * n];
+            let vf = batch.valid_from[row];
+            for i in 0..n {
+                // Prediction time of step i = time of its target (~ next
+                // check-in); approximate with the last known source time.
+                let pred_t = t[i];
+                for slot in 0..l1 {
+                    let c = cand_ids[(row * n + i) * l1 + slot];
+                    let cloc = if c == 0 { data.loc(1) } else { data.loc(c as u32) };
+                    let base = ((row * m) + i * l1 + slot) * n;
+                    for j in vf..=i {
+                        let days = (pred_t - t[j]).abs() / 86_400.0;
+                        lt[base + j] = (days.min(T_MAX_DAYS) / T_MAX_DAYS) as f32;
+                        if ids[j] != 0 {
+                            let km = cloc.distance_km(&data.loc(ids[j] as u32));
+                            ld[base + j] = (km.min(D_MAX_KM) / D_MAX_KM) as f32;
+                        }
+                        mask[base + j] = 0.0;
+                    }
+                }
+            }
+        }
+        (
+            Array::from_vec(vec![b, m, n], lt),
+            Array::from_vec(vec![b, m, n], ld),
+            Array::from_vec(vec![b, m, n], mask),
+        )
+    }
+
+    /// Trains with per-step BCE over KNN negatives (STAN samples ranking
+    /// negatives geographically).
+    pub fn fit(&mut self, data: &Processed) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xefef);
+        let sampler = KnnNegativeSampler::build(data, self.cfg.neg_pool);
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut batcher = Batcher::new(data.train.len(), self.cfg.batch);
+        let l = self.cfg.negatives.max(1);
+        for epoch in 0..self.cfg.epochs {
+            batcher.shuffle(&mut rng);
+            let idx_lists: Vec<Vec<usize>> = batcher.batches().map(|c| c.to_vec()).collect();
+            let mut total = 0.0f64;
+            let mut steps = 0usize;
+            for idxs in idx_lists {
+                let batch = SeqBatch::from_train(data, &idxs);
+                let (b, n) = (batch.b, batch.n);
+                let negs = batch.sample_negatives(l, |t, l| sampler.sample(t, l, &mut rng));
+                let cand_ids = interleave_candidates(&batch.tgt, &negs, l);
+                let (lt, ld, mask) = Self::train_cand_lambdas(data, &batch, &cand_ids, l + 1);
+                let mut sess = Session::new(&self.store, true, self.cfg.seed ^ (epoch as u64) << 23);
+                let f = self.encode(&mut sess, data, &batch);
+                let c = self.emb.forward(&mut sess, &cand_ids, &[b, n * (l + 1)]);
+                let y = self.match_candidates(&mut sess, f, c, mask, &lt, &ld);
+                let y = sess.g.reshape(y, vec![b, n, l + 1]);
+                let pos = sess.g.slice_last(y, 0, 1);
+                let pos = sess.g.reshape(pos, vec![b, n]);
+                let neg = sess.g.slice_last(y, 1, l);
+                let loss = bce_loss(&mut sess, pos, neg, &batch.step_mask);
+                total += sess.g.value(loss).item() as f64;
+                steps += 1;
+                let grads = sess.backward_and_grads(loss);
+                opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
+            }
+            if self.cfg.verbose {
+                println!("  [STAN] epoch {epoch}: loss {:.4}", total / steps.max(1) as f64);
+            }
+        }
+    }
+}
+
+impl Recommender for Stan {
+    fn name(&self) -> String {
+        "STAN".into()
+    }
+
+    fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        let batch = SeqBatch::from_eval(data, inst);
+        let (n, m) = (batch.n, candidates.len());
+        let vf = batch.valid_from[0];
+        let mut lt = vec![0.0f32; m * n];
+        let mut ld = vec![0.0f32; m * n];
+        let mut mask = vec![-1e9f32; m * n];
+        for (row, &c) in candidates.iter().enumerate() {
+            let cloc = data.loc(c);
+            for j in vf..n {
+                let days = (inst.target_time - batch.time[j]).abs() / 86_400.0;
+                lt[row * n + j] = (days.min(T_MAX_DAYS) / T_MAX_DAYS) as f32;
+                if batch.src[j] != 0 {
+                    let km = cloc.distance_km(&data.loc(batch.src[j] as u32));
+                    ld[row * n + j] = (km.min(D_MAX_KM) / D_MAX_KM) as f32;
+                }
+                mask[row * n + j] = 0.0;
+            }
+        }
+        let mut sess = Session::new(&self.store, false, 0);
+        let f = self.encode(&mut sess, data, &batch);
+        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
+        let c = self.emb.forward(&mut sess, &ids, &[1, m]);
+        let y = self.match_candidates(
+            &mut sess,
+            f,
+            c,
+            Array::from_vec(vec![1, m, n], mask),
+            &Array::from_vec(vec![1, m, n], lt),
+            &Array::from_vec(vec![1, m, n], ld),
+        );
+        sess.g.value(y).data().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stisan_data::{generate, preprocess, DatasetPreset, GenConfig, PrepConfig};
+    use stisan_eval::{build_candidates, evaluate};
+
+    fn processed() -> Processed {
+        let cfg =
+            GenConfig { users: 30, pois: 180, mean_seq_len: 30.0, ..DatasetPreset::Gowalla.config(0.01) };
+        let d = generate(&cfg, 171);
+        preprocess(&d, &PrepConfig { max_len: 10, min_user_checkins: 15, min_poi_interactions: 2 })
+    }
+
+    #[test]
+    fn lambdas_are_normalized() {
+        let p = processed();
+        let batch = SeqBatch::from_train(&p, &[0]);
+        let lt = Stan::lambda_t(&batch);
+        let ld = Stan::lambda_d(&p, &batch);
+        assert!(lt.data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(ld.data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Diagonal intervals are zero.
+        for i in 0..batch.n {
+            assert_eq!(lt.at(&[0, i, i]), 0.0);
+            assert_eq!(ld.at(&[0, i, i]), 0.0);
+        }
+    }
+
+    #[test]
+    fn trains_and_evaluates() {
+        let p = processed();
+        let mut m = Stan::new(
+            &p,
+            TrainConfig {
+                dim: 16,
+                blocks: 1,
+                epochs: 2,
+                batch: 8,
+                dropout: 0.0,
+                negatives: 3,
+                neg_pool: 50,
+                ..Default::default()
+            },
+        );
+        m.fit(&p);
+        let cands = build_candidates(&p, 20);
+        let metrics = evaluate(&m, &p, &cands);
+        assert!(metrics.hr10 >= 0.0 && metrics.hr10 <= 1.0);
+    }
+
+    #[test]
+    fn intervals_shift_scores() {
+        let p = processed();
+        let m = Stan::new(
+            &p,
+            TrainConfig { dim: 16, blocks: 1, epochs: 0, dropout: 0.0, ..Default::default() },
+        );
+        let inst = p.eval[0].clone();
+        let cands: Vec<u32> = (1..=10.min(p.num_pois) as u32).collect();
+        let a = m.score(&p, &inst, &cands);
+        let mut warped = inst.clone();
+        warped.target_time += 30.0 * 86_400.0;
+        let b = m.score(&p, &warped, &cands);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-7, "prediction time had no effect on STAN scores");
+    }
+}

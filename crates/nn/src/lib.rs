@@ -1,0 +1,49 @@
+//! # stisan-nn
+//!
+//! Neural-network building blocks on top of [`stisan_tensor`]: parameter
+//! management, layers (linear, embedding, layer-norm, feed-forward, attention,
+//! recurrent cells), positional encodings (including the paper's TAPE
+//! positions), losses (including the weighted BCE of STiSAN Eq 12) and
+//! optimizers (Adam, SGD) with gradient clipping.
+//!
+//! The central workflow type is [`Session`]: one forward/backward pass over a
+//! fresh autodiff tape, with parameters bound lazily (and exactly once) from a
+//! shared [`ParamStore`]:
+//!
+//! ```
+//! use stisan_nn::{ParamStore, Session, Linear, Adam};
+//! use stisan_tensor::Array;
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let lin = Linear::new(&mut store, "lin", 4, 2, true, &mut rng);
+//! let mut opt = Adam::new(1e-3);
+//!
+//! let mut sess = Session::new(&store, true, 0);
+//! let x = sess.constant(Array::ones(vec![3, 4]));
+//! let y = lin.forward(&mut sess, x);
+//! let loss = sess.g.mean_all(y);
+//! let grads = sess.backward_and_grads(loss);
+//! opt.step(&mut store, &grads, Some(5.0));
+//! ```
+
+mod attention;
+mod layers;
+mod loss;
+mod masks;
+mod optim;
+mod param;
+mod pos;
+mod rnn;
+mod serialize;
+
+pub use attention::{attention, AttentionOutput};
+pub use layers::{Embedding, FeedForward, LayerNorm, Linear};
+pub use loss::{bce_loss, bpr_loss, weighted_bce_loss};
+pub use masks::{causal_mask, padding_row_mask};
+pub use optim::{Adam, Sgd};
+pub use param::{ParamId, ParamStore, Session};
+pub use pos::{sinusoidal_encoding, tape_positions, vanilla_positions};
+pub use rnn::{GruCell, LstmCell, StgnCell};
+pub use serialize::LoadError;

@@ -1,0 +1,139 @@
+//! Ranking losses.
+//!
+//! All losses are written with `softplus` for numerical stability:
+//! `-log σ(x) = softplus(-x)` and `-log(1 - σ(x)) = softplus(x)`.
+
+use stisan_tensor::{Array, Var};
+
+use crate::param::Session;
+
+/// Binary cross-entropy over one positive and one (or a few, uniformly
+/// weighted) negatives per step — the SASRec training objective.
+///
+/// * `pos`: `[b, n]` positive scores, `neg`: `[b, n, l]` negative scores.
+/// * `step_mask`: `[b, n]` with 1 for real steps and 0 for padding.
+///
+/// Returns the summed loss normalized by the number of real steps.
+pub fn bce_loss(sess: &mut Session<'_>, pos: Var, neg: Var, step_mask: &Array) -> Var {
+    let l = *sess.g.value(neg).shape().last().expect("bce_loss: neg must have trailing dim") as f32;
+    let npos = sess.g.neg(pos);
+    let lpos = sess.g.softplus(npos); // [b, n]
+    let lneg = sess.g.softplus(neg); // [b, n, l]
+    let lneg = sess.g.sum_last(lneg); // [b, n]
+    let lneg = sess.g.scale(lneg, 1.0 / l);
+    let total = sess.g.add(lpos, lneg);
+    let masked = sess.g.mul_const(total, step_mask.clone());
+    let sum = sess.g.sum_all(masked);
+    let denom = step_mask.sum_all().max(1.0);
+    sess.g.scale(sum, 1.0 / denom)
+}
+
+/// The weighted binary cross-entropy of STiSAN / GeoSAN (paper Eq 12):
+///
+/// `Loss = -Σ [ log σ(y_pos) + Σ_l w_l · log(1 − σ(y_l)) ]` with importance
+/// weights `w_l = softmax_l(y_l / T)` computed **without gradient** (they act
+/// as a sampled-softmax importance correction, not a trainable quantity).
+///
+/// `temperature` controls the weight sharpness; `T → ∞` recovers uniform
+/// weights over the `L` negatives.
+pub fn weighted_bce_loss(
+    sess: &mut Session<'_>,
+    pos: Var,
+    neg: Var,
+    temperature: f32,
+    step_mask: &Array,
+) -> Var {
+    assert!(temperature > 0.0, "weighted_bce_loss: temperature must be positive");
+    // Detached importance weights w_l = softmax(y_l / T) over the last axis.
+    let weights = sess.g.detach(neg).scale(1.0 / temperature).softmax_last();
+    let npos = sess.g.neg(pos);
+    let lpos = sess.g.softplus(npos); // [b, n]
+    let lneg = sess.g.softplus(neg); // [b, n, l]
+    let lneg = sess.g.mul_const(lneg, weights);
+    let lneg = sess.g.sum_last(lneg); // [b, n]
+    let total = sess.g.add(lpos, lneg);
+    let masked = sess.g.mul_const(total, step_mask.clone());
+    let sum = sess.g.sum_all(masked);
+    let denom = step_mask.sum_all().max(1.0);
+    sess.g.scale(sum, 1.0 / denom)
+}
+
+/// Bayesian personalized ranking loss `softplus(-(pos - neg))`, averaged.
+/// Used by the BPR / FPMC-LR / PRME-G baselines when trained on the graph.
+pub fn bpr_loss(sess: &mut Session<'_>, pos: Var, neg: Var) -> Var {
+    let diff = sess.g.sub(pos, neg);
+    let ndiff = sess.g.neg(diff);
+    let l = sess.g.softplus(ndiff);
+    sess.g.mean_all(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamStore;
+
+    #[test]
+    fn bce_decreases_when_scores_separate() {
+        let store = ParamStore::new();
+        let mut sess = Session::new(&store, false, 0);
+        let mask = Array::ones(vec![1, 2]);
+        let pos_bad = sess.constant(Array::from_vec(vec![1, 2], vec![0.0, 0.0]));
+        let neg_bad = sess.constant(Array::from_vec(vec![1, 2, 1], vec![0.0, 0.0]));
+        let bad = bce_loss(&mut sess, pos_bad, neg_bad, &mask);
+        let pos_good = sess.constant(Array::from_vec(vec![1, 2], vec![5.0, 5.0]));
+        let neg_good = sess.constant(Array::from_vec(vec![1, 2, 1], vec![-5.0, -5.0]));
+        let good = bce_loss(&mut sess, pos_good, neg_good, &mask);
+        assert!(sess.g.value(good).item() < sess.g.value(bad).item());
+    }
+
+    #[test]
+    fn padding_steps_do_not_contribute() {
+        let store = ParamStore::new();
+        let mut sess = Session::new(&store, false, 0);
+        // Two steps, second masked out with atrocious scores.
+        let mask = Array::from_vec(vec![1, 2], vec![1.0, 0.0]);
+        let pos = sess.constant(Array::from_vec(vec![1, 2], vec![2.0, -100.0]));
+        let neg = sess.constant(Array::from_vec(vec![1, 2, 1], vec![-2.0, 100.0]));
+        let l = bce_loss(&mut sess, pos, neg, &mask);
+        assert!(sess.g.value(l).item() < 0.3, "masked step leaked into the loss");
+    }
+
+    #[test]
+    fn weighted_bce_high_temperature_is_uniform_bce() {
+        let store = ParamStore::new();
+        let mut sess = Session::new(&store, false, 0);
+        let mask = Array::ones(vec![1, 1]);
+        let pos = sess.constant(Array::from_vec(vec![1, 1], vec![1.0]));
+        let neg = sess.constant(Array::from_vec(vec![1, 1, 2], vec![0.5, -0.5]));
+        let wl = weighted_bce_loss(&mut sess, pos, neg, 1e6, &mask);
+        // Uniform weights = 0.5 each; compare with a hand-computed value.
+        let softplus = |x: f32| (1.0 + x.exp()).ln();
+        let expected = softplus(-1.0) + 0.5 * softplus(0.5) + 0.5 * softplus(-0.5);
+        assert!((sess.g.value(wl).item() - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn weighted_bce_sharp_temperature_upweights_hard_negative() {
+        let store = ParamStore::new();
+        let mut sess = Session::new(&store, false, 0);
+        let mask = Array::ones(vec![1, 1]);
+        let pos = sess.constant(Array::from_vec(vec![1, 1], vec![1.0]));
+        let neg = sess.constant(Array::from_vec(vec![1, 1, 2], vec![3.0, -3.0]));
+        let sharp = weighted_bce_loss(&mut sess, pos, neg, 0.1, &mask);
+        let flat = weighted_bce_loss(&mut sess, pos, neg, 1e6, &mask);
+        // Sharp temperature concentrates on the hard (high-scoring) negative,
+        // which has the larger softplus, so the loss is larger.
+        assert!(sess.g.value(sharp).item() > sess.g.value(flat).item());
+    }
+
+    #[test]
+    fn bpr_prefers_ranked_pairs() {
+        let store = ParamStore::new();
+        let mut sess = Session::new(&store, false, 0);
+        let p = sess.constant(Array::from_vec(vec![2], vec![2.0, 2.0]));
+        let n = sess.constant(Array::from_vec(vec![2], vec![-2.0, -2.0]));
+        let good = bpr_loss(&mut sess, p, n);
+        let bad = bpr_loss(&mut sess, n, p);
+        assert!(sess.g.value(good).item() < sess.g.value(bad).item());
+    }
+}

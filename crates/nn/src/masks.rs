@@ -1,0 +1,53 @@
+//! Additive attention masks.
+
+use stisan_tensor::Array;
+
+/// Large negative used as "-∞" in additive masks (finite so softmax rows that
+/// keep at least one valid entry never produce NaN in f32).
+pub const NEG_INF: f32 = -1e9;
+
+/// Causal (lower-triangular) mask of shape `[batch, n, n]`: entry `(i, j)` is
+/// `0` for `j <= i` and `-∞` otherwise, so position `i` can only attend to the
+/// first `i` positions (the paper's information-leakage prevention).
+pub fn causal_mask(batch: usize, n: usize) -> Array {
+    let mut m = vec![0.0f32; batch * n * n];
+    for b in 0..batch {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m[(b * n + i) * n + j] = NEG_INF;
+            }
+        }
+    }
+    Array::from_vec(vec![batch, n, n], m)
+}
+
+/// Key-padding mask of shape `[batch, 1, n]` built from per-position validity:
+/// `-∞` where `valid` is false so padded keys receive zero attention.
+/// Broadcasts over the query dimension.
+pub fn padding_row_mask(valid: &[bool], batch: usize, n: usize) -> Array {
+    assert_eq!(valid.len(), batch * n, "padding_row_mask: got {} flags for [{batch},{n}]", valid.len());
+    let data: Vec<f32> = valid.iter().map(|&v| if v { 0.0 } else { NEG_INF }).collect();
+    Array::from_vec(vec![batch, 1, n], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_mask_structure() {
+        let m = causal_mask(1, 3);
+        assert_eq!(m.at(&[0, 0, 0]), 0.0);
+        assert_eq!(m.at(&[0, 0, 1]), NEG_INF);
+        assert_eq!(m.at(&[0, 2, 1]), 0.0);
+        assert_eq!(m.at(&[0, 1, 2]), NEG_INF);
+    }
+
+    #[test]
+    fn padding_mask_broadcast_shape() {
+        let m = padding_row_mask(&[false, true, true, true], 2, 2);
+        assert_eq!(m.shape(), &[2, 1, 2]);
+        assert_eq!(m.at(&[0, 0, 0]), NEG_INF);
+        assert_eq!(m.at(&[1, 0, 1]), 0.0);
+    }
+}

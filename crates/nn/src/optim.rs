@@ -1,0 +1,177 @@
+//! Optimizers: Adam and SGD, with optional global-norm gradient clipping.
+
+use stisan_tensor::Array;
+
+use crate::param::{ParamId, ParamStore};
+
+/// Clips a set of gradients to a maximum global L2 norm (in place).
+/// Returns the pre-clip norm.
+fn clip_global_norm(grads: &mut [(ParamId, Array)], max_norm: f32) -> f32 {
+    let norm: f32 = grads.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        for (_, g) in grads.iter_mut() {
+            *g = g.scale(s);
+        }
+    }
+    norm
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// L2 weight decay (0 disables).
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Array>>,
+    v: Vec<Option<Array>>,
+}
+
+impl Adam {
+    /// Standard hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8, no decay).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Applies one update from `grads`; `clip` optionally bounds the global
+    /// gradient norm first. Gradients are consumed by value (cloned cheaply).
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Array)], clip: Option<f32>) {
+        let mut grads: Vec<(ParamId, Array)> = grads.to_vec();
+        if let Some(c) = clip {
+            clip_global_norm(&mut grads, c);
+        }
+        self.t += 1;
+        if self.m.len() < store.len() {
+            self.m.resize(store.len(), None);
+            self.v.resize(store.len(), None);
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, g) in &grads {
+            let idx = id.0;
+            let shape = g.shape().to_vec();
+            let m = self.m[idx].get_or_insert_with(|| Array::zeros(shape.clone()));
+            {
+                let md = m.data_mut();
+                for (mi, &gi) in md.iter_mut().zip(g.data()) {
+                    *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                }
+            }
+            let v = self.v[idx].get_or_insert_with(|| Array::zeros(shape));
+            {
+                let vd = v.data_mut();
+                for (vi, &gi) in vd.iter_mut().zip(g.data()) {
+                    *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                }
+            }
+            let m = self.m[idx].as_ref().unwrap();
+            let v = self.v[idx].as_ref().unwrap();
+            let lr = self.lr;
+            let (eps, wd) = (self.eps, self.weight_decay);
+            let value = store.value_mut(*id);
+            let vd = value.data_mut();
+            for ((p, &mi), &vi) in vd.iter_mut().zip(m.data()).zip(v.data()) {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                let mut upd = mhat / (vhat.sqrt() + eps);
+                if wd > 0.0 {
+                    upd += wd * *p;
+                }
+                *p -= lr * upd;
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies `p -= lr * g` for every gradient; `clip` bounds the global norm.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Array)], clip: Option<f32>) {
+        let mut grads: Vec<(ParamId, Array)> = grads.to_vec();
+        if let Some(c) = clip {
+            clip_global_norm(&mut grads, c);
+        }
+        for (id, g) in &grads {
+            store.value_mut(*id).axpy(-self.lr, g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Session;
+
+    /// Minimizing (w - 3)^2 must converge to w = 3.
+    fn quadratic_convergence(mut step: impl FnMut(&mut ParamStore, &[(ParamId, Array)])) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Array::scalar(0.0));
+        for _ in 0..800 {
+            let mut sess = Session::new(&store, true, 0);
+            let wv = sess.param(w);
+            let c = sess.constant(Array::scalar(3.0));
+            let d = sess.g.sub(wv, c);
+            let sq = sess.g.mul(d, d);
+            let loss = sess.g.sum_all(sq);
+            let grads = sess.backward_and_grads(loss);
+            step(&mut store, &grads);
+        }
+        store.value(w).item()
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let w = quadratic_convergence(|s, g| opt.step(s, g, None));
+        assert!((w - 3.0).abs() < 1e-2, "adam converged to {w}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05);
+        let w = quadratic_convergence(|s, g| opt.step(s, g, None));
+        assert!((w - 3.0).abs() < 1e-2, "sgd converged to {w}");
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Array::scalar(0.0));
+        let huge = Array::scalar(1e6);
+        let mut opt = Sgd::new(1.0);
+        opt.step(&mut store, &[(w, huge)], Some(1.0));
+        assert!(store.value(w).item().abs() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn adam_handles_sparse_param_participation() {
+        // Parameters that only sometimes receive gradients must keep
+        // consistent state slots.
+        let mut store = ParamStore::new();
+        let a = store.register("a", Array::scalar(1.0));
+        let b = store.register("b", Array::scalar(1.0));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store, &[(a, Array::scalar(1.0))], None);
+        opt.step(&mut store, &[(b, Array::scalar(1.0))], None);
+        opt.step(&mut store, &[(a, Array::scalar(1.0)), (b, Array::scalar(1.0))], None);
+        assert!(store.value(a).item() < 1.0);
+        assert!(store.value(b).item() < 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Positional encodings: vanilla sinusoidal positions and the paper's
+//! Time Aware Position Encoder positions (Eq 2 / Algorithm 1).
+
+use stisan_tensor::Array;
+
+/// Vanilla integer positions `1, 2, ..., n` (as used by the original
+/// Transformer positional encoding and the paper's `Remove TAPE` ablation).
+pub fn vanilla_positions(n: usize) -> Vec<f32> {
+    (1..=n).map(|i| i as f32).collect()
+}
+
+/// TAPE positions (paper Eq 2):
+///
+/// `pos_{k+1} = pos_k + Δt_{k,k+1} / mean(Δt) + 1`, with `pos_1 = 1`.
+///
+/// Time intervals are normalized by the *sequence average interval* so that
+/// users with different absolute check-in rates are comparable, and the extra
+/// `+1` keeps POIs with near-zero intervals distinguishable.
+///
+/// `timestamps` covers the whole (padded) sequence; entries before
+/// `valid_from` are padding and get position `0` (their encodings are zeroed
+/// by the caller's padding mask). Timestamps must be non-decreasing over the
+/// valid suffix.
+pub fn tape_positions(timestamps: &[f64], valid_from: usize) -> Vec<f32> {
+    let n = timestamps.len();
+    let mut pos = vec![0.0f32; n];
+    if valid_from >= n {
+        return pos;
+    }
+    let valid = &timestamps[valid_from..];
+    let m = valid.len();
+    if m == 1 {
+        pos[valid_from] = 1.0;
+        return pos;
+    }
+    let mut deltas = Vec::with_capacity(m - 1);
+    for w in valid.windows(2) {
+        let dt = (w[1] - w[0]).max(0.0);
+        deltas.push(dt);
+    }
+    let mean: f64 = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    pos[valid_from] = 1.0;
+    for (k, &dt) in deltas.iter().enumerate() {
+        let norm = if mean > 0.0 { (dt / mean) as f32 } else { 0.0 };
+        pos[valid_from + k + 1] = pos[valid_from + k] + norm + 1.0;
+    }
+    pos
+}
+
+/// Sinusoidal encoding of arbitrary (possibly fractional) positions into `d`
+/// dimensions, following Algorithm 1 of the paper:
+///
+/// `P[k, 2i] = sin(pos_k · div_i)`, `P[k, 2i+1] = cos(pos_k · div_i)` with
+/// `div_i = exp(2i · (−ln 10000 / d))`.
+///
+/// Positions equal to `0` (padding) produce all-zero rows so padded check-ins
+/// stay exactly zero after `E = E + P`.
+pub fn sinusoidal_encoding(positions: &[f32], d: usize) -> Array {
+    assert!(d >= 2 && d.is_multiple_of(2), "sinusoidal_encoding: dimension must be even and >= 2, got {d}");
+    let n = positions.len();
+    let mut data = vec![0.0f32; n * d];
+    let half = d / 2;
+    let log_base = -(10000.0f32.ln()) / d as f32;
+    for (k, &p) in positions.iter().enumerate() {
+        if p == 0.0 {
+            continue; // padding row stays zero
+        }
+        for i in 0..half {
+            let div = ((2 * i) as f32 * log_base).exp();
+            data[k * d + 2 * i] = (p * div).sin();
+            data[k * d + 2 * i + 1] = (p * div).cos();
+        }
+    }
+    Array::from_vec(vec![n, d], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_is_one_based() {
+        assert_eq!(vanilla_positions(3), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn tape_matches_paper_example_structure() {
+        // Uniform intervals: every normalized delta is 1, so positions step by 2.
+        let ts = [0.0, 10.0, 20.0, 30.0];
+        let pos = tape_positions(&ts, 0);
+        assert_eq!(pos, vec![1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn tape_reflects_relative_proximity() {
+        // Fig 1, user 1: small gap then large gaps. Positions must stretch
+        // proportionally to the time intervals.
+        let ts = [7.0, 7.5, 11.5, 14.5];
+        let pos = tape_positions(&ts, 0);
+        assert!((pos[0] - 1.0).abs() < 1e-6);
+        // Gaps: 0.5, 4.0, 3.0 (mean 2.5) -> steps 1.2, 2.6, 2.2
+        assert!((pos[1] - 2.2).abs() < 1e-5, "{pos:?}");
+        assert!((pos[2] - 4.8).abs() < 1e-5, "{pos:?}");
+        assert!((pos[3] - 7.0).abs() < 1e-5, "{pos:?}");
+        // The 2nd POI is closer (in position space) to the 1st than to the 3rd.
+        assert!(pos[1] - pos[0] < pos[2] - pos[1]);
+    }
+
+    #[test]
+    fn tape_handles_padding_prefix() {
+        let ts = [0.0, 0.0, 5.0, 6.0];
+        let pos = tape_positions(&ts, 2);
+        assert_eq!(pos[0], 0.0);
+        assert_eq!(pos[1], 0.0);
+        assert_eq!(pos[2], 1.0);
+        assert!((pos[3] - 3.0).abs() < 1e-6); // single interval, delta/mean = 1, +1
+    }
+
+    #[test]
+    fn tape_single_valid_checkin() {
+        let pos = tape_positions(&[3.0, 9.0], 1);
+        assert_eq!(pos, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn tape_all_zero_intervals_degenerates_to_integer_positions() {
+        let pos = tape_positions(&[5.0, 5.0, 5.0], 0);
+        assert_eq!(pos, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sinusoidal_padding_rows_zero_and_values_bounded() {
+        let enc = sinusoidal_encoding(&[0.0, 1.0, 2.5], 8);
+        assert_eq!(enc.shape(), &[3, 8]);
+        assert!(enc.data()[..8].iter().all(|&v| v == 0.0));
+        assert!(enc.data().iter().all(|&v| v.abs() <= 1.0));
+        // First pair is sin/cos of the raw position.
+        assert!((enc.at(&[1, 0]) - 1.0f32.sin()).abs() < 1e-6);
+        assert!((enc.at(&[1, 1]) - 1.0f32.cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nearby_positions_have_similar_encodings() {
+        let enc = sinusoidal_encoding(&[1.0, 1.1, 9.0], 32);
+        let dist = |a: usize, b: usize| -> f32 {
+            (0..32).map(|i| (enc.at(&[a, i]) - enc.at(&[b, i])).powi(2)).sum::<f32>().sqrt()
+        };
+        assert!(dist(0, 1) < dist(0, 2));
+    }
+}

@@ -1,0 +1,277 @@
+//! Recurrent cells: GRU (GRU4Rec), LSTM, and the STGN spatio-temporal gated
+//! cell (Zhao et al., AAAI 2019) used as a baseline in the paper.
+
+use rand::Rng;
+use stisan_tensor::{Array, Var};
+
+use crate::layers::Linear;
+use crate::param::{ParamStore, Session};
+
+/// A gated recurrent unit cell.
+///
+/// `z = σ(W_z x + U_z h)`, `r = σ(W_r x + U_r h)`,
+/// `h̃ = tanh(W_h x + U_h (r∘h))`, `h' = (1−z)∘h + z∘h̃`.
+pub struct GruCell {
+    wx: Linear, // x -> [z r h] stacked, 3*dh
+    wh: Linear, // h -> [z r h] stacked, 3*dh
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+impl GruCell {
+    /// Builds a cell mapping `input` features to `hidden` state width.
+    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, input: usize, hidden: usize, rng: &mut R) -> Self {
+        GruCell {
+            wx: Linear::new(store, &format!("{name}.wx"), input, 3 * hidden, true, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), hidden, 3 * hidden, false, rng),
+            hidden,
+        }
+    }
+
+    /// One step: `x: [b, input]`, `h: [b, hidden]` → next `h`.
+    pub fn step(&self, sess: &mut Session<'_>, x: Var, h: Var) -> Var {
+        let dh = self.hidden;
+        let gx = self.wx.forward(sess, x);
+        let gh = self.wh.forward(sess, h);
+        let zx = sess.g.slice_last(gx, 0, dh);
+        let zh = sess.g.slice_last(gh, 0, dh);
+        let z_in = sess.g.add(zx, zh);
+        let z = sess.g.sigmoid(z_in);
+        let rx = sess.g.slice_last(gx, dh, dh);
+        let rh = sess.g.slice_last(gh, dh, dh);
+        let r_in = sess.g.add(rx, rh);
+        let r = sess.g.sigmoid(r_in);
+        let hx = sess.g.slice_last(gx, 2 * dh, dh);
+        let hh = sess.g.slice_last(gh, 2 * dh, dh);
+        let rhh = sess.g.mul(r, hh);
+        let cand_in = sess.g.add(hx, rhh);
+        let cand = sess.g.tanh(cand_in);
+        // h' = (1-z) * h + z * cand  =  h + z * (cand - h)
+        let diff = sess.g.sub(cand, h);
+        let upd = sess.g.mul(z, diff);
+        sess.g.add(h, upd)
+    }
+
+    /// Zero initial state for a batch.
+    pub fn zero_state(&self, sess: &mut Session<'_>, batch: usize) -> Var {
+        sess.constant(Array::zeros(vec![batch, self.hidden]))
+    }
+}
+
+/// A standard LSTM cell.
+pub struct LstmCell {
+    wx: Linear, // x -> [i f g o]
+    wh: Linear,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+impl LstmCell {
+    /// Builds a cell mapping `input` features to `hidden` state width.
+    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, input: usize, hidden: usize, rng: &mut R) -> Self {
+        LstmCell {
+            wx: Linear::new(store, &format!("{name}.wx"), input, 4 * hidden, true, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), hidden, 4 * hidden, false, rng),
+            hidden,
+        }
+    }
+
+    /// One step: returns `(h', c')`.
+    pub fn step(&self, sess: &mut Session<'_>, x: Var, h: Var, c: Var) -> (Var, Var) {
+        let dh = self.hidden;
+        let gx = self.wx.forward(sess, x);
+        let gh = self.wh.forward(sess, h);
+        let gates = sess.g.add(gx, gh);
+        let i_in = sess.g.slice_last(gates, 0, dh);
+        let f_in = sess.g.slice_last(gates, dh, dh);
+        let g_in = sess.g.slice_last(gates, 2 * dh, dh);
+        let o_in = sess.g.slice_last(gates, 3 * dh, dh);
+        let i = sess.g.sigmoid(i_in);
+        let f = sess.g.sigmoid(f_in);
+        let gg = sess.g.tanh(g_in);
+        let o = sess.g.sigmoid(o_in);
+        let fc = sess.g.mul(f, c);
+        let ig = sess.g.mul(i, gg);
+        let c2 = sess.g.add(fc, ig);
+        let tc = sess.g.tanh(c2);
+        let h2 = sess.g.mul(o, tc);
+        (h2, c2)
+    }
+
+    /// Zero `(h, c)` state for a batch.
+    pub fn zero_state(&self, sess: &mut Session<'_>, batch: usize) -> (Var, Var) {
+        let h = sess.constant(Array::zeros(vec![batch, self.hidden]));
+        let c = sess.constant(Array::zeros(vec![batch, self.hidden]));
+        (h, c)
+    }
+}
+
+/// The STGN cell: an LSTM extended with two time gates (T1, T2) and two
+/// distance gates (D1, D2) that modulate the input by the spatial-temporal
+/// interval to the previous check-in.
+///
+/// Following Zhao et al. (AAAI 2019), the cell keeps two cell states: the
+/// short-term state `ĉ` (gated by T1·D1, drives the output) and the carried
+/// state `c` (gated by T2·D2).
+pub struct StgnCell {
+    wx: Linear, // x -> [i f g o t1 t2 d1 d2]
+    wh: Linear, // h -> [i f g o]
+    // interval projections: scalar Δt / Δd -> hidden
+    wt1: Linear,
+    wt2: Linear,
+    wd1: Linear,
+    wd2: Linear,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+impl StgnCell {
+    /// Builds a cell mapping `input` features to `hidden` state width.
+    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, input: usize, hidden: usize, rng: &mut R) -> Self {
+        StgnCell {
+            wx: Linear::new(store, &format!("{name}.wx"), input, 8 * hidden, true, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), hidden, 4 * hidden, false, rng),
+            wt1: Linear::new(store, &format!("{name}.wt1"), 1, hidden, false, rng),
+            wt2: Linear::new(store, &format!("{name}.wt2"), 1, hidden, false, rng),
+            wd1: Linear::new(store, &format!("{name}.wd1"), 1, hidden, false, rng),
+            wd2: Linear::new(store, &format!("{name}.wd2"), 1, hidden, false, rng),
+            hidden,
+        }
+    }
+
+    /// One step. `dt`/`dd`: `[b, 1]` time / distance intervals to the previous
+    /// check-in. Returns `(h', c')`.
+    pub fn step(&self, sess: &mut Session<'_>, x: Var, h: Var, c: Var, dt: Var, dd: Var) -> (Var, Var) {
+        let dh = self.hidden;
+        let gx = self.wx.forward(sess, x);
+        let gh = self.wh.forward(sess, h);
+        let part = |sess: &mut Session<'_>, v: Var, k: usize| sess.g.slice_last(v, k * dh, dh);
+
+        let ix = part(sess, gx, 0);
+        let ih = part(sess, gh, 0);
+        let i_in = sess.g.add(ix, ih);
+        let i = sess.g.sigmoid(i_in);
+
+        let fx = part(sess, gx, 1);
+        let fh = part(sess, gh, 1);
+        let f_in = sess.g.add(fx, fh);
+        let f = sess.g.sigmoid(f_in);
+
+        let gx_ = part(sess, gx, 2);
+        let ghh = part(sess, gh, 2);
+        let g_in = sess.g.add(gx_, ghh);
+        let gg = sess.g.tanh(g_in);
+
+        let ox = part(sess, gx, 3);
+        let oh = part(sess, gh, 3);
+        let o_in = sess.g.add(ox, oh);
+        let o = sess.g.sigmoid(o_in);
+
+        // Interval projections, squashed before entering the gates.
+        let t_proj1 = self.wt1.forward(sess, dt);
+        let t_proj1 = sess.g.sigmoid(t_proj1);
+        let t_proj2 = self.wt2.forward(sess, dt);
+        let t_proj2 = sess.g.sigmoid(t_proj2);
+        let d_proj1 = self.wd1.forward(sess, dd);
+        let d_proj1 = sess.g.sigmoid(d_proj1);
+        let d_proj2 = self.wd2.forward(sess, dd);
+        let d_proj2 = sess.g.sigmoid(d_proj2);
+
+        let t1x = part(sess, gx, 4);
+        let t1_in = sess.g.add(t1x, t_proj1);
+        let t1 = sess.g.sigmoid(t1_in);
+        let t2x = part(sess, gx, 5);
+        let t2_in = sess.g.add(t2x, t_proj2);
+        let t2 = sess.g.sigmoid(t2_in);
+        let d1x = part(sess, gx, 6);
+        let d1_in = sess.g.add(d1x, d_proj1);
+        let d1 = sess.g.sigmoid(d1_in);
+        let d2x = part(sess, gx, 7);
+        let d2_in = sess.g.add(d2x, d_proj2);
+        let d2 = sess.g.sigmoid(d2_in);
+
+        // Short-term cell state (drives the output).
+        let fc = sess.g.mul(f, c);
+        let it1 = sess.g.mul(i, t1);
+        let it1d1 = sess.g.mul(it1, d1);
+        let short_in = sess.g.mul(it1d1, gg);
+        let c_hat = sess.g.add(fc, short_in);
+        // Carried cell state.
+        let it2 = sess.g.mul(i, t2);
+        let it2d2 = sess.g.mul(it2, d2);
+        let carry_in = sess.g.mul(it2d2, gg);
+        let c_next = sess.g.add(fc, carry_in);
+
+        let tc = sess.g.tanh(c_hat);
+        let h_next = sess.g.mul(o, tc);
+        (h_next, c_next)
+    }
+
+    /// Zero `(h, c)` state for a batch.
+    pub fn zero_state(&self, sess: &mut Session<'_>, batch: usize) -> (Var, Var) {
+        let h = sess.constant(Array::zeros(vec![batch, self.hidden]));
+        let c = sess.constant(Array::zeros(vec![batch, self.hidden]));
+        (h, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gru_step_shapes_and_state_change() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 3, 5, &mut rng);
+        let mut sess = Session::new(&store, false, 0);
+        let h0 = cell.zero_state(&mut sess, 2);
+        let x = sess.constant(Array::ones(vec![2, 3]));
+        let h1 = cell.step(&mut sess, x, h0);
+        assert_eq!(sess.g.value(h1).shape(), &[2, 5]);
+        assert!(sess.g.value(h1).data().iter().any(|&v| v != 0.0));
+        // Hidden state stays bounded like tanh outputs.
+        assert!(sess.g.value(h1).data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn lstm_step_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 3, 4, &mut rng);
+        let mut sess = Session::new(&store, false, 0);
+        let (h0, c0) = cell.zero_state(&mut sess, 2);
+        let x = sess.constant(Array::ones(vec![2, 3]));
+        let (h1, c1) = cell.step(&mut sess, x, h0, c0);
+        assert_eq!(sess.g.value(h1).shape(), &[2, 4]);
+        assert_eq!(sess.g.value(c1).shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn stgn_intervals_modulate_state() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let cell = StgnCell::new(&mut store, "stgn", 3, 4, &mut rng);
+        let mut sess = Session::new(&store, false, 0);
+        let (h0, c0) = cell.zero_state(&mut sess, 1);
+        let x = sess.constant(Array::ones(vec![1, 3]));
+        let dt_small = sess.constant(Array::from_vec(vec![1, 1], vec![0.0]));
+        let dd_small = sess.constant(Array::from_vec(vec![1, 1], vec![0.0]));
+        let (h_a, _) = cell.step(&mut sess, x, h0, c0, dt_small, dd_small);
+        let dt_big = sess.constant(Array::from_vec(vec![1, 1], vec![10.0]));
+        let dd_big = sess.constant(Array::from_vec(vec![1, 1], vec![10.0]));
+        let (h_b, _) = cell.step(&mut sess, x, h0, c0, dt_big, dd_big);
+        // Different intervals with identical inputs must yield different states.
+        let diff: f32 = sess
+            .g
+            .value(h_a)
+            .data()
+            .iter()
+            .zip(sess.g.value(h_b).data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "intervals had no effect on STGN state");
+    }
+}

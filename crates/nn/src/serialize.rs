@@ -1,0 +1,243 @@
+//! Parameter-store serialization: save trained models to disk and load them
+//! back, so experiments can checkpoint and downstream users can ship weights.
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic "STSN" | u32 version | u32 param count |
+//!   per param: u32 name len | name bytes | u32 ndim | u64 dims... | f32 data...
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stisan_tensor::Array;
+
+use crate::param::ParamStore;
+
+const MAGIC: &[u8; 4] = b"STSN";
+const VERSION: u32 = 1;
+
+/// Serialization/IO failures when loading a parameter store.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Not an STSN file, or a corrupted/truncated one.
+    Format(String),
+    /// The checkpoint's parameters don't match the receiving store.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Format(m) => write!(f, "bad checkpoint format: {m}"),
+            LoadError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl ParamStore {
+    /// Serializes every parameter (names, shapes, values) to a byte buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.len() as u32);
+        for id in self.ids() {
+            let name = self.name(id).as_bytes();
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name);
+            let value = self.value(id);
+            buf.put_u32_le(value.ndim() as u32);
+            for &d in value.shape() {
+                buf.put_u64_le(d as u64);
+            }
+            for &v in value.data() {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Restores parameter *values* from [`ParamStore::to_bytes`] output into
+    /// this store. The store must already contain the same parameters (same
+    /// names, same shapes, same order) — i.e. build the model first, then
+    /// load its weights.
+    pub fn load_bytes(&mut self, mut buf: &[u8]) -> Result<(), LoadError> {
+        let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), LoadError> {
+            if buf.remaining() < n {
+                Err(LoadError::Format(format!("truncated reading {what}")))
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 8, "header")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(LoadError::Format("missing STSN magic".into()));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(LoadError::Format(format!("unsupported version {version}")));
+        }
+        need(&buf, 4, "param count")?;
+        let count = buf.get_u32_le() as usize;
+        if count != self.len() {
+            return Err(LoadError::Mismatch(format!(
+                "checkpoint has {count} params, store has {}",
+                self.len()
+            )));
+        }
+        for id in self.ids() {
+            need(&buf, 4, "name length")?;
+            let name_len = buf.get_u32_le() as usize;
+            need(&buf, name_len, "name")?;
+            let mut name = vec![0u8; name_len];
+            buf.copy_to_slice(&mut name);
+            let name = String::from_utf8(name)
+                .map_err(|_| LoadError::Format("non-utf8 parameter name".into()))?;
+            if name != self.name(id) {
+                return Err(LoadError::Mismatch(format!(
+                    "parameter name mismatch: checkpoint '{name}' vs store '{}'",
+                    self.name(id)
+                )));
+            }
+            need(&buf, 4, "ndim")?;
+            let ndim = buf.get_u32_le() as usize;
+            need(&buf, ndim * 8, "shape")?;
+            let mut shape = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                shape.push(buf.get_u64_le() as usize);
+            }
+            if shape != self.value(id).shape() {
+                return Err(LoadError::Mismatch(format!(
+                    "shape mismatch for '{name}': checkpoint {shape:?} vs store {:?}",
+                    self.value(id).shape()
+                )));
+            }
+            let n: usize = shape.iter().product();
+            need(&buf, n * 4, "data")?;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(buf.get_f32_le());
+            }
+            *self.value_mut(id) = Array::from_vec(shape, data);
+        }
+        if buf.has_remaining() {
+            return Err(LoadError::Format(format!("{} trailing bytes", buf.remaining())));
+        }
+        Ok(())
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())
+    }
+
+    /// Loads a checkpoint produced by [`ParamStore::save_file`].
+    pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<(), LoadError> {
+        let mut f = std::fs::File::open(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        self.load_bytes(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_store(seed: u64) -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        store.register("a.w", Array::randn(vec![3, 4], 1.0, &mut rng));
+        store.register("b.bias", Array::randn(vec![7], 1.0, &mut rng));
+        store.register("scalar", Array::scalar(1.5));
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let src = sample_store(1);
+        let bytes = src.to_bytes();
+        let mut dst = sample_store(2); // same structure, different values
+        dst.load_bytes(&bytes).unwrap();
+        for id in src.ids() {
+            assert_eq!(src.value(id).data(), dst.value(id).data());
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut store = sample_store(1);
+        assert!(matches!(store.load_bytes(b"nonsense"), Err(LoadError::Format(_))));
+        assert!(matches!(store.load_bytes(b""), Err(LoadError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_mismatched_structure() {
+        let src = sample_store(1);
+        let bytes = src.to_bytes();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Wrong shape.
+        let mut other = ParamStore::new();
+        other.register("a.w", Array::randn(vec![4, 3], 1.0, &mut rng));
+        other.register("b.bias", Array::randn(vec![7], 1.0, &mut rng));
+        other.register("scalar", Array::scalar(0.0));
+        assert!(matches!(other.load_bytes(&bytes), Err(LoadError::Mismatch(_))));
+        // Wrong name.
+        let mut other2 = ParamStore::new();
+        other2.register("zzz", Array::randn(vec![3, 4], 1.0, &mut rng));
+        other2.register("b.bias", Array::randn(vec![7], 1.0, &mut rng));
+        other2.register("scalar", Array::scalar(0.0));
+        assert!(matches!(other2.load_bytes(&bytes), Err(LoadError::Mismatch(_))));
+        // Wrong count.
+        let mut other3 = ParamStore::new();
+        other3.register("a.w", Array::randn(vec![3, 4], 1.0, &mut rng));
+        assert!(matches!(other3.load_bytes(&bytes), Err(LoadError::Mismatch(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let src = sample_store(1);
+        let bytes = src.to_bytes();
+        let mut dst = sample_store(2);
+        for cut in [5usize, 12, bytes.len() - 3] {
+            assert!(
+                dst.load_bytes(&bytes[..cut]).is_err(),
+                "accepted a checkpoint truncated at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("stisan_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.stsn");
+        let src = sample_store(1);
+        src.save_file(&path).unwrap();
+        let mut dst = sample_store(9);
+        dst.load_file(&path).unwrap();
+        for id in src.ids() {
+            assert_eq!(src.value(id).data(), dst.value(id).data());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

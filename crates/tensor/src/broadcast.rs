@@ -1,0 +1,164 @@
+//! NumPy-style right-aligned broadcasting rules and iteration helpers.
+
+/// Computes the broadcast result shape of two shapes, aligning from the right.
+///
+/// Dimensions must be equal or one of them must be `1` (a missing leading
+/// dimension is treated as `1`).
+///
+/// # Panics
+/// Panics when the shapes are incompatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0usize; ndim];
+    for i in 0..ndim {
+        let da = dim_from_right(a, i);
+        let db = dim_from_right(b, i);
+        out[ndim - 1 - i] = match (da, db) {
+            (x, y) if x == y => x,
+            (1, y) => y,
+            (x, 1) => x,
+            (x, y) => panic!("broadcast_shapes: incompatible shapes {a:?} and {b:?} ({x} vs {y})"),
+        };
+    }
+    out
+}
+
+fn dim_from_right(shape: &[usize], i: usize) -> usize {
+    if i < shape.len() {
+        shape[shape.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+/// Row-major strides for a shape (in elements).
+pub fn strides_of(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![0usize; shape.len()];
+    let mut acc = 1usize;
+    for i in (0..shape.len()).rev() {
+        s[i] = acc;
+        acc *= shape[i];
+    }
+    s
+}
+
+/// Strides of an operand `shape` viewed in the broadcast `out_shape` space.
+///
+/// Broadcast dimensions (size 1 in the operand, or missing leading dims) get
+/// stride 0 so iteration re-reads the same element.
+pub fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let own = strides_of(shape);
+    let ndim = out_shape.len();
+    let mut s = vec![0usize; ndim];
+    for i in 0..ndim {
+        let from_right = ndim - 1 - i;
+        if from_right < shape.len() {
+            let j = shape.len() - 1 - from_right;
+            if shape[j] != 1 {
+                debug_assert_eq!(shape[j], out_shape[i]);
+                s[i] = own[j];
+            }
+        }
+    }
+    s
+}
+
+/// An odometer that walks a broadcast output space while tracking the flat
+/// offsets of two operands with (possibly zero) broadcast strides.
+pub struct BroadcastIter {
+    shape: Vec<usize>,
+    idx: Vec<usize>,
+    sa: Vec<usize>,
+    sb: Vec<usize>,
+    oa: usize,
+    ob: usize,
+    remaining: usize,
+}
+
+impl BroadcastIter {
+    pub fn new(out_shape: &[usize], a_shape: &[usize], b_shape: &[usize]) -> Self {
+        let total: usize = out_shape.iter().product();
+        BroadcastIter {
+            shape: out_shape.to_vec(),
+            idx: vec![0; out_shape.len()],
+            sa: broadcast_strides(a_shape, out_shape),
+            sb: broadcast_strides(b_shape, out_shape),
+            oa: 0,
+            ob: 0,
+            remaining: total,
+        }
+    }
+}
+
+impl Iterator for BroadcastIter {
+    /// `(offset_in_a, offset_in_b)`
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let out = (self.oa, self.ob);
+        self.remaining -= 1;
+        // Advance the odometer from the innermost dimension.
+        for d in (0..self.shape.len()).rev() {
+            self.idx[d] += 1;
+            self.oa += self.sa[d];
+            self.ob += self.sb[d];
+            if self.idx[d] < self.shape[d] {
+                break;
+            }
+            // carry: reset this digit
+            self.oa -= self.sa[d] * self.shape[d];
+            self.ob -= self.sb[d] * self.shape[d];
+            self.idx[d] = 0;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_equal() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_suffix() {
+        assert_eq!(broadcast_shapes(&[4, 2, 3], &[3]), vec![4, 2, 3]);
+        assert_eq!(broadcast_shapes(&[4, 2, 3], &[2, 3]), vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_ones() {
+        assert_eq!(broadcast_shapes(&[4, 2, 1], &[1, 3]), vec![4, 2, 3]);
+        assert_eq!(broadcast_shapes(&[1], &[5]), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn broadcast_incompatible() {
+        broadcast_shapes(&[2, 3], &[4]);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_of(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_of(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroed() {
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 1], &[2, 3]), vec![1, 0]);
+    }
+
+    #[test]
+    fn iter_walks_all_pairs() {
+        let pairs: Vec<_> = BroadcastIter::new(&[2, 2], &[2, 1], &[2]).collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Finite-difference gradient checking.
+//!
+//! The test-suite validates every differentiable op against central
+//! differences: for a scalar function `f` built by `build`, the analytic
+//! gradient of each input must match `(f(x+h) - f(x-h)) / 2h`.
+
+use crate::{Array, Graph, Var};
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `build` receives a fresh [`Graph`] plus the leaves created from `inputs`
+/// and must return a **scalar** output node. Returns the maximum relative
+/// error observed over all input elements.
+///
+/// # Panics
+/// Panics (via assertions inside the graph) on shape errors.
+pub fn grad_check(inputs: &[Array], build: impl Fn(&mut Graph, &[Var]) -> Var, h: f32) -> f32 {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|a| g.leaf(a.clone(), true)).collect();
+    let out = build(&mut g, &vars);
+    g.backward(out);
+    let analytic: Vec<Array> = vars
+        .iter()
+        .map(|&v| g.grad(v).cloned().unwrap_or_else(|| Array::zeros(g.value(v).shape().to_vec())))
+        .collect();
+
+    let eval = |perturbed: &[Array]| -> f32 {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = perturbed.iter().map(|a| g.leaf(a.clone(), false)).collect();
+        let out = build(&mut g, &vars);
+        g.value(out).item()
+    };
+
+    let mut max_rel = 0.0f32;
+    for (i, input) in inputs.iter().enumerate() {
+        for j in 0..input.len() {
+            let mut plus: Vec<Array> = inputs.to_vec();
+            plus[i].data_mut()[j] += h;
+            let mut minus: Vec<Array> = inputs.to_vec();
+            minus[i].data_mut()[j] -= h;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * h);
+            let a = analytic[i].data()[j];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            let rel = (a - numeric).abs() / denom;
+            if rel > max_rel {
+                max_rel = rel;
+            }
+        }
+    }
+    max_rel
+}
+
+/// Asserts that [`grad_check`] stays under `tol` (convenience for tests).
+pub fn assert_grads_close(inputs: &[Array], build: impl Fn(&mut Graph, &[Var]) -> Var, tol: f32) {
+    let err = grad_check(inputs, build, 1e-2);
+    assert!(err < tol, "gradient check failed: max relative error {err} >= {tol}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catches_wrong_gradient() {
+        // exp has gradient exp(x); pretend it's relu to see a failure signal.
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Array::randn(vec![3], 1.0, &mut rng);
+        let err = grad_check(
+            &[x],
+            |g, vars| {
+                let y = g.exp(vars[0]);
+                g.sum_all(y)
+            },
+            1e-2,
+        );
+        assert!(err < 1e-2, "exp gradient should check out, err={err}");
+    }
+}

@@ -1,0 +1,988 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is an append-only tape of [`Op`] nodes. Every op computes its
+//! value eagerly on construction; [`Graph::backward`] walks the tape in
+//! reverse, accumulating gradients. Ops form a closed `enum`, so the whole
+//! backward pass is one auditable `match` — no boxed closures, no lifetimes.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::array::Array;
+
+/// A handle to a node in a [`Graph`] (a plain index; `Copy`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// The closed set of differentiable operations.
+#[derive(Clone)]
+pub enum Op {
+    /// An input (parameter or constant).
+    Leaf,
+    /// Elementwise sum with broadcasting.
+    Add(Var, Var),
+    /// Elementwise difference with broadcasting.
+    Sub(Var, Var),
+    /// Elementwise product with broadcasting.
+    Mul(Var, Var),
+    /// Multiplication by a compile-time constant scalar.
+    Scale(Var, f32),
+    /// Addition of a constant scalar.
+    AddScalar(Var, f32),
+    /// Elementwise negation.
+    Neg(Var),
+    /// Affine map over the last dimension: `x[..,k] · w[k,f] (+ b[f])`.
+    Linear { x: Var, w: Var, b: Option<Var> },
+    /// Batched matrix product `[b,m,k] x [b,k,n]`.
+    Bmm(Var, Var),
+    /// Transpose of the last two dimensions.
+    TransposeLast2(Var),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Elementwise exponential.
+    Exp(Var),
+    /// Elementwise natural logarithm.
+    Log(Var),
+    /// Numerically stable `ln(1 + e^x)`.
+    Softplus(Var),
+    /// Softmax over the last dimension.
+    SoftmaxLast(Var),
+    /// Sum of all elements (scalar output).
+    SumAll(Var),
+    /// Mean of all elements (scalar output).
+    MeanAll(Var),
+    /// Sum over the last dimension (drops it).
+    SumLast(Var),
+    /// Sum of a 3-D array over axis 1: `[b,n,d] -> [b,d]`.
+    SumAxis1(Var),
+    /// Max of a 3-D array over axis 1: `[b,n,d] -> [b,d]` (gradient routes to
+    /// the argmax).
+    MaxAxis1(Var),
+    /// Row lookup into a 2-D table: `out[i,:] = table[indices[i],:]`.
+    Gather { table: Var, indices: Arc<Vec<usize>>, out_shape: Vec<usize> },
+    /// Per-row lookup along the last dim: `out[l,m] = v[l, idx[l*m_out+m]]`.
+    GatherLast { v: Var, idx: Arc<Vec<usize>>, m_out: usize },
+    /// Per-row scatter-add along the last dim (dual of `GatherLast`).
+    ScatterAddLast { a: Var, idx: Arc<Vec<usize>>, k_out: usize },
+    /// Concatenation along the last dimension.
+    ConcatLast(Vec<Var>),
+    /// Slice `[start, start+len)` of the last dimension.
+    SliceLast { v: Var, start: usize, len: usize },
+    /// Shape reinterpretation.
+    Reshape(Var, Vec<usize>),
+    /// Layer normalization over the last dimension with learned scale/shift.
+    LayerNorm { x: Var, alpha: Var, beta: Var, eps: f32 },
+    /// Elementwise product with a constant array (dropout masks etc.).
+    MulConst(Var, Array),
+    /// Elementwise sum with a constant array (attention masks etc.).
+    AddConst(Var, Array),
+    /// Stacks `k` arrays of shape `[b,d]` into `[b,k,d]`.
+    StackAxis1(Vec<Var>),
+    /// Extracts step `idx` of a 3-D array: `[b,n,d] -> [b,d]`.
+    SliceAxis1 { v: Var, idx: usize },
+    /// Sliding-window unfold: `[b,n,d] -> [b, n-w+1, w*d]`.
+    Unfold1 { v: Var, width: usize },
+}
+
+struct Node {
+    value: Array,
+    grad: Option<Array>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A reverse-mode autodiff tape (see the module-level documentation).
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Array, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Adds an input node. `requires_grad` marks trainable parameters.
+    pub fn leaf(&mut self, value: Array, requires_grad: bool) -> Var {
+        self.push(value, Op::Leaf, requires_grad)
+    }
+
+    /// Adds a non-trainable input node.
+    pub fn constant(&mut self, value: Array) -> Var {
+        self.leaf(value, false)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Array {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a node (after [`Graph::backward`]).
+    pub fn grad(&self, v: Var) -> Option<&Array> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Clones a node's value out of the tape, cutting the gradient flow.
+    pub fn detach(&self, v: Var) -> Array {
+        self.nodes[v.0].value.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Op constructors (forward is computed eagerly)
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum with broadcasting.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise difference with broadcasting.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Sub(a, b), rg)
+    }
+
+    /// Elementwise product with broadcasting.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Mul(a, b), rg)
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        let rg = self.rg(a);
+        self.push(v, Op::Scale(a, c), rg)
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).add_scalar(c);
+        let rg = self.rg(a);
+        self.push(v, Op::AddScalar(a, c), rg)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        let rg = self.rg(a);
+        self.push(v, Op::Neg(a), rg)
+    }
+
+    /// Affine map over the last dimension (`Linear` layer core).
+    pub fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
+        let mut v = self.value(x).matmul_last(self.value(w));
+        if let Some(b) = b {
+            v = v.add(self.value(b));
+        }
+        let rg = self.rg(x) || self.rg(w) || b.map(|b| self.rg(b)).unwrap_or(false);
+        self.push(v, Op::Linear { x, w, b }, rg)
+    }
+
+    /// 2-D matrix product (alias of [`Graph::linear`] without bias).
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).ndim(), 2, "matmul lhs must be 2-D");
+        self.linear(a, b, None)
+    }
+
+    /// Batched 3-D matrix product.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).bmm(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Bmm(a, b), rg)
+    }
+
+    /// Transposes the last two dimensions.
+    pub fn transpose_last2(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose_last2();
+        let rg = self.rg(a);
+        self.push(v, Op::TransposeLast2(a), rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let rg = self.rg(a);
+        self.push(v, Op::Relu(a), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stable_sigmoid);
+        let rg = self.rg(a);
+        self.push(v, Op::Sigmoid(a), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let rg = self.rg(a);
+        self.push(v, Op::Tanh(a), rg)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        let rg = self.rg(a);
+        self.push(v, Op::Exp(a), rg)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn log(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::ln);
+        let rg = self.rg(a);
+        self.push(v, Op::Log(a), rg)
+    }
+
+    /// Numerically stable softplus `ln(1+e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| {
+            if x > 20.0 {
+                x
+            } else if x < -20.0 {
+                x.exp()
+            } else {
+                (1.0 + x.exp()).ln()
+            }
+        });
+        let rg = self.rg(a);
+        self.push(v, Op::Softplus(a), rg)
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_last();
+        let rg = self.rg(a);
+        self.push(v, Op::SoftmaxLast(a), rg)
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Array::scalar(self.value(a).sum_all());
+        let rg = self.rg(a);
+        self.push(v, Op::SumAll(a), rg)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Array::scalar(self.value(a).mean_all());
+        let rg = self.rg(a);
+        self.push(v, Op::MeanAll(a), rg)
+    }
+
+    /// Sum over the last dimension.
+    pub fn sum_last(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_last();
+        let rg = self.rg(a);
+        self.push(v, Op::SumLast(a), rg)
+    }
+
+    /// Sum of a 3-D array over axis 1.
+    pub fn sum_axis1(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_axis1();
+        let rg = self.rg(a);
+        self.push(v, Op::SumAxis1(a), rg)
+    }
+
+    /// Max of a 3-D array over axis 1 (time-dimension max pooling).
+    pub fn max_axis1(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.ndim(), 3, "max_axis1 requires a 3-D array");
+        let (b, n, d) = (av.shape()[0], av.shape()[1], av.shape()[2]);
+        assert!(n >= 1, "max_axis1: empty axis");
+        let mut out = vec![f32::NEG_INFINITY; b * d];
+        for i in 0..b {
+            for j in 0..n {
+                for k in 0..d {
+                    let x = av.data()[(i * n + j) * d + k];
+                    if x > out[i * d + k] {
+                        out[i * d + k] = x;
+                    }
+                }
+            }
+        }
+        let v = Array::from_vec(vec![b, d], out);
+        let rg = self.rg(a);
+        self.push(v, Op::MaxAxis1(a), rg)
+    }
+
+    /// Embedding lookup: rows of a 2-D `table` selected by `indices`, shaped
+    /// `batch_shape + [d]`.
+    pub fn gather(&mut self, table: Var, indices: &[usize], batch_shape: &[usize]) -> Var {
+        let t = self.value(table);
+        assert_eq!(t.ndim(), 2, "gather: table must be 2-D");
+        let rows: usize = batch_shape.iter().product();
+        assert_eq!(rows, indices.len(), "gather: batch shape {batch_shape:?} vs {} indices", indices.len());
+        let d = t.shape()[1];
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            assert!(i < t.shape()[0], "gather: index {i} out of {} rows", t.shape()[0]);
+            data.extend_from_slice(&t.data()[i * d..(i + 1) * d]);
+        }
+        let mut out_shape = batch_shape.to_vec();
+        out_shape.push(d);
+        let v = Array::from_vec(out_shape.clone(), data);
+        let rg = self.rg(table);
+        self.push(v, Op::Gather { table, indices: Arc::new(indices.to_vec()), out_shape }, rg)
+    }
+
+    /// Per-row lookup along the last dimension:
+    /// `v: [..., K]`, `idx: flat [rows * m_out]` → `out: [..., m_out]`.
+    pub fn gather_last(&mut self, v: Var, idx: Arc<Vec<usize>>, m_out: usize) -> Var {
+        let val = self.value(v);
+        let k = *val.shape().last().expect("gather_last: scalar input");
+        let rows = val.len() / k;
+        assert_eq!(idx.len(), rows * m_out, "gather_last: index count mismatch");
+        let mut data = Vec::with_capacity(rows * m_out);
+        for r in 0..rows {
+            for m in 0..m_out {
+                let j = idx[r * m_out + m];
+                assert!(j < k, "gather_last: index {j} out of last dim {k}");
+                data.push(val.data()[r * k + j]);
+            }
+        }
+        let mut shape = val.shape().to_vec();
+        *shape.last_mut().unwrap() = m_out;
+        let out = Array::from_vec(shape, data);
+        let rg = self.rg(v);
+        self.push(out, Op::GatherLast { v, idx, m_out }, rg)
+    }
+
+    /// Per-row scatter-add along the last dimension (dual of `gather_last`):
+    /// `a: [..., M]`, `idx: flat [rows * M]` → `out: [..., k_out]` where
+    /// `out[r, idx[r,m]] += a[r, m]`.
+    pub fn scatter_add_last(&mut self, a: Var, idx: Arc<Vec<usize>>, k_out: usize) -> Var {
+        let val = self.value(a);
+        let m = *val.shape().last().expect("scatter_add_last: scalar input");
+        let rows = val.len() / m;
+        assert_eq!(idx.len(), rows * m, "scatter_add_last: index count mismatch");
+        let mut data = vec![0.0f32; rows * k_out];
+        for r in 0..rows {
+            for j in 0..m {
+                let k = idx[r * m + j];
+                assert!(k < k_out, "scatter_add_last: index {k} out of {k_out}");
+                data[r * k_out + k] += val.data()[r * m + j];
+            }
+        }
+        let mut shape = val.shape().to_vec();
+        *shape.last_mut().unwrap() = k_out;
+        let out = Array::from_vec(shape, data);
+        let rg = self.rg(a);
+        self.push(out, Op::ScatterAddLast { a, idx, k_out }, rg)
+    }
+
+    /// Concatenates along the last dimension.
+    pub fn concat_last(&mut self, parts: &[Var]) -> Var {
+        let arrays: Vec<&Array> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Array::concat_last(&arrays);
+        let rg = parts.iter().any(|&p| self.rg(p));
+        self.push(v, Op::ConcatLast(parts.to_vec()), rg)
+    }
+
+    /// Slices the last dimension.
+    pub fn slice_last(&mut self, v: Var, start: usize, len: usize) -> Var {
+        let val = self.value(v).slice_last(start, len);
+        let rg = self.rg(v);
+        self.push(val, Op::SliceLast { v, start, len }, rg)
+    }
+
+    /// Reinterprets the shape.
+    pub fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var {
+        let val = self.value(v).reshape(shape.clone());
+        let rg = self.rg(v);
+        self.push(val, Op::Reshape(v, shape), rg)
+    }
+
+    /// Layer normalization over the last dimension (Eq 9 of the paper).
+    pub fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let w = *xv.shape().last().expect("layer_norm: scalar input");
+        let (xhat, _, _) = layer_norm_forward(xv, eps);
+        let scaled = xhat.mul(self.value(alpha)).add(self.value(beta));
+        assert_eq!(self.value(alpha).shape(), &[w], "layer_norm: alpha must be [width]");
+        assert_eq!(self.value(beta).shape(), &[w], "layer_norm: beta must be [width]");
+        let rg = self.rg(x) || self.rg(alpha) || self.rg(beta);
+        self.push(scaled, Op::LayerNorm { x, alpha, beta, eps }, rg)
+    }
+
+    /// Elementwise product with a constant array (masking, dropout).
+    pub fn mul_const(&mut self, a: Var, c: Array) -> Var {
+        let v = self.value(a).mul(&c);
+        let rg = self.rg(a);
+        self.push(v, Op::MulConst(a, c), rg)
+    }
+
+    /// Elementwise sum with a constant array (attention masks, biases).
+    pub fn add_const(&mut self, a: Var, c: Array) -> Var {
+        let v = self.value(a).add(&c);
+        let rg = self.rg(a);
+        self.push(v, Op::AddConst(a, c), rg)
+    }
+
+    /// Inverted dropout: at train time multiplies by a Bernoulli mask scaled by
+    /// `1/keep`; at eval time is the identity.
+    pub fn dropout<R: Rng>(&mut self, a: Var, rate: f32, training: bool, rng: &mut R) -> Var {
+        if !training || rate <= 0.0 {
+            return a;
+        }
+        assert!(rate < 1.0, "dropout rate must be < 1");
+        let keep = 1.0 - rate;
+        let shape = self.value(a).shape().to_vec();
+        let n: usize = shape.iter().product();
+        let mask: Vec<f32> =
+            (0..n).map(|_| if rng.gen_range(0.0..1.0f32) < keep { 1.0 / keep } else { 0.0 }).collect();
+        self.mul_const(a, Array::from_vec(shape, mask))
+    }
+
+    /// Stacks `k` arrays of shape `[b,d]` into `[b,k,d]`.
+    pub fn stack_axis1(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "stack_axis1: no inputs");
+        let first = self.value(parts[0]).shape().to_vec();
+        assert_eq!(first.len(), 2, "stack_axis1: parts must be 2-D");
+        let (b, d) = (first[0], first[1]);
+        let k = parts.len();
+        let mut data = vec![0.0f32; b * k * d];
+        for (j, &p) in parts.iter().enumerate() {
+            let pv = self.value(p);
+            assert_eq!(pv.shape(), &[b, d], "stack_axis1: shape mismatch");
+            for i in 0..b {
+                data[(i * k + j) * d..(i * k + j + 1) * d]
+                    .copy_from_slice(&pv.data()[i * d..(i + 1) * d]);
+            }
+        }
+        let v = Array::from_vec(vec![b, k, d], data);
+        let rg = parts.iter().any(|&p| self.rg(p));
+        self.push(v, Op::StackAxis1(parts.to_vec()), rg)
+    }
+
+    /// Extracts time step `idx`: `[b,n,d] -> [b,d]`.
+    pub fn slice_axis1(&mut self, v: Var, idx: usize) -> Var {
+        let val = self.value(v);
+        assert_eq!(val.ndim(), 3, "slice_axis1: input must be 3-D");
+        let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
+        assert!(idx < n, "slice_axis1: step {idx} out of {n}");
+        let mut data = Vec::with_capacity(b * d);
+        for i in 0..b {
+            data.extend_from_slice(&val.data()[(i * n + idx) * d..(i * n + idx + 1) * d]);
+        }
+        let out = Array::from_vec(vec![b, d], data);
+        let rg = self.rg(v);
+        self.push(out, Op::SliceAxis1 { v, idx }, rg)
+    }
+
+    /// Sliding-window unfold over axis 1: `[b,n,d] -> [b, n-w+1, w*d]`.
+    pub fn unfold1(&mut self, v: Var, width: usize) -> Var {
+        let val = self.value(v);
+        assert_eq!(val.ndim(), 3, "unfold1: input must be 3-D");
+        let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
+        assert!(width >= 1 && width <= n, "unfold1: width {width} out of 1..={n}");
+        let windows = n - width + 1;
+        let mut data = Vec::with_capacity(b * windows * width * d);
+        for i in 0..b {
+            for s in 0..windows {
+                data.extend_from_slice(&val.data()[(i * n + s) * d..(i * n + s + width) * d]);
+            }
+        }
+        let out = Array::from_vec(vec![b, windows, width * d], data);
+        let rg = self.rg(v);
+        self.push(out, Op::Unfold1 { v, width }, rg)
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from scalar node `root`.
+    ///
+    /// Gradients accumulate into every `requires_grad` node reachable from
+    /// `root`; read them with [`Graph::grad`].
+    ///
+    /// # Panics
+    /// Panics when `root` is not a scalar.
+    pub fn backward(&mut self, root: Var) {
+        assert_eq!(self.nodes[root.0].value.len(), 1, "backward: root must be scalar");
+        self.accumulate(root, Array::scalar(1.0));
+        for i in (0..=root.0).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let Some(g) = self.nodes[i].grad.clone() else { continue };
+            let op = self.nodes[i].op.clone();
+            self.backprop_op(i, &op, &g);
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, g: Array) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        let slot = &mut self.nodes[v.0].grad;
+        match slot {
+            Some(existing) => existing.axpy(1.0, &g),
+            None => *slot = Some(g),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn backprop_op(&mut self, node: usize, op: &Op, g: &Array) {
+        match op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                let ga = g.reduce_to_shape(self.value(*a).shape());
+                let gb = g.reduce_to_shape(self.value(*b).shape());
+                self.accumulate(*a, ga);
+                self.accumulate(*b, gb);
+            }
+            Op::Sub(a, b) => {
+                let ga = g.reduce_to_shape(self.value(*a).shape());
+                let gb = g.reduce_to_shape(self.value(*b).shape()).scale(-1.0);
+                self.accumulate(*a, ga);
+                self.accumulate(*b, gb);
+            }
+            Op::Mul(a, b) => {
+                let av = self.value(*a).clone();
+                let bv = self.value(*b).clone();
+                let ga = g.mul(&bv).reduce_to_shape(av.shape());
+                let gb = g.mul(&av).reduce_to_shape(bv.shape());
+                self.accumulate(*a, ga);
+                self.accumulate(*b, gb);
+            }
+            Op::Scale(a, c) => self.accumulate(*a, g.scale(*c)),
+            Op::AddScalar(a, _) => self.accumulate(*a, g.clone()),
+            Op::Neg(a) => self.accumulate(*a, g.scale(-1.0)),
+            Op::Linear { x, w, b } => {
+                let xv = self.value(*x).clone();
+                let wv = self.value(*w).clone();
+                let k = *xv.shape().last().unwrap();
+                let f = wv.shape()[1];
+                let rows = xv.len() / k;
+                if self.rg(*x) {
+                    let gx = g.matmul_last(&wv.transpose_last2());
+                    self.accumulate(*x, gx);
+                }
+                if self.rg(*w) {
+                    let x2 = xv.reshape(vec![rows, k]);
+                    let g2 = g.reshape(vec![rows, f]);
+                    let gw = x2.transpose_last2().matmul(&g2);
+                    self.accumulate(*w, gw);
+                }
+                if let Some(b) = b {
+                    if self.rg(*b) {
+                        let gb = g.reduce_to_shape(self.value(*b).shape());
+                        self.accumulate(*b, gb);
+                    }
+                }
+            }
+            Op::Bmm(a, b) => {
+                let av = self.value(*a).clone();
+                let bv = self.value(*b).clone();
+                if self.rg(*a) {
+                    let ga = g.bmm(&bv.transpose_last2());
+                    self.accumulate(*a, ga);
+                }
+                if self.rg(*b) {
+                    let gb = av.transpose_last2().bmm(g);
+                    self.accumulate(*b, gb);
+                }
+            }
+            Op::TransposeLast2(a) => self.accumulate(*a, g.transpose_last2()),
+            Op::Relu(a) => {
+                let av = self.value(*a).clone();
+                let ga = g.zip_broadcast(&av, |gy, x| if x > 0.0 { gy } else { 0.0 });
+                self.accumulate(*a, ga);
+            }
+            Op::Sigmoid(a) => {
+                let yv = self.nodes[node].value.clone();
+                let ga = g.zip_broadcast(&yv, |gy, s| gy * s * (1.0 - s));
+                self.accumulate(*a, ga);
+            }
+            Op::Tanh(a) => {
+                let yv = self.nodes[node].value.clone();
+                let ga = g.zip_broadcast(&yv, |gy, t| gy * (1.0 - t * t));
+                self.accumulate(*a, ga);
+            }
+            Op::Exp(a) => {
+                let yv = self.nodes[node].value.clone();
+                let ga = g.mul(&yv);
+                self.accumulate(*a, ga);
+            }
+            Op::Log(a) => {
+                let av = self.value(*a).clone();
+                let ga = g.zip_broadcast(&av, |gy, x| gy / x);
+                self.accumulate(*a, ga);
+            }
+            Op::Softplus(a) => {
+                let av = self.value(*a).clone();
+                let ga = g.zip_broadcast(&av, |gy, x| gy * stable_sigmoid(x));
+                self.accumulate(*a, ga);
+            }
+            Op::SoftmaxLast(a) => {
+                let y = self.nodes[node].value.clone();
+                let w = *y.shape().last().unwrap();
+                let rows = y.len() / w;
+                let mut ga = vec![0.0f32; y.len()];
+                for r in 0..rows {
+                    let yr = &y.data()[r * w..(r + 1) * w];
+                    let gr = &g.data()[r * w..(r + 1) * w];
+                    let dot: f32 = yr.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
+                    for j in 0..w {
+                        ga[r * w + j] = yr[j] * (gr[j] - dot);
+                    }
+                }
+                self.accumulate(*a, Array::from_vec(y.shape().to_vec(), ga));
+            }
+            Op::SumAll(a) => {
+                let shape = self.value(*a).shape().to_vec();
+                self.accumulate(*a, Array::full(shape, g.item()));
+            }
+            Op::MeanAll(a) => {
+                let shape = self.value(*a).shape().to_vec();
+                let n: usize = shape.iter().product();
+                self.accumulate(*a, Array::full(shape, g.item() / n as f32));
+            }
+            Op::SumLast(a) => {
+                let shape = self.value(*a).shape().to_vec();
+                let w = *shape.last().unwrap();
+                let mut ga = Vec::with_capacity(g.len() * w);
+                for &gv in g.data() {
+                    ga.extend(std::iter::repeat_n(gv, w));
+                }
+                self.accumulate(*a, Array::from_vec(shape, ga));
+            }
+            Op::SumAxis1(a) => {
+                let shape = self.value(*a).shape().to_vec();
+                let (b, n, d) = (shape[0], shape[1], shape[2]);
+                let mut ga = vec![0.0f32; b * n * d];
+                for i in 0..b {
+                    for j in 0..n {
+                        ga[(i * n + j) * d..(i * n + j + 1) * d]
+                            .copy_from_slice(&g.data()[i * d..(i + 1) * d]);
+                    }
+                }
+                self.accumulate(*a, Array::from_vec(shape, ga));
+            }
+            Op::MaxAxis1(a) => {
+                let av = self.value(*a).clone();
+                let (b, n, d) = (av.shape()[0], av.shape()[1], av.shape()[2]);
+                let mut ga = vec![0.0f32; b * n * d];
+                for i in 0..b {
+                    for k in 0..d {
+                        // Recompute the argmax; first maximum wins.
+                        let mut best = 0usize;
+                        let mut best_v = f32::NEG_INFINITY;
+                        for j in 0..n {
+                            let x = av.data()[(i * n + j) * d + k];
+                            if x > best_v {
+                                best_v = x;
+                                best = j;
+                            }
+                        }
+                        ga[(i * n + best) * d + k] = g.data()[i * d + k];
+                    }
+                }
+                self.accumulate(*a, Array::from_vec(av.shape().to_vec(), ga));
+            }
+            Op::Gather { table, indices, .. } => {
+                let tshape = self.value(*table).shape().to_vec();
+                let d = tshape[1];
+                let mut gt = Array::zeros(tshape);
+                {
+                    let dst = gt.data_mut();
+                    for (row, &i) in indices.iter().enumerate() {
+                        let src = &g.data()[row * d..(row + 1) * d];
+                        for (o, &x) in dst[i * d..(i + 1) * d].iter_mut().zip(src) {
+                            *o += x;
+                        }
+                    }
+                }
+                self.accumulate(*table, gt);
+            }
+            Op::GatherLast { v, idx, m_out } => {
+                let vshape = self.value(*v).shape().to_vec();
+                let k = *vshape.last().unwrap();
+                let rows = idx.len() / m_out;
+                let mut gv = vec![0.0f32; rows * k];
+                for r in 0..rows {
+                    for m in 0..*m_out {
+                        gv[r * k + idx[r * m_out + m]] += g.data()[r * m_out + m];
+                    }
+                }
+                self.accumulate(*v, Array::from_vec(vshape, gv));
+            }
+            Op::ScatterAddLast { a, idx, k_out } => {
+                let ashape = self.value(*a).shape().to_vec();
+                let m = *ashape.last().unwrap();
+                let rows = idx.len() / m;
+                let mut ga = vec![0.0f32; rows * m];
+                for r in 0..rows {
+                    for j in 0..m {
+                        ga[r * m + j] = g.data()[r * k_out + idx[r * m + j]];
+                    }
+                }
+                self.accumulate(*a, Array::from_vec(ashape, ga));
+            }
+            Op::ConcatLast(parts) => {
+                let mut start = 0usize;
+                for &p in parts {
+                    let w = *self.value(p).shape().last().unwrap();
+                    let gp = g.slice_last(start, w);
+                    self.accumulate(p, gp);
+                    start += w;
+                }
+            }
+            Op::SliceLast { v, start, len } => {
+                let vshape = self.value(*v).shape().to_vec();
+                let w = *vshape.last().unwrap();
+                let rows = g.len() / len;
+                let mut gv = vec![0.0f32; rows * w];
+                for r in 0..rows {
+                    gv[r * w + start..r * w + start + len]
+                        .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
+                }
+                self.accumulate(*v, Array::from_vec(vshape, gv));
+            }
+            Op::Reshape(a, _) => {
+                let shape = self.value(*a).shape().to_vec();
+                self.accumulate(*a, g.reshape(shape));
+            }
+            Op::LayerNorm { x, alpha, beta, eps } => {
+                let xv = self.value(*x).clone();
+                let av = self.value(*alpha).clone();
+                let (xhat, _mu, inv_std) = layer_norm_forward(&xv, *eps);
+                let w = *xv.shape().last().unwrap();
+                let rows = xv.len() / w;
+                if self.rg(*alpha) {
+                    let galpha = g.mul(&xhat).reduce_to_shape(&[w]);
+                    self.accumulate(*alpha, galpha);
+                }
+                if self.rg(*beta) {
+                    let gbeta = g.reduce_to_shape(&[w]);
+                    self.accumulate(*beta, gbeta);
+                }
+                if self.rg(*x) {
+                    let dxhat = g.mul(&av);
+                    let mut gx = vec![0.0f32; xv.len()];
+                    for r in 0..rows {
+                        let dxr = &dxhat.data()[r * w..(r + 1) * w];
+                        let xhr = &xhat.data()[r * w..(r + 1) * w];
+                        let mean_dx: f32 = dxr.iter().sum::<f32>() / w as f32;
+                        let mean_dx_xhat: f32 =
+                            dxr.iter().zip(xhr).map(|(&a, &b)| a * b).sum::<f32>() / w as f32;
+                        for j in 0..w {
+                            gx[r * w + j] =
+                                inv_std[r] * (dxr[j] - mean_dx - xhr[j] * mean_dx_xhat);
+                        }
+                    }
+                    self.accumulate(*x, Array::from_vec(xv.shape().to_vec(), gx));
+                }
+            }
+            Op::MulConst(a, c) => {
+                let ga = g.mul(c).reduce_to_shape(self.value(*a).shape());
+                self.accumulate(*a, ga);
+            }
+            Op::AddConst(a, _) => {
+                let ga = g.reduce_to_shape(self.value(*a).shape());
+                self.accumulate(*a, ga);
+            }
+            Op::StackAxis1(parts) => {
+                let k = parts.len();
+                let gshape = g.shape();
+                let (b, d) = (gshape[0], gshape[2]);
+                for (j, &p) in parts.iter().enumerate() {
+                    let mut gp = Vec::with_capacity(b * d);
+                    for i in 0..b {
+                        gp.extend_from_slice(&g.data()[(i * k + j) * d..(i * k + j + 1) * d]);
+                    }
+                    self.accumulate(p, Array::from_vec(vec![b, d], gp));
+                }
+            }
+            Op::SliceAxis1 { v, idx } => {
+                let vshape = self.value(*v).shape().to_vec();
+                let (b, n, d) = (vshape[0], vshape[1], vshape[2]);
+                let mut gv = vec![0.0f32; b * n * d];
+                for i in 0..b {
+                    gv[(i * n + idx) * d..(i * n + idx + 1) * d]
+                        .copy_from_slice(&g.data()[i * d..(i + 1) * d]);
+                }
+                self.accumulate(*v, Array::from_vec(vshape, gv));
+            }
+            Op::Unfold1 { v, width } => {
+                let vshape = self.value(*v).shape().to_vec();
+                let (b, n, d) = (vshape[0], vshape[1], vshape[2]);
+                let windows = n - width + 1;
+                let mut gv = vec![0.0f32; b * n * d];
+                for i in 0..b {
+                    for s in 0..windows {
+                        let src = &g.data()[(i * windows + s) * width * d..(i * windows + s + 1) * width * d];
+                        for (o, &x) in gv[(i * n + s) * d..(i * n + s + width) * d].iter_mut().zip(src) {
+                            *o += x;
+                        }
+                    }
+                }
+                self.accumulate(*v, Array::from_vec(vshape, gv));
+            }
+        }
+    }
+}
+
+#[inline]
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Shared layer-norm forward: returns `(xhat, mu, inv_std)` per last-dim row.
+fn layer_norm_forward(x: &Array, eps: f32) -> (Array, Vec<f32>, Vec<f32>) {
+    let w = *x.shape().last().expect("layer_norm: scalar input");
+    let rows = x.len() / w;
+    let mut xhat = vec![0.0f32; x.len()];
+    let mut mus = Vec::with_capacity(rows);
+    let mut inv_stds = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &x.data()[r * w..(r + 1) * w];
+        let mu: f32 = row.iter().sum::<f32>() / w as f32;
+        let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / w as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for j in 0..w {
+            xhat[r * w + j] = (row[j] - mu) * inv_std;
+        }
+        mus.push(mu);
+        inv_stds.push(inv_std);
+    }
+    (Array::from_vec(x.shape().to_vec(), xhat), mus, inv_stds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_eager() {
+        let mut g = Graph::new();
+        let a = g.leaf(Array::from_vec(vec![2], vec![1., 2.]), true);
+        let b = g.leaf(Array::from_vec(vec![2], vec![3., 4.]), true);
+        let c = g.add(a, b);
+        assert_eq!(g.value(c).data(), &[4., 6.]);
+    }
+
+    #[test]
+    fn backward_add_mul() {
+        let mut g = Graph::new();
+        let a = g.leaf(Array::from_vec(vec![2], vec![1., 2.]), true);
+        let b = g.leaf(Array::from_vec(vec![2], vec![3., 4.]), true);
+        let c = g.mul(a, b);
+        let s = g.sum_all(c);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[3., 4.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1., 2.]);
+    }
+
+    #[test]
+    fn backward_matmul() {
+        let mut g = Graph::new();
+        let a = g.leaf(Array::from_vec(vec![1, 2], vec![1., 2.]), true);
+        let b = g.leaf(Array::from_vec(vec![2, 1], vec![3., 4.]), true);
+        let c = g.matmul(a, b);
+        let s = g.sum_all(c);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[3., 4.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1., 2.]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_shared_node() {
+        let mut g = Graph::new();
+        let a = g.leaf(Array::scalar(3.0), true);
+        let b = g.mul(a, a); // a^2 ; d/da = 2a = 6
+        let s = g.sum_all(b);
+        g.backward(s);
+        assert!((g.grad(a).unwrap().item() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_grad_for_constants() {
+        let mut g = Graph::new();
+        let a = g.constant(Array::scalar(3.0));
+        let b = g.leaf(Array::scalar(2.0), true);
+        let c = g.mul(a, b);
+        let s = g.sum_all(c);
+        g.backward(s);
+        assert!(g.grad(a).is_none());
+        assert!((g.grad(b).unwrap().item() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut g = Graph::new();
+        let a = g.leaf(Array::ones(vec![4]), true);
+        let d = g.dropout(a, 0.5, false, &mut rng);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn gather_and_backward() {
+        let mut g = Graph::new();
+        let table = g.leaf(Array::from_vec(vec![3, 2], vec![1., 2., 3., 4., 5., 6.]), true);
+        let e = g.gather(table, &[2, 0, 2], &[3]);
+        assert_eq!(g.value(e).data(), &[5., 6., 1., 2., 5., 6.]);
+        let s = g.sum_all(e);
+        g.backward(s);
+        assert_eq!(g.grad(table).unwrap().data(), &[1., 1., 0., 0., 2., 2.]);
+    }
+
+    #[test]
+    fn unfold_shapes() {
+        let mut g = Graph::new();
+        let v = g.leaf(Array::from_vec(vec![1, 3, 2], vec![1., 2., 3., 4., 5., 6.]), true);
+        let u = g.unfold1(v, 2);
+        assert_eq!(g.value(u).shape(), &[1, 2, 4]);
+        assert_eq!(g.value(u).data(), &[1., 2., 3., 4., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn softmax_backward_rowwise() {
+        // For y = softmax(x), sum(y) is constant 1 so grad of sum wrt x is 0.
+        let mut g = Graph::new();
+        let x = g.leaf(Array::from_vec(vec![1, 3], vec![0.3, -1.2, 2.0]), true);
+        let y = g.softmax_last(x);
+        let s = g.sum_all(y);
+        g.backward(s);
+        for &v in g.grad(x).unwrap().data() {
+            assert!(v.abs() < 1e-6, "grad {v}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Parameter initialization schemes.
+
+use rand::Rng;
+
+use crate::Array;
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Array {
+    let bound = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    Array::uniform(vec![fan_in, fan_out], -bound, bound, rng)
+}
+
+/// Gaussian initialization with the given standard deviation.
+pub fn normal_init<R: Rng>(shape: Vec<usize>, std: f32, rng: &mut R) -> Array {
+    Array::randn(shape, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = xavier_uniform(100, 50, &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= bound));
+        assert_eq!(w.shape(), &[100, 50]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Bringing your own check-in data: build a `Dataset` by hand (here, a small
+//! hand-crafted trace), run it through the standard pipeline, and train a
+//! model — the integration path a downstream user of this library follows.
+//!
+//! ```text
+//! cargo run --example custom_dataset --release
+//! ```
+
+use stisan::core::{StiSan, StisanConfig};
+use stisan::data::{preprocess, CheckIn, Dataset, Poi, PrepConfig};
+use stisan::eval::{build_candidates, evaluate};
+use stisan::geo::GeoPoint;
+use stisan::models::TrainConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- 1. Your data: POIs with GPS coordinates --------------------------
+    // A toy downtown: a 12x12 grid of venues ~400 m apart.
+    let mut pois = Vec::new();
+    for r in 0..12u32 {
+        for c in 0..12u32 {
+            pois.push(Poi {
+                id: r * 12 + c,
+                loc: GeoPoint::new(43.88 + r as f64 * 0.004, 125.35 + c as f64 * 0.004),
+            });
+        }
+    }
+
+    // --- 2. Your data: per-user chronological check-ins -------------------
+    // 60 synthetic "users" alternating between a home area and a work area,
+    // with occasional lunch spots — enough structure to learn from.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut users = Vec::new();
+    for _ in 0..60 {
+        let home = rng.gen_range(0..pois.len() / 2) as u32;
+        let work = rng.gen_range(pois.len() / 2..pois.len()) as u32;
+        let mut t = rng.gen_range(0.0..86_400.0 * 30.0);
+        let mut seq = Vec::new();
+        for day in 0..20 {
+            let _ = day;
+            seq.push(CheckIn { poi: home, time: t });
+            t += 9.0 * 3600.0 + rng.gen_range(-1800.0..1800.0);
+            seq.push(CheckIn { poi: work, time: t });
+            if rng.gen_bool(0.4) {
+                t += 3.0 * 3600.0;
+                let lunch = (work + rng.gen_range(1..4)) % pois.len() as u32;
+                seq.push(CheckIn { poi: lunch, time: t });
+            }
+            t += 10.0 * 3600.0 + rng.gen_range(0.0..7200.0);
+        }
+        users.push(seq);
+    }
+    let dataset = Dataset { name: "my-city".into(), pois, users };
+    assert!(dataset.is_chronological());
+
+    // --- 3. The standard pipeline -----------------------------------------
+    let data = preprocess(
+        &dataset,
+        &PrepConfig { max_len: 24, min_user_checkins: 10, min_poi_interactions: 3 },
+    );
+    println!(
+        "processed: {} users, {} POIs, {} check-ins, {} eval targets",
+        data.num_users,
+        data.num_pois,
+        data.checkins,
+        data.eval.len()
+    );
+
+    let mut model = StiSan::new(
+        &data,
+        StisanConfig {
+            train: TrainConfig { dim: 32, blocks: 2, epochs: 4, negatives: 10, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    model.fit(&data);
+
+    let candidates = build_candidates(&data, 50);
+    let metrics = evaluate(&model, &data, &candidates);
+    println!("\nSTiSAN on your data:  HR@5 {:.3}  NDCG@5 {:.3}  HR@10 {:.3}  NDCG@10 {:.3}",
+        metrics.hr5, metrics.ndcg5, metrics.hr10, metrics.ndcg10);
+    println!("(commuting traces are highly regular, so metrics should be well above random)");
+}

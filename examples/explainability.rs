@@ -1,0 +1,69 @@
+//! Explainability walk-through (the paper's Figs 5 & 7): train STiSAN on a
+//! Weeplaces-like dataset, pick the user with the longest history, and dump
+//! the interpretable internals — TAPE positions, inter-check-in intervals,
+//! geography intervals to the target, and the attention profile that IAAB
+//! produces over the history.
+//!
+//! ```text
+//! cargo run --example explainability --release
+//! ```
+
+use stisan::core::{StiSan, StisanConfig};
+use stisan::data::{generate, preprocess, DatasetPreset, PrepConfig};
+use stisan::models::TrainConfig;
+
+fn main() {
+    let raw = generate(&DatasetPreset::Weeplaces.config(0.03), 11);
+    let data = preprocess(
+        &raw,
+        &PrepConfig { max_len: 24, min_user_checkins: 20, min_poi_interactions: 3 },
+    );
+    println!("dataset: {} users / {} POIs", data.num_users, data.num_pois);
+
+    let mut model = StiSan::new(
+        &data,
+        StisanConfig {
+            train: TrainConfig { dim: 32, blocks: 2, epochs: 3, negatives: 10, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    model.fit(&data);
+
+    // The user with the longest and most varied real history.
+    let inst = data
+        .eval
+        .iter()
+        .max_by_key(|e| {
+            let distinct: std::collections::HashSet<u32> =
+                e.poi[e.valid_from..].iter().copied().collect();
+            (data.max_len - e.valid_from) * distinct.len()
+        })
+        .expect("no eval data");
+    let ins = model.inspect(&data, inst);
+    let vf = ins.valid_from;
+    println!("\nuser {} — {} real check-ins, target POI {}", inst.user, ins.n - vf, inst.target);
+
+    println!("\npos | POI   | Δt (h)  | TAPE pos | km to target | attention");
+    println!("{}", "-".repeat(66));
+    let profile = ins.mean_attention_per_key();
+    let max_att = profile.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+    for i in vf..ins.n {
+        println!(
+            "{:>3} | {:>5} | {:>7.1} | {:>8.2} | {:>12.2} | {:>7.4} {}",
+            i - vf,
+            inst.poi[i],
+            ins.dt_hours[i],
+            ins.tape_positions[i],
+            ins.dd_to_target_km[i],
+            profile[i],
+            "#".repeat(((profile[i] / max_att) * 20.0).round() as usize)
+        );
+    }
+
+    println!("\nhow to read this (paper Section IV-E):");
+    println!("* TAPE positions stretch where Δt is large — temporally-distant check-ins are");
+    println!("  pushed apart so the attention can tell them apart;");
+    println!("* the attention column should lean toward rows with a small 'km to target' —");
+    println!("  IAAB's relation bias re-weights the history by spatial proximity, which is");
+    println!("  exactly the explanation the recommendation comes with.");
+}

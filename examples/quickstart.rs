@@ -1,0 +1,52 @@
+//! Quickstart: generate a small LBSN dataset, train STiSAN, and print the
+//! paper's headline metrics next to a SASRec baseline.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use stisan::core::{StiSan, StisanConfig};
+use stisan::data::{generate, preprocess, DatasetPreset, PrepConfig};
+use stisan::eval::{build_candidates, evaluate};
+use stisan::models::{AttentionMode, PositionMode, SasRec, TrainConfig};
+
+fn main() {
+    // 1. Data: a Gowalla-like synthetic dataset at 1% of the paper's scale.
+    //    (Swap in your own check-in data by constructing `stisan::data::Dataset`.)
+    let raw = generate(&DatasetPreset::Gowalla.config(0.01), 42);
+    let data = preprocess(
+        &raw,
+        &PrepConfig { max_len: 32, min_user_checkins: 20, min_poi_interactions: 3 },
+    );
+    let stats = data.stats();
+    println!(
+        "dataset: {} users, {} POIs, {} check-ins (sparsity {:.2}%)",
+        stats.users,
+        stats.pois,
+        stats.checkins,
+        stats.sparsity * 100.0
+    );
+
+    // 2. Evaluation protocol: rank each user's held-out target against its
+    //    100 nearest previously-unvisited POIs.
+    let candidates = build_candidates(&data, 100);
+
+    // 3. A SASRec baseline...
+    let train = TrainConfig { dim: 32, blocks: 2, epochs: 3, verbose: true, ..Default::default() };
+    let mut sasrec = SasRec::new(&data, train.clone(), PositionMode::Vanilla, AttentionMode::Plain);
+    sasrec.fit(&data);
+    let base = evaluate(&sasrec, &data, &candidates);
+
+    // 4. ...vs STiSAN (TAPE + IAAB + TAAD, weighted-BCE with KNN negatives).
+    let mut stisan = StiSan::new(
+        &data,
+        StisanConfig { train: TrainConfig { negatives: 15, ..train }, ..Default::default() },
+    );
+    stisan.fit(&data);
+    println!("STiSAN parameters: {}", stisan.num_parameters());
+    let ours = evaluate(&stisan, &data, &candidates);
+
+    println!("\n              HR@5    NDCG@5  HR@10   NDCG@10");
+    println!("SASRec        {}", base.row());
+    println!("STiSAN        {}", ours.row());
+}

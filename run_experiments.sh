@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper. Outputs land in results/.
+set -u
+cd "$(dirname "$0")"
+BIN=./target/release
+run() { local name="$1"; shift; echo "=== $name ==="; "$@" 2>&1 | tee "results/$name.txt"; }
+run table2 $BIN/table2
+run fig2   $BIN/fig2
+run table6 $BIN/table6
+run table3 $BIN/table3
+run table4 $BIN/table4 --epochs 12
+run fig4   $BIN/fig4 --epochs 12
+run fig5   $BIN/fig5 --epochs 8
+run fig6   $BIN/fig6 --epochs 8
+run fig7   $BIN/fig7 --epochs 8
+run fig9   $BIN/fig9 --epochs 8
+run table5_fig8 $BIN/table5_fig8 --epochs 10
+echo "all experiments complete"

@@ -1,0 +1,14 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")"
+BIN=./target/release
+run() { local name="$1"; shift; echo "=== $name ==="; "$@" 2>&1 | tee "results/$name.txt"; }
+run table4 $BIN/table4 --epochs 12
+run fig4   $BIN/fig4 --epochs 12
+run fig5   $BIN/fig5 --epochs 8
+run fig6   $BIN/fig6 --epochs 8
+run fig7   $BIN/fig7 --epochs 8
+run fig9   $BIN/fig9 --epochs 8
+run table5_fig8 $BIN/table5_fig8 --epochs 10
+run table3_changchun $BIN/table3 --datasets Changchun --models BPR,SASRec,GeoSAN,STAN,STiSAN
+echo "remaining experiments complete"

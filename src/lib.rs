@@ -1,0 +1,23 @@
+//! # stisan
+//!
+//! Facade crate for the Rust reproduction of *Spatial-Temporal Interval Aware
+//! Sequential POI Recommendation* (ICDE 2022). Re-exports every workspace
+//! crate under one roof:
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autodiff,
+//! * [`nn`] — layers, losses, optimizers,
+//! * [`geo`] — haversine, quadkeys, geography encoder, spatial index,
+//! * [`data`] — synthetic LBSN datasets and preprocessing,
+//! * [`eval`] — HR@k / NDCG@k evaluation protocol,
+//! * [`models`] — the twelve baseline recommenders,
+//! * [`core`] — STiSAN itself (TAPE, IAAB, TAAD).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use stisan_core as core;
+pub use stisan_data as data;
+pub use stisan_eval as eval;
+pub use stisan_geo as geo;
+pub use stisan_models as models;
+pub use stisan_nn as nn;
+pub use stisan_tensor as tensor;
