@@ -7,9 +7,9 @@
 //!     --datasets Gowalla --models SASRec,GeoSAN,STAN,STiSAN --rounds 3
 //! ```
 
-use std::time::Instant;
-
-use stisan_bench::{load, print_metric_header, print_metric_row, train_model, Flags, MODEL_NAMES};
+use stisan_bench::{
+    load, print_metric_header, print_metric_row, timed, train_model, Flags, MODEL_NAMES,
+};
 use stisan_data::DatasetPreset;
 use stisan_eval::{build_candidates, evaluate, MeanVar, Metrics};
 
@@ -20,18 +20,19 @@ fn main() {
         if !flags.wants_dataset(preset.name()) {
             continue;
         }
-        let t0 = Instant::now();
-        let data = load(preset, &flags);
-        let cands = build_candidates(&data, 100);
+        let ((data, cands), prep_s) = timed("prep", || {
+            let data = load(preset, &flags);
+            let cands = build_candidates(&data, 100);
+            (data, cands)
+        });
         let s = data.stats();
         println!(
-            "== {} — {} users, {} POIs, {} check-ins, {} eval instances (prep {:.1?}s)",
+            "== {} — {} users, {} POIs, {} check-ins, {} eval instances (prep {prep_s:.1}s)",
             preset.name(),
             s.users,
             s.pois,
             s.checkins,
             data.eval.len(),
-            t0.elapsed().as_secs_f32()
         );
         print_metric_header("Model");
         let mut best: Option<(String, Metrics)> = None;
@@ -40,25 +41,26 @@ fn main() {
             if !flags.wants_model(name) {
                 continue;
             }
-            let t1 = Instant::now();
-            let mut mv = [MeanVar::new(), MeanVar::new(), MeanVar::new(), MeanVar::new()];
-            for round in 0..flags.rounds.max(1) {
-                let model = train_model(name, &data, preset, &flags, flags.seed + round as u64);
-                let m = evaluate(model.as_ref(), &data, &cands);
-                mv[0].push(m.hr5);
-                mv[1].push(m.ndcg5);
-                mv[2].push(m.hr10);
-                mv[3].push(m.ndcg10);
-            }
-            let m = Metrics {
-                hr5: mv[0].mean(),
-                ndcg5: mv[1].mean(),
-                hr10: mv[2].mean(),
-                ndcg10: mv[3].mean(),
-            };
+            let (m, rounds_s) = timed("train_eval", || {
+                let mut mv = [MeanVar::new(), MeanVar::new(), MeanVar::new(), MeanVar::new()];
+                for round in 0..flags.rounds.max(1) {
+                    let model = train_model(name, &data, preset, &flags, flags.seed + round as u64);
+                    let m = evaluate(model.as_ref(), &data, &cands);
+                    mv[0].push(m.hr5);
+                    mv[1].push(m.ndcg5);
+                    mv[2].push(m.hr10);
+                    mv[3].push(m.ndcg10);
+                }
+                Metrics {
+                    hr5: mv[0].mean(),
+                    ndcg5: mv[1].mean(),
+                    hr10: mv[2].mean(),
+                    ndcg10: mv[3].mean(),
+                }
+            });
             print_metric_row(name, &m);
             if flags.verbose {
-                println!("    ({:.1}s / {} rounds)", t1.elapsed().as_secs_f32(), flags.rounds);
+                println!("    ({rounds_s:.1}s / {} rounds)", flags.rounds);
             }
             if name == "STiSAN" {
                 stisan = Some(m);

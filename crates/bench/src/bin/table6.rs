@@ -6,11 +6,9 @@
 //! cargo run -p stisan-bench --bin table6 --release
 //! ```
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use stisan_bench::Flags;
+use stisan_bench::{timed_reps, Flags};
 use stisan_core::flops::{iaab_flops, iaab_overhead, sa_flops};
 use stisan_data::DatasetPreset;
 use stisan_nn::{attention, causal_mask, ParamStore, Session};
@@ -47,9 +45,8 @@ fn main() {
     let relation = Array::uniform(vec![1, n, n], 0.0, 1.0, &mut rng);
     let reps = 50;
 
-    let timed = |with_relation: bool| -> f64 {
-        let t0 = Instant::now();
-        for _ in 0..reps {
+    let time_attention = |name: &'static str, with_relation: bool| -> f64 {
+        timed_reps(name, reps, || {
             let mut sess = Session::new(&store, false, 0);
             let xv = sess.constant(x.clone());
             let bias = if with_relation { mask.add(&relation) } else { mask.clone() };
@@ -57,12 +54,11 @@ fn main() {
             for _ in 0..layers {
                 let _ = attention(&mut sess, xv, xv, xv, Some(b));
             }
-        }
-        t0.elapsed().as_secs_f64() / reps as f64 * 1e3
+        }) * 1e3
     };
 
-    let t_sa = timed(false);
-    let t_iaab = timed(true);
+    let t_sa = time_attention("attention_sa", false);
+    let t_iaab = time_attention("attention_iaab", true);
     println!("\nmeasured on this machine ({reps} reps, {layers} layers):");
     println!("  SA   attention: {t_sa:.3} ms/sequence");
     println!("  IAAB attention: {t_iaab:.3} ms/sequence  ({:+.2}%)", (t_iaab - t_sa) / t_sa * 100.0);

@@ -74,7 +74,13 @@ impl Default for Flags {
 impl Flags {
     /// Parses `std::env::args()`. Unknown flags abort with a usage message.
     pub fn parse() -> Flags {
-        let mut f = Flags::default();
+        Self::parse_with(Flags::default())
+    }
+
+    /// Parses `std::env::args()` on top of `base` defaults, so a binary can
+    /// ship its own defaults (e.g. `profile_run` trains fewer epochs).
+    pub fn parse_with(base: Flags) -> Flags {
+        let mut f = base;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -135,6 +141,31 @@ impl Flags {
             ..TrainConfig::default()
         }
     }
+}
+
+/// Runs `f` under an obs span named `name` and returns its result together
+/// with the elapsed wall time in seconds.
+///
+/// This is the one timing primitive for the experiment binaries: the span
+/// lands in the metrics registry (as the `span.<name>` histogram) whenever
+/// observability is on, and the returned wall time serves ad-hoc progress
+/// printing either way.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let _span = stisan_obs::span(name);
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Mean wall time in seconds of one repetition of `f` over `reps` runs,
+/// recorded under a single span named `name`.
+pub fn timed_reps(name: &'static str, reps: usize, mut f: impl FnMut()) -> f64 {
+    let (_, secs) = timed(name, || {
+        for _ in 0..reps {
+            f();
+        }
+    });
+    secs / reps.max(1) as f64
 }
 
 /// Per-preset default scale: chosen so each dataset lands at roughly 30k

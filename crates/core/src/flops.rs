@@ -6,15 +6,22 @@
 //! `N · n²` FLOPs (the paper quotes the per-layer `n·d` order; both are
 //! vanishing against the `O(n²·d)` attention terms).
 
+/// Multiply-accumulate FLOPs of the matrix product `[m,k] × [k,n]`: `2mkn`.
+/// This is the reference count for the whole workspace — the autodiff-tape
+/// profiler in `stisan-tensor` uses the same convention, asserted exactly by
+/// the profiler smoke test in `tests/profiler_smoke.rs`.
+pub const fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
 /// FLOPs of one vanilla scaled-dot self-attention layer on an `n × d`
 /// sequence (Q/K/V projections, QKᵀ, scaling, softmax, A·V).
 pub fn sa_layer_flops(n: usize, d: usize) -> u64 {
-    let (n, d) = (n as u64, d as u64);
-    let proj = 3 * 2 * n * d * d; // three d×d matmuls
-    let qkt = 2 * n * n * d;
-    let scale = n * n;
-    let softmax = 5 * n * n; // exp + max + sub + sum + div, ~5 ops/entry
-    let av = 2 * n * n * d;
+    let proj = 3 * matmul_flops(n, d, d); // three d×d matmuls
+    let qkt = matmul_flops(n, d, n);
+    let scale = (n * n) as u64;
+    let softmax = 5 * (n * n) as u64; // exp + max + sub + sum + div, ~5 ops/entry
+    let av = matmul_flops(n, n, d);
     proj + qkt + scale + softmax + av
 }
 
@@ -38,6 +45,12 @@ pub fn iaab_overhead(n: usize, d: usize, layers: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn matmul_flops_is_2mkn() {
+        assert_eq!(matmul_flops(7, 5, 3), 2 * 7 * 5 * 3);
+        assert_eq!(matmul_flops(1, 1, 1), 2);
+    }
 
     #[test]
     fn overhead_is_negligible() {

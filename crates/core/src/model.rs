@@ -1,5 +1,7 @@
 //! The STiSAN model and its Table IV ablation variants.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stisan_data::{
@@ -360,28 +362,67 @@ impl StiSan {
     }
 
     /// Trains with the weighted BCE (Eq 12) over `L` KNN negatives.
+    ///
+    /// Instrumented end-to-end (see DESIGN.md §Observability): spans
+    /// `train/epoch/step/{forward,backward,optim}`, per-epoch loss /
+    /// check-ins-per-second / gradient global-norm via
+    /// `stisan_obs::record_epoch`, and a `train.nonfinite_steps` counter for
+    /// steps skipped by the non-finite guard.
     pub fn fit(&mut self, data: &Processed) {
         let t = self.cfg.train.clone();
+        let _train_span = stisan_obs::span("train");
         let mut rng = StdRng::seed_from_u64(t.seed ^ 0x57AB);
         let sampler = KnnNegativeSampler::build(data, t.neg_pool);
         let mut opt = Adam::new(t.lr);
         let mut batcher = Batcher::new(data.train.len(), t.batch);
         let l = t.negatives.max(1);
         for epoch in 0..t.epochs {
+            let _epoch_span = stisan_obs::span("epoch");
+            let epoch_t0 = Instant::now();
             batcher.shuffle(&mut rng);
             let idx_lists: Vec<Vec<usize>> = batcher.batches().map(|c| c.to_vec()).collect();
             let mut total = 0.0f64;
-            let mut steps = 0usize;
+            let mut grad_norm_total = 0.0f64;
+            let mut finite_steps = 0usize;
+            let mut nonfinite = 0u64;
+            let mut checkins = 0.0f64;
             for idxs in idx_lists {
                 let batch = SeqBatch::from_train(data, &idxs);
                 let negs = batch.sample_negatives(l, |tgt, l| sampler.sample(tgt, l, &mut rng));
-                let loss = self.train_step(data, &batch, &negs, l, &mut opt, epoch);
-                total += loss as f64;
-                steps += 1;
+                let step = self.train_step(data, &batch, &negs, l, &mut opt, epoch);
+                if step.skipped {
+                    nonfinite += 1;
+                    stisan_obs::counter("train.nonfinite_steps", 1);
+                    if nonfinite == 1 {
+                        stisan_obs::warn!(
+                            "[STiSAN] epoch {epoch}: non-finite loss or gradient (loss {}, grad norm {}), skipping optimizer step",
+                            step.loss, step.grad_norm
+                        );
+                    }
+                } else {
+                    total += step.loss as f64;
+                    grad_norm_total += step.grad_norm as f64;
+                    finite_steps += 1;
+                }
+                checkins += batch.step_mask.sum_all() as f64;
+                stisan_obs::counter("train.steps", 1);
             }
-            if t.verbose {
-                println!("  [STiSAN] epoch {epoch}: loss {:.4}", total / steps.max(1) as f64);
-            }
+            let wall_s = epoch_t0.elapsed().as_secs_f64();
+            let loss = total / finite_steps.max(1) as f64;
+            let grad_norm = grad_norm_total / finite_steps.max(1) as f64;
+            let checkins_per_sec = if wall_s > 0.0 { checkins / wall_s } else { 0.0 };
+            stisan_obs::record_epoch(stisan_obs::EpochStats {
+                epoch,
+                loss,
+                checkins_per_sec,
+                grad_norm,
+                nonfinite_steps: nonfinite,
+                wall_s,
+            });
+            stisan_obs::vlog!(
+                t.verbose,
+                "  [STiSAN] epoch {epoch}: loss {loss:.4}"
+            );
         }
     }
 
@@ -393,35 +434,56 @@ impl StiSan {
         l: usize,
         opt: &mut Adam,
         epoch: usize,
-    ) -> f32 {
+    ) -> StepOutcome {
         let t = &self.cfg.train;
+        let _step_span = stisan_obs::span("step");
         let (b, n, d) = (batch.b, batch.n, t.dim);
         let mut sess = Session::new(&self.store, true, t.seed ^ (epoch as u64) << 27);
-        let f = self.encode(&mut sess, data, batch);
-        let cand_ids = interleave_candidates(&batch.tgt, negs, l);
-        let c = self.embed(&mut sess, &cand_ids);
-        let y = if self.cfg.use_taad {
-            let c = sess.g.reshape(c, vec![b, n * (l + 1), d]);
-            let mask = taad_train_mask(b, n, l + 1, &batch.valid_from);
-            let y = taad_scores(&mut sess, f, c, mask);
-            sess.g.reshape(y, vec![b, n, l + 1])
-        } else {
-            // Variant V (Eq 17): match F_i with candidates directly.
-            let c = sess.g.reshape(c, vec![b * n, l + 1, d]);
-            let f2 = sess.g.reshape(f, vec![b * n, 1, d]);
-            let ct = sess.g.transpose_last2(c);
-            let y = sess.g.bmm(f2, ct);
-            sess.g.reshape(y, vec![b, n, l + 1])
+        let loss = {
+            let _span = stisan_obs::span("forward");
+            let f = self.encode(&mut sess, data, batch);
+            let cand_ids = interleave_candidates(&batch.tgt, negs, l);
+            let c = self.embed(&mut sess, &cand_ids);
+            let y = if self.cfg.use_taad {
+                let c = sess.g.reshape(c, vec![b, n * (l + 1), d]);
+                let mask = taad_train_mask(b, n, l + 1, &batch.valid_from);
+                let y = taad_scores(&mut sess, f, c, mask);
+                sess.g.reshape(y, vec![b, n, l + 1])
+            } else {
+                // Variant V (Eq 17): match F_i with candidates directly.
+                let c = sess.g.reshape(c, vec![b * n, l + 1, d]);
+                let f2 = sess.g.reshape(f, vec![b * n, 1, d]);
+                let ct = sess.g.transpose_last2(c);
+                let y = sess.g.bmm(f2, ct);
+                sess.g.reshape(y, vec![b, n, l + 1])
+            };
+            let pos = sess.g.slice_last(y, 0, 1);
+            let pos = sess.g.reshape(pos, vec![b, n]);
+            let neg = sess.g.slice_last(y, 1, l);
+            weighted_bce_loss(&mut sess, pos, neg, t.temperature, &batch.step_mask)
         };
-        let pos = sess.g.slice_last(y, 0, 1);
-        let pos = sess.g.reshape(pos, vec![b, n]);
-        let neg = sess.g.slice_last(y, 1, l);
-        let loss = weighted_bce_loss(&mut sess, pos, neg, t.temperature, &batch.step_mask);
         let loss_val = sess.g.value(loss).item();
         let grads = sess.backward_and_grads(loss);
-        opt.step(&mut self.store, &grads, Some(t.grad_clip));
-        loss_val
+        let grad_norm = grads.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt();
+        // Non-finite guard: a NaN/inf loss or gradient would corrupt every
+        // parameter through Adam's moments; drop the step instead.
+        if !loss_val.is_finite() || !grad_norm.is_finite() {
+            return StepOutcome { loss: loss_val, grad_norm, skipped: true };
+        }
+        {
+            let _span = stisan_obs::span("optim");
+            opt.step(&mut self.store, &grads, Some(t.grad_clip));
+        }
+        StepOutcome { loss: loss_val, grad_norm, skipped: false }
     }
+}
+
+/// Outcome of one optimizer step (see `StiSan::train_step`).
+struct StepOutcome {
+    loss: f32,
+    grad_norm: f32,
+    /// True when the non-finite guard dropped the optimizer step.
+    skipped: bool,
 }
 
 impl Recommender for StiSan {

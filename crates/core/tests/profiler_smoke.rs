@@ -1,0 +1,76 @@
+//! Profiler smoke test: the autodiff-tape profiler's FLOP estimate for a
+//! plain `[m,k] × [k,n]` matmul must match the workspace reference count in
+//! `stisan_core::flops::matmul_flops` exactly (both use the `2mkn`
+//! multiply-accumulate convention).
+
+use std::sync::Arc;
+
+use stisan_core::flops;
+use stisan_nn::{ParamStore, Session};
+use stisan_obs::TapeProfiler;
+use stisan_tensor::Array;
+
+#[test]
+fn matmul_flops_match_analytic_count() {
+    let (m, k, n) = (4usize, 3usize, 2usize);
+    let mut store = ParamStore::new();
+    let a = store.register("a", Array::ones(vec![m, k]));
+    let b = store.register("b", Array::ones(vec![k, n]));
+
+    let mut sess = Session::new(&store, false, 0);
+    let profiler = Arc::new(TapeProfiler::new());
+    sess.g.set_profiler(profiler.clone());
+
+    let va = sess.param(a);
+    let vb = sess.param(b);
+    let y = sess.g.matmul(va, vb);
+    let loss = sess.g.sum_all(y);
+    let grads = sess.backward_and_grads(loss);
+    assert_eq!(grads.len(), 2);
+
+    let rows = profiler.snapshot();
+    // matmul lowers to the `linear` tape op (no bias), so that row carries
+    // the matmul cost.
+    let linear = rows
+        .iter()
+        .find(|r| r.kind == "linear")
+        .expect("matmul should record a `linear` op");
+    assert_eq!(linear.stats.count, 1);
+    assert_eq!(linear.stats.flops, flops::matmul_flops(m, k, n));
+    assert_eq!(linear.stats.backward_count, 1);
+
+    // sum_all reduces m*n elements at 1 FLOP each.
+    let sum = rows.iter().find(|r| r.kind == "sum_all").expect("sum_all row");
+    assert_eq!(sum.stats.flops, (m * n) as u64);
+
+    assert_eq!(profiler.total_flops(), flops::matmul_flops(m, k, n) + (m * n) as u64);
+}
+
+#[test]
+fn end_to_end_fit_populates_profiler_and_epochs() {
+    use stisan_core::{StiSan, StisanConfig};
+    use stisan_data::{generate, preprocess, DatasetPreset, PrepConfig};
+
+    // Global obs context: everything Graph::new() creates auto-attaches.
+    stisan_obs::init();
+    stisan_obs::set_level(stisan_obs::Level::Quiet);
+
+    let dataset = generate(&DatasetPreset::Gowalla.config(0.01), 7);
+    let data = preprocess(&dataset, &PrepConfig::default());
+    let mut cfg = StisanConfig::default();
+    cfg.train.epochs = 1;
+    cfg.train.verbose = false;
+    let mut model = StiSan::new(&data, cfg);
+    model.fit(&data);
+
+    let epochs = stisan_obs::epochs();
+    assert_eq!(epochs.len(), 1);
+    assert!(epochs[0].loss.is_finite());
+    assert!(epochs[0].checkins_per_sec > 0.0);
+
+    let profiler = stisan_obs::tape_profiler().expect("obs initialised");
+    let rows = profiler.snapshot();
+    assert!(!rows.is_empty(), "fit should record tape ops");
+    assert!(rows.iter().any(|r| r.kind == "linear"));
+    assert!(profiler.total_flops() > 0);
+}

@@ -47,6 +47,7 @@ impl KnnNegativeSampler {
     /// Precomputes per-POI neighbour lists from the processed dataset's
     /// spatial index. `pool` is clamped to `num_pois - 1`.
     pub fn build(data: &Processed, pool: usize) -> Self {
+        let _span = stisan_obs::span("knn_build");
         let pool = pool.min(data.num_pois.saturating_sub(1)).max(1);
         let mut neighbors = Vec::with_capacity(data.num_pois + 1);
         neighbors.push(Vec::new()); // padding id 0

@@ -52,7 +52,10 @@ pub fn build_candidates(data: &Processed, num_negatives: usize) -> CandidateSet 
 /// (ties resolve in the target's favour, matching the usual sampled-metric
 /// convention).
 pub fn evaluate(model: &dyn Recommender, data: &Processed, cands: &CandidateSet) -> Metrics {
+    let _span = stisan_obs::span("eval");
+    let t0 = std::time::Instant::now();
     let mut accum = MetricsAccum::new();
+    let mut instances = 0u64;
     for (inst, c) in data.eval.iter().zip(&cands.candidates) {
         if c.len() < 2 {
             continue; // degenerate: no negatives available
@@ -62,6 +65,12 @@ pub fn evaluate(model: &dyn Recommender, data: &Processed, cands: &CandidateSet)
         let target_score = scores[0];
         let rank = scores[1..].iter().filter(|&&s| s > target_score).count();
         accum.add_rank(rank);
+        instances += 1;
+    }
+    stisan_obs::counter("eval.instances", instances);
+    let wall = t0.elapsed().as_secs_f64();
+    if wall > 0.0 {
+        stisan_obs::gauge("eval.instances_per_sec", instances as f64 / wall);
     }
     accum.finalize()
 }

@@ -119,9 +119,11 @@ impl Bert4Rec {
                 let grads = sess.backward_and_grads(loss);
                 opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
             }
-            if self.cfg.verbose {
-                println!("  [BERT4Rec] epoch {epoch}: loss {:.4}", total / steps.max(1) as f64);
-            }
+            stisan_obs::vlog!(
+                self.cfg.verbose,
+                "  [BERT4Rec] epoch {epoch}: loss {:.4}",
+                total / steps.max(1) as f64
+            );
         }
     }
 }

@@ -82,6 +82,7 @@ pub struct SeqBatch {
 impl SeqBatch {
     /// Builds a batch from training windows (`seq.poi` has length `n+1`).
     pub fn from_train(data: &Processed, idxs: &[usize]) -> SeqBatch {
+        let _span = stisan_obs::span("batch_build");
         let n = data.max_len;
         let b = idxs.len();
         let mut src = Vec::with_capacity(b * n);
@@ -146,6 +147,7 @@ impl SeqBatch {
         l: usize,
         mut sample: impl FnMut(u32, usize) -> Vec<u32>,
     ) -> Vec<usize> {
+        let _span = stisan_obs::span("negative_sampling");
         let mut out = Vec::with_capacity(self.b * self.n * l);
         for &t in &self.tgt {
             if t == 0 {

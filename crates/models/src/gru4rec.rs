@@ -47,11 +47,13 @@ impl Gru4Rec {
 
     /// Trains with per-step BCE and uniform negatives.
     pub fn fit(&mut self, data: &Processed) {
+        let _train_span = stisan_obs::span("train");
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x6b6b);
         let mut opt = Adam::new(self.cfg.lr);
         let mut batcher = Batcher::new(data.train.len(), self.cfg.batch);
         let l = self.cfg.negatives.max(1);
         for epoch in 0..self.cfg.epochs {
+            let _epoch_span = stisan_obs::span("epoch");
             batcher.shuffle(&mut rng);
             let idx_lists: Vec<Vec<usize>> = batcher.batches().map(|c| c.to_vec()).collect();
             let mut total = 0.0f64;
@@ -59,6 +61,7 @@ impl Gru4Rec {
             for idxs in idx_lists {
                 let batch = SeqBatch::from_train(data, &idxs);
                 let negs = batch.sample_negatives(l, |t, l| uniform_negatives(data.num_pois, t, l, &mut rng));
+                let _step_span = stisan_obs::span("step");
                 let mut sess = Session::new(&self.store, true, self.cfg.seed ^ (epoch as u64) << 9);
                 let f = self.encode(&mut sess, &batch);
                 let cand_ids = interleave_candidates(&batch.tgt, &negs, l);
@@ -72,10 +75,13 @@ impl Gru4Rec {
                 steps += 1;
                 let grads = sess.backward_and_grads(loss);
                 opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
+                stisan_obs::counter("train.steps", 1);
             }
-            if self.cfg.verbose {
-                println!("  [GRU4Rec] epoch {epoch}: loss {:.4}", total / steps.max(1) as f64);
-            }
+            stisan_obs::vlog!(
+                self.cfg.verbose,
+                "  [GRU4Rec] epoch {epoch}: loss {:.4}",
+                total / steps.max(1) as f64
+            );
         }
     }
 }

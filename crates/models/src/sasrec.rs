@@ -145,11 +145,13 @@ impl SasRec {
     /// Trains with the SASRec objective: per-step BCE with one uniform
     /// negative per target.
     pub fn fit(&mut self, data: &Processed) {
+        let _train_span = stisan_obs::span("train");
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5a5a);
         let mut opt = Adam::new(self.cfg.lr);
         let mut batcher = Batcher::new(data.train.len(), self.cfg.batch);
         let l = self.cfg.negatives.max(1);
         for epoch in 0..self.cfg.epochs {
+            let _epoch_span = stisan_obs::span("epoch");
             batcher.shuffle(&mut rng);
             let mut total = 0.0f64;
             let mut steps = 0usize;
@@ -160,10 +162,14 @@ impl SasRec {
                 let loss_val = self.train_step(data, &batch, &negs, l, &mut opt, epoch);
                 total += loss_val as f64;
                 steps += 1;
+                stisan_obs::counter("train.steps", 1);
             }
-            if self.cfg.verbose {
-                println!("  [{}] epoch {epoch}: loss {:.4}", self.name(), total / steps.max(1) as f64);
-            }
+            stisan_obs::vlog!(
+                self.cfg.verbose,
+                "  [{}] epoch {epoch}: loss {:.4}",
+                self.name(),
+                total / steps.max(1) as f64
+            );
         }
     }
 
@@ -176,6 +182,7 @@ impl SasRec {
         opt: &mut Adam,
         epoch: usize,
     ) -> f32 {
+        let _step_span = stisan_obs::span("step");
         let mut sess = Session::new(&self.store, true, self.cfg.seed ^ (epoch as u64) << 17);
         let (f, _) = self.encode(&mut sess, data, batch);
         let cand_ids = interleave_candidates(&batch.tgt, negs, l);

@@ -86,9 +86,11 @@ impl Stgn {
                 let grads = sess.backward_and_grads(loss);
                 opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
             }
-            if self.cfg.verbose {
-                println!("  [STGN] epoch {epoch}: loss {:.4}", total / steps.max(1) as f64);
-            }
+            stisan_obs::vlog!(
+                self.cfg.verbose,
+                "  [STGN] epoch {epoch}: loss {:.4}",
+                total / steps.max(1) as f64
+            );
         }
     }
 }

@@ -171,9 +171,11 @@ impl TiSasRec {
                 let grads = sess.backward_and_grads(loss);
                 opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
             }
-            if self.cfg.verbose {
-                println!("  [TiSASRec] epoch {epoch}: loss {:.4}", total / steps.max(1) as f64);
-            }
+            stisan_obs::vlog!(
+                self.cfg.verbose,
+                "  [TiSASRec] epoch {epoch}: loss {:.4}",
+                total / steps.max(1) as f64
+            );
         }
     }
 }

@@ -122,6 +122,7 @@ impl<'s> Session<'s> {
 
     /// Runs backward from scalar `loss` and collects parameter gradients.
     pub fn backward_and_grads(&mut self, loss: Var) -> Vec<(ParamId, Array)> {
+        let _span = stisan_obs::span("backward");
         self.g.backward(loss);
         let mut out = Vec::new();
         for (i, bound) in self.bound.iter().enumerate() {

@@ -1,0 +1,161 @@
+//! # stisan-obs
+//!
+//! Std-only observability for the STiSAN reproduction: a metrics registry
+//! (counters, gauges, p50/p95/p99 histograms), RAII scoped spans with
+//! hierarchical names, a leveled logging facade, an autodiff-tape profiler
+//! fed by `stisan-tensor`, and JSON run reports written under `results/`.
+//!
+//! ## Global context
+//!
+//! Instrumentation goes through free functions ([`counter`], [`span`],
+//! [`record_epoch`], ...) that consult a process-wide context. Until
+//! [`init`] is called, [`enabled`] is `false` and every call is a cheap
+//! no-op — one relaxed atomic load — so instrumented hot paths cost
+//! nothing in normal runs:
+//!
+//! ```
+//! let obs = stisan_obs::init(); // turn observability on
+//! {
+//!     let _span = stisan_obs::span("train");
+//!     stisan_obs::counter("train.steps", 1);
+//! }
+//! assert!(!obs.registry.snapshot().histograms.is_empty());
+//! ```
+
+pub mod log;
+pub mod metrics;
+pub mod profile;
+pub mod report;
+pub mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+pub use log::{level, parse_level, set_level, Level};
+pub use metrics::{HistogramSummary, Registry, Snapshot};
+pub use profile::{OpKindRow, OpKindStats, TapeProfiler};
+pub use report::{EpochStats, RunReport};
+pub use span::{span, Span};
+
+/// The process-wide observability context.
+pub struct Obs {
+    pub registry: Registry,
+    pub profiler: Arc<TapeProfiler>,
+    epochs: Mutex<Vec<EpochStats>>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// Enables observability and returns the global context. Idempotent; the
+/// first call wins.
+pub fn init() -> &'static Obs {
+    let obs = GLOBAL.get_or_init(|| Obs {
+        registry: Registry::new(),
+        profiler: Arc::new(TapeProfiler::new()),
+        epochs: Mutex::new(Vec::new()),
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+    obs
+}
+
+/// Whether observability is on (one relaxed atomic load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The global context, or `None` while disabled.
+#[inline]
+pub fn global() -> Option<&'static Obs> {
+    if enabled() {
+        GLOBAL.get()
+    } else {
+        None
+    }
+}
+
+/// Adds `by` to a global counter (no-op while disabled).
+pub fn counter(name: &str, by: u64) {
+    if let Some(obs) = global() {
+        obs.registry.inc(name, by);
+    }
+}
+
+/// Sets a global gauge (no-op while disabled).
+pub fn gauge(name: &str, value: f64) {
+    if let Some(obs) = global() {
+        obs.registry.set_gauge(name, value);
+    }
+}
+
+/// Records into a global histogram (no-op while disabled).
+pub fn observe(name: &str, value: f64) {
+    if let Some(obs) = global() {
+        obs.registry.observe(name, value);
+    }
+}
+
+/// The global tape profiler handle, for attaching to autodiff graphs.
+/// `None` while disabled, so graphs built in normal runs carry no profiler.
+pub fn tape_profiler() -> Option<Arc<TapeProfiler>> {
+    global().map(|obs| Arc::clone(&obs.profiler))
+}
+
+/// Appends one epoch's training stats to the global run record.
+pub fn record_epoch(stats: EpochStats) {
+    if let Some(obs) = global() {
+        obs.epochs.lock().unwrap().push(stats);
+    }
+}
+
+/// All epochs recorded so far (empty while disabled).
+pub fn epochs() -> Vec<EpochStats> {
+    global().map(|obs| obs.epochs.lock().unwrap().clone()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests exercise the process-global context, so they live in one
+    // #[test] to avoid cross-test interference.
+    #[test]
+    fn global_context_lifecycle() {
+        assert!(!enabled());
+        // Disabled: everything is dropped.
+        counter("pre.counter", 5);
+        observe("pre.hist", 1.0);
+        record_epoch(EpochStats::default());
+        assert!(tape_profiler().is_none());
+        assert!(epochs().is_empty());
+
+        let obs = init();
+        assert!(enabled());
+        assert!(obs.registry.snapshot().counters.is_empty(), "pre-init writes must not leak");
+
+        counter("train.steps", 2);
+        gauge("lr", 0.01);
+        {
+            let _outer = span("train");
+            let _inner = span("epoch");
+            assert_eq!(span::current_path(), "train/epoch");
+        }
+        record_epoch(EpochStats { epoch: 1, loss: 0.5, ..Default::default() });
+        tape_profiler().unwrap().record_forward("linear", 10, 64);
+
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters, vec![("train.steps".to_string(), 2)]);
+        assert_eq!(snap.gauges, vec![("lr".to_string(), 0.01)]);
+        // The inner span records the hierarchical path, the outer its own.
+        let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert!(names.contains(&"span.train/epoch"), "histograms: {names:?}");
+        assert!(names.contains(&"span.train"), "histograms: {names:?}");
+        assert_eq!(epochs().len(), 1);
+        assert_eq!(obs.profiler.total_flops(), 64);
+
+        // init is idempotent: same context comes back.
+        let again = init();
+        assert_eq!(again.registry.snapshot().counters.len(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! A minimal leveled logging facade: `quiet` / `normal` / `verbose`.
+//!
+//! The effective level is the `STISAN_LOG` environment variable when set
+//! (one of `quiet`/`normal`/`verbose` or `0`/`1`/`2`), otherwise the
+//! programmatic level from [`set_level`] (default `normal`). Use the
+//! [`crate::info!`], [`crate::vlog!`] and [`crate::warn!`] macros at call
+//! sites.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Verbosity levels, ordered: `Quiet < Normal < Verbose`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing, not even warnings.
+    Quiet = 0,
+    /// Warnings and top-level progress.
+    Normal = 1,
+    /// Per-epoch / per-step detail.
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Normal as u8);
+static ENV_LEVEL: OnceLock<Option<Level>> = OnceLock::new();
+
+/// Parses a level name (case-insensitive) or digit.
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "quiet" | "0" => Some(Level::Quiet),
+        "normal" | "1" => Some(Level::Normal),
+        "verbose" | "2" => Some(Level::Verbose),
+        _ => None,
+    }
+}
+
+fn env_level() -> Option<Level> {
+    *ENV_LEVEL.get_or_init(|| std::env::var("STISAN_LOG").ok().and_then(|s| parse_level(&s)))
+}
+
+/// Sets the programmatic level (overridden by `STISAN_LOG` when that is set).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The effective level: `STISAN_LOG` if set and valid, else the programmatic one.
+pub fn level() -> Level {
+    if let Some(l) = env_level() {
+        return l;
+    }
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        2 => Level::Verbose,
+        _ => Level::Normal,
+    }
+}
+
+/// Prints to stdout when the effective level is at least `min`.
+pub fn log(min: Level, args: fmt::Arguments<'_>) {
+    if level() >= min {
+        println!("{args}");
+    }
+}
+
+/// Prints a warning to stderr unless the effective level is `Quiet`.
+pub fn warn(args: fmt::Arguments<'_>) {
+    if level() > Level::Quiet {
+        eprintln!("[warn] {args}");
+    }
+}
+
+/// Verbose-conditional print: emits when `flag` is set (e.g. a
+/// `TrainConfig::verbose` toggle) and we are not quiet, or unconditionally
+/// at `Verbose` level.
+pub fn vlog(flag: bool, args: fmt::Arguments<'_>) {
+    let l = level();
+    if (flag && l >= Level::Normal) || l >= Level::Verbose {
+        println!("{args}");
+    }
+}
+
+/// Logs at `Normal` level (top-level progress).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Normal, format_args!($($arg)*))
+    };
+}
+
+/// Verbose-conditional log: first argument is a `bool` opting this call
+/// site in at `Normal` level (e.g. `TrainConfig::verbose`); `STISAN_LOG=verbose`
+/// enables it regardless.
+#[macro_export]
+macro_rules! vlog {
+    ($flag:expr, $($arg:tt)*) => {
+        $crate::log::vlog($flag, format_args!($($arg)*))
+    };
+}
+
+/// Warning to stderr (suppressed only by `quiet`).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::warn(format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_names_and_digits() {
+        assert_eq!(parse_level("quiet"), Some(Level::Quiet));
+        assert_eq!(parse_level("NORMAL"), Some(Level::Normal));
+        assert_eq!(parse_level(" verbose "), Some(Level::Verbose));
+        assert_eq!(parse_level("0"), Some(Level::Quiet));
+        assert_eq!(parse_level("2"), Some(Level::Verbose));
+        assert_eq!(parse_level("debug"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Quiet < Level::Normal);
+        assert!(Level::Normal < Level::Verbose);
+    }
+}

@@ -1,0 +1,216 @@
+//! A lightweight metrics registry: named counters, gauges and histograms
+//! with p50/p95/p99 summaries.
+//!
+//! A [`Registry`] is a cheap `Clone` handle. [`Registry::noop`] carries no
+//! storage at all, so instrumentation through a disabled registry is a
+//! single `Option` check — this is what the global default uses until
+//! [`crate::init`] is called.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Cap on retained histogram samples per metric; counts keep accumulating
+/// past this, quantiles are computed over the first `SAMPLE_CAP` values.
+const SAMPLE_CAP: usize = 262_144;
+
+#[derive(Default)]
+struct Hist {
+    count: u64,
+    sum: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    hists: Mutex<BTreeMap<String, Hist>>,
+}
+
+/// Shareable handle to a metrics store (or to nothing, when disabled).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// A registry that records.
+    pub fn new() -> Self {
+        Registry { inner: Some(Arc::new(Inner::default())) }
+    }
+
+    /// A registry that drops everything (the zero-cost default).
+    pub fn noop() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn inc(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            let mut c = inner.counters.lock().unwrap();
+            *c.entry(name.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.gauges.lock().unwrap().insert(name.to_string(), value);
+        }
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut hs = inner.hists.lock().unwrap();
+            let h = hs.entry(name.to_string()).or_default();
+            h.count += 1;
+            h.sum += value;
+            if h.count == 1 || value > h.max {
+                h.max = value;
+            }
+            if h.samples.len() < SAMPLE_CAP {
+                h.samples.push(value);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric, with histogram quantiles.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else { return Snapshot::default() };
+        let counters = inner.counters.lock().unwrap().iter().map(|(k, &v)| (k.clone(), v)).collect();
+        let gauges = inner.gauges.lock().unwrap().iter().map(|(k, &v)| (k.clone(), v)).collect();
+        let histograms = inner
+            .hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| {
+                let mut sorted = h.samples.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                HistogramSummary {
+                    name: k.clone(),
+                    count: h.count,
+                    mean: if h.count == 0 { 0.0 } else { h.sum / h.count as f64 },
+                    p50: quantile(&sorted, 0.50),
+                    p95: quantile(&sorted, 0.95),
+                    p99: quantile(&sorted, 0.99),
+                    max: h.max,
+                }
+            })
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+}
+
+/// Summary of one histogram at snapshot time.
+#[derive(Clone, Debug)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+/// Point-in-time copy of a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSummary>,
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice (0 for empty input).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.inc("a", 1);
+        r.inc("a", 2);
+        r.inc("b", 5);
+        let s = r.snapshot();
+        assert_eq!(s.counters, vec![("a".to_string(), 3), ("b".to_string(), 5)]);
+    }
+
+    #[test]
+    fn gauges_take_last_value() {
+        let r = Registry::new();
+        r.set_gauge("g", 1.5);
+        r.set_gauge("g", -2.0);
+        assert_eq!(r.snapshot().gauges, vec![("g".to_string(), -2.0)]);
+    }
+
+    #[test]
+    fn histogram_quantiles_nearest_rank() {
+        let r = Registry::new();
+        for v in 1..=100 {
+            r.observe("h", v as f64);
+        }
+        let s = r.snapshot();
+        let h = &s.histograms[0];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50, 50.0);
+        assert_eq!(h.p95, 95.0);
+        assert_eq!(h.p99, 99.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_single_sample() {
+        let r = Registry::new();
+        r.observe("h", 7.0);
+        let h = &r.snapshot().histograms[0];
+        assert_eq!((h.p50, h.p95, h.p99), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.inc("shared", 1);
+                        r.observe("lat", 1.0);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("shared".to_string(), 8000)]);
+        assert_eq!(snap.histograms[0].count, 8000);
+    }
+
+    #[test]
+    fn noop_registry_records_nothing() {
+        let r = Registry::noop();
+        r.inc("a", 1);
+        r.set_gauge("g", 1.0);
+        r.observe("h", 1.0);
+        let s = r.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+        assert!(!r.is_enabled());
+    }
+}

@@ -1,0 +1,68 @@
+//! RAII scoped timers with hierarchical names.
+//!
+//! A span records its wall time into the global registry histogram
+//! `span.<path>`, where `<path>` is the `/`-joined stack of enclosing span
+//! names on the current thread — `span("train")`, then `span("epoch")`,
+//! then `span("step")` yields `span.train/epoch/step`. When observability
+//! is disabled ([`crate::enabled`] is false) a span is two atomic loads
+//! and no allocation.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`span`]; records its lifetime on drop.
+#[must_use = "a span records on drop; bind it (`let _span = ...`) so it covers the scope"]
+pub struct Span {
+    start: Option<Instant>,
+}
+
+/// Opens a scoped timer named `name`, nested under any enclosing spans on
+/// this thread. No-op (and allocation-free) while observability is off.
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { start: None };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    Span { start: Some(Instant::now()) }
+}
+
+/// The `/`-joined path of spans currently open on this thread.
+pub fn current_path() -> String {
+    STACK.with(|s| s.borrow().join("/"))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let path = current_path();
+            if let Some(obs) = crate::global() {
+                obs.registry.observe(&format!("span.{path}"), ms);
+            }
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_leaves_no_trace() {
+        // Global obs is not initialised in this test binary at this point;
+        // even if another test races us and enables it, the path below only
+        // asserts the stack discipline, which holds either way.
+        {
+            let _a = span("outer");
+            let _b = span("inner");
+        }
+        assert_eq!(current_path(), "");
+    }
+}

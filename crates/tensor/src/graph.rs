@@ -6,8 +6,10 @@
 //! backward pass is one auditable `match` — no boxed closures, no lifetimes.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use rand::Rng;
+use stisan_obs::TapeProfiler;
 
 use crate::array::Array;
 
@@ -89,6 +91,103 @@ pub enum Op {
     Unfold1 { v: Var, width: usize },
 }
 
+impl Op {
+    /// Stable profiling key for this op's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::Neg(..) => "neg",
+            Op::Linear { .. } => "linear",
+            Op::Bmm(..) => "bmm",
+            Op::TransposeLast2(..) => "transpose",
+            Op::Relu(..) => "relu",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Exp(..) => "exp",
+            Op::Log(..) => "log",
+            Op::Softplus(..) => "softplus",
+            Op::SoftmaxLast(..) => "softmax",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::SumLast(..) => "sum_last",
+            Op::SumAxis1(..) => "sum_axis1",
+            Op::MaxAxis1(..) => "max_axis1",
+            Op::Gather { .. } => "gather",
+            Op::GatherLast { .. } => "gather_last",
+            Op::ScatterAddLast { .. } => "scatter_add_last",
+            Op::ConcatLast(..) => "concat_last",
+            Op::SliceLast { .. } => "slice_last",
+            Op::Reshape(..) => "reshape",
+            Op::LayerNorm { .. } => "layer_norm",
+            Op::MulConst(..) => "mul_const",
+            Op::AddConst(..) => "add_const",
+            Op::StackAxis1(..) => "stack_axis1",
+            Op::SliceAxis1 { .. } => "slice_axis1",
+            Op::Unfold1 { .. } => "unfold1",
+        }
+    }
+}
+
+/// `2*m*k*n` multiply-accumulate FLOPs of `[m,k] × [k,n]`. Must agree with
+/// `stisan_core::flops::matmul_flops` — asserted by the profiler smoke test
+/// in `stisan-core`.
+const fn mm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// Estimated forward FLOPs of `op` given its input nodes and output value.
+/// Conventions follow `stisan-core/src/flops.rs`: matmuls are `2mkn`,
+/// softmax is `5` per element (max, sub, exp, sum, div), transcendental
+/// elementwise ops count `4` per element, arithmetic elementwise `1`,
+/// reductions `1` per input element, and pure data movement `0`.
+fn op_flops(nodes: &[Node], op: &Op, out: &Array) -> u64 {
+    let n = out.len() as u64;
+    match op {
+        Op::Linear { x, w, b } => {
+            let k = *nodes[x.0].value.shape().last().unwrap();
+            let f = nodes[w.0].value.shape()[1];
+            let rows = out.len() / f;
+            mm_flops(rows, k, f) + if b.is_some() { (rows * f) as u64 } else { 0 }
+        }
+        Op::Bmm(a, _) => {
+            let ash = nodes[a.0].value.shape(); // [b, m, k]
+            let cols = *out.shape().last().unwrap();
+            (ash[0] as u64) * mm_flops(ash[1], ash[2], cols)
+        }
+        Op::SoftmaxLast(a) => 5 * nodes[a.0].value.len() as u64,
+        Op::LayerNorm { x, .. } => 8 * nodes[x.0].value.len() as u64,
+        Op::Sigmoid(..) | Op::Tanh(..) | Op::Exp(..) | Op::Log(..) | Op::Softplus(..) => 4 * n,
+        Op::Add(..)
+        | Op::Sub(..)
+        | Op::Mul(..)
+        | Op::Scale(..)
+        | Op::AddScalar(..)
+        | Op::Neg(..)
+        | Op::Relu(..)
+        | Op::MulConst(..)
+        | Op::AddConst(..) => n,
+        Op::SumAll(a) | Op::MeanAll(a) | Op::SumLast(a) | Op::SumAxis1(a) | Op::MaxAxis1(a) => {
+            nodes[a.0].value.len() as u64
+        }
+        Op::ScatterAddLast { a, .. } => nodes[a.0].value.len() as u64,
+        Op::Leaf
+        | Op::TransposeLast2(..)
+        | Op::Gather { .. }
+        | Op::GatherLast { .. }
+        | Op::ConcatLast(..)
+        | Op::SliceLast { .. }
+        | Op::Reshape(..)
+        | Op::StackAxis1(..)
+        | Op::SliceAxis1 { .. }
+        | Op::Unfold1 { .. } => 0,
+    }
+}
+
 struct Node {
     value: Array,
     grad: Option<Array>,
@@ -100,12 +199,24 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Tape profiler hook; when set, every op constructor reports its kind,
+    /// wall time and estimated FLOPs (and `backward` reports per-op time).
+    profiler: Option<Arc<TapeProfiler>>,
+    /// Forward-timing start set by `tick()` and consumed by `push()`.
+    pending: Option<Instant>,
 }
 
 impl Graph {
-    /// An empty tape.
+    /// An empty tape. Attaches the global tape profiler when observability
+    /// is enabled (see `stisan_obs::init`); otherwise profiling is off and
+    /// op construction pays a single `Option` check.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph { nodes: Vec::new(), profiler: stisan_obs::tape_profiler(), pending: None }
+    }
+
+    /// Attaches an explicit tape profiler (e.g. a run-local one in tests).
+    pub fn set_profiler(&mut self, profiler: Arc<TapeProfiler>) {
+        self.profiler = Some(profiler);
     }
 
     /// Number of nodes on the tape.
@@ -118,7 +229,23 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Starts the forward timer for the op about to be computed. Called at
+    /// the top of every op constructor; `push()` consumes the timestamp.
+    #[inline]
+    fn tick(&mut self) {
+        if self.profiler.is_some() {
+            self.pending = Some(Instant::now());
+        }
+    }
+
     fn push(&mut self, value: Array, op: Op, requires_grad: bool) -> Var {
+        if let Some(t0) = self.pending.take() {
+            if let Some(profiler) = &self.profiler {
+                let ns = t0.elapsed().as_nanos() as u64;
+                let flops = op_flops(&self.nodes, &op, &value);
+                profiler.record_forward(op.kind(), ns, flops);
+            }
+        }
         self.nodes.push(Node { value, grad: None, op, requires_grad });
         Var(self.nodes.len() - 1)
     }
@@ -158,6 +285,7 @@ impl Graph {
 
     /// Elementwise sum with broadcasting.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.tick();
         let v = self.value(a).add(self.value(b));
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Add(a, b), rg)
@@ -165,6 +293,7 @@ impl Graph {
 
     /// Elementwise difference with broadcasting.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.tick();
         let v = self.value(a).sub(self.value(b));
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Sub(a, b), rg)
@@ -172,6 +301,7 @@ impl Graph {
 
     /// Elementwise product with broadcasting.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.tick();
         let v = self.value(a).mul(self.value(b));
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Mul(a, b), rg)
@@ -179,6 +309,7 @@ impl Graph {
 
     /// Multiplies by a scalar constant.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        self.tick();
         let v = self.value(a).scale(c);
         let rg = self.rg(a);
         self.push(v, Op::Scale(a, c), rg)
@@ -186,6 +317,7 @@ impl Graph {
 
     /// Adds a scalar constant.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        self.tick();
         let v = self.value(a).add_scalar(c);
         let rg = self.rg(a);
         self.push(v, Op::AddScalar(a, c), rg)
@@ -193,6 +325,7 @@ impl Graph {
 
     /// Elementwise negation.
     pub fn neg(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).scale(-1.0);
         let rg = self.rg(a);
         self.push(v, Op::Neg(a), rg)
@@ -200,6 +333,7 @@ impl Graph {
 
     /// Affine map over the last dimension (`Linear` layer core).
     pub fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
+        self.tick();
         let mut v = self.value(x).matmul_last(self.value(w));
         if let Some(b) = b {
             v = v.add(self.value(b));
@@ -216,6 +350,7 @@ impl Graph {
 
     /// Batched 3-D matrix product.
     pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        self.tick();
         let v = self.value(a).bmm(self.value(b));
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Bmm(a, b), rg)
@@ -223,6 +358,7 @@ impl Graph {
 
     /// Transposes the last two dimensions.
     pub fn transpose_last2(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).transpose_last2();
         let rg = self.rg(a);
         self.push(v, Op::TransposeLast2(a), rg)
@@ -230,6 +366,7 @@ impl Graph {
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).map(|x| x.max(0.0));
         let rg = self.rg(a);
         self.push(v, Op::Relu(a), rg)
@@ -237,6 +374,7 @@ impl Graph {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).map(stable_sigmoid);
         let rg = self.rg(a);
         self.push(v, Op::Sigmoid(a), rg)
@@ -244,6 +382,7 @@ impl Graph {
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).map(f32::tanh);
         let rg = self.rg(a);
         self.push(v, Op::Tanh(a), rg)
@@ -251,6 +390,7 @@ impl Graph {
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).map(f32::exp);
         let rg = self.rg(a);
         self.push(v, Op::Exp(a), rg)
@@ -258,6 +398,7 @@ impl Graph {
 
     /// Elementwise natural logarithm.
     pub fn log(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).map(f32::ln);
         let rg = self.rg(a);
         self.push(v, Op::Log(a), rg)
@@ -265,6 +406,7 @@ impl Graph {
 
     /// Numerically stable softplus `ln(1+e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).map(|x| {
             if x > 20.0 {
                 x
@@ -280,6 +422,7 @@ impl Graph {
 
     /// Softmax over the last dimension.
     pub fn softmax_last(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).softmax_last();
         let rg = self.rg(a);
         self.push(v, Op::SoftmaxLast(a), rg)
@@ -287,6 +430,7 @@ impl Graph {
 
     /// Sum of all elements (scalar output).
     pub fn sum_all(&mut self, a: Var) -> Var {
+        self.tick();
         let v = Array::scalar(self.value(a).sum_all());
         let rg = self.rg(a);
         self.push(v, Op::SumAll(a), rg)
@@ -294,6 +438,7 @@ impl Graph {
 
     /// Mean of all elements (scalar output).
     pub fn mean_all(&mut self, a: Var) -> Var {
+        self.tick();
         let v = Array::scalar(self.value(a).mean_all());
         let rg = self.rg(a);
         self.push(v, Op::MeanAll(a), rg)
@@ -301,6 +446,7 @@ impl Graph {
 
     /// Sum over the last dimension.
     pub fn sum_last(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).sum_last();
         let rg = self.rg(a);
         self.push(v, Op::SumLast(a), rg)
@@ -308,6 +454,7 @@ impl Graph {
 
     /// Sum of a 3-D array over axis 1.
     pub fn sum_axis1(&mut self, a: Var) -> Var {
+        self.tick();
         let v = self.value(a).sum_axis1();
         let rg = self.rg(a);
         self.push(v, Op::SumAxis1(a), rg)
@@ -315,6 +462,7 @@ impl Graph {
 
     /// Max of a 3-D array over axis 1 (time-dimension max pooling).
     pub fn max_axis1(&mut self, a: Var) -> Var {
+        self.tick();
         let av = self.value(a);
         assert_eq!(av.ndim(), 3, "max_axis1 requires a 3-D array");
         let (b, n, d) = (av.shape()[0], av.shape()[1], av.shape()[2]);
@@ -338,6 +486,7 @@ impl Graph {
     /// Embedding lookup: rows of a 2-D `table` selected by `indices`, shaped
     /// `batch_shape + [d]`.
     pub fn gather(&mut self, table: Var, indices: &[usize], batch_shape: &[usize]) -> Var {
+        self.tick();
         let t = self.value(table);
         assert_eq!(t.ndim(), 2, "gather: table must be 2-D");
         let rows: usize = batch_shape.iter().product();
@@ -358,6 +507,7 @@ impl Graph {
     /// Per-row lookup along the last dimension:
     /// `v: [..., K]`, `idx: flat [rows * m_out]` → `out: [..., m_out]`.
     pub fn gather_last(&mut self, v: Var, idx: Arc<Vec<usize>>, m_out: usize) -> Var {
+        self.tick();
         let val = self.value(v);
         let k = *val.shape().last().expect("gather_last: scalar input");
         let rows = val.len() / k;
@@ -381,6 +531,7 @@ impl Graph {
     /// `a: [..., M]`, `idx: flat [rows * M]` → `out: [..., k_out]` where
     /// `out[r, idx[r,m]] += a[r, m]`.
     pub fn scatter_add_last(&mut self, a: Var, idx: Arc<Vec<usize>>, k_out: usize) -> Var {
+        self.tick();
         let val = self.value(a);
         let m = *val.shape().last().expect("scatter_add_last: scalar input");
         let rows = val.len() / m;
@@ -402,6 +553,7 @@ impl Graph {
 
     /// Concatenates along the last dimension.
     pub fn concat_last(&mut self, parts: &[Var]) -> Var {
+        self.tick();
         let arrays: Vec<&Array> = parts.iter().map(|&p| self.value(p)).collect();
         let v = Array::concat_last(&arrays);
         let rg = parts.iter().any(|&p| self.rg(p));
@@ -410,6 +562,7 @@ impl Graph {
 
     /// Slices the last dimension.
     pub fn slice_last(&mut self, v: Var, start: usize, len: usize) -> Var {
+        self.tick();
         let val = self.value(v).slice_last(start, len);
         let rg = self.rg(v);
         self.push(val, Op::SliceLast { v, start, len }, rg)
@@ -417,6 +570,7 @@ impl Graph {
 
     /// Reinterprets the shape.
     pub fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var {
+        self.tick();
         let val = self.value(v).reshape(shape.clone());
         let rg = self.rg(v);
         self.push(val, Op::Reshape(v, shape), rg)
@@ -424,6 +578,7 @@ impl Graph {
 
     /// Layer normalization over the last dimension (Eq 9 of the paper).
     pub fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var {
+        self.tick();
         let xv = self.value(x);
         let w = *xv.shape().last().expect("layer_norm: scalar input");
         let (xhat, _, _) = layer_norm_forward(xv, eps);
@@ -436,6 +591,7 @@ impl Graph {
 
     /// Elementwise product with a constant array (masking, dropout).
     pub fn mul_const(&mut self, a: Var, c: Array) -> Var {
+        self.tick();
         let v = self.value(a).mul(&c);
         let rg = self.rg(a);
         self.push(v, Op::MulConst(a, c), rg)
@@ -443,6 +599,7 @@ impl Graph {
 
     /// Elementwise sum with a constant array (attention masks, biases).
     pub fn add_const(&mut self, a: Var, c: Array) -> Var {
+        self.tick();
         let v = self.value(a).add(&c);
         let rg = self.rg(a);
         self.push(v, Op::AddConst(a, c), rg)
@@ -465,6 +622,7 @@ impl Graph {
 
     /// Stacks `k` arrays of shape `[b,d]` into `[b,k,d]`.
     pub fn stack_axis1(&mut self, parts: &[Var]) -> Var {
+        self.tick();
         assert!(!parts.is_empty(), "stack_axis1: no inputs");
         let first = self.value(parts[0]).shape().to_vec();
         assert_eq!(first.len(), 2, "stack_axis1: parts must be 2-D");
@@ -486,6 +644,7 @@ impl Graph {
 
     /// Extracts time step `idx`: `[b,n,d] -> [b,d]`.
     pub fn slice_axis1(&mut self, v: Var, idx: usize) -> Var {
+        self.tick();
         let val = self.value(v);
         assert_eq!(val.ndim(), 3, "slice_axis1: input must be 3-D");
         let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
@@ -501,6 +660,7 @@ impl Graph {
 
     /// Sliding-window unfold over axis 1: `[b,n,d] -> [b, n-w+1, w*d]`.
     pub fn unfold1(&mut self, v: Var, width: usize) -> Var {
+        self.tick();
         let val = self.value(v);
         assert_eq!(val.ndim(), 3, "unfold1: input must be 3-D");
         let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
@@ -537,7 +697,11 @@ impl Graph {
             }
             let Some(g) = self.nodes[i].grad.clone() else { continue };
             let op = self.nodes[i].op.clone();
+            let t0 = self.profiler.as_ref().map(|_| Instant::now());
             self.backprop_op(i, &op, &g);
+            if let (Some(profiler), Some(t0)) = (&self.profiler, t0) {
+                profiler.record_backward(op.kind(), t0.elapsed().as_nanos() as u64);
+            }
         }
     }
 
@@ -971,6 +1135,25 @@ mod tests {
         let u = g.unfold1(v, 2);
         assert_eq!(g.value(u).shape(), &[1, 2, 4]);
         assert_eq!(g.value(u).data(), &[1., 2., 3., 4., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn profiler_records_op_kinds_and_flops() {
+        let p = Arc::new(TapeProfiler::new());
+        let mut g = Graph::new();
+        g.set_profiler(Arc::clone(&p));
+        let a = g.leaf(Array::ones(vec![4, 3]), true);
+        let b = g.leaf(Array::ones(vec![3, 2]), true);
+        let c = g.matmul(a, b);
+        let s = g.sum_all(c);
+        g.backward(s);
+        let rows = p.snapshot();
+        let linear = rows.iter().find(|r| r.kind == "linear").expect("linear row");
+        assert_eq!(linear.stats.count, 1);
+        assert_eq!(linear.stats.flops, 2 * 4 * 3 * 2); // 2mkn, no bias
+        assert_eq!(linear.stats.backward_count, 1);
+        let sum = rows.iter().find(|r| r.kind == "sum_all").expect("sum_all row");
+        assert_eq!(sum.stats.flops, 8); // one flop per input element
     }
 
     #[test]

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use stisan_tensor::check::assert_grads_close;
-use stisan_tensor::{Array, Graph};
+use stisan_tensor::Array;
 
 const TOL: f32 = 2e-2;
 

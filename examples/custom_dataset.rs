@@ -44,7 +44,7 @@ fn main() {
             seq.push(CheckIn { poi: work, time: t });
             if rng.gen_bool(0.4) {
                 t += 3.0 * 3600.0;
-                let lunch = (work + rng.gen_range(1..4)) % pois.len() as u32;
+                let lunch = (work + rng.gen_range(1u32..4)) % pois.len() as u32;
                 seq.push(CheckIn { poi: lunch, time: t });
             }
             t += 10.0 * 3600.0 + rng.gen_range(0.0..7200.0);

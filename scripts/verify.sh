@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, full workspace test suite, and lint.
+# Run from the repository root:  ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test --workspace"
+cargo test -q --workspace --release
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "verify: OK"

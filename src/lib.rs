@@ -5,6 +5,7 @@
 //! crate under one roof:
 //!
 //! * [`tensor`] — dense tensors + reverse-mode autodiff,
+//! * [`obs`] — metrics, spans, logging and the autodiff-tape profiler,
 //! * [`nn`] — layers, losses, optimizers,
 //! * [`geo`] — haversine, quadkeys, geography encoder, spatial index,
 //! * [`data`] — synthetic LBSN datasets and preprocessing,
@@ -15,6 +16,7 @@
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use stisan_core as core;
+pub use stisan_obs as obs;
 pub use stisan_data as data;
 pub use stisan_eval as eval;
 pub use stisan_geo as geo;
