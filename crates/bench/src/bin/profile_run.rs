@@ -50,7 +50,22 @@ fn main() {
         ..Default::default()
     };
     let mut model = StiSan::new(&data, cfg);
-    model.fit(&data);
+    match flags.checkpoint_config(preset, flags.seed) {
+        Some(cc) => {
+            let summary = model
+                .fit_with_checkpoints(&data, Some(&cc))
+                .unwrap_or_else(|e| panic!("checkpointed training failed: {e}"));
+            if let Some(from) = &summary.resumed_from {
+                stisan_obs::info!(
+                    "resumed from {} (epochs {}..{})",
+                    from.display(),
+                    summary.start_epoch,
+                    summary.start_epoch + summary.epochs_run
+                );
+            }
+        }
+        None => model.fit(&data),
+    }
 
     let cands = build_candidates(&data, 100);
     let metrics = evaluate(&model, &data, &cands);

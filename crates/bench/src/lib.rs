@@ -10,11 +10,13 @@
 //! * `--dim`, `--blocks`, `--epochs`, `--batch`, `--max-len` — model size;
 //! * `--rounds <k>` — evaluation rounds (the paper averages 10);
 //! * `--seed <s>` — master seed; `--verbose` — per-epoch loss logging;
-//! * `--datasets A,B` / `--models X,Y` — restrict the sweep.
+//! * `--datasets A,B` / `--models X,Y` — restrict the sweep;
+//! * `--ckpt-dir <dir>` — crash-safe STiSAN checkpointing: periodic saves
+//!   plus automatic resume from the newest valid checkpoint.
 
 pub mod paper;
 
-use stisan_core::{StiSan, StisanConfig};
+use stisan_core::{CheckpointConfig, StiSan, StisanConfig};
 use stisan_data::{generate, preprocess, DatasetPreset, PrepConfig, Processed, RelationConfig};
 use stisan_eval::Recommender;
 use stisan_models::{
@@ -50,6 +52,8 @@ pub struct Flags {
     pub datasets: Option<Vec<String>>,
     /// Model filter (names, lowercase).
     pub models: Option<Vec<String>>,
+    /// Checkpoint directory for crash-safe STiSAN training (None = off).
+    pub ckpt_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Flags {
@@ -67,6 +71,7 @@ impl Default for Flags {
             verbose: false,
             datasets: None,
             models: None,
+            ckpt_dir: None,
         }
     }
 }
@@ -106,10 +111,11 @@ impl Flags {
                 "--models" => {
                     f.models = Some(take(&mut i).split(',').map(|s| s.to_lowercase()).collect())
                 }
+                "--ckpt-dir" => f.ckpt_dir = Some(take(&mut i).into()),
                 other => panic!(
                     "unknown flag {other}; supported: --scale --dim --blocks --epochs --batch \
                      --lr \
-                     --max-len --rounds --seed --verbose --datasets --models"
+                     --max-len --rounds --seed --verbose --datasets --models --ckpt-dir"
                 ),
             }
             i += 1;
@@ -125,6 +131,15 @@ impl Flags {
     /// Whether `name` passes the `--models` filter.
     pub fn wants_model(&self, name: &str) -> bool {
         self.models.as_ref().map(|m| m.iter().any(|x| x == &name.to_lowercase())).unwrap_or(true)
+    }
+
+    /// Checkpoint policy for an STiSAN run under `--ckpt-dir`, namespaced by
+    /// dataset and seed so concurrent or repeated runs never resume each
+    /// other's (structurally incompatible) checkpoints. None when the flag
+    /// is unset.
+    pub fn checkpoint_config(&self, preset: DatasetPreset, seed: u64) -> Option<CheckpointConfig> {
+        let dir = self.ckpt_dir.as_ref()?;
+        Some(CheckpointConfig::new(dir.join(format!("{}-seed{seed}", preset.name().to_lowercase()))))
     }
 
     /// The shared neural training configuration.
@@ -298,7 +313,14 @@ pub fn train_model(
                 ..Default::default()
             };
             let mut m = StiSan::new(data, cfg);
-            m.fit(data);
+            match flags.checkpoint_config(preset, seed) {
+                Some(cc) => {
+                    if let Err(e) = m.fit_with_checkpoints(data, Some(&cc)) {
+                        panic!("checkpointed training failed: {e}");
+                    }
+                }
+                None => m.fit(data),
+            }
             Box::new(m)
         }
         other => panic!("unknown model {other}; valid: {MODEL_NAMES:?}"),

@@ -39,4 +39,4 @@ pub mod flops;
 pub mod inspect;
 mod model;
 
-pub use model::{CoreAttention, Iaab, StiSan, StisanConfig};
+pub use model::{CheckpointConfig, CoreAttention, FitSummary, Iaab, StiSan, StisanConfig};

@@ -1,5 +1,6 @@
 //! The STiSAN model and its Table IV ablation variants.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -12,11 +13,13 @@ use stisan_eval::Recommender;
 use stisan_geo::quadkey::tokens_for;
 use stisan_geo::GeoEncoder;
 use stisan_models::common::{
-    interleave_candidates, taad_eval_mask, taad_scores, taad_train_mask, SeqBatch, TrainConfig,
+    check_finite_step, epoch_rng, interleave_candidates, taad_eval_mask, taad_scores,
+    taad_train_mask, SeqBatch, StepOutcome, TrainConfig,
 };
 use stisan_nn::{
     causal_mask, padding_row_mask, sinusoidal_encoding, tape_positions, vanilla_positions,
-    weighted_bce_loss, Adam, Embedding, FeedForward, LayerNorm, Linear, ParamStore, Session,
+    weighted_bce_loss, Adam, CheckpointError, CheckpointManager, Embedding, FeedForward,
+    LayerNorm, Linear, ParamStore, Session, TrainState,
 };
 use stisan_tensor::{Array, Var};
 
@@ -101,6 +104,39 @@ impl StisanConfig {
         self.use_taad = false;
         self
     }
+}
+
+/// Periodic checkpointing and resume policy for [`StiSan::fit_with_checkpoints`].
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory the [`CheckpointManager`] owns (created if missing).
+    pub dir: PathBuf,
+    /// Save every `every` completed epochs (0 = only at the end; the final
+    /// epoch is always saved).
+    pub every: usize,
+    /// Retention bound: how many checkpoints survive on disk.
+    pub keep: usize,
+    /// Resume from the newest valid checkpoint in `dir` before training.
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every epoch, keep the newest 3, resume if
+    /// possible.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig { dir: dir.into(), every: 1, keep: 3, resume: true }
+    }
+}
+
+/// What [`StiSan::fit_with_checkpoints`] actually did.
+#[derive(Debug)]
+pub struct FitSummary {
+    /// First epoch trained this run (> 0 after a resume).
+    pub start_epoch: usize,
+    /// Epochs trained this run (`cfg.train.epochs - start_epoch`).
+    pub epochs_run: usize,
+    /// The checkpoint file training resumed from, if any.
+    pub resumed_from: Option<PathBuf>,
 }
 
 /// One Interval Aware Attention Block (paper Algorithm 2): the interval-aware
@@ -242,10 +278,12 @@ impl StiSan {
         self.store.save_file(path)
     }
 
-    /// Loads weights saved by [`StiSan::save`] into this model. The model
-    /// must have been built with the same configuration and dataset shape.
+    /// Loads weights saved by [`StiSan::save`] into this model (any trainer
+    /// state in the file is ignored — use [`StiSan::fit_with_checkpoints`]
+    /// to resume training). The model must have been built with the same
+    /// configuration and dataset shape.
     pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), stisan_nn::LoadError> {
-        self.store.load_file(path)
+        self.store.load_file(path).map(|_| ())
     }
 
     /// Embeds POI ids (Section III-B): `poi_embedding (⊕ geo encoding)`,
@@ -369,16 +407,65 @@ impl StiSan {
     /// `stisan_obs::record_epoch`, and a `train.nonfinite_steps` counter for
     /// steps skipped by the non-finite guard.
     pub fn fit(&mut self, data: &Processed) {
+        // Infallible without a checkpoint directory.
+        let _ = self.fit_with_checkpoints(data, None);
+    }
+
+    /// [`StiSan::fit`] with crash-safe checkpointing (see DESIGN.md §8).
+    ///
+    /// With a [`CheckpointConfig`], training saves the weights *and* trainer
+    /// state (Adam moments, epoch count, RNG seed) every `every` epochs and
+    /// at the end, and — when `resume` is set — restores the newest valid
+    /// checkpoint before the first epoch. Every per-epoch RNG stream is
+    /// derived from `(seed, epoch)` alone, so a resumed run replays the
+    /// remaining epochs bit-identically to an uninterrupted one.
+    pub fn fit_with_checkpoints(
+        &mut self,
+        data: &Processed,
+        ckpt: Option<&CheckpointConfig>,
+    ) -> Result<FitSummary, CheckpointError> {
         let t = self.cfg.train.clone();
         let _train_span = stisan_obs::span("train");
-        let mut rng = StdRng::seed_from_u64(t.seed ^ 0x57AB);
         let sampler = KnnNegativeSampler::build(data, t.neg_pool);
         let mut opt = Adam::new(t.lr);
-        let mut batcher = Batcher::new(data.train.len(), t.batch);
         let l = t.negatives.max(1);
-        for epoch in 0..t.epochs {
+
+        let manager = match ckpt {
+            Some(c) => Some(CheckpointManager::new(&c.dir, c.keep)?),
+            None => None,
+        };
+        let mut start_epoch = 0usize;
+        let mut resumed_from = None;
+        if let (Some(mgr), Some(c)) = (&manager, ckpt) {
+            if c.resume {
+                if let Some(res) = mgr.load_latest_valid(&mut self.store)? {
+                    // A v1 / weights-only file restores the parameters but
+                    // carries no trainer state: keep the loaded weights and
+                    // train the full schedule from epoch 0.
+                    if let Some(trainer) = res.trainer {
+                        opt.restore(trainer.adam);
+                        start_epoch = (trainer.epochs_done as usize).min(t.epochs);
+                    }
+                    stisan_obs::counter("checkpoint.resumes", 1);
+                    stisan_obs::vlog!(
+                        t.verbose,
+                        "  [STiSAN] resuming from {} at epoch {start_epoch}",
+                        res.path.display()
+                    );
+                    resumed_from = Some(res.path);
+                }
+            }
+        }
+
+        for epoch in start_epoch..t.epochs {
             let _epoch_span = stisan_obs::span("epoch");
             let epoch_t0 = Instant::now();
+            // All of this epoch's randomness (shuffle + negative sampling)
+            // comes from a stream derived from (seed, epoch) alone, and the
+            // batcher starts from identity order — resume replays epoch k
+            // exactly, regardless of which epochs ran in this process.
+            let mut rng = epoch_rng(t.seed ^ 0x57AB, epoch);
+            let mut batcher = Batcher::new(data.train.len(), t.batch);
             batcher.shuffle(&mut rng);
             let idx_lists: Vec<Vec<usize>> = batcher.batches().map(|c| c.to_vec()).collect();
             let mut total = 0.0f64;
@@ -389,16 +476,10 @@ impl StiSan {
             for idxs in idx_lists {
                 let batch = SeqBatch::from_train(data, &idxs);
                 let negs = batch.sample_negatives(l, |tgt, l| sampler.sample(tgt, l, &mut rng));
-                let step = self.train_step(data, &batch, &negs, l, &mut opt, epoch);
+                let step =
+                    self.train_step(data, &batch, &negs, l, &mut opt, epoch, nonfinite == 0);
                 if step.skipped {
                     nonfinite += 1;
-                    stisan_obs::counter("train.nonfinite_steps", 1);
-                    if nonfinite == 1 {
-                        stisan_obs::warn!(
-                            "[STiSAN] epoch {epoch}: non-finite loss or gradient (loss {}, grad norm {}), skipping optimizer step",
-                            step.loss, step.grad_norm
-                        );
-                    }
                 } else {
                     total += step.loss as f64;
                     grad_norm_total += step.grad_norm as f64;
@@ -423,9 +504,22 @@ impl StiSan {
                 t.verbose,
                 "  [STiSAN] epoch {epoch}: loss {loss:.4}"
             );
+            let done = epoch + 1;
+            if let (Some(mgr), Some(c)) = (&manager, ckpt) {
+                if done == t.epochs || (c.every > 0 && done.is_multiple_of(c.every)) {
+                    let trainer = TrainState {
+                        adam: opt.state(),
+                        epochs_done: done as u64,
+                        rng_seed: t.seed,
+                    };
+                    mgr.save(&self.store, Some(&trainer), done as u64)?;
+                }
+            }
         }
+        Ok(FitSummary { start_epoch, epochs_run: t.epochs - start_epoch, resumed_from })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn train_step(
         &mut self,
         data: &Processed,
@@ -434,6 +528,7 @@ impl StiSan {
         l: usize,
         opt: &mut Adam,
         epoch: usize,
+        warn: bool,
     ) -> StepOutcome {
         let t = &self.cfg.train;
         let _step_span = stisan_obs::span("step");
@@ -464,26 +559,15 @@ impl StiSan {
         };
         let loss_val = sess.g.value(loss).item();
         let grads = sess.backward_and_grads(loss);
-        let grad_norm = grads.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt();
         // Non-finite guard: a NaN/inf loss or gradient would corrupt every
         // parameter through Adam's moments; drop the step instead.
-        if !loss_val.is_finite() || !grad_norm.is_finite() {
-            return StepOutcome { loss: loss_val, grad_norm, skipped: true };
-        }
-        {
+        let out = check_finite_step(&self.name(), epoch, loss_val, &grads, warn);
+        if !out.skipped {
             let _span = stisan_obs::span("optim");
             opt.step(&mut self.store, &grads, Some(t.grad_clip));
         }
-        StepOutcome { loss: loss_val, grad_norm, skipped: false }
+        out
     }
-}
-
-/// Outcome of one optimizer step (see `StiSan::train_step`).
-struct StepOutcome {
-    loss: f32,
-    grad_norm: f32,
-    /// True when the non-finite guard dropped the optimizer step.
-    skipped: bool,
 }
 
 impl Recommender for StiSan {

@@ -1,0 +1,178 @@
+//! Fault-injection suite: torn writes, truncation, and bit-flips against
+//! the checkpoint store. Recovery must never panic and never silently load
+//! corrupt state — it either falls back to an older valid checkpoint or
+//! reports that nothing is loadable.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stisan_core::{CheckpointConfig, StiSan, StisanConfig};
+use stisan_data::{generate, preprocess, DatasetPreset, GenConfig, PrepConfig, Processed};
+use stisan_models::TrainConfig;
+use stisan_nn::fault::{flip_bit, torn_write, truncate_file, FaultyWriter};
+use stisan_nn::{CheckpointManager, LoadError, ParamStore};
+use stisan_tensor::Array;
+
+fn sample_store(seed: u64) -> ParamStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    store.register("w", Array::randn(vec![6, 4], 1.0, &mut rng));
+    store.register("b", Array::randn(vec![4], 1.0, &mut rng));
+    store
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stisan_fault_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Saves epochs 1 and 2 and returns (manager, source store, path of epoch 2).
+fn two_checkpoints(dir: &PathBuf) -> (CheckpointManager, ParamStore, PathBuf) {
+    let mgr = CheckpointManager::new(dir, 5).unwrap();
+    let src = sample_store(1);
+    mgr.save(&src, None, 1).unwrap();
+    let p2 = mgr.save(&src, None, 2).unwrap();
+    (mgr, src, p2)
+}
+
+fn assert_recovers_epoch_1(mgr: &CheckpointManager, src: &ParamStore) {
+    let mut dst = sample_store(99);
+    let res = mgr.load_latest_valid(&mut dst).unwrap();
+    let res = res.expect("an intact predecessor checkpoint exists");
+    assert_eq!(res.epoch, 1, "must fall back to the intact predecessor");
+    for id in src.ids() {
+        assert_eq!(src.value(id).data(), dst.value(id).data());
+    }
+}
+
+#[test]
+fn torn_write_at_final_name_falls_back() {
+    let dir = tmpdir("torn");
+    let (mgr, src, p2) = two_checkpoints(&dir);
+    // A crash that tore the newest checkpoint mid-write: only a prefix of
+    // epoch 3's bytes reached the final name.
+    let bytes = std::fs::read(&p2).unwrap();
+    torn_write(&mgr.path_for(3), &bytes, bytes.len() / 3).unwrap();
+
+    let mut dst = sample_store(99);
+    let res = mgr.load_latest_valid(&mut dst).unwrap().unwrap();
+    assert_eq!(res.epoch, 2, "torn epoch-3 file must be skipped");
+    assert!(
+        dir.join("ckpt-00000003.stsn.corrupt").exists(),
+        "torn file must be quarantined"
+    );
+    drop(src);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_newest_falls_back() {
+    let dir = tmpdir("trunc");
+    let (mgr, src, p2) = two_checkpoints(&dir);
+    let len = std::fs::metadata(&p2).unwrap().len();
+    truncate_file(&p2, len / 2).unwrap();
+    assert_recovers_epoch_1(&mgr, &src);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_single_bit_flip_in_the_footer_region_falls_back() {
+    // Exhaustive over the last 64 bytes (covers the CRC itself and the tail
+    // of the payload); each flip must be detected, never silently loaded.
+    let dir = tmpdir("bitflip");
+    let (mgr, src, p2) = two_checkpoints(&dir);
+    let pristine = std::fs::read(&p2).unwrap();
+    let len = pristine.len();
+    for byte in (len - 64..len).step_by(7) {
+        for bit in [0u8, 5] {
+            std::fs::write(&p2, &pristine).unwrap();
+            flip_bit(&p2, byte, bit).unwrap();
+            assert_recovers_epoch_1(&mgr, &src);
+            // Un-quarantine for the next iteration.
+            let q = dir.join("ckpt-00000002.stsn.corrupt");
+            assert!(q.exists(), "flipped byte {byte} bit {bit} not quarantined");
+            std::fs::remove_file(&q).unwrap();
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_checkpoints_corrupt_recovers_nothing() {
+    let dir = tmpdir("allcorrupt");
+    let mgr = CheckpointManager::new(&dir, 5).unwrap();
+    let src = sample_store(1);
+    let p1 = mgr.save(&src, None, 1).unwrap();
+    flip_bit(&p1, 10, 2).unwrap();
+
+    let mut dst = sample_store(99);
+    let before: Vec<Vec<f32>> = dst.ids().map(|id| dst.value(id).data().to_vec()).collect();
+    let res = mgr.load_latest_valid(&mut dst).unwrap();
+    assert!(res.is_none(), "corrupt state must never be loaded");
+    // The destination store is untouched.
+    for (id, orig) in dst.ids().zip(before.iter()) {
+        assert_eq!(dst.value(id).data(), &orig[..]);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faulty_writer_output_is_rejected_not_loaded() {
+    let src = sample_store(1);
+    let bytes = src.to_bytes();
+    // A writer that claims success but persists only the first 60%.
+    let mut w = FaultyWriter::new(Vec::new(), bytes.len() * 3 / 5);
+    w.write_all(&bytes).unwrap();
+    let persisted = w.into_inner();
+    assert!(persisted.len() < bytes.len());
+
+    let mut dst = sample_store(99);
+    match dst.load_bytes(&persisted) {
+        Err(LoadError::Format(_)) => {}
+        other => panic!("torn payload must be a format error, got {other:?}"),
+    }
+}
+
+#[test]
+fn training_resumes_through_a_corrupt_newest_checkpoint() {
+    let p: Processed = {
+        let cfg = GenConfig {
+            users: 20,
+            pois: 100,
+            mean_seq_len: 25.0,
+            ..DatasetPreset::Gowalla.config(0.01)
+        };
+        let d = generate(&cfg, 77);
+        preprocess(&d, &PrepConfig { max_len: 8, min_user_checkins: 12, min_poi_interactions: 1 })
+    };
+    let cfg = |epochs: usize| StisanConfig {
+        train: TrainConfig {
+            dim: 8,
+            blocks: 1,
+            epochs,
+            batch: 16,
+            dropout: 0.0,
+            negatives: 3,
+            neg_pool: 30,
+            temperature: 1.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let dir = tmpdir("e2e");
+    let cc = CheckpointConfig::new(&dir);
+
+    let mut first = StiSan::new(&p, cfg(2));
+    first.fit_with_checkpoints(&p, Some(&cc)).unwrap();
+    // Corrupt the epoch-2 checkpoint; epoch 1 stays intact.
+    flip_bit(&dir.join("ckpt-00000002.stsn"), 42, 1).unwrap();
+
+    let mut resumed = StiSan::new(&p, cfg(3));
+    let s = resumed.fit_with_checkpoints(&p, Some(&cc)).unwrap();
+    assert_eq!(s.start_epoch, 1, "must resume from the intact epoch-1 checkpoint");
+    assert_eq!(s.epochs_run, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -30,6 +30,58 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// How [`load_snap_with`] treats malformed records.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadOptions {
+    /// In lenient mode a malformed line (wrong field count, unparsable
+    /// timestamp/coordinates, out-of-range or non-finite values) is skipped
+    /// and counted instead of aborting the load. Real LBSN dumps contain a
+    /// handful of such records; losing one line beats losing the run.
+    pub lenient: bool,
+}
+
+/// A dataset together with the records the lenient loader dropped.
+#[derive(Debug)]
+pub struct SnapLoad {
+    /// The parsed dataset.
+    pub dataset: Dataset,
+    /// Malformed records skipped (always 0 in strict mode, which errors
+    /// instead). Also emitted as the `data.quarantined_records` counter.
+    pub quarantined: usize,
+}
+
+/// One parsed SNAP line, before id re-mapping.
+struct RawRecord<'a> {
+    user: &'a str,
+    poi: &'a str,
+    time: f64,
+    lat: f64,
+    lon: f64,
+}
+
+/// Validates one non-empty SNAP line.
+fn parse_snap_line(line: &str, lineno: usize) -> Result<RawRecord<'_>, ParseError> {
+    let err = |message: String| ParseError { line: lineno, message };
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 5 {
+        return Err(err(format!("expected 5 tab-separated fields, got {}", fields.len())));
+    }
+    let time = parse_iso8601(fields[1])
+        .ok_or_else(|| err(format!("bad timestamp '{}'", fields[1])))?;
+    if !time.is_finite() {
+        return Err(err(format!("non-finite timestamp '{}'", fields[1])));
+    }
+    let lat: f64 =
+        fields[2].parse().map_err(|_| err(format!("bad latitude '{}'", fields[2])))?;
+    let lon: f64 =
+        fields[3].parse().map_err(|_| err(format!("bad longitude '{}'", fields[3])))?;
+    // NaN fails both range checks, so non-finite coordinates land here too.
+    if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+        return Err(err(format!("coordinates out of range ({lat}, {lon})")));
+    }
+    Ok(RawRecord { user: fields[0], poi: fields[4], time, lat, lon })
+}
+
 /// Parses a SNAP-format check-in stream
 /// (`user<TAB>time<TAB>lat<TAB>lon<TAB>location_id`, one check-in per line,
 /// newest first per user — as distributed for Gowalla/Brightkite).
@@ -38,14 +90,20 @@ impl std::error::Error for ParseError {}
 /// * Timestamps are ISO-8601 `YYYY-MM-DDTHH:MM:SSZ`, converted to seconds
 ///   since the dataset's earliest check-in.
 /// * Per-user sequences are sorted chronologically.
-/// * Lines with unparsable coordinates are rejected with a [`ParseError`].
-pub fn load_snap(reader: impl Read, name: &str) -> Result<Dataset, ParseError> {
+/// * Lines with unparsable coordinates are rejected with a [`ParseError`]
+///   (strict mode) or skipped and counted (`lenient`).
+pub fn load_snap_with(
+    reader: impl Read,
+    name: &str,
+    opts: LoadOptions,
+) -> Result<SnapLoad, ParseError> {
     let reader = BufReader::new(reader);
     let mut poi_ids: HashMap<String, u32> = HashMap::new();
     let mut pois: Vec<Poi> = Vec::new();
     let mut user_ids: HashMap<String, usize> = HashMap::new();
     let mut users: Vec<Vec<CheckIn>> = Vec::new();
     let mut min_time = f64::INFINITY;
+    let mut quarantined = 0usize;
 
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
@@ -53,50 +111,51 @@ pub fn load_snap(reader: impl Read, name: &str) -> Result<Dataset, ParseError> {
         if line.trim().is_empty() {
             continue;
         }
-        let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 5 {
-            return Err(ParseError {
-                line: lineno,
-                message: format!("expected 5 tab-separated fields, got {}", fields.len()),
-            });
-        }
-        let time = parse_iso8601(fields[1])
-            .ok_or_else(|| ParseError { line: lineno, message: format!("bad timestamp '{}'", fields[1]) })?;
-        let lat: f64 = fields[2]
-            .parse()
-            .map_err(|_| ParseError { line: lineno, message: format!("bad latitude '{}'", fields[2]) })?;
-        let lon: f64 = fields[3]
-            .parse()
-            .map_err(|_| ParseError { line: lineno, message: format!("bad longitude '{}'", fields[3]) })?;
-        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
-            return Err(ParseError { line: lineno, message: format!("coordinates out of range ({lat}, {lon})") });
-        }
+        let rec = match parse_snap_line(&line, lineno) {
+            Ok(rec) => rec,
+            Err(e) if opts.lenient => {
+                quarantined += 1;
+                stisan_obs::counter("data.quarantined_records", 1);
+                if quarantined == 1 {
+                    stisan_obs::warn!("[{name}] skipping malformed record at {e}");
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
 
-        let poi = *poi_ids.entry(fields[4].to_string()).or_insert_with(|| {
-            pois.push(Poi { id: pois.len() as u32, loc: GeoPoint::new(lat, lon) });
+        let poi = *poi_ids.entry(rec.poi.to_string()).or_insert_with(|| {
+            pois.push(Poi { id: pois.len() as u32, loc: GeoPoint::new(rec.lat, rec.lon) });
             (pois.len() - 1) as u32
         });
-        let user = *user_ids.entry(fields[0].to_string()).or_insert_with(|| {
+        let user = *user_ids.entry(rec.user.to_string()).or_insert_with(|| {
             users.push(Vec::new());
             users.len() - 1
         });
-        users[user].push(CheckIn { poi, time });
-        if time < min_time {
-            min_time = time;
+        users[user].push(CheckIn { poi, time: rec.time });
+        if rec.time < min_time {
+            min_time = rec.time;
         }
     }
 
     // Normalize times to the dataset epoch and sort chronologically.
+    // `total_cmp` keeps the sort panic-free even if a non-finite time ever
+    // slips through a future parsing path.
     if min_time.is_finite() {
         for seq in &mut users {
             for c in seq.iter_mut() {
                 c.time -= min_time;
             }
-            seq.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+            seq.sort_by(|a, b| a.time.total_cmp(&b.time));
         }
     }
 
-    Ok(Dataset { name: name.to_string(), pois, users })
+    Ok(SnapLoad { dataset: Dataset { name: name.to_string(), pois, users }, quarantined })
+}
+
+/// Strict-mode [`load_snap_with`]: the first malformed line aborts the load.
+pub fn load_snap(reader: impl Read, name: &str) -> Result<Dataset, ParseError> {
+    load_snap_with(reader, name, LoadOptions::default()).map(|l| l.dataset)
 }
 
 /// Writes a dataset back out in the SNAP format (users in id order,
@@ -229,6 +288,41 @@ mod tests {
             assert_eq!(format_iso8601(t), s);
         }
         assert_eq!(parse_iso8601("1970-01-01T00:00:00Z"), Some(0.0));
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts_bad_records() {
+        let input = "\
+0\t2010-10-19T23:55:27Z\t30.2359091167\t-97.7951395833\t22847
+garbage line without tabs
+0\t2010-10-18T22:17:43Z\tNaN\t-97.7493953705\t420315
+0\t2010-10-18T22:17:43Z\t30.0\t-97.0\t420315
+1\tnot-a-time\t30.2557309927\t-97.7633857727\t316637
+";
+        let l = load_snap_with(input.as_bytes(), "g", LoadOptions { lenient: true }).unwrap();
+        assert_eq!(l.quarantined, 3);
+        assert_eq!(l.dataset.users.len(), 1, "only user 0 has valid records");
+        assert_eq!(l.dataset.users[0].len(), 2);
+        assert!(l.dataset.is_chronological());
+        // The same input aborts in strict mode.
+        assert!(load_snap(input.as_bytes(), "g").is_err());
+    }
+
+    #[test]
+    fn lenient_mode_counts_nothing_on_clean_input() {
+        let l = load_snap_with(SAMPLE.as_bytes(), "g", LoadOptions { lenient: true }).unwrap();
+        assert_eq!(l.quarantined, 0);
+        assert_eq!(l.dataset.users.len(), 2);
+    }
+
+    #[test]
+    fn nan_coordinates_are_rejected_not_panicked() {
+        // NaN lat/lon must fail the range check (a panic here was the old
+        // failure mode via partial_cmp in the chronological sort).
+        let bad = "0\t2010-10-19T23:55:27Z\tNaN\tNaN\t1";
+        let err = load_snap(bad.as_bytes(), "x").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("out of range"), "{}", err.message);
     }
 
     #[test]

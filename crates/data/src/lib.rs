@@ -25,7 +25,7 @@ pub mod synth;
 pub mod types;
 
 pub use batch::{Batcher, KnnNegativeSampler};
-pub use io::{load_snap, save_snap};
+pub use io::{load_snap, load_snap_with, save_snap, LoadOptions, ParseError, SnapLoad};
 pub use prep::{preprocess, EvalInstance, PrepConfig, Processed, Seq};
 pub use relation::{iaab_bias, relation_matrix, RelationConfig};
 pub use synth::{generate, DatasetPreset, GenConfig};

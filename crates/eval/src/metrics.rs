@@ -166,6 +166,33 @@ mod tests {
     }
 
     #[test]
+    fn huge_ranks_contribute_nothing_but_count() {
+        let mut a = MetricsAccum::new();
+        a.add_rank(usize::MAX - 2); // must not overflow or produce NaN
+        a.add_rank(0);
+        let m = a.finalize();
+        assert_eq!(a.count(), 2);
+        assert!((m.hr5 - 0.5).abs() < 1e-12);
+        assert!(m.ndcg10.is_finite() && m.ndcg10 > 0.0);
+    }
+
+    #[test]
+    fn empty_meanvar_is_zero() {
+        let mv = MeanVar::new();
+        assert_eq!(mv.mean(), 0.0);
+        assert_eq!(mv.variance(), 0.0);
+        assert!(!mv.row().contains("NaN"));
+    }
+
+    #[test]
+    fn single_round_has_zero_variance() {
+        let mut mv = MeanVar::new();
+        mv.push(0.42);
+        assert!((mv.mean() - 0.42).abs() < 1e-12);
+        assert_eq!(mv.variance(), 0.0);
+    }
+
+    #[test]
     fn meanvar_matches_closed_form() {
         let mut mv = MeanVar::new();
         for x in [1.0, 2.0, 3.0, 4.0] {

@@ -51,21 +51,47 @@ pub fn build_candidates(data: &Processed, num_negatives: usize) -> CandidateSet 
 /// The target's rank is the number of candidates scoring *strictly higher*
 /// (ties resolve in the target's favour, matching the usual sampled-metric
 /// convention).
+///
+/// Degenerate inputs never panic: an empty test set yields
+/// [`Metrics::default`] with a warning, candidate lists without negatives
+/// are skipped, and a model returning the wrong number of scores loses that
+/// instance (counted in `eval.skipped_instances`) instead of aborting the
+/// whole evaluation.
 pub fn evaluate(model: &dyn Recommender, data: &Processed, cands: &CandidateSet) -> Metrics {
     let _span = stisan_obs::span("eval");
     let t0 = std::time::Instant::now();
+    if data.eval.is_empty() || cands.candidates.is_empty() {
+        stisan_obs::warn!("{}: empty evaluation set, reporting zero metrics", model.name());
+        return Metrics::default();
+    }
     let mut accum = MetricsAccum::new();
     let mut instances = 0u64;
+    let mut skipped = 0u64;
     for (inst, c) in data.eval.iter().zip(&cands.candidates) {
         if c.len() < 2 {
             continue; // degenerate: no negatives available
         }
         let scores = model.score(data, inst, c);
-        assert_eq!(scores.len(), c.len(), "{}: scored {} of {} candidates", model.name(), scores.len(), c.len());
+        if scores.len() != c.len() {
+            skipped += 1;
+            stisan_obs::counter("eval.skipped_instances", 1);
+            if skipped == 1 {
+                stisan_obs::warn!(
+                    "{}: scored {} of {} candidates, skipping instance",
+                    model.name(),
+                    scores.len(),
+                    c.len()
+                );
+            }
+            continue;
+        }
         let target_score = scores[0];
         let rank = scores[1..].iter().filter(|&&s| s > target_score).count();
         accum.add_rank(rank);
         instances += 1;
+    }
+    if accum.count() == 0 {
+        stisan_obs::warn!("{}: no scorable instances, reporting zero metrics", model.name());
     }
     stisan_obs::counter("eval.instances", instances);
     let wall = t0.elapsed().as_secs_f64();
@@ -137,6 +163,42 @@ mod tests {
         let m = evaluate(&Oracle, &p, &cs);
         assert_eq!(m.hr5, 1.0);
         assert!((m.ndcg10 - 1.0).abs() < 1e-12);
+    }
+
+    /// A broken model that returns too few scores for every instance.
+    struct ShortScorer;
+    impl Recommender for ShortScorer {
+        fn name(&self) -> String {
+            "short".into()
+        }
+        fn score(&self, _d: &Processed, _i: &EvalInstance, c: &[u32]) -> Vec<f32> {
+            vec![0.0; c.len().saturating_sub(1)]
+        }
+    }
+
+    #[test]
+    fn empty_eval_set_reports_zero_metrics() {
+        let mut p = processed();
+        p.eval.clear();
+        let cs = CandidateSet { candidates: Vec::new() };
+        assert_eq!(evaluate(&Oracle, &p, &cs), Metrics::default());
+    }
+
+    #[test]
+    fn zero_length_candidate_lists_are_skipped() {
+        let p = processed();
+        let cs = CandidateSet { candidates: p.eval.iter().map(|_| Vec::new()).collect() };
+        assert_eq!(evaluate(&Oracle, &p, &cs), Metrics::default());
+        // Target-only lists (no negatives) are equally degenerate.
+        let cs = CandidateSet { candidates: p.eval.iter().map(|i| vec![i.target]).collect() };
+        assert_eq!(evaluate(&Oracle, &p, &cs), Metrics::default());
+    }
+
+    #[test]
+    fn wrong_score_count_skips_instance_without_panicking() {
+        let p = processed();
+        let cs = build_candidates(&p, 20);
+        assert_eq!(evaluate(&ShortScorer, &p, &cs), Metrics::default());
     }
 
     #[test]

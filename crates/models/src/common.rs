@@ -7,9 +7,61 @@
 //! flat index/mask/interval buffers the models consume.
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use stisan_data::{EvalInstance, Processed, Seq};
+use stisan_nn::ParamId;
 use stisan_tensor::Array;
+
+/// Derives the RNG for one training epoch from `(seed, epoch)` via a
+/// splitmix64 finalizer, so every epoch's shuffle/negative-sampling stream is
+/// a pure function of the seed and the epoch index.
+///
+/// This is what makes checkpoint resume bit-exact: a run resumed at epoch
+/// `e` regenerates exactly the stream an uninterrupted run would have used,
+/// with no RNG state to carry across the crash (the checkpoint only stores
+/// the seed and the epoch counter).
+pub fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
+    let mut z = seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Outcome of one optimizer step under the non-finite guard.
+#[derive(Clone, Copy, Debug)]
+pub struct StepOutcome {
+    /// The step's loss (possibly non-finite).
+    pub loss: f32,
+    /// Global L2 norm of the gradients (possibly non-finite).
+    pub grad_norm: f32,
+    /// True when the guard dropped the optimizer step.
+    pub skipped: bool,
+}
+
+/// The shared non-finite guard: a NaN/inf loss or gradient would corrupt
+/// every parameter through Adam's moments, so such steps must be dropped
+/// instead of applied. Counts dropped steps in `train.nonfinite_steps` and
+/// warns when `warn` is set (callers pass "first occurrence this epoch" to
+/// avoid log spam).
+pub fn check_finite_step(
+    model: &str,
+    epoch: usize,
+    loss: f32,
+    grads: &[(ParamId, Array)],
+    warn: bool,
+) -> StepOutcome {
+    let grad_norm = grads.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt();
+    let skipped = !loss.is_finite() || !grad_norm.is_finite();
+    if skipped {
+        stisan_obs::counter("train.nonfinite_steps", 1);
+        if warn {
+            stisan_obs::warn!(
+                "[{model}] epoch {epoch}: non-finite loss or gradient (loss {loss}, grad norm {grad_norm}), skipping optimizer step"
+            );
+        }
+    }
+    StepOutcome { loss, grad_norm, skipped }
+}
 
 /// Hyper-parameters shared by the neural models.
 #[derive(Clone, Debug)]
@@ -471,6 +523,35 @@ mod tests {
                 assert_eq!(m.at(&[0, row, j]), 0.0);
             }
         }
+    }
+
+    #[test]
+    fn epoch_rng_is_deterministic_and_epoch_dependent() {
+        use rand::RngCore;
+        let (mut ra, mut rb) = (epoch_rng(42, 3), epoch_rng(42, 3));
+        let a: Vec<u32> = (0..8).map(|_| ra.next_u32()).collect();
+        let b: Vec<u32> = (0..8).map(|_| rb.next_u32()).collect();
+        assert_eq!(a, b, "same (seed, epoch) must give the same stream");
+        let mut r0 = epoch_rng(42, 0);
+        let mut r1 = epoch_rng(42, 1);
+        let s0: Vec<u32> = (0..8).map(|_| r0.next_u32()).collect();
+        let s1: Vec<u32> = (0..8).map(|_| r1.next_u32()).collect();
+        assert_ne!(s0, s1, "different epochs must decorrelate");
+    }
+
+    #[test]
+    fn nonfinite_guard_skips_bad_steps() {
+        use stisan_nn::ParamStore;
+        let mut store = ParamStore::new();
+        let id = store.register("w", Array::scalar(0.0));
+        let ok = check_finite_step("T", 0, 0.5, &[(id, Array::scalar(1.0))], false);
+        assert!(!ok.skipped);
+        assert!((ok.grad_norm - 1.0).abs() < 1e-6);
+        let bad_loss = check_finite_step("T", 0, f32::NAN, &[(id, Array::scalar(1.0))], false);
+        assert!(bad_loss.skipped);
+        let bad_grad =
+            check_finite_step("T", 0, 0.5, &[(id, Array::scalar(f32::INFINITY))], false);
+        assert!(bad_grad.skipped);
     }
 
     #[test]

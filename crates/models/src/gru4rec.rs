@@ -9,7 +9,9 @@ use stisan_eval::Recommender;
 use stisan_nn::{bce_loss, Adam, Embedding, GruCell, ParamStore, Session};
 use stisan_tensor::Var;
 
-use crate::common::{dot_scores, interleave_candidates, uniform_negatives, SeqBatch, TrainConfig};
+use crate::common::{
+    check_finite_step, dot_scores, interleave_candidates, uniform_negatives, SeqBatch, TrainConfig,
+};
 
 /// A single-layer GRU sequence model scoring candidates by inner product.
 pub struct Gru4Rec {
@@ -58,6 +60,7 @@ impl Gru4Rec {
             let idx_lists: Vec<Vec<usize>> = batcher.batches().map(|c| c.to_vec()).collect();
             let mut total = 0.0f64;
             let mut steps = 0usize;
+            let mut nonfinite = 0u64;
             for idxs in idx_lists {
                 let batch = SeqBatch::from_train(data, &idxs);
                 let negs = batch.sample_negatives(l, |t, l| uniform_negatives(data.num_pois, t, l, &mut rng));
@@ -71,10 +74,16 @@ impl Gru4Rec {
                 let pos = sess.g.reshape(pos, vec![batch.b, batch.n]);
                 let neg = sess.g.slice_last(y, 1, l);
                 let loss = bce_loss(&mut sess, pos, neg, &batch.step_mask);
-                total += sess.g.value(loss).item() as f64;
-                steps += 1;
+                let loss_val = sess.g.value(loss).item();
                 let grads = sess.backward_and_grads(loss);
-                opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
+                let step = check_finite_step("GRU4Rec", epoch, loss_val, &grads, nonfinite == 0);
+                if step.skipped {
+                    nonfinite += 1;
+                } else {
+                    opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
+                    total += loss_val as f64;
+                    steps += 1;
+                }
                 stisan_obs::counter("train.steps", 1);
             }
             stisan_obs::vlog!(

@@ -19,7 +19,10 @@ use stisan_nn::{
 use stisan_tensor::Array;
 use stisan_tensor::Var;
 
-use crate::common::{dot_scores, interleave_candidates, uniform_negatives, EncoderBlock, SeqBatch, TrainConfig};
+use crate::common::{
+    check_finite_step, dot_scores, interleave_candidates, uniform_negatives, EncoderBlock,
+    SeqBatch, StepOutcome, TrainConfig,
+};
 
 /// How sequence positions are encoded (Fig 4's comparison).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -155,13 +158,18 @@ impl SasRec {
             batcher.shuffle(&mut rng);
             let mut total = 0.0f64;
             let mut steps = 0usize;
+            let mut nonfinite = 0u64;
             let idx_lists: Vec<Vec<usize>> = batcher.batches().map(|c| c.to_vec()).collect();
             for idxs in idx_lists {
                 let batch = SeqBatch::from_train(data, &idxs);
                 let negs = batch.sample_negatives(l, |t, l| uniform_negatives(data.num_pois, t, l, &mut rng));
-                let loss_val = self.train_step(data, &batch, &negs, l, &mut opt, epoch);
-                total += loss_val as f64;
-                steps += 1;
+                let step = self.train_step(data, &batch, &negs, l, &mut opt, epoch, nonfinite == 0);
+                if step.skipped {
+                    nonfinite += 1;
+                } else {
+                    total += step.loss as f64;
+                    steps += 1;
+                }
                 stisan_obs::counter("train.steps", 1);
             }
             stisan_obs::vlog!(
@@ -173,6 +181,7 @@ impl SasRec {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal step plumbing
     fn train_step(
         &mut self,
         data: &Processed,
@@ -181,7 +190,8 @@ impl SasRec {
         l: usize,
         opt: &mut Adam,
         epoch: usize,
-    ) -> f32 {
+        warn: bool,
+    ) -> StepOutcome {
         let _step_span = stisan_obs::span("step");
         let mut sess = Session::new(&self.store, true, self.cfg.seed ^ (epoch as u64) << 17);
         let (f, _) = self.encode(&mut sess, data, batch);
@@ -194,8 +204,11 @@ impl SasRec {
         let loss = bce_loss(&mut sess, pos, neg, &batch.step_mask);
         let loss_val = sess.g.value(loss).item();
         let grads = sess.backward_and_grads(loss);
-        opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
-        loss_val
+        let out = check_finite_step(&self.name(), epoch, loss_val, &grads, warn);
+        if !out.skipped {
+            opt.step(&mut self.store, &grads, Some(self.cfg.grad_clip));
+        }
+        out
     }
 
     /// The attention weights of the last block for one evaluation instance

@@ -1,0 +1,131 @@
+//! Fault injection for robustness tests: torn writes, truncation, and bit
+//! flips against checkpoint files.
+//!
+//! These helpers simulate the storage failures a long training run can hit —
+//! a process killed mid-write, a file truncated by a full disk, a flipped
+//! bit from a bad sector — so integration tests can prove the loader either
+//! recovers a predecessor checkpoint or reports a typed error, and never
+//! panics or silently loads corrupt state. See `crates/core/tests/`.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A [`Write`] wrapper that persists only the first `budget` bytes and
+/// silently discards the rest — the classic *torn write*: the process
+/// believes it wrote everything, but the tail never reached the disk.
+pub struct FaultyWriter<W> {
+    inner: W,
+    budget: usize,
+    written: usize,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, persisting at most `budget` bytes.
+    pub fn new(inner: W, budget: usize) -> Self {
+        FaultyWriter { inner, budget, written: 0 }
+    }
+
+    /// How many bytes actually reached the inner writer.
+    pub fn persisted(&self) -> usize {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let room = self.budget.saturating_sub(self.written);
+        let take = room.min(buf.len());
+        if take > 0 {
+            self.inner.write_all(&buf[..take])?;
+            self.written += take;
+        }
+        // Report full success: the caller never learns the tail was lost,
+        // exactly like a crash after a partially flushed page cache.
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Truncates the file at `path` to its first `keep` bytes (no-op if it is
+/// already shorter).
+pub fn truncate_file(path: &Path, keep: u64) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if keep < len {
+        f.set_len(keep)?;
+        f.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Flips bit `bit` (0–7) of the byte at `byte_index` in the file at `path`.
+pub fn flip_bit(path: &Path, byte_index: usize, bit: u8) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if byte_index >= bytes.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("byte {byte_index} out of range ({} bytes)", bytes.len()),
+        ));
+    }
+    bytes[byte_index] ^= 1 << (bit & 7);
+    fs::write(path, bytes)
+}
+
+/// Overwrites the file at `path` with only the first `keep` bytes of
+/// `bytes` — a torn write landed at the *final* name, as a non-atomic saver
+/// killed mid-`write_all` would leave it.
+pub fn torn_write(path: &Path, bytes: &[u8], keep: usize) -> io::Result<()> {
+    let mut w = FaultyWriter::new(fs::File::create(path)?, keep);
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("stisan_fault_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn faulty_writer_drops_the_tail() {
+        let mut sink = Vec::new();
+        {
+            let mut w = FaultyWriter::new(&mut sink, 5);
+            w.write_all(b"abc").unwrap();
+            w.write_all(b"defgh").unwrap();
+            assert_eq!(w.persisted(), 5);
+        }
+        assert_eq!(sink, b"abcde");
+    }
+
+    #[test]
+    fn truncate_and_flip_mutate_files() {
+        let p = tmpfile("mutate");
+        fs::write(&p, b"hello world").unwrap();
+        truncate_file(&p, 5).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"hello");
+        flip_bit(&p, 0, 0).unwrap();
+        assert_eq!(fs::read(&p).unwrap()[0], b'h' ^ 1);
+        assert!(flip_bit(&p, 999, 0).is_err());
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix() {
+        let p = tmpfile("torn");
+        torn_write(&p, b"0123456789", 4).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"0123");
+        fs::remove_file(&p).ok();
+    }
+}

@@ -29,6 +29,8 @@
 //! ```
 
 mod attention;
+mod checkpoint;
+pub mod fault;
 mod layers;
 mod loss;
 mod masks;
@@ -39,11 +41,12 @@ mod rnn;
 mod serialize;
 
 pub use attention::{attention, AttentionOutput};
+pub use checkpoint::{write_atomic, CheckpointError, CheckpointManager, Resumed};
 pub use layers::{Embedding, FeedForward, LayerNorm, Linear};
 pub use loss::{bce_loss, bpr_loss, weighted_bce_loss};
 pub use masks::{causal_mask, padding_row_mask};
-pub use optim::{Adam, Sgd};
+pub use optim::{Adam, AdamState, Sgd};
 pub use param::{ParamId, ParamStore, Session};
 pub use pos::{sinusoidal_encoding, tape_positions, vanilla_positions};
 pub use rnn::{GruCell, LstmCell, StgnCell};
-pub use serialize::LoadError;
+pub use serialize::{crc32, LoadError, TrainState, VERSION};

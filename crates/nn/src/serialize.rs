@@ -4,20 +4,57 @@
 //! Format (little-endian, versioned):
 //!
 //! ```text
-//! magic "STSN" | u32 version | u32 param count |
-//!   per param: u32 name len | name bytes | u32 ndim | u64 dims... | f32 data...
+//! v1 (legacy, weights only — still loadable):
+//!   magic "STSN" | u32 version=1 | u32 param count |
+//!     per param: u32 name len | name bytes | u32 ndim | u64 dims... | f32 data...
+//!
+//! v2 (current — weights + optional trainer state + integrity footer):
+//!   magic "STSN" | u32 version=2 | u32 param count |
+//!     per param: u32 name len | name bytes | u32 ndim | u64 dims... | f32 data...
+//!   u8 trainer flag |
+//!     if 1: u64 adam timestep | u32 slot count |
+//!             per slot (aligned with param order):
+//!               u8 present | if 1: u64 len | f32 m[len]... | f32 v[len]...
+//!           u64 epochs done | u64 rng seed
+//!   u32 crc32 (IEEE, over every preceding byte)
 //! ```
+//!
+//! v2 loads validate the CRC and fully parse the payload **before** touching
+//! the receiving store, so a corrupt or truncated file can never leave a
+//! model half-loaded. v1 files load weights-only (no trainer state comes
+//! back); they predate the CRC footer so they are only guarded by the
+//! structural checks.
 
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use stisan_tensor::Array;
 
+use crate::checkpoint::write_atomic;
+use crate::optim::AdamState;
 use crate::param::ParamStore;
 
 const MAGIC: &[u8; 4] = b"STSN";
-const VERSION: u32 = 1;
+/// Current checkpoint format version (see the module docs for the layout).
+pub const VERSION: u32 = 2;
+const VERSION_V1: u32 = 1;
+
+/// Everything beyond the weights needed to resume training bit-exactly:
+/// optimizer moments, the epoch counter, and the seed that reconstructs the
+/// per-epoch batcher/sampler RNG streams (see
+/// `stisan_models::common::epoch_rng`).
+#[derive(Clone, Debug, Default)]
+pub struct TrainState {
+    /// Adam first/second moments and timestep.
+    pub adam: AdamState,
+    /// Number of fully completed epochs (resume starts at this epoch).
+    pub epochs_done: u64,
+    /// The training seed; per-epoch RNG streams derive from `(seed, epoch)`,
+    /// so together with `epochs_done` this pins shuffling, negative sampling
+    /// and dropout exactly.
+    pub rng_seed: u64,
+}
 
 /// Serialization/IO failures when loading a parameter store.
 #[derive(Debug)]
@@ -48,12 +85,34 @@ impl From<io::Error> for LoadError {
     }
 }
 
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the v2 integrity footer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 impl ParamStore {
-    /// Serializes every parameter (names, shapes, values) to a byte buffer.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
+    fn put_params(&self, buf: &mut BytesMut) {
         buf.put_u32_le(self.len() as u32);
         for id in self.ids() {
             let name = self.name(id).as_bytes();
@@ -68,45 +127,135 @@ impl ParamStore {
                 buf.put_f32_le(v);
             }
         }
+    }
+
+    /// Serializes every parameter (names, shapes, values) to a v2 byte
+    /// buffer with no trainer state. See [`ParamStore::to_bytes_with`].
+    pub fn to_bytes(&self) -> Bytes {
+        self.to_bytes_with(None)
+    }
+
+    /// Serializes the store, and optionally full trainer state, as format v2
+    /// with a CRC32 footer.
+    pub fn to_bytes_with(&self, trainer: Option<&TrainState>) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        self.put_params(&mut buf);
+        match trainer {
+            None => buf.put_u8(0),
+            Some(ts) => {
+                buf.put_u8(1);
+                buf.put_u64_le(ts.adam.t);
+                buf.put_u32_le(self.len() as u32);
+                for i in 0..self.len() {
+                    let m = ts.adam.m.get(i).and_then(|o| o.as_ref());
+                    let v = ts.adam.v.get(i).and_then(|o| o.as_ref());
+                    match (m, v) {
+                        (Some(m), Some(v)) => {
+                            buf.put_u8(1);
+                            buf.put_u64_le(m.len() as u64);
+                            for &x in m.data() {
+                                buf.put_f32_le(x);
+                            }
+                            for &x in v.data() {
+                                buf.put_f32_le(x);
+                            }
+                        }
+                        _ => buf.put_u8(0),
+                    }
+                }
+                buf.put_u64_le(ts.epochs_done);
+                buf.put_u64_le(ts.rng_seed);
+            }
+        }
+        let body = buf.freeze();
+        let crc = crc32(&body);
+        let mut out = BytesMut::with_capacity(body.len() + 4);
+        out.put_slice(&body);
+        out.put_u32_le(crc);
+        out.freeze()
+    }
+
+    /// Serializes in the legacy v1 layout (weights only, no CRC). Kept so
+    /// compatibility with pre-existing checkpoints stays covered by tests;
+    /// new code should write v2 via [`ParamStore::to_bytes`].
+    pub fn to_bytes_v1(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V1);
+        self.put_params(&mut buf);
         buf.freeze()
     }
 
-    /// Restores parameter *values* from [`ParamStore::to_bytes`] output into
-    /// this store. The store must already contain the same parameters (same
+    /// Restores parameter *values* (and, for v2 checkpoints that carry it,
+    /// trainer state) from [`ParamStore::to_bytes_with`] output into this
+    /// store. The store must already contain the same parameters (same
     /// names, same shapes, same order) — i.e. build the model first, then
     /// load its weights.
-    pub fn load_bytes(&mut self, mut buf: &[u8]) -> Result<(), LoadError> {
-        let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), LoadError> {
-            if buf.remaining() < n {
+    ///
+    /// The payload is validated and fully parsed before the store is
+    /// mutated: on any error the store is untouched. Returns the embedded
+    /// [`TrainState`] when present (`None` for v1 or weights-only files).
+    pub fn load_bytes(&mut self, buf: &[u8]) -> Result<Option<TrainState>, LoadError> {
+        let mut cur = buf;
+        let need = |cur: &&[u8], n: usize, what: &str| -> Result<(), LoadError> {
+            if cur.remaining() < n {
                 Err(LoadError::Format(format!("truncated reading {what}")))
             } else {
                 Ok(())
             }
         };
-        need(&buf, 8, "header")?;
+        need(&cur, 8, "header")?;
         let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
+        cur.copy_to_slice(&mut magic);
         if &magic != MAGIC {
             return Err(LoadError::Format("missing STSN magic".into()));
         }
-        let version = buf.get_u32_le();
-        if version != VERSION {
+        let version = cur.get_u32_le();
+        if version != VERSION_V1 && version != VERSION {
             return Err(LoadError::Format(format!("unsupported version {version}")));
         }
-        need(&buf, 4, "param count")?;
-        let count = buf.get_u32_le() as usize;
+        if version == VERSION {
+            // Integrity first: the CRC covers everything before the footer,
+            // so any torn write, truncation or bit flip is caught before we
+            // interpret a single field.
+            if buf.len() < 12 {
+                return Err(LoadError::Format("truncated before crc footer".into()));
+            }
+            let body = &buf[..buf.len() - 4];
+            let stored = u32::from_le_bytes([
+                buf[buf.len() - 4],
+                buf[buf.len() - 3],
+                buf[buf.len() - 2],
+                buf[buf.len() - 1],
+            ]);
+            let computed = crc32(body);
+            if stored != computed {
+                return Err(LoadError::Format(format!(
+                    "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )));
+            }
+            cur = &body[8..]; // past magic+version, excluding the footer
+        }
+
+        // Parse phase: build everything in scratch space, validating against
+        // the store, without mutating it.
+        need(&cur, 4, "param count")?;
+        let count = cur.get_u32_le() as usize;
         if count != self.len() {
             return Err(LoadError::Mismatch(format!(
                 "checkpoint has {count} params, store has {}",
                 self.len()
             )));
         }
+        let mut values = Vec::with_capacity(count);
         for id in self.ids() {
-            need(&buf, 4, "name length")?;
-            let name_len = buf.get_u32_le() as usize;
-            need(&buf, name_len, "name")?;
+            need(&cur, 4, "name length")?;
+            let name_len = cur.get_u32_le() as usize;
+            need(&cur, name_len, "name")?;
             let mut name = vec![0u8; name_len];
-            buf.copy_to_slice(&mut name);
+            cur.copy_to_slice(&mut name);
             let name = String::from_utf8(name)
                 .map_err(|_| LoadError::Format("non-utf8 parameter name".into()))?;
             if name != self.name(id) {
@@ -115,12 +264,12 @@ impl ParamStore {
                     self.name(id)
                 )));
             }
-            need(&buf, 4, "ndim")?;
-            let ndim = buf.get_u32_le() as usize;
-            need(&buf, ndim * 8, "shape")?;
+            need(&cur, 4, "ndim")?;
+            let ndim = cur.get_u32_le() as usize;
+            need(&cur, ndim * 8, "shape")?;
             let mut shape = Vec::with_capacity(ndim);
             for _ in 0..ndim {
-                shape.push(buf.get_u64_le() as usize);
+                shape.push(cur.get_u64_le() as usize);
             }
             if shape != self.value(id).shape() {
                 return Err(LoadError::Mismatch(format!(
@@ -129,27 +278,108 @@ impl ParamStore {
                 )));
             }
             let n: usize = shape.iter().product();
-            need(&buf, n * 4, "data")?;
+            need(&cur, n * 4, "data")?;
             let mut data = Vec::with_capacity(n);
             for _ in 0..n {
-                data.push(buf.get_f32_le());
+                data.push(cur.get_f32_le());
             }
-            *self.value_mut(id) = Array::from_vec(shape, data);
+            values.push(Array::from_vec(shape, data));
         }
-        if buf.has_remaining() {
-            return Err(LoadError::Format(format!("{} trailing bytes", buf.remaining())));
+
+        let trainer = if version == VERSION {
+            need(&cur, 1, "trainer flag")?;
+            match cur.get_u8() {
+                0 => None,
+                1 => Some(self.parse_trainer(&mut cur, need)?),
+                other => {
+                    return Err(LoadError::Format(format!("bad trainer flag {other}")));
+                }
+            }
+        } else {
+            None
+        };
+
+        if cur.has_remaining() {
+            return Err(LoadError::Format(format!("{} trailing bytes", cur.remaining())));
         }
-        Ok(())
+
+        // Commit phase: nothing below can fail.
+        for (id, value) in self.ids().zip(values) {
+            *self.value_mut(id) = value;
+        }
+        Ok(trainer)
     }
 
-    /// Writes the checkpoint to a file.
+    fn parse_trainer(
+        &self,
+        cur: &mut &[u8],
+        need: impl Fn(&&[u8], usize, &str) -> Result<(), LoadError>,
+    ) -> Result<TrainState, LoadError> {
+        need(cur, 12, "adam header")?;
+        let t = cur.get_u64_le();
+        let slots = cur.get_u32_le() as usize;
+        if slots != self.len() {
+            return Err(LoadError::Mismatch(format!(
+                "trainer state has {slots} slots, store has {} params",
+                self.len()
+            )));
+        }
+        let mut m = Vec::with_capacity(slots);
+        let mut v = Vec::with_capacity(slots);
+        for id in self.ids() {
+            need(cur, 1, "adam slot flag")?;
+            if cur.get_u8() == 0 {
+                m.push(None);
+                v.push(None);
+                continue;
+            }
+            need(cur, 8, "adam slot length")?;
+            let len = cur.get_u64_le() as usize;
+            let expect = self.value(id).len();
+            if len != expect {
+                return Err(LoadError::Mismatch(format!(
+                    "adam moment length {len} for '{}' (param has {expect} scalars)",
+                    self.name(id)
+                )));
+            }
+            need(cur, len * 8, "adam moments")?;
+            let shape = self.value(id).shape().to_vec();
+            let mut md = Vec::with_capacity(len);
+            for _ in 0..len {
+                md.push(cur.get_f32_le());
+            }
+            let mut vd = Vec::with_capacity(len);
+            for _ in 0..len {
+                vd.push(cur.get_f32_le());
+            }
+            m.push(Some(Array::from_vec(shape.clone(), md)));
+            v.push(Some(Array::from_vec(shape, vd)));
+        }
+        need(cur, 16, "epoch counter and rng seed")?;
+        let epochs_done = cur.get_u64_le();
+        let rng_seed = cur.get_u64_le();
+        Ok(TrainState { adam: AdamState { t, m, v }, epochs_done, rng_seed })
+    }
+
+    /// Writes the checkpoint to a file **atomically**: the bytes land in a
+    /// sibling `.tmp` file which is fsynced and renamed over `path`, so a
+    /// crash mid-save can never leave a torn file at the final name.
     pub fn save_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(&self.to_bytes())
+        write_atomic(path.as_ref(), &self.to_bytes())
     }
 
-    /// Loads a checkpoint produced by [`ParamStore::save_file`].
-    pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<(), LoadError> {
+    /// [`ParamStore::save_file`] with trainer state included.
+    pub fn save_file_with(
+        &self,
+        path: impl AsRef<Path>,
+        trainer: Option<&TrainState>,
+    ) -> io::Result<()> {
+        write_atomic(path.as_ref(), &self.to_bytes_with(trainer))
+    }
+
+    /// Loads a checkpoint produced by [`ParamStore::save_file`] (or any v1
+    /// file). Returns the trainer state when the file carries one.
+    pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<Option<TrainState>, LoadError> {
         let mut f = std::fs::File::open(path)?;
         let mut buf = Vec::new();
         f.read_to_end(&mut buf)?;
@@ -172,14 +402,83 @@ mod tests {
         store
     }
 
+    fn sample_trainer(store: &ParamStore) -> TrainState {
+        let mut m = Vec::new();
+        let mut v = Vec::new();
+        for (i, id) in store.ids().enumerate() {
+            if i == 1 {
+                // A never-updated slot: lazily initialized optimizers have these.
+                m.push(None);
+                v.push(None);
+            } else {
+                let shape = store.value(id).shape().to_vec();
+                m.push(Some(Array::ones(shape.clone())));
+                v.push(Some(Array::ones(shape)));
+            }
+        }
+        TrainState { adam: AdamState { t: 17, m, v }, epochs_done: 5, rng_seed: 42 }
+    }
+
     #[test]
     fn roundtrip_preserves_values() {
         let src = sample_store(1);
         let bytes = src.to_bytes();
         let mut dst = sample_store(2); // same structure, different values
-        dst.load_bytes(&bytes).unwrap();
+        let trainer = dst.load_bytes(&bytes).unwrap();
+        assert!(trainer.is_none(), "weights-only checkpoint returned trainer state");
         for id in src.ids() {
             assert_eq!(src.value(id).data(), dst.value(id).data());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_trainer_state() {
+        let src = sample_store(1);
+        let ts = sample_trainer(&src);
+        let bytes = src.to_bytes_with(Some(&ts));
+        let mut dst = sample_store(2);
+        let got = dst.load_bytes(&bytes).unwrap().expect("trainer state lost");
+        assert_eq!(got.adam.t, 17);
+        assert_eq!(got.epochs_done, 5);
+        assert_eq!(got.rng_seed, 42);
+        assert!(got.adam.m[1].is_none() && got.adam.v[1].is_none());
+        for i in [0usize, 2] {
+            assert_eq!(got.adam.m[i].as_ref().unwrap().data(), ts.adam.m[i].as_ref().unwrap().data());
+            assert_eq!(got.adam.v[i].as_ref().unwrap().data(), ts.adam.v[i].as_ref().unwrap().data());
+        }
+        for id in src.ids() {
+            assert_eq!(src.value(id).data(), dst.value(id).data());
+        }
+    }
+
+    #[test]
+    fn v1_files_still_load_weights_only() {
+        let src = sample_store(1);
+        let bytes = src.to_bytes_v1();
+        let mut dst = sample_store(2);
+        let trainer = dst.load_bytes(&bytes).unwrap();
+        assert!(trainer.is_none(), "v1 cannot carry trainer state");
+        for id in src.ids() {
+            assert_eq!(src.value(id).data(), dst.value(id).data());
+        }
+    }
+
+    #[test]
+    fn crc_rejects_any_single_flipped_bit() {
+        let src = sample_store(1);
+        let bytes = src.to_bytes_with(Some(&sample_trainer(&src))).to_vec();
+        // Flip one bit in a spread of positions across the file (including
+        // the footer itself) — every corruption must be rejected, and the
+        // destination store must stay exactly as it was.
+        let mut dst = sample_store(2);
+        let before: Vec<Vec<f32>> = dst.ids().map(|id| dst.value(id).data().to_vec()).collect();
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << (pos % 8);
+            let err = dst.load_bytes(&corrupt);
+            assert!(err.is_err(), "accepted a bit flip at byte {pos}");
+            let after: Vec<Vec<f32>> = dst.ids().map(|id| dst.value(id).data().to_vec()).collect();
+            assert_eq!(before, after, "store mutated by rejected load (flip at {pos})");
         }
     }
 
@@ -227,6 +526,21 @@ mod tests {
     }
 
     #[test]
+    fn failed_load_leaves_store_untouched() {
+        let src = sample_store(1);
+        let bytes = src.to_bytes();
+        let mut dst = sample_store(2);
+        let before: Vec<Vec<f32>> = dst.ids().map(|id| dst.value(id).data().to_vec()).collect();
+        // A v1 truncation used to leave the store half-written; the
+        // parse-then-commit load must not.
+        let v1 = src.to_bytes_v1();
+        assert!(dst.load_bytes(&v1[..v1.len() - 3]).is_err());
+        assert!(dst.load_bytes(&bytes[..bytes.len() - 6]).is_err());
+        let after: Vec<Vec<f32>> = dst.ids().map(|id| dst.value(id).data().to_vec()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("stisan_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -239,5 +553,11 @@ mod tests {
             assert_eq!(src.value(id).data(), dst.value(id).data());
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

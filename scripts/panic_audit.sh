@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Panic-audit gate for the robustness-critical crates (nn, core, data).
+#
+# Counts `.unwrap()` / `.expect(` calls in *library* code — everything above
+# the first `#[cfg(test)]` marker — of each source file and compares against
+# the checked-in baseline in scripts/panic_allowlist.txt. Any count above
+# the baseline fails: new panic sites in checkpointing, serialization, or
+# data-loading paths must be a deliberate, reviewed decision (append to the
+# allowlist in the same commit and justify it in the PR).
+#
+# Regenerate the baseline after removing panic sites:
+#   ./scripts/panic_audit.sh --regen
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=scripts/panic_allowlist.txt
+AUDITED_DIRS=(crates/nn/src crates/core/src crates/data/src)
+
+count_panics() {
+    # Library-code unwrap/expect count for one file (0 if none).
+    awk '/#\[cfg\(test\)\]/{exit} {print}' "$1" \
+        | grep -cE '\.unwrap\(\)|\.expect\(' || true
+}
+
+if [ "${1:-}" = "--regen" ]; then
+    : > "$ALLOWLIST"
+    while read -r file; do
+        count=$(count_panics "$file")
+        if [ "${count:-0}" -gt 0 ]; then
+            echo "$count $file" >> "$ALLOWLIST"
+        fi
+    done < <(find "${AUDITED_DIRS[@]}" -name '*.rs' | sort)
+    echo "panic_audit: baseline regenerated in $ALLOWLIST"
+    exit 0
+fi
+
+if [ ! -f "$ALLOWLIST" ]; then
+    echo "panic_audit: missing $ALLOWLIST (run with --regen to create it)" >&2
+    exit 1
+fi
+
+fail=0
+while read -r file; do
+    count=$(count_panics "$file")
+    count=${count:-0}
+    allowed=$(awk -v f="$file" '$2 == f {print $1}' "$ALLOWLIST")
+    allowed=${allowed:-0}
+    if [ "$count" -gt "$allowed" ]; then
+        echo "panic_audit: $file has $count library unwrap/expect calls (baseline: $allowed)" >&2
+        fail=1
+    fi
+done < <(find "${AUDITED_DIRS[@]}" -name '*.rs' | sort)
+
+if [ "$fail" -ne 0 ]; then
+    echo "panic_audit: FAILED — new unwrap/expect in library code; handle the error or extend $ALLOWLIST deliberately" >&2
+    exit 1
+fi
+echo "panic_audit: OK"

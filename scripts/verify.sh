@@ -10,6 +10,12 @@ cargo build --release
 echo "== cargo test --workspace"
 cargo test -q --workspace --release
 
+echo "== fault-injection & resume suite"
+cargo test -q --release -p stisan-core --test fault_injection --test checkpoint_resume
+
+echo "== panic audit (crates/nn, crates/core, crates/data)"
+./scripts/panic_audit.sh
+
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
