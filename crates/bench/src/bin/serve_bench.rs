@@ -1,0 +1,219 @@
+//! `serve_bench` — throughput and tail latency of the tape-free serving
+//! engine (frozen forward + geo pruning + parallel workers + bounded top-K)
+//! against the tape-based full-scoring path, on the Gowalla synthetic preset.
+//!
+//! ```text
+//! cargo run --release -p stisan-bench --bin serve_bench -- [--smoke]
+//!     [--scale f] [--epochs n] [--rounds k] [--seed s]
+//!     [--top-k k] [--radius-km r] [--min-candidates m]
+//! ```
+//!
+//! `--smoke` shrinks everything for CI: tiny dataset, one training epoch,
+//! one round. The report prints requests/second and p50/p95/p99 latency for
+//! both paths plus the throughput speedup, and cross-checks that frozen and
+//! tape scores agree bit-for-bit on one request before timing anything.
+
+use std::time::Instant;
+
+use stisan_bench::{prep_config, timed};
+use stisan_core::{StiSan, StisanConfig};
+use stisan_data::{generate, preprocess, DatasetPreset, EvalInstance, GenConfig};
+use stisan_eval::{FrozenScorer, Recommender};
+use stisan_models::TrainConfig;
+use stisan_serve::{top_k, InferenceSession, PruningPolicy, ServeConfig};
+
+struct Opts {
+    smoke: bool,
+    scale: f64,
+    epochs: usize,
+    rounds: usize,
+    seed: u64,
+    top_k: usize,
+    radius_km: f64,
+    min_candidates: usize,
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        smoke: false,
+        scale: 0.05,
+        epochs: 1,
+        rounds: 4,
+        seed: 42,
+        top_k: 10,
+        // The Gowalla preset scatters POIs in 8 km-sigma city clusters with a
+        // 6 km movement decay, so 40 km comfortably covers a user's plausible
+        // next hop while pruning most of the catalogue; a smaller floor keeps
+        // thin-coverage anchors from constantly falling back to a full scan.
+        radius_km: 40.0,
+        min_candidates: 20,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| panic!("flag {key} needs a value")).clone()
+        };
+        match key.as_str() {
+            "--smoke" => o.smoke = true,
+            "--scale" => o.scale = take(&mut i).parse().expect("bad --scale"),
+            "--epochs" => o.epochs = take(&mut i).parse().expect("bad --epochs"),
+            "--rounds" => o.rounds = take(&mut i).parse().expect("bad --rounds"),
+            "--seed" => o.seed = take(&mut i).parse().expect("bad --seed"),
+            "--top-k" => o.top_k = take(&mut i).parse().expect("bad --top-k"),
+            "--radius-km" => o.radius_km = take(&mut i).parse().expect("bad --radius-km"),
+            "--min-candidates" => {
+                o.min_candidates = take(&mut i).parse().expect("bad --min-candidates")
+            }
+            other => panic!(
+                "unknown flag {other}; supported: --smoke --scale --epochs --rounds --seed \
+                 --top-k --radius-km --min-candidates"
+            ),
+        }
+        i += 1;
+    }
+    if o.smoke {
+        o.scale = 0.01;
+        o.epochs = 1;
+        o.rounds = 1;
+    }
+    o
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 * q).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+fn report(label: &str, wall_s: f64, mut lat_ms: Vec<f64>) -> f64 {
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+    let n = lat_ms.len() as f64;
+    let rps = if wall_s > 0.0 { n / wall_s } else { 0.0 };
+    println!(
+        "{label:<28} {rps:>9.1} req/s   p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms",
+        percentile(&lat_ms, 0.50),
+        percentile(&lat_ms, 0.95),
+        percentile(&lat_ms, 0.99),
+    );
+    rps
+}
+
+fn main() {
+    let o = parse();
+    stisan_obs::init();
+    let preset = DatasetPreset::Gowalla;
+    let gen_cfg = GenConfig { ..preset.config(o.scale) };
+    let data = generate(&gen_cfg, o.seed);
+    let p = preprocess(&data, &prep_config(if o.smoke { 10 } else { 20 }, o.scale));
+    println!(
+        "Gowalla synth @ scale {}: {} users, {} POIs, {} eval instances",
+        o.scale, p.num_users, p.num_pois, p.eval.len()
+    );
+
+    let train = TrainConfig {
+        dim: if o.smoke { 16 } else { 32 },
+        blocks: if o.smoke { 1 } else { 2 },
+        epochs: o.epochs,
+        batch: 16,
+        seed: o.seed,
+        ..Default::default()
+    };
+    let mut model = StiSan::new(&p, StisanConfig { train, ..Default::default() });
+    let (_, fit_s) = timed("fit", || model.fit(&p));
+    println!("trained {} for {} epoch(s) in {fit_s:.1}s", model.name(), o.epochs);
+
+    // Request stream: every eval instance, repeated `rounds` times.
+    let requests: Vec<EvalInstance> =
+        (0..o.rounds).flat_map(|_| p.eval.iter().cloned()).collect();
+    assert!(!requests.is_empty(), "no eval instances at this scale — raise --scale");
+    let all_pois: Vec<u32> = (1..=p.num_pois as u32).collect();
+
+    // Parity spot-check before timing: frozen scores must equal tape scores
+    // bit-for-bit on the full catalogue (the parity suite proves this per
+    // model; the bench refuses to compare paths that disagree).
+    {
+        let tape = model.score(&p, &requests[0], &all_pois);
+        let frozen = model.score_frozen(&p, &requests[0], &all_pois);
+        let same = tape.iter().zip(&frozen).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "tape/frozen scores diverged — parity broken, bench aborted");
+        println!("parity spot-check: {} scores bit-identical across backends", tape.len());
+    }
+
+    // Baseline: tape-based scoring of the full catalogue, full-sort top-K,
+    // sequential (the evaluation path as a serving strategy).
+    let t0 = Instant::now();
+    let mut base_lat = Vec::with_capacity(requests.len());
+    for inst in &requests {
+        let t = Instant::now();
+        let scores = model.score(&p, inst, &all_pois);
+        let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(o.top_k);
+        std::hint::black_box(ranked);
+        base_lat.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let base_wall = t0.elapsed().as_secs_f64();
+    let base_rps = report("tape + full scan", base_wall, base_lat);
+
+    // Frozen forward, same full catalogue, sequential — isolates the no-tape
+    // win from pruning and parallelism.
+    let t0 = Instant::now();
+    let mut frozen_lat = Vec::with_capacity(requests.len());
+    for inst in &requests {
+        let t = Instant::now();
+        let scores = model.score_frozen(&p, inst, &all_pois);
+        std::hint::black_box(top_k(&scores, o.top_k));
+        frozen_lat.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let frozen_wall = t0.elapsed().as_secs_f64();
+    report("frozen + full scan", frozen_wall, frozen_lat);
+
+    // The full engine: frozen forward + geo pruning + parallel workers.
+    let session = InferenceSession::new(
+        &model,
+        &p,
+        ServeConfig {
+            top_k: o.top_k,
+            workers: 0,
+            pruning: PruningPolicy::Radius { km: o.radius_km, min_candidates: o.min_candidates },
+        },
+    );
+    let t0 = Instant::now();
+    let recs = session.serve_batch(&requests);
+    let serve_wall = t0.elapsed().as_secs_f64();
+    let scored: usize = recs.iter().map(|r| r.scored).sum();
+    let pool: usize = recs.iter().map(|r| r.pool).sum();
+    // Tail latency of the parallel path comes from the serve.latency_ms
+    // histogram the engine records.
+    let snap = stisan_obs::global().map(|o| o.registry.snapshot()).unwrap_or_default();
+    let serve_lat = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve.latency_ms")
+        .map(|h| (h.p50, h.p95, h.p99))
+        .unwrap_or((0.0, 0.0, 0.0));
+    let serve_rps = requests.len() as f64 / serve_wall.max(1e-12);
+    println!(
+        "{:<28} {serve_rps:>9.1} req/s   p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms",
+        "frozen + geo prune + par",
+        serve_lat.0,
+        serve_lat.1,
+        serve_lat.2,
+    );
+    println!(
+        "geo pruning: scored {scored} of {pool} candidate slots ({:.1}% pruned)",
+        100.0 * (1.0 - scored as f64 / pool.max(1) as f64)
+    );
+    let speedup = serve_rps / base_rps.max(1e-12);
+    println!("throughput speedup vs tape + full scan: {speedup:.2}x");
+    if o.smoke {
+        println!("smoke OK: {} requests served", recs.len());
+    } else {
+        assert!(speedup >= 2.0, "acceptance: expected >= 2x speedup, got {speedup:.2}x");
+    }
+}

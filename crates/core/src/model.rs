@@ -9,7 +9,7 @@ use stisan_data::{
     iaab_bias, relation_matrix, Batcher, EvalInstance, KnnNegativeSampler, Processed,
     RelationConfig,
 };
-use stisan_eval::Recommender;
+use stisan_eval::{FrozenScorer, Recommender};
 use stisan_geo::quadkey::tokens_for;
 use stisan_geo::GeoEncoder;
 use stisan_models::common::{
@@ -21,7 +21,7 @@ use stisan_nn::{
     weighted_bce_loss, Adam, CheckpointError, CheckpointManager, Embedding, FeedForward,
     LayerNorm, Linear, ParamStore, Session, TrainState,
 };
-use stisan_tensor::{Array, Var};
+use stisan_tensor::{Array, Exec, Var};
 
 /// Quadkey zoom level of the geography encoder (GeoSAN uses 17; we default
 /// lower so the n-gram vocabulary stays proportionate at reduced scale).
@@ -174,9 +174,9 @@ impl Iaab {
     ///   attention weights are `Softmax(R)` alone, Eq 16).
     ///
     /// Returns the block output and the attention weights.
-    pub fn forward(
+    pub fn forward<E: Exec>(
         &self,
-        sess: &mut Session<'_>,
+        sess: &mut Session<'_, E>,
         x: Var,
         mode: CoreAttention,
         soft_bias: &Array,
@@ -293,7 +293,7 @@ impl StiSan {
     /// batch references each POI many times across steps and negative slots),
     /// then the unique encodings are gathered back into position — a pure
     /// optimization with identical outputs and gradients.
-    pub fn embed(&self, sess: &mut Session<'_>, ids: &[usize]) -> Var {
+    pub fn embed<E: Exec>(&self, sess: &mut Session<'_, E>, ids: &[usize]) -> Var {
         match &self.geo_enc {
             None => self.poi_emb.forward(sess, ids, &[ids.len()]),
             Some(enc) => {
@@ -373,9 +373,9 @@ impl StiSan {
 
     /// Encodes a batch into per-step representations `[b, n, d]`; also
     /// returns every block's attention weights (Fig 5/7 inspection).
-    pub fn encode_full(
+    pub fn encode_full<E: Exec>(
         &self,
-        sess: &mut Session<'_>,
+        sess: &mut Session<'_, E>,
         data: &Processed,
         batch: &SeqBatch,
     ) -> (Var, Vec<Var>) {
@@ -395,8 +395,44 @@ impl StiSan {
     }
 
     /// [`StiSan::encode_full`] without the inspection weights.
-    pub fn encode(&self, sess: &mut Session<'_>, data: &Processed, batch: &SeqBatch) -> Var {
+    pub fn encode<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        data: &Processed,
+        batch: &SeqBatch,
+    ) -> Var {
         self.encode_full(sess, data, batch).0
+    }
+
+    /// Backend-generic candidate scoring: one code path serves both the
+    /// tape-based [`Recommender::score`] and the tape-free
+    /// [`FrozenScorer::score_frozen`], so the serving engine is
+    /// parity-by-construction with evaluation.
+    fn score_in<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+    ) -> Vec<f32> {
+        let batch = SeqBatch::from_eval(data, inst);
+        let (n, d) = (batch.n, self.cfg.train.dim);
+        let f = self.encode(sess, data, &batch);
+        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
+        let c = self.embed(sess, &ids);
+        if self.cfg.use_taad {
+            let c = sess.g.reshape(c, vec![1, ids.len(), d]);
+            let mask = taad_eval_mask(ids.len(), n, batch.valid_from[0]);
+            let y = taad_scores(sess, f, c, mask);
+            sess.g.value(y).data().to_vec()
+        } else {
+            let h_last = sess.g.slice_axis1(f, n - 1);
+            let c = sess.g.reshape(c, vec![1, ids.len(), d]);
+            let h3 = sess.g.reshape(h_last, vec![1, 1, d]);
+            let ct = sess.g.transpose_last2(c);
+            let y = sess.g.bmm(h3, ct);
+            sess.g.value(y).data().to_vec()
+        }
     }
 
     /// Trains with the weighted BCE (Eq 12) over `L` KNN negatives.
@@ -588,25 +624,15 @@ impl Recommender for StiSan {
     }
 
     fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
-        let batch = SeqBatch::from_eval(data, inst);
-        let (n, d) = (batch.n, self.cfg.train.dim);
         let mut sess = Session::new(&self.store, false, 0);
-        let f = self.encode(&mut sess, data, &batch);
-        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
-        let c = self.embed(&mut sess, &ids);
-        if self.cfg.use_taad {
-            let c = sess.g.reshape(c, vec![1, ids.len(), d]);
-            let mask = taad_eval_mask(ids.len(), n, batch.valid_from[0]);
-            let y = taad_scores(&mut sess, f, c, mask);
-            sess.g.value(y).data().to_vec()
-        } else {
-            let h_last = sess.g.slice_axis1(f, n - 1);
-            let c = sess.g.reshape(c, vec![1, ids.len(), d]);
-            let h3 = sess.g.reshape(h_last, vec![1, 1, d]);
-            let ct = sess.g.transpose_last2(c);
-            let y = sess.g.bmm(h3, ct);
-            sess.g.value(y).data().to_vec()
-        }
+        self.score_in(&mut sess, data, inst, candidates)
+    }
+}
+
+impl FrozenScorer for StiSan {
+    fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        let mut sess = Session::frozen(&self.store);
+        self.score_in(&mut sess, data, inst, candidates)
     }
 }
 

@@ -18,4 +18,4 @@ mod protocol;
 pub mod spatial_stats;
 
 pub use metrics::{MeanVar, Metrics, MetricsAccum};
-pub use protocol::{build_candidates, evaluate, CandidateSet, Recommender};
+pub use protocol::{build_candidates, evaluate, CandidateSet, FrozenScorer, Recommender};

@@ -15,6 +15,22 @@ pub trait Recommender {
     fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32>;
 }
 
+/// A recommender that can score candidates on the tape-free inference
+/// backend.
+///
+/// `score_frozen` must return *bit-identical* scores to
+/// [`Recommender::score`] for the same inputs — models guarantee this by
+/// routing both paths through one backend-generic scoring function (see
+/// DESIGN.md §9). The serving engine (`stisan-serve`) only accepts models
+/// implementing this trait, and the parity test suite enforces the
+/// equivalence on every model in the zoo.
+pub trait FrozenScorer: Recommender {
+    /// Scores each candidate like [`Recommender::score`], but without
+    /// recording an autodiff tape (no gradient bookkeeping, less memory
+    /// traffic, same floats).
+    fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32>;
+}
+
 /// Per-instance evaluation candidates: the held-out target plus its
 /// `num_negatives` nearest previously-unvisited POIs.
 pub struct CandidateSet {

@@ -1,0 +1,76 @@
+//! Golden-file tests for the evaluation metrics: `MetricsAccum` must
+//! reproduce independently hand-computed HR@{5,10} / NDCG@{5,10} values for
+//! fixed rank lists (`fixtures/metrics_golden.tsv`). Guards the metric math
+//! itself — a regression here silently skews every result table.
+
+use stisan_eval::MetricsAccum;
+
+struct Fixture {
+    name: String,
+    ranks: Vec<usize>,
+    hr5: f64,
+    ndcg5: f64,
+    hr10: f64,
+    ndcg10: f64,
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let raw = include_str!("fixtures/metrics_golden.tsv");
+    raw.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let cols: Vec<&str> = l.split('\t').collect();
+            assert_eq!(cols.len(), 6, "malformed fixture line: {l:?}");
+            Fixture {
+                name: cols[0].to_string(),
+                ranks: cols[1]
+                    .split(',')
+                    .map(|r| r.parse().expect("bad rank"))
+                    .collect(),
+                hr5: cols[2].parse().expect("bad hr5"),
+                ndcg5: cols[3].parse().expect("bad ndcg5"),
+                hr10: cols[4].parse().expect("bad hr10"),
+                ndcg10: cols[5].parse().expect("bad ndcg10"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_match_golden_values() {
+    let fixtures = fixtures();
+    assert!(fixtures.len() >= 6, "fixture file lost cases");
+    for f in fixtures {
+        let mut accum = MetricsAccum::new();
+        for &r in &f.ranks {
+            accum.add_rank(r);
+        }
+        let m = accum.finalize();
+        let close = |got: f64, want: f64| (got - want).abs() < 1e-14;
+        assert!(close(m.hr5, f.hr5), "{}: hr5 {} != {}", f.name, m.hr5, f.hr5);
+        assert!(close(m.ndcg5, f.ndcg5), "{}: ndcg5 {} != {}", f.name, m.ndcg5, f.ndcg5);
+        assert!(close(m.hr10, f.hr10), "{}: hr10 {} != {}", f.name, m.hr10, f.hr10);
+        assert!(close(m.ndcg10, f.ndcg10), "{}: ndcg10 {} != {}", f.name, m.ndcg10, f.ndcg10);
+    }
+}
+
+#[test]
+fn golden_values_are_order_invariant() {
+    // add_rank accumulates sums, so any permutation of a fixture's ranks must
+    // finalize to the same metrics (up to f64 summation reordering).
+    for f in fixtures() {
+        let mut fwd = MetricsAccum::new();
+        let mut rev = MetricsAccum::new();
+        for &r in &f.ranks {
+            fwd.add_rank(r);
+        }
+        for &r in f.ranks.iter().rev() {
+            rev.add_rank(r);
+        }
+        let (a, b) = (fwd.finalize(), rev.finalize());
+        assert_eq!(a.hr5, b.hr5, "{}: hr5 order dependence", f.name);
+        assert_eq!(a.hr10, b.hr10, "{}: hr10 order dependence", f.name);
+        assert!((a.ndcg5 - b.ndcg5).abs() < 1e-14, "{}: ndcg5 order dependence", f.name);
+        assert!((a.ndcg10 - b.ndcg10).abs() < 1e-14, "{}: ndcg10 order dependence", f.name);
+    }
+}

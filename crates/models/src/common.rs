@@ -284,9 +284,9 @@ impl EncoderBlock {
     /// Applies the block to `x: [b, n, d]` with additive attention-logit
     /// `bias`. Returns the new representation and the attention weights
     /// (for the paper's heat-map figures).
-    pub fn forward(
+    pub fn forward<E: stisan_tensor::Exec>(
         &self,
-        sess: &mut stisan_nn::Session<'_>,
+        sess: &mut stisan_nn::Session<'_, E>,
         x: stisan_tensor::Var,
         bias: Option<stisan_tensor::Var>,
     ) -> (stisan_tensor::Var, stisan_tensor::Var) {
@@ -307,8 +307,8 @@ impl EncoderBlock {
 /// Scores per-step candidates by inner product: `reps: [b, n, d]` against the
 /// gathered candidate embeddings `cands: [b*n, 1+l, d]`, returning
 /// `[b, n, 1+l]` logits.
-pub fn dot_scores(
-    sess: &mut stisan_nn::Session<'_>,
+pub fn dot_scores<E: stisan_tensor::Exec>(
+    sess: &mut stisan_nn::Session<'_, E>,
     reps: stisan_tensor::Var,
     cands: stisan_tensor::Var,
     b: usize,
@@ -334,8 +334,8 @@ pub fn dot_scores(
 ///   `-1e9` elsewhere — the paper's leakage prevention).
 ///
 /// Returns `[b, m]` preference scores `y = (Attn(C, F, F)) · C` (Eq 11).
-pub fn taad_scores(
-    sess: &mut stisan_nn::Session<'_>,
+pub fn taad_scores<E: stisan_tensor::Exec>(
+    sess: &mut stisan_nn::Session<'_, E>,
     f: stisan_tensor::Var,
     c: stisan_tensor::Var,
     mask: Array,

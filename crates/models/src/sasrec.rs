@@ -11,13 +11,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stisan_data::{iaab_bias, relation_matrix, Batcher, EvalInstance, Processed, RelationConfig};
-use stisan_eval::Recommender;
+use stisan_eval::{FrozenScorer, Recommender};
 use stisan_nn::{
     bce_loss, causal_mask, padding_row_mask, sinusoidal_encoding, tape_positions,
     vanilla_positions, Adam, Embedding, LayerNorm, ParamStore, Session,
 };
-use stisan_tensor::Array;
-use stisan_tensor::Var;
+use stisan_tensor::{Array, Exec, Var};
 
 use crate::common::{
     check_finite_step, dot_scores, interleave_candidates, uniform_negatives, EncoderBlock,
@@ -129,7 +128,12 @@ impl SasRec {
 
     /// Encodes a batch into per-step representations `[b, n, d]`.
     /// Also returns the last block's attention weights for inspection.
-    pub fn encode(&self, sess: &mut Session<'_>, data: &Processed, batch: &SeqBatch) -> (Var, Var) {
+    pub fn encode<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        data: &Processed,
+        batch: &SeqBatch,
+    ) -> (Var, Var) {
         let (b, n) = (batch.b, batch.n);
         let e = self.emb.forward(sess, &batch.src, &[b, n]);
         let e = sess.g.add_const(e, self.position_matrix(batch));
@@ -211,6 +215,26 @@ impl SasRec {
         out
     }
 
+    /// Backend-generic last-step candidate scoring shared by the tape and
+    /// frozen paths (parity-by-construction, see DESIGN.md §9).
+    fn score_in<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+    ) -> Vec<f32> {
+        let batch = SeqBatch::from_eval(data, inst);
+        let (f, _) = self.encode(sess, data, &batch);
+        let h_last = sess.g.slice_axis1(f, batch.n - 1); // [1, d]
+        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
+        let c = self.emb.forward(sess, &ids, &[1, ids.len()]); // [1, C, d]
+        let h3 = sess.g.reshape(h_last, vec![1, 1, self.cfg.dim]);
+        let ct = sess.g.transpose_last2(c);
+        let y = sess.g.bmm(h3, ct); // [1, 1, C]
+        sess.g.value(y).data().to_vec()
+    }
+
     /// The attention weights of the last block for one evaluation instance
     /// (`[n, n]`) — drives the Fig 5/7 heat-maps.
     pub fn attention_map(&self, data: &Processed, inst: &EvalInstance) -> Array {
@@ -233,16 +257,15 @@ impl Recommender for SasRec {
     }
 
     fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
-        let batch = SeqBatch::from_eval(data, inst);
         let mut sess = Session::new(&self.store, false, 0);
-        let (f, _) = self.encode(&mut sess, data, &batch);
-        let h_last = sess.g.slice_axis1(f, batch.n - 1); // [1, d]
-        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
-        let c = self.emb.forward(&mut sess, &ids, &[1, ids.len()]); // [1, C, d]
-        let h3 = sess.g.reshape(h_last, vec![1, 1, self.cfg.dim]);
-        let ct = sess.g.transpose_last2(c);
-        let y = sess.g.bmm(h3, ct); // [1, 1, C]
-        sess.g.value(y).data().to_vec()
+        self.score_in(&mut sess, data, inst, candidates)
+    }
+}
+
+impl FrozenScorer for SasRec {
+    fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        let mut sess = Session::frozen(&self.store);
+        self.score_in(&mut sess, data, inst, candidates)
     }
 }
 

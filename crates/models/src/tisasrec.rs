@@ -12,12 +12,12 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stisan_data::{Batcher, EvalInstance, Processed};
-use stisan_eval::Recommender;
+use stisan_eval::{FrozenScorer, Recommender};
 use stisan_nn::{
     bce_loss, causal_mask, padding_row_mask, sinusoidal_encoding, vanilla_positions, Adam,
     Embedding, FeedForward, LayerNorm, Linear, ParamStore, Session,
 };
-use stisan_tensor::{Array, Var};
+use stisan_tensor::{Array, Exec, Var};
 
 use crate::common::{dot_scores, interleave_candidates, uniform_negatives, SeqBatch, TrainConfig};
 
@@ -98,7 +98,7 @@ impl TiSasRec {
     }
 
     /// Encodes a batch into per-step representations `[b, n, d]`.
-    pub fn encode(&self, sess: &mut Session<'_>, batch: &SeqBatch) -> Var {
+    pub fn encode<E: Exec>(&self, sess: &mut Session<'_, E>, batch: &SeqBatch) -> Var {
         let (b, n, d) = (batch.b, batch.n, self.cfg.dim);
         let e = self.emb.forward(sess, &batch.src, &[b, n]);
         let mut pos_data = Vec::with_capacity(b * n * d);
@@ -141,6 +141,26 @@ impl TiSasRec {
             x = sess.g.add(x, f);
         }
         self.final_ln.forward(sess, x)
+    }
+
+    /// Backend-generic last-step candidate scoring shared by the tape and
+    /// frozen paths (parity-by-construction, see DESIGN.md §9).
+    fn score_in<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+    ) -> Vec<f32> {
+        let batch = SeqBatch::from_eval(data, inst);
+        let f = self.encode(sess, &batch);
+        let h_last = sess.g.slice_axis1(f, batch.n - 1);
+        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
+        let c = self.emb.forward(sess, &ids, &[1, ids.len()]);
+        let h3 = sess.g.reshape(h_last, vec![1, 1, self.cfg.dim]);
+        let ct = sess.g.transpose_last2(c);
+        let y = sess.g.bmm(h3, ct);
+        sess.g.value(y).data().to_vec()
     }
 
     /// Trains with per-step BCE and uniform negatives.
@@ -186,16 +206,15 @@ impl Recommender for TiSasRec {
     }
 
     fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
-        let batch = SeqBatch::from_eval(data, inst);
         let mut sess = Session::new(&self.store, false, 0);
-        let f = self.encode(&mut sess, &batch);
-        let h_last = sess.g.slice_axis1(f, batch.n - 1);
-        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
-        let c = self.emb.forward(&mut sess, &ids, &[1, ids.len()]);
-        let h3 = sess.g.reshape(h_last, vec![1, 1, self.cfg.dim]);
-        let ct = sess.g.transpose_last2(c);
-        let y = sess.g.bmm(h3, ct);
-        sess.g.value(y).data().to_vec()
+        self.score_in(&mut sess, data, inst, candidates)
+    }
+}
+
+impl FrozenScorer for TiSasRec {
+    fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        let mut sess = Session::frozen(&self.store);
+        self.score_in(&mut sess, data, inst, candidates)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use stisan_tensor::{Array, Graph, Var};
+use stisan_tensor::{Array, Exec, Graph, NoGrad, Var};
 
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -72,14 +72,18 @@ impl ParamStore {
     }
 }
 
-/// One forward/backward pass: a fresh autodiff [`Graph`] plus lazy, cached
-/// bindings of store parameters into the graph.
+/// One forward (and, on the tape backend, backward) pass: a fresh execution
+/// backend plus lazy, cached bindings of store parameters into it.
 ///
 /// Binding the same [`ParamId`] twice returns the same [`Var`], so gradients
 /// from all uses of a shared parameter accumulate correctly.
-pub struct Session<'s> {
-    /// The underlying autodiff tape (public: models compose ops directly).
-    pub g: Graph,
+///
+/// The backend type parameter `E` defaults to [`Graph`], the autodiff tape;
+/// [`Session::frozen`] builds an inference-only session on the tape-free
+/// [`NoGrad`] backend instead, sharing all layer/model forward code.
+pub struct Session<'s, E: Exec = Graph> {
+    /// The underlying execution backend (public: models compose ops directly).
+    pub g: E,
     store: &'s ParamStore,
     bound: Vec<Option<Var>>,
     /// Whether dropout (and other train-only behaviour) is active.
@@ -87,8 +91,9 @@ pub struct Session<'s> {
     rng: StdRng,
 }
 
-impl<'s> Session<'s> {
-    /// Creates a session over `store`. `seed` drives dropout masks.
+impl<'s> Session<'s, Graph> {
+    /// Creates a tape-backed session over `store`. `seed` drives dropout
+    /// masks.
     pub fn new(store: &'s ParamStore, training: bool, seed: u64) -> Self {
         Session {
             g: Graph::new(),
@@ -97,27 +102,6 @@ impl<'s> Session<'s> {
             training,
             rng: StdRng::seed_from_u64(seed),
         }
-    }
-
-    /// Binds a parameter into the graph (cached per session).
-    pub fn param(&mut self, id: ParamId) -> Var {
-        if let Some(v) = self.bound[id.0] {
-            return v;
-        }
-        let v = self.g.leaf(self.store.value(id).clone(), true);
-        self.bound[id.0] = Some(v);
-        v
-    }
-
-    /// Adds a non-trainable constant to the graph.
-    pub fn constant(&mut self, a: Array) -> Var {
-        self.g.constant(a)
-    }
-
-    /// Inverted dropout driven by the session RNG and `training` flag.
-    pub fn dropout(&mut self, v: Var, rate: f32) -> Var {
-        let training = self.training;
-        self.g.dropout(v, rate, training, &mut self.rng)
     }
 
     /// Runs backward from scalar `loss` and collects parameter gradients.
@@ -133,6 +117,44 @@ impl<'s> Session<'s> {
             }
         }
         out
+    }
+}
+
+impl<'s> Session<'s, NoGrad> {
+    /// Creates an inference-only session over frozen weights: no tape, no
+    /// gradient bookkeeping, dropout forced off. Forward values are
+    /// bit-identical to an eval-mode tape session over the same store.
+    pub fn frozen(store: &'s ParamStore) -> Self {
+        Session {
+            g: NoGrad::new(),
+            store,
+            bound: vec![None; store.len()],
+            training: false,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+}
+
+impl<'s, E: Exec> Session<'s, E> {
+    /// Binds a parameter into the backend (cached per session).
+    pub fn param(&mut self, id: ParamId) -> Var {
+        if let Some(v) = self.bound[id.0] {
+            return v;
+        }
+        let v = self.g.leaf(self.store.value(id).clone(), true);
+        self.bound[id.0] = Some(v);
+        v
+    }
+
+    /// Adds a non-trainable constant to the backend.
+    pub fn constant(&mut self, a: Array) -> Var {
+        self.g.constant(a)
+    }
+
+    /// Inverted dropout driven by the session RNG and `training` flag.
+    pub fn dropout(&mut self, v: Var, rate: f32) -> Var {
+        let training = self.training;
+        self.g.dropout(v, rate, training, &mut self.rng)
     }
 }
 

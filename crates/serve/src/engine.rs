@@ -1,0 +1,262 @@
+//! The inference engine: frozen-forward scoring, geo pruning, parallel
+//! batch serving.
+
+use std::time::Instant;
+
+use stisan_data::{EvalInstance, Processed};
+use stisan_eval::FrozenScorer;
+use stisan_tensor::suggested_workers;
+
+use crate::topk::top_k;
+
+/// How the candidate pool is narrowed before scoring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PruningPolicy {
+    /// Score every POI in the catalogue.
+    Full,
+    /// Score only POIs within `km` kilometres of the user's most recent
+    /// check-in (sequential POI recommendation is strongly distance-decayed
+    /// — see PAPER.md and the synthetic presets' `distance_decay_km`).
+    ///
+    /// Falls back to the full catalogue whenever the radius yields fewer
+    /// than `min_candidates` POIs, so sparse regions never starve the
+    /// recommender of candidates.
+    Radius {
+        /// Pruning radius around the last check-in, in kilometres.
+        km: f64,
+        /// Minimum pool size below which pruning is abandoned.
+        min_candidates: usize,
+    },
+}
+
+/// Serving configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Recommendations returned per request.
+    pub top_k: usize,
+    /// Worker threads for [`InferenceSession::serve_batch`]; `0` picks
+    /// automatically via [`stisan_tensor::suggested_workers`] (the same
+    /// heuristic `Array::bmm` fans out with).
+    pub workers: usize,
+    /// Candidate pruning policy.
+    pub pruning: PruningPolicy,
+}
+
+impl Default for ServeConfig {
+    /// Top-10, automatic worker count, no pruning.
+    fn default() -> Self {
+        ServeConfig { top_k: 10, workers: 0, pruning: PruningPolicy::Full }
+    }
+}
+
+/// One served recommendation list.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// `(poi_id, score)` pairs, best first, at most `top_k` of them.
+    pub items: Vec<(u32, f32)>,
+    /// Size of the unpruned candidate pool (the full catalogue).
+    pub pool: usize,
+    /// Candidates actually scored after pruning (`== pool` under
+    /// [`PruningPolicy::Full`] or after a fallback).
+    pub scored: usize,
+}
+
+/// A loaded model ready to serve requests: frozen weights, no autodiff tape,
+/// optional geo pruning, parallel batch scoring.
+///
+/// The model must implement [`FrozenScorer`], whose contract guarantees
+/// bit-identical scores to the tape-based evaluation path (see DESIGN.md §9
+/// and `tests/parity.rs`). Weights come from wherever the model got them —
+/// training in-process or a checkpoint restored with e.g. `StiSan::load`
+/// (the `stisan_nn::serialize` v1/v2 format); the engine only reads them.
+pub struct InferenceSession<'a, M: FrozenScorer + Sync> {
+    model: &'a M,
+    data: &'a Processed,
+    cfg: ServeConfig,
+}
+
+impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
+    /// Wraps a model and its dataset context for serving.
+    pub fn new(model: &'a M, data: &'a Processed, cfg: ServeConfig) -> Self {
+        InferenceSession { model, data, cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Builds the candidate id list for one request: the full catalogue, or
+    /// the geo-pruned subset around the request's most recent check-in.
+    /// Returned ids are sorted ascending so tie-breaking in [`top_k`] is
+    /// independent of spatial-index iteration order.
+    pub fn candidates(&self, inst: &EvalInstance) -> Vec<u32> {
+        let full = || (1..=self.data.num_pois as u32).collect::<Vec<u32>>();
+        match self.cfg.pruning {
+            PruningPolicy::Full => full(),
+            PruningPolicy::Radius { km, min_candidates } => {
+                let last = inst.poi.last().copied().unwrap_or(0);
+                if last == 0 {
+                    return full(); // degenerate: empty source sequence
+                }
+                let anchor = self.data.loc(last);
+                let hits = self.data.index.within_radius(anchor, km);
+                if hits.len() < min_candidates {
+                    return full();
+                }
+                // Index entry i is POI id i + 1.
+                let mut ids: Vec<u32> = hits.into_iter().map(|(i, _)| (i + 1) as u32).collect();
+                ids.sort_unstable();
+                ids
+            }
+        }
+    }
+
+    /// Serves one request: prune, score on the frozen backend, select top-K.
+    ///
+    /// Instrumented with `serve.latency_ms` (histogram) and
+    /// `serve.pruned_candidates` (counter of candidates skipped by pruning).
+    pub fn serve_one(&self, inst: &EvalInstance) -> Recommendation {
+        let t0 = Instant::now();
+        let pool = self.data.num_pois;
+        let cands = self.candidates(inst);
+        let scores = self.model.score_frozen(self.data, inst, &cands);
+        let items = top_k(&scores, self.cfg.top_k)
+            .into_iter()
+            .map(|(i, s)| (cands[i], s))
+            .collect();
+        stisan_obs::counter("serve.pruned_candidates", (pool - cands.len()) as u64);
+        stisan_obs::observe("serve.latency_ms", t0.elapsed().as_secs_f64() * 1e3);
+        Recommendation { items, pool, scored: cands.len() }
+    }
+
+    /// Serves a batch of requests, fanning out across a scoped worker pool.
+    ///
+    /// Each worker owns a disjoint slice of the output, so results are
+    /// position-for-position identical to a sequential [`serve_one`] loop
+    /// (workers share nothing but the frozen weights). Worker count follows
+    /// [`ServeConfig::workers`]. Records `serve.batch_size`.
+    ///
+    /// [`serve_one`]: InferenceSession::serve_one
+    pub fn serve_batch(&self, insts: &[EvalInstance]) -> Vec<Recommendation> {
+        stisan_obs::observe("serve.batch_size", insts.len() as f64);
+        let workers = match self.cfg.workers {
+            0 => suggested_workers(insts.len()),
+            w => w.min(insts.len()).max(1),
+        };
+        if workers <= 1 {
+            return insts.iter().map(|i| self.serve_one(i)).collect();
+        }
+        let mut out: Vec<Option<Recommendation>> = vec![None; insts.len()];
+        let chunk = insts.len().div_ceil(workers);
+        let scope = crossbeam::thread::scope(|scope| {
+            for (in_chunk, out_chunk) in insts.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (inst, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(self.serve_one(inst));
+                    }
+                });
+            }
+        });
+        if scope.is_err() {
+            panic!("serve_batch: a worker thread panicked");
+        }
+        let results: Vec<Recommendation> = out.into_iter().flatten().collect();
+        assert_eq!(results.len(), insts.len(), "serve_batch: lost results");
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stisan_data::{generate, preprocess, DatasetPreset, GenConfig, PrepConfig};
+    use stisan_eval::Recommender;
+
+    fn processed() -> Processed {
+        let cfg = GenConfig {
+            users: 30,
+            pois: 200,
+            mean_seq_len: 30.0,
+            ..DatasetPreset::Gowalla.config(0.01)
+        };
+        let d = generate(&cfg, 7);
+        preprocess(&d, &PrepConfig { max_len: 10, min_user_checkins: 15, min_poi_interactions: 2 })
+    }
+
+    /// Deterministic model-free scorer: preference decays with distance from
+    /// the request's most recent check-in.
+    struct NearLast;
+    impl Recommender for NearLast {
+        fn name(&self) -> String {
+            "near-last".into()
+        }
+        fn score(&self, data: &Processed, inst: &EvalInstance, c: &[u32]) -> Vec<f32> {
+            let last = inst.poi.last().copied().unwrap_or(1).max(1);
+            let anchor = data.loc(last);
+            c.iter().map(|&p| -(data.loc(p).distance_km(&anchor) as f32)).collect()
+        }
+    }
+    impl FrozenScorer for NearLast {
+        fn score_frozen(&self, data: &Processed, inst: &EvalInstance, c: &[u32]) -> Vec<f32> {
+            self.score(data, inst, c)
+        }
+    }
+
+    #[test]
+    fn full_policy_scores_whole_catalogue() {
+        let p = processed();
+        let s = InferenceSession::new(&NearLast, &p, ServeConfig::default());
+        let rec = s.serve_one(&p.eval[0]);
+        assert_eq!(rec.scored, p.num_pois);
+        assert_eq!(rec.items.len(), 10);
+        // Best first.
+        for w in rec.items.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn radius_policy_prunes_but_falls_back_when_sparse() {
+        let p = processed();
+        let pruned = InferenceSession::new(
+            &NearLast,
+            &p,
+            ServeConfig {
+                pruning: PruningPolicy::Radius { km: 50.0, min_candidates: 5 },
+                ..Default::default()
+            },
+        );
+        let rec = pruned.serve_one(&p.eval[0]);
+        assert!(rec.scored <= p.num_pois);
+        // An impossible radius must fall back to the full catalogue.
+        let strict = InferenceSession::new(
+            &NearLast,
+            &p,
+            ServeConfig {
+                pruning: PruningPolicy::Radius { km: 1e-9, min_candidates: 5 },
+                ..Default::default()
+            },
+        );
+        assert_eq!(strict.serve_one(&p.eval[0]).scored, p.num_pois);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_any_worker_count() {
+        let p = processed();
+        let s = InferenceSession::new(&NearLast, &p, ServeConfig::default());
+        let seq: Vec<Recommendation> = p.eval.iter().map(|i| s.serve_one(i)).collect();
+        for workers in [0usize, 1, 2, 7] {
+            let s = InferenceSession::new(
+                &NearLast,
+                &p,
+                ServeConfig { workers, ..ServeConfig::default() },
+            );
+            let par = s.serve_batch(&p.eval);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.items, b.items, "workers={workers}");
+            }
+        }
+    }
+}

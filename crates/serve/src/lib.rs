@@ -1,0 +1,30 @@
+//! # stisan-serve — tape-free parallel inference engine
+//!
+//! Production-flavoured serving for the model zoo (see DESIGN.md §9):
+//!
+//! * **Frozen forward** — models score through
+//!   [`stisan_eval::FrozenScorer`], which runs the exact same forward code
+//!   as training/evaluation on the tape-free `NoGrad` backend
+//!   (`stisan_tensor::Exec`). No autodiff nodes are allocated and scores
+//!   are *bit-identical* to the tape path (`tests/parity.rs` proves it for
+//!   STiSAN, SASRec, and TiSASRec, including a checkpoint round-trip).
+//! * **Geo pruning** — [`PruningPolicy::Radius`] restricts candidates to
+//!   POIs near the user's last check-in via the `stisan_geo` grid index,
+//!   falling back to the full catalogue when the radius is too sparse.
+//! * **Parallel batches** — [`InferenceSession::serve_batch`] fans requests
+//!   out over crossbeam scoped threads sized by
+//!   [`stisan_tensor::suggested_workers`], each worker writing a disjoint
+//!   output slice.
+//! * **Bounded top-K** — [`top_k`] selects recommendations in `O(n log k)`
+//!   with full-sort-identical tie-breaking.
+//!
+//! Instrumented with `serve.latency_ms`, `serve.batch_size` (histograms) and
+//! `serve.pruned_candidates` (counter) via `stisan-obs`. Throughput and tail
+//! latency against the tape-based path are measured by the `serve_bench`
+//! binary in `stisan-bench`.
+
+mod engine;
+mod topk;
+
+pub use engine::{InferenceSession, PruningPolicy, Recommendation, ServeConfig};
+pub use topk::top_k;

@@ -1,0 +1,105 @@
+//! Bounded-heap top-K selection.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scored candidate position. Ordering is "better recommendation first":
+/// higher score wins, and on exact score ties the *lower* index wins —
+/// matching a full sort by `(score desc, index asc)` so heap-based selection
+/// is indistinguishable from sorting everything.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Entry {
+    score: f32,
+    idx: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp gives a total order on f32 (NaN sorts above +inf, so even
+        // pathological scores cannot panic the heap).
+        self.score.total_cmp(&other.score).then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Selects the `k` highest-scoring positions of `scores` in `O(n log k)`,
+/// returned best-first as `(index, score)` pairs.
+///
+/// Exact ties resolve toward the lower index, so the result is *identical* to
+/// sorting all scores by `(score desc, index asc)` and truncating to `k` —
+/// the property test suite asserts this equivalence. `k` larger than the
+/// input returns everything, ranked.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+    if k == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    // Min-heap of the best k seen so far: the root is the current worst
+    // keeper, so each new score only pays O(log k) when it beats the root.
+    let mut heap: BinaryHeap<std::cmp::Reverse<Entry>> = BinaryHeap::with_capacity(k);
+    for (idx, &score) in scores.iter().enumerate() {
+        let e = Entry { score, idx };
+        if heap.len() < k {
+            heap.push(std::cmp::Reverse(e));
+        } else if let Some(std::cmp::Reverse(worst)) = heap.peek() {
+            if e > *worst {
+                heap.pop();
+                heap.push(std::cmp::Reverse(e));
+            }
+        }
+    }
+    let mut kept: Vec<Entry> = heap.into_iter().map(|r| r.0).collect();
+    kept.sort_by(|a, b| b.cmp(a));
+    kept.into_iter().map(|e| (e.idx, e.score)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: full sort by (score desc, index asc).
+    fn by_full_sort(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let mut all: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_full_sort() {
+        let scores = [0.3f32, -1.0, 7.5, 7.5, 0.0, 2.25, -0.0, 7.5];
+        for k in 0..=scores.len() + 2 {
+            assert_eq!(top_k(&scores, k), by_full_sort(&scores, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn ties_prefer_lower_index() {
+        let scores = [1.0f32, 1.0, 1.0];
+        assert_eq!(top_k(&scores, 2), vec![(0, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn k_zero_and_empty_input() {
+        assert!(top_k(&[1.0, 2.0], 0).is_empty());
+        assert!(top_k(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn oversized_k_ranks_everything() {
+        let scores = [2.0f32, 9.0, -3.0];
+        assert_eq!(top_k(&scores, 10), vec![(1, 9.0), (0, 2.0), (2, -3.0)]);
+    }
+
+    #[test]
+    fn infinities_are_ordered() {
+        let scores = [f32::NEG_INFINITY, 0.0, f32::INFINITY];
+        assert_eq!(top_k(&scores, 2), vec![(2, f32::INFINITY), (1, 0.0)]);
+    }
+}

@@ -483,14 +483,25 @@ impl Array {
 /// batch dimension.
 pub const BMM_PARALLEL_FLOPS: usize = 4_000_000;
 
-/// Threads to use for a batched matmul of this size (1 = stay sequential).
-fn bmm_threads(b: usize, m: usize, k: usize, n: usize) -> usize {
-    let work = b * m * k * n;
-    if work < BMM_PARALLEL_FLOPS || b < 2 {
+/// Worker threads for `tasks` independent, similarly-sized work items:
+/// `min(cores, tasks, 8)`, or 1 when there are fewer than 2 tasks. This is
+/// the fan-out heuristic of [`Array::bmm`], exported so other scoped-thread
+/// pools (the serving engine's request workers) stay consistent with it.
+pub fn suggested_workers(tasks: usize) -> usize {
+    if tasks < 2 {
         return 1;
     }
     let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-    cores.min(b).min(8)
+    cores.min(tasks).min(8)
+}
+
+/// Threads to use for a batched matmul of this size (1 = stay sequential).
+fn bmm_threads(b: usize, m: usize, k: usize, n: usize) -> usize {
+    let work = b * m * k * n;
+    if work < BMM_PARALLEL_FLOPS {
+        return 1;
+    }
+    suggested_workers(b)
 }
 
 /// `out += a x b` for row-major `[m,k] x [k,n]`, ikj loop order so the inner

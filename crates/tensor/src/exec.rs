@@ -1,0 +1,467 @@
+//! Execution backends: the op-constructor surface shared by the autodiff
+//! tape and the tape-free inference engine.
+//!
+//! [`Exec`] abstracts "something you can build a forward computation on".
+//! Two backends implement it:
+//!
+//! * [`Graph`] — the reverse-mode tape. Records every op (operands, grad
+//!   slots, profiler hooks) so [`Graph::backward`] can run afterwards.
+//! * [`NoGrad`] — the serving backend. Stores *only* forward values: no op
+//!   metadata, no gradient slots, no profiler bookkeeping. Sessions built on
+//!   it cannot run backward, which is exactly the point.
+//!
+//! **Parity guarantee.** Every `Exec` method on both backends routes through
+//! the same [`Array`] methods / [`kernels`](crate::kernels) functions in the
+//! same order, so a forward pass produces bit-identical `f32` values on
+//! either backend (asserted end-to-end by `crates/serve/tests/parity.rs`).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use crate::array::Array;
+use crate::graph::{Graph, Var};
+use crate::kernels;
+
+/// The closed op-constructor surface a model forward pass needs.
+///
+/// Methods mirror the inherent constructors of [`Graph`] one-for-one; see
+/// those for per-op semantics. Layers and models written against
+/// `&mut Session<'_, E>` (with `E: Exec`) run unchanged on the tape or on
+/// [`NoGrad`].
+pub trait Exec {
+    /// Adds an input node. `requires_grad` marks trainable parameters (a
+    /// no-op hint on backends without gradients).
+    fn leaf(&mut self, value: Array, requires_grad: bool) -> Var;
+    /// The forward value of a node.
+    fn value(&self, v: Var) -> &Array;
+
+    /// Adds a non-trainable input node.
+    fn constant(&mut self, value: Array) -> Var {
+        self.leaf(value, false)
+    }
+    /// Clones a node's value out of the backend, cutting any gradient flow.
+    fn detach(&self, v: Var) -> Array {
+        self.value(v).clone()
+    }
+
+    /// Elementwise sum with broadcasting.
+    fn add(&mut self, a: Var, b: Var) -> Var;
+    /// Elementwise difference with broadcasting.
+    fn sub(&mut self, a: Var, b: Var) -> Var;
+    /// Elementwise product with broadcasting.
+    fn mul(&mut self, a: Var, b: Var) -> Var;
+    /// Multiplies by a scalar constant.
+    fn scale(&mut self, a: Var, c: f32) -> Var;
+    /// Adds a scalar constant.
+    fn add_scalar(&mut self, a: Var, c: f32) -> Var;
+    /// Elementwise negation.
+    fn neg(&mut self, a: Var) -> Var;
+    /// Affine map over the last dimension (`Linear` layer core).
+    fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var;
+    /// 2-D matrix product (alias of [`Exec::linear`] without bias).
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).ndim(), 2, "matmul lhs must be 2-D");
+        self.linear(a, b, None)
+    }
+    /// Batched 3-D matrix product.
+    fn bmm(&mut self, a: Var, b: Var) -> Var;
+    /// Transposes the last two dimensions.
+    fn transpose_last2(&mut self, a: Var) -> Var;
+    /// Rectified linear unit.
+    fn relu(&mut self, a: Var) -> Var;
+    /// Logistic sigmoid.
+    fn sigmoid(&mut self, a: Var) -> Var;
+    /// Hyperbolic tangent.
+    fn tanh(&mut self, a: Var) -> Var;
+    /// Elementwise exponential.
+    fn exp(&mut self, a: Var) -> Var;
+    /// Elementwise natural logarithm.
+    fn log(&mut self, a: Var) -> Var;
+    /// Numerically stable softplus `ln(1+e^x)`.
+    fn softplus(&mut self, a: Var) -> Var;
+    /// Softmax over the last dimension.
+    fn softmax_last(&mut self, a: Var) -> Var;
+    /// Sum of all elements (scalar output).
+    fn sum_all(&mut self, a: Var) -> Var;
+    /// Mean of all elements (scalar output).
+    fn mean_all(&mut self, a: Var) -> Var;
+    /// Sum over the last dimension.
+    fn sum_last(&mut self, a: Var) -> Var;
+    /// Sum of a 3-D array over axis 1.
+    fn sum_axis1(&mut self, a: Var) -> Var;
+    /// Max of a 3-D array over axis 1.
+    fn max_axis1(&mut self, a: Var) -> Var;
+    /// Embedding lookup: rows of a 2-D `table` selected by `indices`.
+    fn gather(&mut self, table: Var, indices: &[usize], batch_shape: &[usize]) -> Var;
+    /// Per-row lookup along the last dimension.
+    fn gather_last(&mut self, v: Var, idx: Arc<Vec<usize>>, m_out: usize) -> Var;
+    /// Per-row scatter-add along the last dimension.
+    fn scatter_add_last(&mut self, a: Var, idx: Arc<Vec<usize>>, k_out: usize) -> Var;
+    /// Concatenates along the last dimension.
+    fn concat_last(&mut self, parts: &[Var]) -> Var;
+    /// Slices the last dimension.
+    fn slice_last(&mut self, v: Var, start: usize, len: usize) -> Var;
+    /// Reinterprets the shape.
+    fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var;
+    /// Layer normalization over the last dimension with learned scale/shift.
+    fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var;
+    /// Elementwise product with a constant array (masking, dropout).
+    fn mul_const(&mut self, a: Var, c: Array) -> Var;
+    /// Elementwise sum with a constant array (attention masks, biases).
+    fn add_const(&mut self, a: Var, c: Array) -> Var;
+    /// Inverted dropout: identity at eval time. Backends without training
+    /// support reject `training = true`.
+    fn dropout(&mut self, a: Var, rate: f32, training: bool, rng: &mut StdRng) -> Var;
+    /// Stacks `k` arrays of shape `[b,d]` into `[b,k,d]`.
+    fn stack_axis1(&mut self, parts: &[Var]) -> Var;
+    /// Extracts time step `idx`: `[b,n,d] -> [b,d]`.
+    fn slice_axis1(&mut self, v: Var, idx: usize) -> Var;
+    /// Sliding-window unfold over axis 1: `[b,n,d] -> [b, n-w+1, w*d]`.
+    fn unfold1(&mut self, v: Var, width: usize) -> Var;
+}
+
+impl Exec for Graph {
+    fn leaf(&mut self, value: Array, requires_grad: bool) -> Var {
+        Graph::leaf(self, value, requires_grad)
+    }
+    fn value(&self, v: Var) -> &Array {
+        Graph::value(self, v)
+    }
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        Graph::add(self, a, b)
+    }
+    fn sub(&mut self, a: Var, b: Var) -> Var {
+        Graph::sub(self, a, b)
+    }
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        Graph::mul(self, a, b)
+    }
+    fn scale(&mut self, a: Var, c: f32) -> Var {
+        Graph::scale(self, a, c)
+    }
+    fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        Graph::add_scalar(self, a, c)
+    }
+    fn neg(&mut self, a: Var) -> Var {
+        Graph::neg(self, a)
+    }
+    fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
+        Graph::linear(self, x, w, b)
+    }
+    fn bmm(&mut self, a: Var, b: Var) -> Var {
+        Graph::bmm(self, a, b)
+    }
+    fn transpose_last2(&mut self, a: Var) -> Var {
+        Graph::transpose_last2(self, a)
+    }
+    fn relu(&mut self, a: Var) -> Var {
+        Graph::relu(self, a)
+    }
+    fn sigmoid(&mut self, a: Var) -> Var {
+        Graph::sigmoid(self, a)
+    }
+    fn tanh(&mut self, a: Var) -> Var {
+        Graph::tanh(self, a)
+    }
+    fn exp(&mut self, a: Var) -> Var {
+        Graph::exp(self, a)
+    }
+    fn log(&mut self, a: Var) -> Var {
+        Graph::log(self, a)
+    }
+    fn softplus(&mut self, a: Var) -> Var {
+        Graph::softplus(self, a)
+    }
+    fn softmax_last(&mut self, a: Var) -> Var {
+        Graph::softmax_last(self, a)
+    }
+    fn sum_all(&mut self, a: Var) -> Var {
+        Graph::sum_all(self, a)
+    }
+    fn mean_all(&mut self, a: Var) -> Var {
+        Graph::mean_all(self, a)
+    }
+    fn sum_last(&mut self, a: Var) -> Var {
+        Graph::sum_last(self, a)
+    }
+    fn sum_axis1(&mut self, a: Var) -> Var {
+        Graph::sum_axis1(self, a)
+    }
+    fn max_axis1(&mut self, a: Var) -> Var {
+        Graph::max_axis1(self, a)
+    }
+    fn gather(&mut self, table: Var, indices: &[usize], batch_shape: &[usize]) -> Var {
+        Graph::gather(self, table, indices, batch_shape)
+    }
+    fn gather_last(&mut self, v: Var, idx: Arc<Vec<usize>>, m_out: usize) -> Var {
+        Graph::gather_last(self, v, idx, m_out)
+    }
+    fn scatter_add_last(&mut self, a: Var, idx: Arc<Vec<usize>>, k_out: usize) -> Var {
+        Graph::scatter_add_last(self, a, idx, k_out)
+    }
+    fn concat_last(&mut self, parts: &[Var]) -> Var {
+        Graph::concat_last(self, parts)
+    }
+    fn slice_last(&mut self, v: Var, start: usize, len: usize) -> Var {
+        Graph::slice_last(self, v, start, len)
+    }
+    fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var {
+        Graph::reshape(self, v, shape)
+    }
+    fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var {
+        Graph::layer_norm(self, x, alpha, beta, eps)
+    }
+    fn mul_const(&mut self, a: Var, c: Array) -> Var {
+        Graph::mul_const(self, a, c)
+    }
+    fn add_const(&mut self, a: Var, c: Array) -> Var {
+        Graph::add_const(self, a, c)
+    }
+    fn dropout(&mut self, a: Var, rate: f32, training: bool, rng: &mut StdRng) -> Var {
+        Graph::dropout(self, a, rate, training, rng)
+    }
+    fn stack_axis1(&mut self, parts: &[Var]) -> Var {
+        Graph::stack_axis1(self, parts)
+    }
+    fn slice_axis1(&mut self, v: Var, idx: usize) -> Var {
+        Graph::slice_axis1(self, v, idx)
+    }
+    fn unfold1(&mut self, v: Var, width: usize) -> Var {
+        Graph::unfold1(self, v, width)
+    }
+}
+
+/// The tape-free inference backend: stores forward values only.
+///
+/// Compared to [`Graph`], a `NoGrad` pass allocates no op metadata, no
+/// gradient slots and never touches the tape profiler; `backward` simply
+/// does not exist on it. Dropout is rejected in training mode — this backend
+/// is for frozen weights.
+#[derive(Default)]
+pub struct NoGrad {
+    vals: Vec<Array>,
+}
+
+impl NoGrad {
+    /// An empty inference backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of computed nodes.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether no nodes have been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    fn push(&mut self, v: Array) -> Var {
+        self.vals.push(v);
+        Var(self.vals.len() - 1)
+    }
+}
+
+impl Exec for NoGrad {
+    fn leaf(&mut self, value: Array, _requires_grad: bool) -> Var {
+        self.push(value)
+    }
+    fn value(&self, v: Var) -> &Array {
+        &self.vals[v.0]
+    }
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v)
+    }
+    fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v)
+    }
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v)
+    }
+    fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        self.push(v)
+    }
+    fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).add_scalar(c);
+        self.push(v)
+    }
+    fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        self.push(v)
+    }
+    fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
+        let v = kernels::linear_forward(self.value(x), self.value(w), b.map(|b| self.value(b)));
+        self.push(v)
+    }
+    fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).bmm(self.value(b));
+        self.push(v)
+    }
+    fn transpose_last2(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose_last2();
+        self.push(v)
+    }
+    fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v)
+    }
+    fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(kernels::stable_sigmoid);
+        self.push(v)
+    }
+    fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v)
+    }
+    fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(v)
+    }
+    fn log(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::ln);
+        self.push(v)
+    }
+    fn softplus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(kernels::softplus_scalar);
+        self.push(v)
+    }
+    fn softmax_last(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_last();
+        self.push(v)
+    }
+    fn sum_all(&mut self, a: Var) -> Var {
+        let v = Array::scalar(self.value(a).sum_all());
+        self.push(v)
+    }
+    fn mean_all(&mut self, a: Var) -> Var {
+        let v = Array::scalar(self.value(a).mean_all());
+        self.push(v)
+    }
+    fn sum_last(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_last();
+        self.push(v)
+    }
+    fn sum_axis1(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_axis1();
+        self.push(v)
+    }
+    fn max_axis1(&mut self, a: Var) -> Var {
+        let v = kernels::max_axis1(self.value(a));
+        self.push(v)
+    }
+    fn gather(&mut self, table: Var, indices: &[usize], batch_shape: &[usize]) -> Var {
+        let v = kernels::gather_rows(self.value(table), indices, batch_shape);
+        self.push(v)
+    }
+    fn gather_last(&mut self, v: Var, idx: Arc<Vec<usize>>, m_out: usize) -> Var {
+        let out = kernels::gather_last(self.value(v), &idx, m_out);
+        self.push(out)
+    }
+    fn scatter_add_last(&mut self, a: Var, idx: Arc<Vec<usize>>, k_out: usize) -> Var {
+        let out = kernels::scatter_add_last(self.value(a), &idx, k_out);
+        self.push(out)
+    }
+    fn concat_last(&mut self, parts: &[Var]) -> Var {
+        let arrays: Vec<&Array> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Array::concat_last(&arrays);
+        self.push(v)
+    }
+    fn slice_last(&mut self, v: Var, start: usize, len: usize) -> Var {
+        let out = self.value(v).slice_last(start, len);
+        self.push(out)
+    }
+    fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var {
+        let out = self.value(v).reshape(shape);
+        self.push(out)
+    }
+    fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var {
+        let out = kernels::layer_norm_affine(self.value(x), self.value(alpha), self.value(beta), eps);
+        self.push(out)
+    }
+    fn mul_const(&mut self, a: Var, c: Array) -> Var {
+        let v = self.value(a).mul(&c);
+        self.push(v)
+    }
+    fn add_const(&mut self, a: Var, c: Array) -> Var {
+        let v = self.value(a).add(&c);
+        self.push(v)
+    }
+    fn dropout(&mut self, a: Var, _rate: f32, training: bool, _rng: &mut StdRng) -> Var {
+        assert!(!training, "NoGrad is inference-only: dropout cannot run in training mode");
+        a
+    }
+    fn stack_axis1(&mut self, parts: &[Var]) -> Var {
+        let arrays: Vec<&Array> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = kernels::stack_axis1(&arrays);
+        self.push(v)
+    }
+    fn slice_axis1(&mut self, v: Var, idx: usize) -> Var {
+        let out = kernels::slice_axis1(self.value(v), idx);
+        self.push(out)
+    }
+    fn unfold1(&mut self, v: Var, width: usize) -> Var {
+        let out = kernels::unfold1(self.value(v), width);
+        self.push(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Runs the same mixed op chain on both backends and asserts bit
+    /// equality of the result — the micro version of the serve parity suite.
+    #[test]
+    fn nograd_matches_graph_bitwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Array::randn(vec![2, 4, 6], 1.0, &mut rng);
+        let w = Array::randn(vec![6, 6], 1.0, &mut rng);
+        let alpha = Array::ones(vec![6]);
+        let beta = Array::zeros(vec![6]);
+        let run = |e: &mut dyn Exec| -> Vec<u32> {
+            let x = e.constant(x.clone());
+            let w = e.constant(w.clone());
+            let alpha = e.constant(alpha.clone());
+            let beta = e.constant(beta.clone());
+            let h = e.linear(x, w, None);
+            let h = e.layer_norm(h, alpha, beta, 1e-5);
+            let ht = e.transpose_last2(h);
+            let logits = e.bmm(h, ht);
+            let logits = e.scale(logits, 1.0 / (6.0f32).sqrt());
+            let wts = e.softmax_last(logits);
+            let out = e.bmm(wts, h);
+            let out = e.relu(out);
+            let pooled = e.sum_axis1(out);
+            e.value(pooled).data().iter().map(|v| v.to_bits()).collect()
+        };
+        let mut g = Graph::new();
+        let mut n = NoGrad::new();
+        assert_eq!(run(&mut g), run(&mut n));
+    }
+
+    #[test]
+    fn nograd_dropout_is_identity_at_eval() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut n = NoGrad::new();
+        let a = n.constant(Array::ones(vec![4]));
+        let d = Exec::dropout(&mut n, a, 0.5, false, &mut rng);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn nograd_rejects_training_dropout() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut n = NoGrad::new();
+        let a = n.constant(Array::ones(vec![4]));
+        let _ = Exec::dropout(&mut n, a, 0.5, true, &mut rng);
+    }
+}

@@ -12,6 +12,7 @@ use rand::Rng;
 use stisan_obs::TapeProfiler;
 
 use crate::array::Array;
+use crate::kernels;
 
 /// A handle to a node in a [`Graph`] (a plain index; `Copy`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -334,10 +335,7 @@ impl Graph {
     /// Affine map over the last dimension (`Linear` layer core).
     pub fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
         self.tick();
-        let mut v = self.value(x).matmul_last(self.value(w));
-        if let Some(b) = b {
-            v = v.add(self.value(b));
-        }
+        let v = kernels::linear_forward(self.value(x), self.value(w), b.map(|b| self.value(b)));
         let rg = self.rg(x) || self.rg(w) || b.map(|b| self.rg(b)).unwrap_or(false);
         self.push(v, Op::Linear { x, w, b }, rg)
     }
@@ -375,7 +373,7 @@ impl Graph {
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
         self.tick();
-        let v = self.value(a).map(stable_sigmoid);
+        let v = self.value(a).map(kernels::stable_sigmoid);
         let rg = self.rg(a);
         self.push(v, Op::Sigmoid(a), rg)
     }
@@ -407,15 +405,7 @@ impl Graph {
     /// Numerically stable softplus `ln(1+e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
         self.tick();
-        let v = self.value(a).map(|x| {
-            if x > 20.0 {
-                x
-            } else if x < -20.0 {
-                x.exp()
-            } else {
-                (1.0 + x.exp()).ln()
-            }
-        });
+        let v = self.value(a).map(kernels::softplus_scalar);
         let rg = self.rg(a);
         self.push(v, Op::Softplus(a), rg)
     }
@@ -463,22 +453,7 @@ impl Graph {
     /// Max of a 3-D array over axis 1 (time-dimension max pooling).
     pub fn max_axis1(&mut self, a: Var) -> Var {
         self.tick();
-        let av = self.value(a);
-        assert_eq!(av.ndim(), 3, "max_axis1 requires a 3-D array");
-        let (b, n, d) = (av.shape()[0], av.shape()[1], av.shape()[2]);
-        assert!(n >= 1, "max_axis1: empty axis");
-        let mut out = vec![f32::NEG_INFINITY; b * d];
-        for i in 0..b {
-            for j in 0..n {
-                for k in 0..d {
-                    let x = av.data()[(i * n + j) * d + k];
-                    if x > out[i * d + k] {
-                        out[i * d + k] = x;
-                    }
-                }
-            }
-        }
-        let v = Array::from_vec(vec![b, d], out);
+        let v = kernels::max_axis1(self.value(a));
         let rg = self.rg(a);
         self.push(v, Op::MaxAxis1(a), rg)
     }
@@ -487,19 +462,8 @@ impl Graph {
     /// `batch_shape + [d]`.
     pub fn gather(&mut self, table: Var, indices: &[usize], batch_shape: &[usize]) -> Var {
         self.tick();
-        let t = self.value(table);
-        assert_eq!(t.ndim(), 2, "gather: table must be 2-D");
-        let rows: usize = batch_shape.iter().product();
-        assert_eq!(rows, indices.len(), "gather: batch shape {batch_shape:?} vs {} indices", indices.len());
-        let d = t.shape()[1];
-        let mut data = Vec::with_capacity(indices.len() * d);
-        for &i in indices {
-            assert!(i < t.shape()[0], "gather: index {i} out of {} rows", t.shape()[0]);
-            data.extend_from_slice(&t.data()[i * d..(i + 1) * d]);
-        }
-        let mut out_shape = batch_shape.to_vec();
-        out_shape.push(d);
-        let v = Array::from_vec(out_shape.clone(), data);
+        let v = kernels::gather_rows(self.value(table), indices, batch_shape);
+        let out_shape = v.shape().to_vec();
         let rg = self.rg(table);
         self.push(v, Op::Gather { table, indices: Arc::new(indices.to_vec()), out_shape }, rg)
     }
@@ -508,21 +472,7 @@ impl Graph {
     /// `v: [..., K]`, `idx: flat [rows * m_out]` → `out: [..., m_out]`.
     pub fn gather_last(&mut self, v: Var, idx: Arc<Vec<usize>>, m_out: usize) -> Var {
         self.tick();
-        let val = self.value(v);
-        let k = *val.shape().last().expect("gather_last: scalar input");
-        let rows = val.len() / k;
-        assert_eq!(idx.len(), rows * m_out, "gather_last: index count mismatch");
-        let mut data = Vec::with_capacity(rows * m_out);
-        for r in 0..rows {
-            for m in 0..m_out {
-                let j = idx[r * m_out + m];
-                assert!(j < k, "gather_last: index {j} out of last dim {k}");
-                data.push(val.data()[r * k + j]);
-            }
-        }
-        let mut shape = val.shape().to_vec();
-        *shape.last_mut().unwrap() = m_out;
-        let out = Array::from_vec(shape, data);
+        let out = kernels::gather_last(self.value(v), &idx, m_out);
         let rg = self.rg(v);
         self.push(out, Op::GatherLast { v, idx, m_out }, rg)
     }
@@ -532,21 +482,7 @@ impl Graph {
     /// `out[r, idx[r,m]] += a[r, m]`.
     pub fn scatter_add_last(&mut self, a: Var, idx: Arc<Vec<usize>>, k_out: usize) -> Var {
         self.tick();
-        let val = self.value(a);
-        let m = *val.shape().last().expect("scatter_add_last: scalar input");
-        let rows = val.len() / m;
-        assert_eq!(idx.len(), rows * m, "scatter_add_last: index count mismatch");
-        let mut data = vec![0.0f32; rows * k_out];
-        for r in 0..rows {
-            for j in 0..m {
-                let k = idx[r * m + j];
-                assert!(k < k_out, "scatter_add_last: index {k} out of {k_out}");
-                data[r * k_out + k] += val.data()[r * m + j];
-            }
-        }
-        let mut shape = val.shape().to_vec();
-        *shape.last_mut().unwrap() = k_out;
-        let out = Array::from_vec(shape, data);
+        let out = kernels::scatter_add_last(self.value(a), &idx, k_out);
         let rg = self.rg(a);
         self.push(out, Op::ScatterAddLast { a, idx, k_out }, rg)
     }
@@ -579,12 +515,7 @@ impl Graph {
     /// Layer normalization over the last dimension (Eq 9 of the paper).
     pub fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var {
         self.tick();
-        let xv = self.value(x);
-        let w = *xv.shape().last().expect("layer_norm: scalar input");
-        let (xhat, _, _) = layer_norm_forward(xv, eps);
-        let scaled = xhat.mul(self.value(alpha)).add(self.value(beta));
-        assert_eq!(self.value(alpha).shape(), &[w], "layer_norm: alpha must be [width]");
-        assert_eq!(self.value(beta).shape(), &[w], "layer_norm: beta must be [width]");
+        let scaled = kernels::layer_norm_affine(self.value(x), self.value(alpha), self.value(beta), eps);
         let rg = self.rg(x) || self.rg(alpha) || self.rg(beta);
         self.push(scaled, Op::LayerNorm { x, alpha, beta, eps }, rg)
     }
@@ -623,21 +554,8 @@ impl Graph {
     /// Stacks `k` arrays of shape `[b,d]` into `[b,k,d]`.
     pub fn stack_axis1(&mut self, parts: &[Var]) -> Var {
         self.tick();
-        assert!(!parts.is_empty(), "stack_axis1: no inputs");
-        let first = self.value(parts[0]).shape().to_vec();
-        assert_eq!(first.len(), 2, "stack_axis1: parts must be 2-D");
-        let (b, d) = (first[0], first[1]);
-        let k = parts.len();
-        let mut data = vec![0.0f32; b * k * d];
-        for (j, &p) in parts.iter().enumerate() {
-            let pv = self.value(p);
-            assert_eq!(pv.shape(), &[b, d], "stack_axis1: shape mismatch");
-            for i in 0..b {
-                data[(i * k + j) * d..(i * k + j + 1) * d]
-                    .copy_from_slice(&pv.data()[i * d..(i + 1) * d]);
-            }
-        }
-        let v = Array::from_vec(vec![b, k, d], data);
+        let arrays: Vec<&Array> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = kernels::stack_axis1(&arrays);
         let rg = parts.iter().any(|&p| self.rg(p));
         self.push(v, Op::StackAxis1(parts.to_vec()), rg)
     }
@@ -645,15 +563,7 @@ impl Graph {
     /// Extracts time step `idx`: `[b,n,d] -> [b,d]`.
     pub fn slice_axis1(&mut self, v: Var, idx: usize) -> Var {
         self.tick();
-        let val = self.value(v);
-        assert_eq!(val.ndim(), 3, "slice_axis1: input must be 3-D");
-        let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
-        assert!(idx < n, "slice_axis1: step {idx} out of {n}");
-        let mut data = Vec::with_capacity(b * d);
-        for i in 0..b {
-            data.extend_from_slice(&val.data()[(i * n + idx) * d..(i * n + idx + 1) * d]);
-        }
-        let out = Array::from_vec(vec![b, d], data);
+        let out = kernels::slice_axis1(self.value(v), idx);
         let rg = self.rg(v);
         self.push(out, Op::SliceAxis1 { v, idx }, rg)
     }
@@ -661,18 +571,7 @@ impl Graph {
     /// Sliding-window unfold over axis 1: `[b,n,d] -> [b, n-w+1, w*d]`.
     pub fn unfold1(&mut self, v: Var, width: usize) -> Var {
         self.tick();
-        let val = self.value(v);
-        assert_eq!(val.ndim(), 3, "unfold1: input must be 3-D");
-        let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
-        assert!(width >= 1 && width <= n, "unfold1: width {width} out of 1..={n}");
-        let windows = n - width + 1;
-        let mut data = Vec::with_capacity(b * windows * width * d);
-        for i in 0..b {
-            for s in 0..windows {
-                data.extend_from_slice(&val.data()[(i * n + s) * d..(i * n + s + width) * d]);
-            }
-        }
-        let out = Array::from_vec(vec![b, windows, width * d], data);
+        let out = kernels::unfold1(self.value(v), width);
         let rg = self.rg(v);
         self.push(out, Op::Unfold1 { v, width }, rg)
     }
@@ -806,7 +705,7 @@ impl Graph {
             }
             Op::Softplus(a) => {
                 let av = self.value(*a).clone();
-                let ga = g.zip_broadcast(&av, |gy, x| gy * stable_sigmoid(x));
+                let ga = g.zip_broadcast(&av, |gy, x| gy * kernels::stable_sigmoid(x));
                 self.accumulate(*a, ga);
             }
             Op::SoftmaxLast(a) => {
@@ -941,7 +840,7 @@ impl Graph {
             Op::LayerNorm { x, alpha, beta, eps } => {
                 let xv = self.value(*x).clone();
                 let av = self.value(*alpha).clone();
-                let (xhat, _mu, inv_std) = layer_norm_forward(&xv, *eps);
+                let (xhat, _mu, inv_std) = kernels::layer_norm_forward(&xv, *eps);
                 let w = *xv.shape().last().unwrap();
                 let rows = xv.len() / w;
                 if self.rg(*alpha) {
@@ -1016,37 +915,6 @@ impl Graph {
             }
         }
     }
-}
-
-#[inline]
-fn stable_sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
-}
-
-/// Shared layer-norm forward: returns `(xhat, mu, inv_std)` per last-dim row.
-fn layer_norm_forward(x: &Array, eps: f32) -> (Array, Vec<f32>, Vec<f32>) {
-    let w = *x.shape().last().expect("layer_norm: scalar input");
-    let rows = x.len() / w;
-    let mut xhat = vec![0.0f32; x.len()];
-    let mut mus = Vec::with_capacity(rows);
-    let mut inv_stds = Vec::with_capacity(rows);
-    for r in 0..rows {
-        let row = &x.data()[r * w..(r + 1) * w];
-        let mu: f32 = row.iter().sum::<f32>() / w as f32;
-        let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / w as f32;
-        let inv_std = 1.0 / (var + eps).sqrt();
-        for j in 0..w {
-            xhat[r * w + j] = (row[j] - mu) * inv_std;
-        }
-        mus.push(mu);
-        inv_stds.push(inv_std);
-    }
-    (Array::from_vec(x.shape().to_vec(), xhat), mus, inv_stds)
 }
 
 #[cfg(test)]

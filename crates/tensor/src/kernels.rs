@@ -1,0 +1,191 @@
+//! Shared forward kernels used by both execution backends.
+//!
+//! Every op whose forward pass is more than a one-line [`Array`] call lives
+//! here as a plain function, and both [`Graph`](crate::Graph) (the autodiff
+//! tape) and [`NoGrad`](crate::NoGrad) (the inference backend) call the same
+//! function. This is what makes the tape-free serving path *bit-for-bit*
+//! identical to the training forward: there is exactly one implementation of
+//! each kernel, so the two backends cannot drift apart numerically.
+
+use crate::array::Array;
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub(crate) fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + e^x)` (clamped tails).
+#[inline]
+pub(crate) fn softplus_scalar(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// Max of a 3-D array over axis 1: `[b,n,d] -> [b,d]`.
+pub(crate) fn max_axis1(av: &Array) -> Array {
+    assert_eq!(av.ndim(), 3, "max_axis1 requires a 3-D array");
+    let (b, n, d) = (av.shape()[0], av.shape()[1], av.shape()[2]);
+    assert!(n >= 1, "max_axis1: empty axis");
+    let mut out = vec![f32::NEG_INFINITY; b * d];
+    for i in 0..b {
+        for j in 0..n {
+            for k in 0..d {
+                let x = av.data()[(i * n + j) * d + k];
+                if x > out[i * d + k] {
+                    out[i * d + k] = x;
+                }
+            }
+        }
+    }
+    Array::from_vec(vec![b, d], out)
+}
+
+/// Embedding lookup: rows of a 2-D `table` selected by `indices`, shaped
+/// `batch_shape + [d]`.
+pub(crate) fn gather_rows(t: &Array, indices: &[usize], batch_shape: &[usize]) -> Array {
+    assert_eq!(t.ndim(), 2, "gather: table must be 2-D");
+    let rows: usize = batch_shape.iter().product();
+    assert_eq!(rows, indices.len(), "gather: batch shape {batch_shape:?} vs {} indices", indices.len());
+    let d = t.shape()[1];
+    let mut data = Vec::with_capacity(indices.len() * d);
+    for &i in indices {
+        assert!(i < t.shape()[0], "gather: index {i} out of {} rows", t.shape()[0]);
+        data.extend_from_slice(&t.data()[i * d..(i + 1) * d]);
+    }
+    let mut out_shape = batch_shape.to_vec();
+    out_shape.push(d);
+    Array::from_vec(out_shape, data)
+}
+
+/// Per-row lookup along the last dimension:
+/// `v: [..., K]`, `idx: flat [rows * m_out]` → `out: [..., m_out]`.
+pub(crate) fn gather_last(val: &Array, idx: &[usize], m_out: usize) -> Array {
+    let k = *val.shape().last().expect("gather_last: scalar input");
+    let rows = val.len() / k;
+    assert_eq!(idx.len(), rows * m_out, "gather_last: index count mismatch");
+    let mut data = Vec::with_capacity(rows * m_out);
+    for r in 0..rows {
+        for m in 0..m_out {
+            let j = idx[r * m_out + m];
+            assert!(j < k, "gather_last: index {j} out of last dim {k}");
+            data.push(val.data()[r * k + j]);
+        }
+    }
+    let mut shape = val.shape().to_vec();
+    *shape.last_mut().unwrap() = m_out;
+    Array::from_vec(shape, data)
+}
+
+/// Per-row scatter-add along the last dimension (dual of `gather_last`):
+/// `a: [..., M]`, `idx: flat [rows * M]` → `out: [..., k_out]`.
+pub(crate) fn scatter_add_last(val: &Array, idx: &[usize], k_out: usize) -> Array {
+    let m = *val.shape().last().expect("scatter_add_last: scalar input");
+    let rows = val.len() / m;
+    assert_eq!(idx.len(), rows * m, "scatter_add_last: index count mismatch");
+    let mut data = vec![0.0f32; rows * k_out];
+    for r in 0..rows {
+        for j in 0..m {
+            let k = idx[r * m + j];
+            assert!(k < k_out, "scatter_add_last: index {k} out of {k_out}");
+            data[r * k_out + k] += val.data()[r * m + j];
+        }
+    }
+    let mut shape = val.shape().to_vec();
+    *shape.last_mut().unwrap() = k_out;
+    Array::from_vec(shape, data)
+}
+
+/// Stacks `k` arrays of shape `[b,d]` into `[b,k,d]`.
+pub(crate) fn stack_axis1(parts: &[&Array]) -> Array {
+    assert!(!parts.is_empty(), "stack_axis1: no inputs");
+    let first = parts[0].shape().to_vec();
+    assert_eq!(first.len(), 2, "stack_axis1: parts must be 2-D");
+    let (b, d) = (first[0], first[1]);
+    let k = parts.len();
+    let mut data = vec![0.0f32; b * k * d];
+    for (j, pv) in parts.iter().enumerate() {
+        assert_eq!(pv.shape(), &[b, d], "stack_axis1: shape mismatch");
+        for i in 0..b {
+            data[(i * k + j) * d..(i * k + j + 1) * d].copy_from_slice(&pv.data()[i * d..(i + 1) * d]);
+        }
+    }
+    Array::from_vec(vec![b, k, d], data)
+}
+
+/// Extracts time step `idx`: `[b,n,d] -> [b,d]`.
+pub(crate) fn slice_axis1(val: &Array, idx: usize) -> Array {
+    assert_eq!(val.ndim(), 3, "slice_axis1: input must be 3-D");
+    let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
+    assert!(idx < n, "slice_axis1: step {idx} out of {n}");
+    let mut data = Vec::with_capacity(b * d);
+    for i in 0..b {
+        data.extend_from_slice(&val.data()[(i * n + idx) * d..(i * n + idx + 1) * d]);
+    }
+    Array::from_vec(vec![b, d], data)
+}
+
+/// Sliding-window unfold over axis 1: `[b,n,d] -> [b, n-w+1, w*d]`.
+pub(crate) fn unfold1(val: &Array, width: usize) -> Array {
+    assert_eq!(val.ndim(), 3, "unfold1: input must be 3-D");
+    let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
+    assert!(width >= 1 && width <= n, "unfold1: width {width} out of 1..={n}");
+    let windows = n - width + 1;
+    let mut data = Vec::with_capacity(b * windows * width * d);
+    for i in 0..b {
+        for s in 0..windows {
+            data.extend_from_slice(&val.data()[(i * n + s) * d..(i * n + s + width) * d]);
+        }
+    }
+    Array::from_vec(vec![b, windows, width * d], data)
+}
+
+/// Shared layer-norm forward: returns `(xhat, mu, inv_std)` per last-dim row.
+pub(crate) fn layer_norm_forward(x: &Array, eps: f32) -> (Array, Vec<f32>, Vec<f32>) {
+    let w = *x.shape().last().expect("layer_norm: scalar input");
+    let rows = x.len() / w;
+    let mut xhat = vec![0.0f32; x.len()];
+    let mut mus = Vec::with_capacity(rows);
+    let mut inv_stds = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &x.data()[r * w..(r + 1) * w];
+        let mu: f32 = row.iter().sum::<f32>() / w as f32;
+        let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / w as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for j in 0..w {
+            xhat[r * w + j] = (row[j] - mu) * inv_std;
+        }
+        mus.push(mu);
+        inv_stds.push(inv_std);
+    }
+    (Array::from_vec(x.shape().to_vec(), xhat), mus, inv_stds)
+}
+
+/// Full affine layer-norm output `xhat * alpha + beta` (both backends).
+pub(crate) fn layer_norm_affine(xv: &Array, alpha: &Array, beta: &Array, eps: f32) -> Array {
+    let w = *xv.shape().last().expect("layer_norm: scalar input");
+    let (xhat, _, _) = layer_norm_forward(xv, eps);
+    let scaled = xhat.mul(alpha).add(beta);
+    assert_eq!(alpha.shape(), &[w], "layer_norm: alpha must be [width]");
+    assert_eq!(beta.shape(), &[w], "layer_norm: beta must be [width]");
+    scaled
+}
+
+/// Forward of the affine map `x W (+ b)` over the last dimension.
+pub(crate) fn linear_forward(x: &Array, w: &Array, b: Option<&Array>) -> Array {
+    let mut v = x.matmul_last(w);
+    if let Some(b) = b {
+        v = v.add(b);
+    }
+    v
+}

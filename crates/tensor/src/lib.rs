@@ -15,6 +15,10 @@
 //!   passes allocation-light and easy to audit.
 //! * [`grad_check`](check::grad_check) — a central finite-difference gradient
 //!   checker used by the test-suite to validate every differentiable op.
+//! * [`Exec`] / [`NoGrad`] — an execution-backend abstraction over the op
+//!   constructors: the same layer/model code runs on the tape (training) or
+//!   on the tape-free [`NoGrad`] backend (inference), with bit-identical
+//!   forward values because both route through one set of shared kernels.
 //!
 //! Shape errors panic with descriptive messages (the convention of `ndarray`
 //! and friends): a shape mismatch inside a model is a programming bug, not a
@@ -35,10 +39,13 @@
 mod array;
 mod broadcast;
 pub mod check;
+mod exec;
 mod graph;
 mod init;
+mod kernels;
 
-pub use array::Array;
+pub use array::{suggested_workers, Array};
 pub use broadcast::broadcast_shapes;
+pub use exec::{Exec, NoGrad};
 pub use graph::{Graph, Op, Var};
 pub use init::{xavier_uniform, normal_init};

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Panic-audit gate for the robustness-critical crates (nn, core, data).
+# Panic-audit gate for the robustness-critical crates (nn, core, data, serve).
 #
 # Counts `.unwrap()` / `.expect(` calls in *library* code — everything above
 # the first `#[cfg(test)]` marker — of each source file and compares against
@@ -14,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ALLOWLIST=scripts/panic_allowlist.txt
-AUDITED_DIRS=(crates/nn/src crates/core/src crates/data/src)
+AUDITED_DIRS=(crates/nn/src crates/core/src crates/data/src crates/serve/src)
 
 count_panics() {
     # Library-code unwrap/expect count for one file (0 if none).

@@ -13,7 +13,16 @@ cargo test -q --workspace --release
 echo "== fault-injection & resume suite"
 cargo test -q --release -p stisan-core --test fault_injection --test checkpoint_resume
 
-echo "== panic audit (crates/nn, crates/core, crates/data)"
+echo "== serving: tape/frozen parity + gradcheck + property suites"
+cargo test -q --release -p stisan-serve --test parity
+cargo test -q --release -p stisan-core --test gradcheck_blocks
+cargo test -q --release -p stisan --test property_tests
+cargo test -q --release -p stisan-eval --test golden_metrics
+
+echo "== serve_bench smoke"
+cargo run --release -p stisan-bench --bin serve_bench -- --smoke
+
+echo "== panic audit (crates/nn, crates/core, crates/data, crates/serve)"
 ./scripts/panic_audit.sh
 
 echo "== cargo clippy --workspace -- -D warnings"

@@ -22,4 +22,5 @@ pub use stisan_eval as eval;
 pub use stisan_geo as geo;
 pub use stisan_models as models;
 pub use stisan_nn as nn;
+pub use stisan_serve as serve;
 pub use stisan_tensor as tensor;
