@@ -1,0 +1,394 @@
+//! `gateway_bench` — closed- and open-loop load generation against the
+//! `stisan-gateway` TCP front-end, measuring throughput, tail latency
+//! (p50/p95/p99 via `stisan-obs` histograms), and shed rate.
+//!
+//! ```text
+//! cargo run --release -p stisan-bench --bin gateway_bench -- [--smoke]
+//!     [--scale f] [--clients n] [--requests n] [--qps f] [--batch n]
+//!     [--wait-us n] [--queue n] [--workers n] [--top-k k]
+//!     [--device-us n] [--epochs n] [--seed s]
+//! ```
+//!
+//! Two scoring backends:
+//!
+//! * `--device-us N` (N > 0) — a **fixed-service-time device**: each
+//!   instance costs N µs of wall time regardless of host cores, like an
+//!   accelerator-backed scorer. This isolates the *batching layer*: with a
+//!   fixed worker pool of W, a batch of B costs `ceil(B/W) * N` µs, so the
+//!   dynamic micro-batcher's win over batch-size-1 is structural and
+//!   host-independent — which is what `--smoke` asserts (>= 1.5x at 32 vs
+//!   1, same W).
+//! * `--device-us 0` — score with a freshly trained STiSAN. Real numbers,
+//!   but the batching win then depends on the host's core count (on a
+//!   single-core runner, CPU-bound workers cannot overlap).
+//!
+//! `--smoke` runs the CI acceptance sequence on the synthetic device:
+//! closed-loop batch=1 vs batch=32 (assert >= 1.5x), a bounded-queue
+//! overload flood (assert sheds with `OVERLOADED`, nothing lost), and a
+//! paced open-loop run at a sustainable QPS target.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stisan_bench::prep_config;
+use stisan_core::{StiSan, StisanConfig};
+use stisan_data::{generate, preprocess, DatasetPreset::Gowalla, EvalInstance, GenConfig, Processed};
+use stisan_eval::{FrozenScorer, Recommender};
+use stisan_gateway::{
+    request_from_instance, BatchPolicy, ClientError, ErrorCode, Gateway, GatewayClient,
+    GatewayConfig, GatewayStats,
+};
+use stisan_models::TrainConfig;
+use stisan_serve::{InferenceSession, PruningPolicy, ServeConfig};
+
+struct Opts {
+    smoke: bool,
+    scale: f64,
+    clients: usize,
+    requests: usize, // per client
+    qps: f64,        // 0 = closed loop
+    batch: usize,
+    wait_us: u64,
+    queue: usize,
+    workers: usize,
+    top_k: u16,
+    device_us: u64,
+    epochs: usize,
+    seed: u64,
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        smoke: false,
+        scale: 0.02,
+        clients: 8,
+        requests: 25,
+        qps: 0.0,
+        batch: 32,
+        wait_us: 500,
+        queue: 256,
+        workers: 4,
+        top_k: 10,
+        device_us: 0,
+        epochs: 1,
+        seed: 42,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| panic!("flag {key} needs a value")).clone()
+        };
+        match key.as_str() {
+            "--smoke" => o.smoke = true,
+            "--scale" => o.scale = take(&mut i).parse().expect("bad --scale"),
+            "--clients" => o.clients = take(&mut i).parse().expect("bad --clients"),
+            "--requests" => o.requests = take(&mut i).parse().expect("bad --requests"),
+            "--qps" => o.qps = take(&mut i).parse().expect("bad --qps"),
+            "--batch" => o.batch = take(&mut i).parse().expect("bad --batch"),
+            "--wait-us" => o.wait_us = take(&mut i).parse().expect("bad --wait-us"),
+            "--queue" => o.queue = take(&mut i).parse().expect("bad --queue"),
+            "--workers" => o.workers = take(&mut i).parse().expect("bad --workers"),
+            "--top-k" => o.top_k = take(&mut i).parse().expect("bad --top-k"),
+            "--device-us" => o.device_us = take(&mut i).parse().expect("bad --device-us"),
+            "--epochs" => o.epochs = take(&mut i).parse().expect("bad --epochs"),
+            "--seed" => o.seed = take(&mut i).parse().expect("bad --seed"),
+            other => panic!(
+                "unknown flag {other}; supported: --smoke --scale --clients --requests --qps \
+                 --batch --wait-us --queue --workers --top-k --device-us --epochs --seed"
+            ),
+        }
+        i += 1;
+    }
+    if o.smoke {
+        o.scale = 0.01;
+        o.device_us = 500;
+    }
+    o
+}
+
+/// Spatial-prior scorer with a fixed per-instance service time: the
+/// batching layer's "device".
+struct FixedLatencyDevice(Duration);
+
+impl Recommender for FixedLatencyDevice {
+    fn name(&self) -> String {
+        "fixed-latency-device".into()
+    }
+    fn score(&self, data: &Processed, inst: &EvalInstance, c: &[u32]) -> Vec<f32> {
+        thread::sleep(self.0);
+        let last = inst.poi.last().copied().unwrap_or(1).max(1);
+        let anchor = data.loc(last);
+        c.iter().map(|&p| -(data.loc(p).distance_km(&anchor) as f32)).collect()
+    }
+}
+
+impl FrozenScorer for FixedLatencyDevice {
+    fn score_frozen(&self, data: &Processed, inst: &EvalInstance, c: &[u32]) -> Vec<f32> {
+        self.score(data, inst, c)
+    }
+}
+
+#[derive(Default)]
+struct LoadResult {
+    ok: u64,
+    shed: u64,
+    wall_s: f64,
+    lat_ms: Vec<f64>,
+}
+
+impl LoadResult {
+    fn rps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.ok as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+    fn shed_rate(&self) -> f64 {
+        let total = self.ok + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 * q).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+fn report(label: &str, r: &LoadResult) {
+    println!(
+        "{label:<26} {:>9.1} req/s   p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms   \
+         shed {:>5.1}%",
+        r.rps(),
+        percentile(&r.lat_ms, 0.50),
+        percentile(&r.lat_ms, 0.95),
+        percentile(&r.lat_ms, 0.99),
+        100.0 * r.shed_rate(),
+    );
+}
+
+/// Drives `clients` concurrent connections, each sending `per_client`
+/// requests. `qps > 0` paces arrivals open-loop against a fixed schedule
+/// (so queueing delay shows up in latency, not in the arrival rate);
+/// `qps == 0` is closed-loop (send, wait, repeat). Latencies also land in
+/// the `stisan-obs` histogram named `gateway_bench.latency_ms.<label>`.
+fn run_load(
+    addr: SocketAddr,
+    data: &Processed,
+    clients: usize,
+    per_client: usize,
+    k: u16,
+    qps: f64,
+    label: &str,
+) -> LoadResult {
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let lat = Mutex::new(Vec::with_capacity(clients * per_client));
+    let metric = format!("gateway_bench.latency_ms.{label}");
+    let t0 = Instant::now();
+    thread::scope(|s| {
+        for c in 0..clients {
+            let (ok, shed, lat, metric) = (&ok, &shed, &lat, &metric);
+            s.spawn(move || {
+                let mut client = GatewayClient::connect(addr).expect("connect to gateway");
+                let interval =
+                    (qps > 0.0).then(|| Duration::from_secs_f64(clients as f64 / qps));
+                let start = Instant::now();
+                let mut local = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    if let Some(iv) = interval {
+                        let due = iv.mul_f64(i as f64);
+                        let now = start.elapsed();
+                        if due > now {
+                            thread::sleep(due - now);
+                        }
+                    }
+                    let inst = &data.eval[(c * per_client + i) % data.eval.len()];
+                    let req = request_from_instance(data, inst, k, 0);
+                    let t = Instant::now();
+                    match client.recommend(&req) {
+                        Ok(resp) => {
+                            assert!(!resp.items.is_empty(), "served an empty ranking");
+                            let ms = t.elapsed().as_secs_f64() * 1e3;
+                            stisan_obs::observe(metric, ms);
+                            local.push(ms);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server(e)) if e.code == ErrorCode::Overloaded => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("client {c} request {i} failed: {other}"),
+                    }
+                }
+                lat.lock().expect("latency vec lock").extend(local);
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut lat_ms = lat.into_inner().expect("latency vec lock");
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+    LoadResult { ok: ok.into_inner(), shed: shed.into_inner(), wall_s, lat_ms }
+}
+
+/// Serves `session` through a gateway on an ephemeral port for the duration
+/// of `f`, then drains and returns the run's gateway stats.
+fn with_gateway<M: FrozenScorer + Sync, R>(
+    session: &InferenceSession<'_, M>,
+    cfg: GatewayConfig,
+    f: impl FnOnce(SocketAddr) -> R,
+) -> (GatewayStats, R) {
+    let gw = Gateway::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let handle = gw.handle();
+    let addr = gw.local_addr();
+    let mut stats = GatewayStats::default();
+    let mut out = None;
+    thread::scope(|s| {
+        let server = s.spawn(move || gw.serve(session).expect("gateway serve"));
+        out = Some(f(addr));
+        handle.shutdown();
+        stats = server.join().expect("server thread");
+    });
+    (stats, out.expect("load closure ran"))
+}
+
+fn gateway_cfg(o: &Opts, batch: usize, queue: usize) -> GatewayConfig {
+    GatewayConfig {
+        batch: BatchPolicy {
+            max_batch_size: batch,
+            max_wait_us: if batch > 1 { o.wait_us } else { 0 },
+            queue_capacity: queue,
+        },
+        workers: o.workers,
+        read_timeout: Duration::from_secs(30),
+    }
+}
+
+fn main() {
+    let o = parse();
+    stisan_obs::init();
+    let gen_cfg = GenConfig { ..Gowalla.config(o.scale) };
+    let data = generate(&gen_cfg, o.seed);
+    let p = preprocess(&data, &prep_config(if o.smoke { 10 } else { 20 }, o.scale));
+    assert!(!p.eval.is_empty(), "no eval instances at this scale — raise --scale");
+    println!(
+        "Gowalla synth @ scale {}: {} users, {} POIs, {} eval instances; {} clients x {} \
+         requests, {} workers",
+        o.scale,
+        p.num_users,
+        p.num_pois,
+        p.eval.len(),
+        o.clients,
+        o.requests,
+        o.workers
+    );
+
+    let serve_cfg = ServeConfig {
+        top_k: o.top_k as usize,
+        workers: 0,
+        pruning: PruningPolicy::Full,
+    };
+
+    if o.device_us > 0 {
+        let device = FixedLatencyDevice(Duration::from_micros(o.device_us));
+        let session = InferenceSession::new(&device, &p, serve_cfg);
+        println!("scoring device: fixed {} us/instance", o.device_us);
+
+        // Closed loop, batch = 1 vs the configured batch, same worker pool.
+        let (s1, r1) = with_gateway(&session, gateway_cfg(&o, 1, o.queue), |addr| {
+            run_load(addr, &p, o.clients, o.requests, o.top_k, 0.0, "batch1")
+        });
+        report("closed loop, batch 1", &r1);
+        let batch = o.batch.max(2);
+        let (sb, rb) = with_gateway(&session, gateway_cfg(&o, batch, o.queue), |addr| {
+            run_load(addr, &p, o.clients, o.requests, o.top_k, 0.0, "batched")
+        });
+        report(&format!("closed loop, batch {batch}"), &rb);
+        println!(
+            "batch fill: {:.1} avg over {} batches (batch 1: {} batches)",
+            sb.served as f64 / sb.batches.max(1) as f64,
+            sb.batches,
+            s1.batches
+        );
+        let speedup = rb.rps() / r1.rps().max(1e-12);
+        println!("micro-batching throughput speedup: {speedup:.2}x");
+
+        // Overload: a 2-deep queue in front of a slow device must shed, and
+        // every request must still be answered one way or the other.
+        let slow = FixedLatencyDevice(Duration::from_millis(2));
+        let slow_session = InferenceSession::new(&slow, &p, serve_cfg);
+        let overload_cfg = GatewayConfig {
+            batch: BatchPolicy { max_batch_size: 1, max_wait_us: 0, queue_capacity: 2 },
+            workers: 1,
+            read_timeout: Duration::from_secs(30),
+        };
+        let (so, ro) = with_gateway(&slow_session, overload_cfg, |addr| {
+            run_load(addr, &p, 8, 5, o.top_k, 0.0, "overload")
+        });
+        report("overload, queue 2", &ro);
+        assert_eq!(ro.ok + ro.shed, 40, "overload: every request must be answered");
+        assert_eq!(so.shed, ro.shed, "server and client shed counts must agree");
+
+        // Open loop at a comfortably sustainable rate (device capacity is
+        // workers / service_time); queueing shows up as latency, not loss.
+        let capacity = o.workers as f64 / (o.device_us as f64 * 1e-6);
+        let qps = (capacity * 0.5).max(50.0);
+        let (_, ropen) = with_gateway(&session, gateway_cfg(&o, batch, o.queue), |addr| {
+            run_load(addr, &p, o.clients, o.requests, o.top_k, qps, "open")
+        });
+        report(&format!("open loop, {qps:.0} qps"), &ropen);
+
+        if o.smoke {
+            assert!(
+                speedup >= 1.5,
+                "acceptance: batch {batch} must be >= 1.5x batch 1, got {speedup:.2}x"
+            );
+            assert!(ro.shed > 0, "acceptance: the bounded queue must shed under flood");
+            println!("smoke OK: {speedup:.2}x batched speedup, {} sheds typed", ro.shed);
+        }
+    } else {
+        // Real model: numbers depend on host parallelism (batched scoring
+        // fans CPU-bound work across the worker pool).
+        let train = TrainConfig {
+            dim: 16,
+            blocks: 1,
+            epochs: o.epochs,
+            batch: 16,
+            seed: o.seed,
+            ..Default::default()
+        };
+        let mut model = StiSan::new(&p, StisanConfig { train, ..Default::default() });
+        let t = Instant::now();
+        model.fit(&p);
+        println!("trained {} in {:.1}s", model.name(), t.elapsed().as_secs_f64());
+        let session = InferenceSession::new(&model, &p, serve_cfg);
+
+        let (s1, r1) = with_gateway(&session, gateway_cfg(&o, 1, o.queue), |addr| {
+            run_load(addr, &p, o.clients, o.requests, o.top_k, 0.0, "batch1")
+        });
+        report("closed loop, batch 1", &r1);
+        let (sb, rb) = with_gateway(&session, gateway_cfg(&o, o.batch, o.queue), |addr| {
+            run_load(addr, &p, o.clients, o.requests, o.top_k, o.qps, "batched")
+        });
+        report(&format!("batch {}, qps {}", o.batch, o.qps), &rb);
+        println!(
+            "batch fill: {:.1} avg over {} batches (batch 1: {} batches); speedup {:.2}x",
+            sb.served as f64 / sb.batches.max(1) as f64,
+            sb.batches,
+            s1.batches,
+            rb.rps() / r1.rps().max(1e-12)
+        );
+    }
+}

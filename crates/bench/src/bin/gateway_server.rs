@@ -1,0 +1,148 @@
+//! `gateway_server` — a standalone networked recommender: trains STiSAN on
+//! a Gowalla-preset synthetic dataset, then serves it over TCP through
+//! `stisan-gateway` until stdin closes (or a line is entered), at which
+//! point it drains gracefully and prints the run's stats.
+//!
+//! ```text
+//! cargo run --release -p stisan-bench --bin gateway_server -- \
+//!     [--addr 127.0.0.1:7878] [--scale f] [--epochs n] [--batch n]
+//!     [--wait-us n] [--queue n] [--workers n] [--top-k k] [--seed s]
+//! ```
+//!
+//! Worker-count precedence: `--workers` > the `STISAN_WORKERS` environment
+//! variable > the `min(cores, 8)` heuristic (see README, "Serving over the
+//! network"). Talk to it with `gateway_bench` or any `GatewayClient`.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use stisan_bench::prep_config;
+use stisan_core::{StiSan, StisanConfig};
+use stisan_data::{generate, preprocess, DatasetPreset, GenConfig};
+use stisan_eval::Recommender;
+use stisan_gateway::{BatchPolicy, Gateway, GatewayConfig};
+use stisan_models::TrainConfig;
+use stisan_serve::{InferenceSession, PruningPolicy, ServeConfig};
+
+struct Opts {
+    addr: String,
+    scale: f64,
+    epochs: usize,
+    batch: usize,
+    wait_us: u64,
+    queue: usize,
+    workers: usize,
+    top_k: usize,
+    seed: u64,
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        addr: "127.0.0.1:7878".into(),
+        scale: 0.02,
+        epochs: 1,
+        batch: 32,
+        wait_us: 2_000,
+        queue: 256,
+        workers: 0,
+        top_k: 10,
+        seed: 42,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| panic!("flag {key} needs a value")).clone()
+        };
+        match key.as_str() {
+            "--addr" => o.addr = take(&mut i),
+            "--scale" => o.scale = take(&mut i).parse().expect("bad --scale"),
+            "--epochs" => o.epochs = take(&mut i).parse().expect("bad --epochs"),
+            "--batch" => o.batch = take(&mut i).parse().expect("bad --batch"),
+            "--wait-us" => o.wait_us = take(&mut i).parse().expect("bad --wait-us"),
+            "--queue" => o.queue = take(&mut i).parse().expect("bad --queue"),
+            "--workers" => o.workers = take(&mut i).parse().expect("bad --workers"),
+            "--top-k" => o.top_k = take(&mut i).parse().expect("bad --top-k"),
+            "--seed" => o.seed = take(&mut i).parse().expect("bad --seed"),
+            other => panic!(
+                "unknown flag {other}; supported: --addr --scale --epochs --batch --wait-us \
+                 --queue --workers --top-k --seed"
+            ),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn main() {
+    let o = parse();
+    stisan_obs::init();
+    let gen_cfg = GenConfig { ..DatasetPreset::Gowalla.config(o.scale) };
+    let data = generate(&gen_cfg, o.seed);
+    let p = preprocess(&data, &prep_config(20, o.scale));
+    println!(
+        "Gowalla synth @ scale {}: {} users, {} POIs",
+        o.scale, p.num_users, p.num_pois
+    );
+
+    let train = TrainConfig {
+        dim: 16,
+        blocks: 1,
+        epochs: o.epochs,
+        batch: 16,
+        seed: o.seed,
+        ..Default::default()
+    };
+    let mut model = StiSan::new(&p, StisanConfig { train, ..Default::default() });
+    model.fit(&p);
+    println!("trained {} for {} epoch(s)", model.name(), o.epochs);
+
+    let session = InferenceSession::new(
+        &model,
+        &p,
+        ServeConfig { top_k: o.top_k, workers: 0, pruning: PruningPolicy::Full },
+    );
+    let cfg = GatewayConfig {
+        batch: BatchPolicy {
+            max_batch_size: o.batch,
+            max_wait_us: o.wait_us,
+            queue_capacity: o.queue,
+        },
+        workers: o.workers,
+        read_timeout: Duration::from_secs(30),
+    };
+    let gw = Gateway::bind(o.addr.as_str(), cfg).expect("bind gateway address");
+    let handle = gw.handle();
+    println!(
+        "serving on {} (batch <= {}, wait <= {} us, queue <= {}); press Enter or close \
+         stdin to drain and stop",
+        gw.local_addr(),
+        o.batch,
+        o.wait_us,
+        o.queue
+    );
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| gw.serve(&session).expect("gateway serve"));
+        // Block on stdin: EOF or any line triggers graceful drain.
+        let mut line = String::new();
+        let _ = std::io::stdin().lock().read_line(&mut line);
+        println!("draining...");
+        handle.shutdown();
+        let stats = server.join().expect("server thread");
+        println!(
+            "served {} of {} admitted ({} connections, {} batches); shed {}, deadline \
+             exceeded {}, bad requests {}, protocol errors {}",
+            stats.served,
+            stats.admitted,
+            stats.connections,
+            stats.batches,
+            stats.shed,
+            stats.deadline_exceeded,
+            stats.bad_requests,
+            stats.protocol_errors
+        );
+    });
+}

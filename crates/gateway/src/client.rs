@@ -1,0 +1,76 @@
+//! A minimal blocking client for the gateway protocol, used by the e2e
+//! suite and the `gateway_bench` load generator. One outstanding request
+//! per connection (the protocol is strict request/response).
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, ErrorFrame, Frame, ReadError, Request, Response};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The server's bytes did not decode as a frame.
+    Protocol(ReadError),
+    /// The server answered with a typed error frame (`OVERLOADED`,
+    /// `DEADLINE_EXCEEDED`, ...).
+    Server(ErrorFrame),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(e) => write!(f, "server: {} ({})", e.code, e.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected gateway client.
+pub struct GatewayClient {
+    stream: TcpStream,
+}
+
+impl GatewayClient {
+    /// Connects to a gateway.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<GatewayClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(GatewayClient { stream })
+    }
+
+    /// Bounds how long [`GatewayClient::recommend`] waits for a response.
+    pub fn set_timeout(&mut self, t: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Sends one request and blocks for its response. A typed server error
+    /// frame becomes [`ClientError::Server`]; the connection stays usable
+    /// afterwards for the retryable codes (`OVERLOADED`,
+    /// `DEADLINE_EXCEEDED`, `BAD_REQUEST`).
+    pub fn recommend(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &Frame::Request(req.clone()))?;
+        match read_frame(&mut self.stream) {
+            Ok(Frame::Response(r)) => Ok(r),
+            Ok(Frame::Error(e)) => Err(ClientError::Server(e)),
+            Ok(Frame::Request(_)) => Err(ClientError::Protocol(ReadError::Decode(
+                crate::protocol::DecodeError::Malformed("server sent a request frame"),
+            ))),
+            Err(e) => Err(ClientError::Protocol(e)),
+        }
+    }
+}

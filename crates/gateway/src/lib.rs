@@ -1,0 +1,49 @@
+//! # stisan-gateway — networked serving front-end
+//!
+//! A std-only (threads + `std::net`, no async runtime) TCP layer over the
+//! tape-free inference engine (`stisan-serve`), built for DESIGN.md §10's
+//! goals: get requests to `InferenceSession` over a socket, batch them for
+//! throughput, and degrade loudly instead of collapsing under load.
+//!
+//! Four pillars:
+//!
+//! * **[`protocol`]** — a length-prefixed, CRC-checked binary frame format
+//!   (versioned header, typed error frames). Encode/decode are pure byte
+//!   functions; corruption of any single bit yields a typed
+//!   [`protocol::DecodeError`], never a panic (the corruption suite proves
+//!   it with the `stisan_nn::fault` injectors).
+//! * **[`batcher`]** — dynamic micro-batching as a pure, simulated-clock
+//!   state machine: bounded admission, `max_batch_size` / `max_wait_us`
+//!   coalescing, FIFO batches. Property-tested without real sleeps.
+//! * **[`server`]** — the serving loop: bounded pending queue that sheds
+//!   with `OVERLOADED` frames, per-request deadlines enforced at dequeue
+//!   (`DEADLINE_EXCEEDED`), per-connection idle timeouts, and graceful
+//!   drain-then-stop shutdown via [`GatewayHandle::shutdown`].
+//! * **[`client`]** — a small blocking client for tests and the
+//!   `gateway_bench` load generator (closed- and open-loop, in
+//!   `stisan-bench`).
+//!
+//! Observability (`stisan-obs`): `gateway.queue_depth` (gauge),
+//! `gateway.batch_fill` / `gateway.wait_us` (histograms),
+//! `gateway.shed_total` / `gateway.deadline_exceeded_total` /
+//! `gateway.batches_total` (counters).
+//!
+//! Responses are bit-identical to direct [`stisan_serve::InferenceSession`]
+//! calls for the same inputs — the e2e suite asserts it across a real
+//! socket, extending the tape/frozen parity contract of DESIGN.md §9 over
+//! the wire.
+
+pub mod batcher;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{BatchPolicy, MicroBatcher, Pending};
+pub use client::{ClientError, GatewayClient};
+pub use protocol::{
+    DecodeError, ErrorCode, ErrorFrame, Frame, ReadError, Request, Response, Visit,
+};
+pub use server::{
+    request_from_instance, request_to_instance, Gateway, GatewayConfig, GatewayHandle,
+    GatewayStats,
+};

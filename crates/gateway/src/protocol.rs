@@ -1,0 +1,625 @@
+//! Wire protocol: length-prefixed, CRC-checked binary frames.
+//!
+//! Every frame is laid out as
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  = b"STGW"
+//!      4     1  version = 1
+//!      5     1  kind    (1 = Request, 2 = Response, 3 = Error)
+//!      6     2  reserved (must be 0)
+//!      8     4  payload_len (LE; at most MAX_PAYLOAD)
+//!     12     N  payload (kind-specific, little-endian fields)
+//!   12+N     4  crc32 over bytes [0, 12+N)  — header AND payload
+//! ```
+//!
+//! The CRC covers the header too, so a bit flip anywhere in a frame —
+//! including one that turns a Request into a syntactically valid Error —
+//! yields a typed [`DecodeError`], never a silent misinterpretation (the
+//! corruption suite flips every bit of a frame and asserts this). The CRC is
+//! the same IEEE CRC-32 the checkpoint format uses
+//! ([`stisan_nn::crc32`]).
+//!
+//! Encoding and decoding are pure byte-slice functions, testable without a
+//! socket; [`read_frame`]/[`write_frame`] adapt them to blocking streams
+//! with an allocation bound enforced *before* the payload is read.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use stisan_nn::crc32;
+
+/// Frame magic: the first four bytes of every well-formed frame.
+pub const MAGIC: [u8; 4] = *b"STGW";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes (magic + version + kind + reserved + len).
+pub const HEADER_LEN: usize = 12;
+/// Hard upper bound on `payload_len`: a peer can never make the server
+/// allocate more than this per frame.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+/// Upper bound on check-ins per request (well under [`MAX_PAYLOAD`]).
+pub const MAX_SEQ_LEN: usize = 4096;
+/// Upper bound on requested recommendations.
+pub const MAX_K: usize = 1024;
+
+/// One check-in of the request's history, as sent over the wire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Visit {
+    /// Remapped POI id (`1..=num_pois` on the serving catalogue).
+    pub poi: u32,
+    /// Check-in timestamp, seconds.
+    pub time: f64,
+    /// Check-in latitude, degrees (informational; the server scores against
+    /// its own catalogue locations).
+    pub lat: f64,
+    /// Check-in longitude, degrees.
+    pub lon: f64,
+}
+
+/// A recommendation request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Remapped user id.
+    pub user: u32,
+    /// Number of recommendations wanted (`1..=MAX_K`).
+    pub k: u16,
+    /// Latency budget in milliseconds, measured from admission; `0` means
+    /// no deadline. Requests still queued past their budget are answered
+    /// with [`ErrorCode::DeadlineExceeded`] instead of being scored.
+    pub deadline_ms: u32,
+    /// Check-in history, oldest first. Only the most recent `max_len` are
+    /// scored (the model's window).
+    pub seq: Vec<Visit>,
+}
+
+/// A recommendation response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Size of the unpruned candidate pool (the full catalogue).
+    pub pool: u32,
+    /// Candidates actually scored after geo pruning.
+    pub scored: u32,
+    /// `(poi_id, score)` pairs, best first.
+    pub items: Vec<(u32, f32)>,
+}
+
+/// Typed server-side failure, sent instead of a [`Response`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame failed structural decoding (bad magic/CRC/field). The
+    /// connection is closed after this: framing cannot be trusted anymore.
+    Malformed = 1,
+    /// The frame's version byte is newer than this server speaks.
+    UnsupportedVersion = 2,
+    /// The frame decoded but its content is invalid for this catalogue
+    /// (unknown POI/user id, `k` out of range, empty sequence).
+    BadRequest = 3,
+    /// The pending queue is full; the request was shed at admission.
+    Overloaded = 4,
+    /// The request spent longer than its `deadline_ms` in the queue.
+    DeadlineExceeded = 5,
+    /// The server is draining for shutdown and admits no new requests.
+    ShuttingDown = 6,
+    /// The serving pipeline dropped the request (worker failure).
+    Internal = 7,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::Malformed),
+            2 => Some(ErrorCode::UnsupportedVersion),
+            3 => Some(ErrorCode::BadRequest),
+            4 => Some(ErrorCode::Overloaded),
+            5 => Some(ErrorCode::DeadlineExceeded),
+            6 => Some(ErrorCode::ShuttingDown),
+            7 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Malformed => "MALFORMED",
+            ErrorCode::UnsupportedVersion => "UNSUPPORTED_VERSION",
+            ErrorCode::BadRequest => "BAD_REQUEST",
+            ErrorCode::Overloaded => "OVERLOADED",
+            ErrorCode::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::Internal => "INTERNAL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error frame: a typed code plus a short human-readable detail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorFrame {
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// Free-text detail (bounded by `u16` length on the wire).
+    pub message: String,
+}
+
+impl ErrorFrame {
+    /// Convenience constructor; the message is truncated to `u16` range at
+    /// encode time.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ErrorFrame {
+        ErrorFrame { code, message: message.into() }
+    }
+}
+
+/// Any frame of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client → server.
+    Request(Request),
+    /// Server → client, success.
+    Response(Response),
+    /// Server → client, typed failure.
+    Error(ErrorFrame),
+}
+
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_ERROR: u8 = 3;
+
+/// Why a byte buffer failed to decode as a frame. Decoding never panics;
+/// every corruption (truncated, bit-flipped, oversized) maps to one of
+/// these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the structure requires.
+    Truncated,
+    /// The magic bytes are wrong — this is not a gateway frame.
+    BadMagic,
+    /// The version byte is not one this decoder speaks.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// The reserved header bytes are non-zero.
+    BadReserved,
+    /// `payload_len` exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The CRC footer disagrees with the frame bytes.
+    CrcMismatch {
+        /// CRC stored in the frame footer.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// Structurally valid frame whose payload violates a field constraint.
+    Malformed(&'static str),
+    /// Bytes left over after the payload parsed completely.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::BadMagic => write!(f, "bad magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::BadReserved => write!(f, "non-zero reserved header bytes"),
+            DecodeError::Oversized(n) => write!(f, "payload length {n} exceeds {MAX_PAYLOAD}"),
+            DecodeError::CrcMismatch { stored, computed } => {
+                write!(f, "crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            DecodeError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decoded fixed header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Frame kind byte (validated against the known kinds).
+    pub kind: u8,
+    /// Payload length in bytes (validated against [`MAX_PAYLOAD`]).
+    pub payload_len: u32,
+}
+
+/// Validates the 12-byte fixed header. Used by [`decode`] and by the
+/// streaming reader to reject oversized frames *before* allocating.
+pub fn decode_header(b: &[u8; HEADER_LEN]) -> Result<Header, DecodeError> {
+    if b[0..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    if b[4] != VERSION {
+        return Err(DecodeError::BadVersion(b[4]));
+    }
+    let kind = b[5];
+    if !(KIND_REQUEST..=KIND_ERROR).contains(&kind) {
+        return Err(DecodeError::BadKind(kind));
+    }
+    if b[6] != 0 || b[7] != 0 {
+        return Err(DecodeError::BadReserved);
+    }
+    let payload_len = u32::from_le_bytes([b[8], b[9], b[10], b[11]]);
+    if payload_len as usize > MAX_PAYLOAD {
+        return Err(DecodeError::Oversized(payload_len));
+    }
+    Ok(Header { kind, payload_len })
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Reader<'a> {
+    b: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(b: &'a [u8]) -> Reader<'a> {
+        Reader { b, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.off.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.b.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.b[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        let s = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(s);
+        Ok(f64::from_le_bytes(a))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.off != self.b.len() {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(())
+    }
+}
+
+fn encode_request(out: &mut Vec<u8>, r: &Request) {
+    out.extend_from_slice(&r.user.to_le_bytes());
+    out.extend_from_slice(&r.k.to_le_bytes());
+    out.extend_from_slice(&r.deadline_ms.to_le_bytes());
+    let n = r.seq.len().min(MAX_SEQ_LEN) as u16;
+    out.extend_from_slice(&n.to_le_bytes());
+    for v in r.seq.iter().take(n as usize) {
+        out.extend_from_slice(&v.poi.to_le_bytes());
+        out.extend_from_slice(&v.time.to_le_bytes());
+        out.extend_from_slice(&v.lat.to_le_bytes());
+        out.extend_from_slice(&v.lon.to_le_bytes());
+    }
+}
+
+fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut r = Reader::new(payload);
+    let user = r.u32()?;
+    let k = r.u16()?;
+    let deadline_ms = r.u32()?;
+    let n = r.u16()? as usize;
+    if n > MAX_SEQ_LEN {
+        return Err(DecodeError::Malformed("sequence longer than MAX_SEQ_LEN"));
+    }
+    let mut seq = Vec::with_capacity(n);
+    for _ in 0..n {
+        seq.push(Visit { poi: r.u32()?, time: r.f64()?, lat: r.f64()?, lon: r.f64()? });
+    }
+    r.finish()?;
+    Ok(Request { user, k, deadline_ms, seq })
+}
+
+fn encode_response(out: &mut Vec<u8>, r: &Response) {
+    out.extend_from_slice(&r.pool.to_le_bytes());
+    out.extend_from_slice(&r.scored.to_le_bytes());
+    let n = r.items.len().min(u16::MAX as usize) as u16;
+    out.extend_from_slice(&n.to_le_bytes());
+    for &(poi, score) in r.items.iter().take(n as usize) {
+        out.extend_from_slice(&poi.to_le_bytes());
+        out.extend_from_slice(&score.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
+    let mut r = Reader::new(payload);
+    let pool = r.u32()?;
+    let scored = r.u32()?;
+    let n = r.u16()? as usize;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push((r.u32()?, r.f32()?));
+    }
+    r.finish()?;
+    Ok(Response { pool, scored, items })
+}
+
+fn encode_error(out: &mut Vec<u8>, e: &ErrorFrame) {
+    out.push(e.code as u8);
+    let msg = e.message.as_bytes();
+    let n = msg.len().min(u16::MAX as usize) as u16;
+    out.extend_from_slice(&n.to_le_bytes());
+    out.extend_from_slice(&msg[..n as usize]);
+}
+
+fn decode_error(payload: &[u8]) -> Result<ErrorFrame, DecodeError> {
+    let mut r = Reader::new(payload);
+    let code =
+        ErrorCode::from_u8(r.u8()?).ok_or(DecodeError::Malformed("unknown error code"))?;
+    let n = r.u16()? as usize;
+    let bytes = r.take(n)?;
+    let message = std::str::from_utf8(bytes)
+        .map_err(|_| DecodeError::Malformed("error message is not utf-8"))?
+        .to_string();
+    r.finish()?;
+    Ok(ErrorFrame { code, message })
+}
+
+/// Encodes one frame into a fresh byte vector (header + payload + CRC).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let kind = match frame {
+        Frame::Request(r) => {
+            encode_request(&mut payload, r);
+            KIND_REQUEST
+        }
+        Frame::Response(r) => {
+            encode_response(&mut payload, r);
+            KIND_RESPONSE
+        }
+        Frame::Error(e) => {
+            encode_error(&mut payload, e);
+            KIND_ERROR
+        }
+    };
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&[0, 0]); // reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes a byte buffer holding exactly one frame. Pure and panic-free:
+/// any corruption yields a typed [`DecodeError`].
+pub fn decode(bytes: &[u8]) -> Result<Frame, DecodeError> {
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut hb = [0u8; HEADER_LEN];
+    hb.copy_from_slice(&bytes[..HEADER_LEN]);
+    let header = decode_header(&hb)?;
+    let body_end = HEADER_LEN + header.payload_len as usize;
+    match bytes.len().cmp(&(body_end + 4)) {
+        std::cmp::Ordering::Less => return Err(DecodeError::Truncated),
+        std::cmp::Ordering::Greater => return Err(DecodeError::TrailingBytes),
+        std::cmp::Ordering::Equal => {}
+    }
+    let stored = u32::from_le_bytes([
+        bytes[body_end],
+        bytes[body_end + 1],
+        bytes[body_end + 2],
+        bytes[body_end + 3],
+    ]);
+    let computed = crc32(&bytes[..body_end]);
+    if stored != computed {
+        return Err(DecodeError::CrcMismatch { stored, computed });
+    }
+    let payload = &bytes[HEADER_LEN..body_end];
+    match header.kind {
+        KIND_REQUEST => Ok(Frame::Request(decode_request(payload)?)),
+        KIND_RESPONSE => Ok(Frame::Response(decode_response(payload)?)),
+        KIND_ERROR => Ok(Frame::Error(decode_error(payload)?)),
+        k => Err(DecodeError::BadKind(k)),
+    }
+}
+
+/// Why a stream read failed to produce a frame.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The transport failed (includes timeouts, resets, mid-frame EOF).
+    Io(io::Error),
+    /// The bytes arrived but are not a valid frame.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Eof => write!(f, "connection closed"),
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ReadError {
+    fn from(e: DecodeError) -> ReadError {
+        ReadError::Decode(e)
+    }
+}
+
+/// Reads exactly one frame from a blocking stream. The header is validated
+/// before the payload buffer is allocated, so a hostile length field cannot
+/// force a large allocation. A clean EOF before the first header byte maps
+/// to [`ReadError::Eof`]; EOF mid-frame is an [`ReadError::Io`] error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ReadError> {
+    let mut hb = [0u8; HEADER_LEN];
+    // First byte distinguishes clean close from mid-frame truncation.
+    let mut got = 0usize;
+    while got < hb.len() {
+        let n = r.read(&mut hb[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Err(ReadError::Eof);
+            }
+            return Err(ReadError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof inside frame header",
+            )));
+        }
+        got += n;
+    }
+    let header = decode_header(&hb)?;
+    let rest_len = header.payload_len as usize + 4;
+    let mut buf = Vec::with_capacity(HEADER_LEN + rest_len);
+    buf.extend_from_slice(&hb);
+    buf.resize(HEADER_LEN + rest_len, 0);
+    r.read_exact(&mut buf[HEADER_LEN..])?;
+    Ok(decode(&buf)?)
+}
+
+/// Encodes and writes one frame to a blocking stream.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let bytes = encode(frame);
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Frame {
+        Frame::Request(Request {
+            user: 7,
+            k: 10,
+            deadline_ms: 250,
+            seq: vec![
+                Visit { poi: 3, time: 1_000.0, lat: 30.25, lon: -97.75 },
+                Visit { poi: 9, time: 2_000.5, lat: 30.26, lon: -97.74 },
+            ],
+        })
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let frames = [
+            sample_request(),
+            Frame::Response(Response {
+                pool: 500,
+                scored: 120,
+                items: vec![(4, 1.5), (2, 1.5), (9, -0.25)],
+            }),
+            Frame::Error(ErrorFrame::new(ErrorCode::Overloaded, "queue full")),
+        ];
+        for f in &frames {
+            let bytes = encode(f);
+            assert_eq!(&decode(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn empty_sequence_and_empty_items_roundtrip() {
+        let req = Frame::Request(Request { user: 0, k: 1, deadline_ms: 0, seq: vec![] });
+        assert_eq!(decode(&encode(&req)).unwrap(), req);
+        let resp = Frame::Response(Response { pool: 0, scored: 0, items: vec![] });
+        assert_eq!(decode(&encode(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn header_rejections() {
+        let good = encode(&sample_request());
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(decode(&bad_magic), Err(DecodeError::BadMagic));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = VERSION + 1;
+        assert_eq!(decode(&bad_version), Err(DecodeError::BadVersion(VERSION + 1)));
+
+        let mut bad_kind = good.clone();
+        bad_kind[5] = 77;
+        assert_eq!(decode(&bad_kind), Err(DecodeError::BadKind(77)));
+
+        let mut bad_reserved = good.clone();
+        bad_reserved[6] = 1;
+        assert_eq!(decode(&bad_reserved), Err(DecodeError::BadReserved));
+
+        let mut oversized = good.clone();
+        oversized[8..12].copy_from_slice(&((MAX_PAYLOAD as u32) + 1).to_le_bytes());
+        assert_eq!(decode(&oversized), Err(DecodeError::Oversized(MAX_PAYLOAD as u32 + 1)));
+    }
+
+    #[test]
+    fn crc_catches_payload_flip() {
+        let mut bytes = encode(&sample_request());
+        let payload_byte = HEADER_LEN + 2;
+        bytes[payload_byte] ^= 0x10;
+        assert!(matches!(decode(&bytes), Err(DecodeError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn length_mismatches_are_typed() {
+        let bytes = encode(&sample_request());
+        assert_eq!(decode(&bytes[..bytes.len() - 1]), Err(DecodeError::Truncated));
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(decode(&longer), Err(DecodeError::TrailingBytes));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip_and_eof() {
+        let f1 = sample_request();
+        let f2 = Frame::Error(ErrorFrame::new(ErrorCode::Internal, "x"));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f1).unwrap();
+        write_frame(&mut buf, &f2).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), f1);
+        assert_eq!(read_frame(&mut cursor).unwrap(), f2);
+        assert!(matches!(read_frame(&mut cursor), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn stream_read_rejects_oversized_before_allocating() {
+        let mut bytes = encode(&sample_request());
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ReadError::Decode(DecodeError::Oversized(u32::MAX)))
+        ));
+    }
+}

@@ -1,0 +1,672 @@
+//! The TCP serving front-end: admission control, the dispatcher thread that
+//! drives the micro-batcher, per-connection frame loops, and graceful
+//! drain-then-stop shutdown.
+//!
+//! ## Thread structure
+//!
+//! [`Gateway::serve`] blocks inside one `std::thread::scope`:
+//!
+//! * the **accept loop** (calling thread) admits connections and spawns one
+//!   handler thread per connection;
+//! * each **connection handler** reads frames (bounded poll reads, so it
+//!   notices shutdown and enforces the idle timeout), validates requests
+//!   against the serving catalogue, offers them to the shared
+//!   [`MicroBatcher`] (shedding with `OVERLOADED` when the bounded queue is
+//!   full), then blocks on its per-request reply channel and writes the
+//!   response frame;
+//! * the **dispatcher** sleeps until the batcher has a ready batch, drops
+//!   requests whose deadline expired while queued (`DEADLINE_EXCEEDED`,
+//!   enforced at dequeue time), and hands the rest to
+//!   [`InferenceSession::serve_batch_on`] with the worker count resolved at
+//!   startup — one batch at a time, like a device: batch k+1 is not formed
+//!   while batch k is being scored, which is exactly what makes
+//!   micro-batching the throughput lever (`gateway_bench` measures it).
+//!
+//! ## Shutdown sequence
+//!
+//! [`GatewayHandle::shutdown`] flips an atomic flag and wakes everyone.
+//! The accept loop stops accepting; connection handlers answer any *new*
+//! request with `SHUTTING_DOWN`; the dispatcher keeps emitting batches —
+//! partial ones immediately, no coalescing wait — until the pending queue
+//! is empty, so every admitted request is answered; then the scope joins
+//! and [`Gateway::serve`] returns the run's [`GatewayStats`].
+
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+use std::{fmt, io};
+
+use stisan_data::{EvalInstance, Processed};
+use stisan_eval::FrozenScorer;
+use stisan_serve::InferenceSession;
+use stisan_tensor::suggested_workers;
+
+use crate::batcher::{BatchPolicy, MicroBatcher};
+use crate::protocol::{
+    decode, decode_header, ErrorCode, ErrorFrame, Frame, Header, Request, Response, Visit,
+    HEADER_LEN, MAX_K,
+};
+
+/// Interval at which blocked reads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// How long a connection mid-frame may stall the drain once shutdown began.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(250);
+/// Accept-loop sleep while no connection is pending.
+const ACCEPT_IDLE: Duration = Duration::from_millis(5);
+
+/// Gateway configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GatewayConfig {
+    /// Micro-batching policy (batch bound, coalescing window, queue bound).
+    pub batch: BatchPolicy,
+    /// Worker threads per scored batch. `0` resolves at startup via
+    /// [`stisan_tensor::suggested_workers`] — which honours the
+    /// `STISAN_WORKERS` environment variable — sized for a full batch.
+    /// Precedence: this field, then `STISAN_WORKERS`, then the
+    /// `min(cores, 8)` heuristic.
+    pub workers: usize,
+    /// Longest a connection may sit without sending a byte (between frames
+    /// or mid-frame) before it is closed.
+    pub read_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    /// Default batching policy, auto worker count, 30 s idle timeout.
+    fn default() -> Self {
+        GatewayConfig {
+            batch: BatchPolicy::default(),
+            workers: 0,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters for one serve run, snapshotted by [`Gateway::serve`] on return
+/// and readable live through [`GatewayHandle::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests admitted to the pending queue.
+    pub admitted: u64,
+    /// Requests answered with a recommendation list.
+    pub served: u64,
+    /// Requests shed at admission (`OVERLOADED`).
+    pub shed: u64,
+    /// Admitted requests dropped at dequeue for blowing their deadline.
+    pub deadline_exceeded: u64,
+    /// Well-framed requests rejected by validation (`BAD_REQUEST`).
+    pub bad_requests: u64,
+    /// Framing/decode failures (connection closed after each).
+    pub protocol_errors: u64,
+    /// Requests refused because shutdown had begun (`SHUTTING_DOWN`).
+    pub rejected_shutdown: u64,
+    /// Batches handed to the scoring pool.
+    pub batches: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    admitted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    bad_requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> GatewayStats {
+        GatewayStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What the dispatcher sends back to a waiting connection handler.
+enum Reply {
+    /// Scored successfully; items already truncated to the request's `k`.
+    Ok(Response),
+    /// Dropped with a typed error.
+    Err(ErrorCode),
+}
+
+/// One admitted request, queued in the micro-batcher.
+struct PendingReq {
+    inst: EvalInstance,
+    k: usize,
+    /// Absolute deadline on the gateway clock, `None` for no budget.
+    deadline_us: Option<u64>,
+    reply: mpsc::Sender<Reply>,
+}
+
+struct Shared {
+    queue: Mutex<MicroBatcher<PendingReq>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    t0: Instant,
+    stats: Counters,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Poison-tolerant lock: a panicked holder must not wedge the whole
+/// gateway, so we take the data as-is (every critical section leaves the
+/// batcher structurally valid).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Remote-control handle for a running gateway: initiate shutdown and read
+/// live stats from other threads.
+#[derive(Clone)]
+pub struct GatewayHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl GatewayHandle {
+    /// The address the gateway is bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals drain-then-stop shutdown: no new connections or requests,
+    /// every already-admitted request still gets its answer.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> GatewayStats {
+        self.shared.stats.snapshot()
+    }
+}
+
+impl fmt::Debug for GatewayHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GatewayHandle").field("addr", &self.addr).finish()
+    }
+}
+
+/// A bound-but-not-yet-serving gateway. [`Gateway::serve`] blocks until a
+/// [`GatewayHandle::shutdown`]; grab the handle first.
+pub struct Gateway {
+    listener: TcpListener,
+    cfg: GatewayConfig,
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl Gateway {
+    /// Binds the listening socket. Use port 0 for an ephemeral port (tests,
+    /// the in-process load generator) and read it back via
+    /// [`Gateway::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, cfg: GatewayConfig) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(MicroBatcher::new(cfg.batch)),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            t0: Instant::now(),
+            stats: Counters::default(),
+        });
+        Ok(Gateway { listener, cfg, shared, addr })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown/stats handle, cloneable and usable from any thread.
+    pub fn handle(&self) -> GatewayHandle {
+        GatewayHandle { shared: Arc::clone(&self.shared), addr: self.addr }
+    }
+
+    /// Runs the gateway until shutdown, then drains and returns the run's
+    /// stats. The worker count is resolved once, up front (explicit config
+    /// beats `STISAN_WORKERS` beats the core heuristic).
+    pub fn serve<M: FrozenScorer + Sync>(
+        self,
+        session: &InferenceSession<'_, M>,
+    ) -> io::Result<GatewayStats> {
+        let workers = match self.cfg.workers {
+            0 => suggested_workers(self.cfg.batch.sanitized().max_batch_size.max(2)),
+            w => w,
+        };
+        self.listener.set_nonblocking(true)?;
+        let shared = &*self.shared;
+        let cfg = self.cfg;
+        let data = session.data();
+        std::thread::scope(|s| {
+            s.spawn(|| dispatcher(shared, session, workers));
+            loop {
+                if shared.is_shutdown() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        s.spawn(move || handle_conn(stream, shared, data, cfg.read_timeout));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_IDLE);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Fatal accept error: begin drain rather than spin.
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+            shared.cv.notify_all();
+        });
+        Ok(shared.stats.snapshot())
+    }
+}
+
+/// The dispatcher: sleeps until the batcher is ready, enforces deadlines at
+/// dequeue, scores the batch on the fixed worker pool, replies.
+fn dispatcher<M: FrozenScorer + Sync>(
+    shared: &Shared,
+    session: &InferenceSession<'_, M>,
+    workers: usize,
+) {
+    loop {
+        let batch = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if q.is_empty() && shared.is_shutdown() {
+                    return;
+                }
+                let now = shared.now_us();
+                // During drain, partial batches go out immediately.
+                if q.ready(now) || (shared.is_shutdown() && !q.is_empty()) {
+                    break;
+                }
+                q = match q.next_deadline_us() {
+                    None => shared.cv.wait(q).unwrap_or_else(PoisonError::into_inner),
+                    Some(d) => {
+                        let wait = Duration::from_micros(d.saturating_sub(now).max(1));
+                        shared
+                            .cv
+                            .wait_timeout(q, wait)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0
+                    }
+                };
+            }
+            let b = q.take();
+            stisan_obs::gauge("gateway.queue_depth", q.len() as f64);
+            b
+        };
+
+        let now = shared.now_us();
+        let mut insts = Vec::with_capacity(batch.len());
+        let mut waiting = Vec::with_capacity(batch.len());
+        for p in batch {
+            stisan_obs::observe("gateway.wait_us", now.saturating_sub(p.arrived_us) as f64);
+            let req = p.item;
+            if req.deadline_us.is_some_and(|d| now > d) {
+                shared.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                stisan_obs::counter("gateway.deadline_exceeded_total", 1);
+                let _ = req.reply.send(Reply::Err(ErrorCode::DeadlineExceeded));
+            } else {
+                insts.push(req.inst);
+                waiting.push((req.reply, req.k));
+            }
+        }
+        if insts.is_empty() {
+            continue;
+        }
+        stisan_obs::observe("gateway.batch_fill", insts.len() as f64);
+        stisan_obs::counter("gateway.batches_total", 1);
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+
+        let recs = session.serve_batch_on(&insts, workers);
+        for ((reply, k), rec) in waiting.into_iter().zip(recs) {
+            let mut items = rec.items;
+            items.truncate(k);
+            let resp =
+                Response { pool: rec.pool as u32, scored: rec.scored as u32, items };
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Reply::Ok(resp));
+        }
+    }
+}
+
+/// Outcome of one polled frame read.
+enum Polled {
+    Frame(Frame),
+    Decode(crate::protocol::DecodeError),
+    /// Clean close, idle timeout, transport error, or shutdown observed
+    /// while no frame was in flight — in every case: stop reading.
+    Closed,
+}
+
+/// Reads exactly `out.len()` bytes with short poll timeouts so the loop can
+/// observe shutdown and enforce the idle budget. `first` marks the start of
+/// a frame: a clean EOF or a shutdown there is a normal close.
+fn read_exact_polled(
+    stream: &mut TcpStream,
+    out: &mut [u8],
+    shared: &Shared,
+    idle_budget: Duration,
+) -> Result<bool, ()> {
+    let mut got = 0usize;
+    let mut idle_since = Instant::now();
+    let mut shutdown_seen: Option<Instant> = None;
+    while got < out.len() {
+        match stream.read(&mut out[got..]) {
+            Ok(0) => return Err(()), // peer closed
+            Ok(n) => {
+                got += n;
+                idle_since = Instant::now();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.is_shutdown() {
+                    if got == 0 {
+                        return Ok(false); // idle at shutdown: close quietly
+                    }
+                    let seen = *shutdown_seen.get_or_insert_with(Instant::now);
+                    if seen.elapsed() > SHUTDOWN_GRACE {
+                        return Err(()); // mid-frame straggler: cut it
+                    }
+                } else if idle_since.elapsed() > idle_budget {
+                    return Err(()); // idle/slow-loris timeout
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame with polling; see [`Polled`].
+fn read_frame_polled(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    idle_budget: Duration,
+) -> Polled {
+    let mut hb = [0u8; HEADER_LEN];
+    match read_exact_polled(stream, &mut hb, shared, idle_budget) {
+        Ok(true) => {}
+        Ok(false) | Err(()) => return Polled::Closed,
+    }
+    let Header { payload_len, .. } = match decode_header(&hb) {
+        Ok(h) => h,
+        Err(e) => return Polled::Decode(e),
+    };
+    let total = HEADER_LEN + payload_len as usize + 4;
+    let mut buf = vec![0u8; total];
+    buf[..HEADER_LEN].copy_from_slice(&hb);
+    match read_exact_polled(stream, &mut buf[HEADER_LEN..], shared, idle_budget) {
+        Ok(true) => {}
+        Ok(false) | Err(()) => return Polled::Closed,
+    }
+    match decode(&buf) {
+        Ok(f) => Polled::Frame(f),
+        Err(e) => Polled::Decode(e),
+    }
+}
+
+fn send_error(stream: &mut TcpStream, code: ErrorCode, msg: impl Into<String>) {
+    let frame = Frame::Error(ErrorFrame::new(code, msg));
+    let _ = crate::protocol::write_frame(stream, &frame);
+}
+
+/// One connection's request/response loop (one outstanding request at a
+/// time; concurrency comes from concurrent connections).
+fn handle_conn(
+    mut stream: TcpStream,
+    shared: &Shared,
+    data: &Processed,
+    idle_budget: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    loop {
+        let frame = match read_frame_polled(&mut stream, shared, idle_budget) {
+            Polled::Frame(f) => f,
+            Polled::Decode(e) => {
+                // Framing can't be trusted after a corrupt frame: answer
+                // with the typed error, then close.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let code = match e {
+                    crate::protocol::DecodeError::BadVersion(_) => ErrorCode::UnsupportedVersion,
+                    _ => ErrorCode::Malformed,
+                };
+                send_error(&mut stream, code, e.to_string());
+                break;
+            }
+            Polled::Closed => break,
+        };
+        let req = match frame {
+            Frame::Request(r) => r,
+            Frame::Response(_) | Frame::Error(_) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send_error(&mut stream, ErrorCode::Malformed, "expected a request frame");
+                break;
+            }
+        };
+        if shared.is_shutdown() {
+            shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            send_error(&mut stream, ErrorCode::ShuttingDown, "gateway is draining");
+            break;
+        }
+        let inst = match request_to_instance(data, &req) {
+            Ok(i) => i,
+            Err(why) => {
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                send_error(&mut stream, ErrorCode::BadRequest, why);
+                continue;
+            }
+        };
+        let (tx, rx) = mpsc::channel();
+        let now = shared.now_us();
+        let pending = PendingReq {
+            inst,
+            k: req.k as usize,
+            deadline_us: (req.deadline_ms > 0)
+                .then(|| now.saturating_add(u64::from(req.deadline_ms) * 1_000)),
+            reply: tx,
+        };
+        let admitted = {
+            let mut q = lock(&shared.queue);
+            let r = q.offer(pending, now);
+            stisan_obs::gauge("gateway.queue_depth", q.len() as f64);
+            r
+        };
+        if admitted.is_err() {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            stisan_obs::counter("gateway.shed_total", 1);
+            send_error(&mut stream, ErrorCode::Overloaded, "pending queue full");
+            continue;
+        }
+        shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        shared.cv.notify_all();
+        match rx.recv() {
+            Ok(Reply::Ok(resp)) => {
+                if crate::protocol::write_frame(&mut stream, &Frame::Response(resp)).is_err() {
+                    break;
+                }
+            }
+            Ok(Reply::Err(code)) => {
+                send_error(&mut stream, code, code.to_string());
+            }
+            Err(_) => {
+                // Dispatcher gone mid-request (server tearing down hard).
+                send_error(&mut stream, ErrorCode::Internal, "serving pipeline dropped request");
+                break;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Validates a wire request against the serving catalogue and rebuilds the
+/// model-facing [`EvalInstance`] with exactly the preprocessing pipeline's
+/// padding rules (left-pad POI 0, padding timestamps repeat the first valid
+/// one), so a request carrying an eval instance's visits reproduces that
+/// instance bit-for-bit — the wire parity tests depend on it.
+pub fn request_to_instance(data: &Processed, req: &Request) -> Result<EvalInstance, String> {
+    if req.k == 0 {
+        return Err("k must be >= 1".into());
+    }
+    if req.k as usize > MAX_K {
+        return Err(format!("k {} exceeds the maximum {MAX_K}", req.k));
+    }
+    if req.seq.is_empty() {
+        return Err("empty check-in sequence".into());
+    }
+    if req.user as usize >= data.num_users {
+        return Err(format!("unknown user id {}", req.user));
+    }
+    for v in &req.seq {
+        if v.poi == 0 || v.poi as usize > data.num_pois {
+            return Err(format!("unknown poi id {}", v.poi));
+        }
+    }
+    let n = data.max_len;
+    let take = req.seq.len().min(n);
+    let tail = &req.seq[req.seq.len() - take..];
+    let valid_from = n - take;
+    let t0 = tail[0].time;
+    let mut poi = vec![0u32; n];
+    let mut time = vec![t0; n];
+    for (i, v) in tail.iter().enumerate() {
+        poi[valid_from + i] = v.poi;
+        time[valid_from + i] = v.time;
+    }
+    let target_time = tail[tail.len() - 1].time;
+    Ok(EvalInstance { user: req.user, poi, time, valid_from, target: 0, target_time })
+}
+
+/// The inverse of [`request_to_instance`] for tests and load generators:
+/// turns an [`EvalInstance`]'s non-padded visits back into a wire request,
+/// filling lat/lon from the catalogue.
+pub fn request_from_instance(
+    data: &Processed,
+    inst: &EvalInstance,
+    k: u16,
+    deadline_ms: u32,
+) -> Request {
+    let seq = inst
+        .poi
+        .iter()
+        .zip(&inst.time)
+        .skip(inst.valid_from)
+        .filter(|&(&p, _)| p != 0)
+        .map(|(&p, &t)| {
+            let loc = data.loc(p);
+            Visit { poi: p, time: t, lat: loc.lat, lon: loc.lon }
+        })
+        .collect();
+    Request { user: inst.user, k, deadline_ms, seq }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stisan_data::{generate, preprocess, DatasetPreset, GenConfig, PrepConfig};
+
+    fn processed() -> Processed {
+        let cfg = GenConfig {
+            users: 20,
+            pois: 120,
+            mean_seq_len: 25.0,
+            ..DatasetPreset::Gowalla.config(0.01)
+        };
+        let d = generate(&cfg, 3);
+        preprocess(&d, &PrepConfig { max_len: 12, min_user_checkins: 12, min_poi_interactions: 2 })
+    }
+
+    #[test]
+    fn instance_roundtrip_is_exact() {
+        let p = processed();
+        for inst in &p.eval {
+            let req = request_from_instance(&p, inst, 10, 0);
+            let back = request_to_instance(&p, &req).unwrap();
+            assert_eq!(back.user, inst.user);
+            assert_eq!(back.poi, inst.poi);
+            assert_eq!(back.time, inst.time);
+            assert_eq!(back.valid_from, inst.valid_from);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        let p = processed();
+        let ok = request_from_instance(&p, &p.eval[0], 5, 0);
+        assert!(request_to_instance(&p, &ok).is_ok());
+
+        let mut zero_k = ok.clone();
+        zero_k.k = 0;
+        assert!(request_to_instance(&p, &zero_k).is_err());
+
+        let mut huge_k = ok.clone();
+        huge_k.k = (MAX_K + 1) as u16;
+        assert!(request_to_instance(&p, &huge_k).is_err());
+
+        let mut empty = ok.clone();
+        empty.seq.clear();
+        assert!(request_to_instance(&p, &empty).is_err());
+
+        let mut bad_user = ok.clone();
+        bad_user.user = p.num_users as u32 + 7;
+        assert!(request_to_instance(&p, &bad_user).is_err());
+
+        let mut bad_poi = ok.clone();
+        bad_poi.seq[0].poi = p.num_pois as u32 + 1;
+        assert!(request_to_instance(&p, &bad_poi).is_err());
+        bad_poi.seq[0].poi = 0;
+        assert!(request_to_instance(&p, &bad_poi).is_err());
+    }
+
+    #[test]
+    fn long_histories_keep_the_most_recent_window() {
+        let p = processed();
+        let n = p.max_len;
+        let mut req = request_from_instance(&p, &p.eval[0], 5, 0);
+        // Prepend old visits beyond the window; they must be dropped.
+        let filler = Visit { poi: 1, time: 0.5, lat: 0.0, lon: 0.0 };
+        for _ in 0..(2 * n) {
+            req.seq.insert(0, filler);
+        }
+        let inst = request_to_instance(&p, &req).unwrap();
+        assert_eq!(inst.valid_from, 0);
+        let tail: Vec<u32> = req.seq[req.seq.len() - n..].iter().map(|v| v.poi).collect();
+        assert_eq!(inst.poi, tail);
+    }
+}

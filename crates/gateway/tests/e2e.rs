@@ -1,0 +1,381 @@
+//! End-to-end gateway tests: a real `Gateway` on an ephemeral port, served
+//! in-process, exercised by real TCP clients.
+//!
+//! * concurrent clients receive recommendations **bit-identical** to direct
+//!   [`InferenceSession`] calls (the wire adds transport, not arithmetic) —
+//!   proven against a trained STiSAN;
+//! * a flood against a bounded queue sheds with typed `OVERLOADED` frames
+//!   and conserves every request (served + shed = sent);
+//! * a request whose deadline expires while queued gets
+//!   `DEADLINE_EXCEEDED` at dequeue;
+//! * shutdown drains: every admitted request is answered even though the
+//!   signal arrives while they sit in the queue;
+//! * malformed bytes and misdirected frames get typed errors, never hangs.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stisan_core::{StiSan, StisanConfig};
+use stisan_data::{
+    generate, preprocess, DatasetPreset, EvalInstance, GenConfig, PrepConfig, Processed,
+};
+use stisan_eval::{FrozenScorer, Recommender};
+use stisan_gateway::batcher::BatchPolicy;
+use stisan_gateway::client::{ClientError, GatewayClient};
+use stisan_gateway::protocol::{encode, read_frame, ErrorCode, Frame, Response};
+use stisan_gateway::server::{
+    request_from_instance, Gateway, GatewayConfig, GatewayHandle, GatewayStats,
+};
+use stisan_models::common::TrainConfig;
+use stisan_serve::{InferenceSession, ServeConfig};
+
+fn processed() -> Processed {
+    let cfg = GenConfig {
+        users: 25,
+        pois: 160,
+        mean_seq_len: 28.0,
+        ..DatasetPreset::Gowalla.config(0.01)
+    };
+    let d = generate(&cfg, 4242);
+    let p = preprocess(
+        &d,
+        &PrepConfig { max_len: 10, min_user_checkins: 15, min_poi_interactions: 2 },
+    );
+    assert!(!p.eval.is_empty(), "need eval instances for a meaningful test");
+    p
+}
+
+/// Deterministic, training-free scorer (same spatial prior as the synthetic
+/// presets): preference decays with distance from the last check-in.
+struct NearLast;
+
+impl Recommender for NearLast {
+    fn name(&self) -> String {
+        "near-last".into()
+    }
+    fn score(&self, data: &Processed, inst: &EvalInstance, c: &[u32]) -> Vec<f32> {
+        let last = inst.poi.last().copied().unwrap_or(1).max(1);
+        let anchor = data.loc(last);
+        c.iter().map(|&p| -(data.loc(p).distance_km(&anchor) as f32)).collect()
+    }
+}
+
+impl FrozenScorer for NearLast {
+    fn score_frozen(&self, data: &Processed, inst: &EvalInstance, c: &[u32]) -> Vec<f32> {
+        self.score(data, inst, c)
+    }
+}
+
+/// `NearLast` plus a fixed per-instance delay: makes the scoring "device"
+/// slow enough that queueing effects (shedding, deadlines, drain) are
+/// deterministic to observe.
+struct Slow(Duration);
+
+impl Recommender for Slow {
+    fn name(&self) -> String {
+        "slow-near-last".into()
+    }
+    fn score(&self, data: &Processed, inst: &EvalInstance, c: &[u32]) -> Vec<f32> {
+        thread::sleep(self.0);
+        NearLast.score(data, inst, c)
+    }
+}
+
+impl FrozenScorer for Slow {
+    fn score_frozen(&self, data: &Processed, inst: &EvalInstance, c: &[u32]) -> Vec<f32> {
+        thread::sleep(self.0);
+        NearLast.score_frozen(data, inst, c)
+    }
+}
+
+/// Binds an ephemeral-port gateway, serves `session` on a scoped thread,
+/// runs `f` with the handle, then shuts down and returns the run's stats.
+fn with_gateway<M: FrozenScorer + Sync>(
+    session: &InferenceSession<'_, M>,
+    cfg: GatewayConfig,
+    f: impl FnOnce(GatewayHandle),
+) -> GatewayStats {
+    let gw = Gateway::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let handle = gw.handle();
+    let mut stats = GatewayStats::default();
+    thread::scope(|s| {
+        let server = s.spawn(move || gw.serve(session).expect("gateway serve"));
+        f(handle.clone());
+        handle.shutdown();
+        stats = server.join().expect("server thread");
+    });
+    stats
+}
+
+fn assert_bitwise_equal(resp: &Response, want: &stisan_serve::Recommendation) {
+    assert_eq!(resp.pool as usize, want.pool);
+    assert_eq!(resp.scored as usize, want.scored);
+    assert_eq!(resp.items.len(), want.items.len());
+    for (i, ((gp, gs), (wp, ws))) in resp.items.iter().zip(&want.items).enumerate() {
+        assert_eq!(gp, wp, "rank {i}: poi diverged over the wire");
+        assert_eq!(gs.to_bits(), ws.to_bits(), "rank {i}: score bits diverged over the wire");
+    }
+}
+
+/// Three concurrent clients, a trained STiSAN: every wire response is
+/// bit-identical to calling the session directly.
+#[test]
+fn concurrent_clients_match_direct_serving_bitwise() {
+    let p = processed();
+    let train = TrainConfig {
+        dim: 16,
+        blocks: 2,
+        epochs: 1,
+        batch: 8,
+        negatives: 3,
+        neg_pool: 40,
+        ..Default::default()
+    };
+    let mut model = StiSan::new(&p, StisanConfig { train, ..Default::default() });
+    model.fit(&p);
+    let session =
+        InferenceSession::new(&model, &p, ServeConfig { top_k: 10, ..Default::default() });
+    let direct: Vec<_> = p.eval.iter().map(|i| session.serve_one(i)).collect();
+
+    let stats = with_gateway(&session, GatewayConfig::default(), |handle| {
+        thread::scope(|cs| {
+            for c in 0..3usize {
+                let handle = handle.clone();
+                let (p, direct) = (&p, &direct);
+                cs.spawn(move || {
+                    let mut client = GatewayClient::connect(handle.addr()).expect("connect");
+                    for (i, inst) in p.eval.iter().enumerate() {
+                        if i % 3 != c {
+                            continue;
+                        }
+                        let req = request_from_instance(p, inst, 10, 0);
+                        let resp = client.recommend(&req).expect("recommend");
+                        assert_bitwise_equal(&resp, &direct[i]);
+                    }
+                });
+            }
+        });
+    });
+    assert_eq!(stats.served, p.eval.len() as u64);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.bad_requests, 0);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+/// A flood against a 1-deep queue: some requests shed with `OVERLOADED`,
+/// and served + shed conserves every request sent.
+#[test]
+fn overload_sheds_with_typed_overloaded_frames() {
+    let p = processed();
+    let slow = Slow(Duration::from_millis(40));
+    let session = InferenceSession::new(&slow, &p, ServeConfig { top_k: 5, ..Default::default() });
+    let cfg = GatewayConfig {
+        batch: BatchPolicy { max_batch_size: 1, max_wait_us: 0, queue_capacity: 1 },
+        workers: 1,
+        read_timeout: Duration::from_secs(30),
+    };
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 4;
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let stats = with_gateway(&session, cfg, |handle| {
+        thread::scope(|cs| {
+            for c in 0..CLIENTS {
+                let handle = handle.clone();
+                let (p, ok, shed) = (&p, &ok, &shed);
+                cs.spawn(move || {
+                    let mut client = GatewayClient::connect(handle.addr()).expect("connect");
+                    let req = request_from_instance(p, &p.eval[c % p.eval.len()], 5, 0);
+                    for _ in 0..ROUNDS {
+                        match client.recommend(&req) {
+                            Ok(resp) => {
+                                assert!(!resp.items.is_empty());
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ClientError::Server(e)) => {
+                                assert_eq!(e.code, ErrorCode::Overloaded);
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("unexpected client failure: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+    });
+    assert!(stats.shed > 0, "a {CLIENTS}-client flood against a 1-deep queue must shed");
+    assert_eq!(stats.served, ok.load(Ordering::Relaxed));
+    assert_eq!(stats.shed, shed.load(Ordering::Relaxed));
+    assert_eq!(stats.served + stats.shed, (CLIENTS * ROUNDS) as u64);
+}
+
+/// A request that blows its deadline while queued behind a slow batch is
+/// answered `DEADLINE_EXCEEDED` at dequeue, not scored.
+#[test]
+fn queued_past_deadline_gets_deadline_exceeded() {
+    let p = processed();
+    let slow = Slow(Duration::from_millis(150));
+    let session = InferenceSession::new(&slow, &p, ServeConfig { top_k: 5, ..Default::default() });
+    let cfg = GatewayConfig {
+        batch: BatchPolicy { max_batch_size: 1, max_wait_us: 0, queue_capacity: 8 },
+        workers: 1,
+        read_timeout: Duration::from_secs(30),
+    };
+    let stats = with_gateway(&session, cfg, |handle| {
+        thread::scope(|cs| {
+            let h = handle.clone();
+            let pr = &p;
+            // Occupy the scoring device with a no-deadline request.
+            let front = cs.spawn(move || {
+                let mut client = GatewayClient::connect(h.addr()).expect("connect");
+                let req = request_from_instance(pr, &pr.eval[0], 5, 0);
+                client.recommend(&req).expect("undeadlined request must be served")
+            });
+            // Wait until it is admitted, then queue one with a 1 ms budget:
+            // it cannot be dequeued before the 150 ms batch finishes.
+            let t0 = Instant::now();
+            while handle.stats().admitted < 1 {
+                assert!(t0.elapsed() < Duration::from_secs(5), "front request never admitted");
+                thread::sleep(Duration::from_millis(2));
+            }
+            let h = handle.clone();
+            let late = cs.spawn(move || {
+                let mut client = GatewayClient::connect(h.addr()).expect("connect");
+                let req = request_from_instance(pr, &pr.eval[1 % pr.eval.len()], 5, 1);
+                client.recommend(&req)
+            });
+            front.join().expect("front client");
+            match late.join().expect("late client") {
+                Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+                other => panic!("expected DEADLINE_EXCEEDED, got {other:?}"),
+            }
+        });
+    });
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.served, 1);
+}
+
+/// Shutdown mid-queue: every admitted request is still answered with a real
+/// recommendation — the drain guarantee.
+#[test]
+fn shutdown_drains_every_admitted_request() {
+    let p = processed();
+    let slow = Slow(Duration::from_millis(60));
+    let session = InferenceSession::new(&slow, &p, ServeConfig { top_k: 5, ..Default::default() });
+    let cfg = GatewayConfig {
+        batch: BatchPolicy { max_batch_size: 1, max_wait_us: 0, queue_capacity: 16 },
+        workers: 1,
+        read_timeout: Duration::from_secs(30),
+    };
+    const CLIENTS: usize = 4;
+    let stats = with_gateway(&session, cfg, |handle| {
+        thread::scope(|cs| {
+            let mut joins = Vec::new();
+            for c in 0..CLIENTS {
+                let handle = handle.clone();
+                let pr = &p;
+                joins.push(cs.spawn(move || {
+                    let mut client = GatewayClient::connect(handle.addr()).expect("connect");
+                    let req = request_from_instance(pr, &pr.eval[c % pr.eval.len()], 5, 0);
+                    client.recommend(&req)
+                }));
+            }
+            // All four admitted (first is being scored, rest queued) —
+            // *then* pull the plug.
+            let t0 = Instant::now();
+            while handle.stats().admitted < CLIENTS as u64 {
+                assert!(t0.elapsed() < Duration::from_secs(5), "requests never admitted");
+                thread::sleep(Duration::from_millis(2));
+            }
+            handle.shutdown();
+            for j in joins {
+                let resp = j
+                    .join()
+                    .expect("client thread")
+                    .expect("admitted request must be answered despite shutdown");
+                assert!(!resp.items.is_empty());
+            }
+        });
+    });
+    assert_eq!(stats.admitted, CLIENTS as u64);
+    assert_eq!(stats.served, CLIENTS as u64, "drain must answer everything admitted");
+}
+
+/// Corrupt and misdirected frames get typed error replies and a close —
+/// the gateway never hangs or echoes garbage.
+#[test]
+fn malformed_bytes_get_typed_errors() {
+    let p = processed();
+    let session =
+        InferenceSession::new(&NearLast, &p, ServeConfig { top_k: 5, ..Default::default() });
+    let stats = with_gateway(&session, GatewayConfig::default(), |handle| {
+        // CRC flip: MALFORMED, then close.
+        let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+        let mut bytes = encode(&Frame::Request(request_from_instance(&p, &p.eval[0], 5, 0)));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        raw.write_all(&bytes).expect("write corrupt frame");
+        match read_frame(&mut raw) {
+            Ok(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+            other => panic!("expected MALFORMED, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        raw.read_to_end(&mut rest).expect("server must close after a corrupt frame");
+        assert!(rest.is_empty());
+
+        // Future version byte: UNSUPPORTED_VERSION.
+        let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+        let mut bytes = encode(&Frame::Request(request_from_instance(&p, &p.eval[0], 5, 0)));
+        bytes[4] = 9;
+        raw.write_all(&bytes).expect("write future-version frame");
+        match read_frame(&mut raw) {
+            Ok(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::UnsupportedVersion),
+            other => panic!("expected UNSUPPORTED_VERSION, got {other:?}"),
+        }
+
+        // A response frame sent *to* the server: MALFORMED.
+        let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+        let bytes = encode(&Frame::Response(Response { pool: 1, scored: 1, items: vec![] }));
+        raw.write_all(&bytes).expect("write misdirected frame");
+        match read_frame(&mut raw) {
+            Ok(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+            other => panic!("expected MALFORMED, got {other:?}"),
+        }
+    });
+    assert_eq!(stats.protocol_errors, 3);
+    assert_eq!(stats.served, 0);
+}
+
+/// A `BAD_REQUEST` is retryable: the connection survives and serves the
+/// corrected request; per-request `k` is honoured and capped at the
+/// session's `top_k`.
+#[test]
+fn bad_request_keeps_connection_usable_and_k_is_capped() {
+    let p = processed();
+    let session =
+        InferenceSession::new(&NearLast, &p, ServeConfig { top_k: 10, ..Default::default() });
+    let stats = with_gateway(&session, GatewayConfig::default(), |handle| {
+        let mut client = GatewayClient::connect(handle.addr()).expect("connect");
+        let mut bad = request_from_instance(&p, &p.eval[0], 5, 0);
+        bad.user = p.num_users as u32 + 3;
+        match client.recommend(&bad) {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::BadRequest),
+            other => panic!("expected BAD_REQUEST, got {other:?}"),
+        }
+        // Same connection, small k: exactly 3 items.
+        let resp = client
+            .recommend(&request_from_instance(&p, &p.eval[0], 3, 0))
+            .expect("connection must survive a BAD_REQUEST");
+        assert_eq!(resp.items.len(), 3);
+        // k beyond the session's top_k is capped, not an error.
+        let resp = client
+            .recommend(&request_from_instance(&p, &p.eval[0], 100, 0))
+            .expect("oversized k is capped");
+        assert_eq!(resp.items.len(), 10);
+    });
+    assert_eq!(stats.bad_requests, 1);
+    assert_eq!(stats.served, 2);
+}

@@ -1,0 +1,204 @@
+//! Protocol round-trip and corruption suite.
+//!
+//! * encode → decode is the identity for arbitrary valid frames (proptest);
+//! * corrupted frames — every single-bit flip, every truncation length,
+//!   hostile length fields — yield typed [`DecodeError`]s, never panics.
+//!   Corruption goes through the `stisan_nn::fault` injectors
+//!   (`flip_bit` / `truncate_file`), the same helpers the checkpoint fault
+//!   matrix uses, so the wire format is audited with the exact tooling of
+//!   DESIGN.md §8.
+
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+use stisan_gateway::protocol::{
+    decode, encode, read_frame, DecodeError, ErrorCode, ErrorFrame, Frame, ReadError, Request,
+    Response, Visit, MAX_PAYLOAD,
+};
+use stisan_nn::fault::{flip_bit, truncate_file};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stisan_gateway_{tag}_{}", std::process::id()));
+    let _ = fs::create_dir_all(&dir);
+    dir.join("frame.bin")
+}
+
+fn sample_frame() -> Frame {
+    Frame::Request(Request {
+        user: 11,
+        k: 20,
+        deadline_ms: 150,
+        seq: vec![
+            Visit { poi: 5, time: 1_000.0, lat: 30.1, lon: -97.6 },
+            Visit { poi: 2, time: 1_600.0, lat: 30.2, lon: -97.8 },
+            Visit { poi: 8, time: 2_900.0, lat: 30.3, lon: -97.7 },
+        ],
+    })
+}
+
+// ---------------------------------------------------------------- roundtrip
+
+fn gen_visit(rng: &mut StdRng) -> Visit {
+    Visit {
+        poi: rng.gen_range(0u32..u32::MAX),
+        time: rng.gen_range(-1.0e9f64..1.0e9),
+        lat: rng.gen_range(-90.0f64..90.0),
+        lon: rng.gen_range(-180.0f64..180.0),
+    }
+}
+
+/// Uniformly mixes the three frame kinds with random field contents.
+fn gen_frame(rng: &mut StdRng) -> Frame {
+    match rng.gen_range(0u8..3) {
+        0 => Frame::Request(Request {
+            user: rng.gen_range(0u32..u32::MAX),
+            k: rng.gen_range(0u16..u16::MAX),
+            deadline_ms: rng.gen_range(0u32..u32::MAX),
+            seq: (0..rng.gen_range(0usize..20)).map(|_| gen_visit(rng)).collect(),
+        }),
+        1 => Frame::Response(Response {
+            pool: rng.gen_range(0u32..u32::MAX),
+            scored: rng.gen_range(0u32..u32::MAX),
+            items: (0..rng.gen_range(0usize..30))
+                .map(|_| (rng.gen_range(0u32..u32::MAX), rng.gen_range(-1.0e6f32..1.0e6)))
+                .collect(),
+        }),
+        _ => {
+            let code = match rng.gen_range(1u8..8) {
+                1 => ErrorCode::Malformed,
+                2 => ErrorCode::UnsupportedVersion,
+                3 => ErrorCode::BadRequest,
+                4 => ErrorCode::Overloaded,
+                5 => ErrorCode::DeadlineExceeded,
+                6 => ErrorCode::ShuttingDown,
+                _ => ErrorCode::Internal,
+            };
+            let message: String =
+                (0..rng.gen_range(0usize..60)).map(|_| rng.gen_range(32u8..127) as char).collect();
+            Frame::Error(ErrorFrame { code, message })
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity for arbitrary valid frames.
+    #[test]
+    fn roundtrip_identity(seed in 0u64..1_000_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = gen_frame(&mut rng);
+        let bytes = encode(&frame);
+        prop_assert_eq!(decode(&bytes), Ok(frame));
+    }
+
+    /// Every strict prefix of a valid frame decodes to a typed error.
+    #[test]
+    fn every_prefix_fails_typed(seed in 0u64..1_000_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = gen_frame(&mut rng);
+        let bytes = encode(&frame);
+        let cut = rng.gen_range(0usize..bytes.len());
+        prop_assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+    }
+}
+
+#[test]
+fn nan_payloads_roundtrip_bitwise() {
+    let f = Frame::Response(Response {
+        pool: 3,
+        scored: 3,
+        items: vec![(1, f32::NAN), (2, f32::INFINITY), (3, -0.0)],
+    });
+    let bytes = encode(&f);
+    match decode(&bytes) {
+        Ok(Frame::Response(r)) => {
+            let want = [f32::NAN, f32::INFINITY, -0.0f32];
+            for ((_, got), want) in r.items.iter().zip(want) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+}
+
+// --------------------------------------------------------------- corruption
+
+/// Every single-bit flip anywhere in the frame — header, payload, CRC —
+/// must yield a typed decode error. The CRC covers the header too, so even
+/// a flip that rewrites the frame kind cannot smuggle a misparse through.
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let bytes = encode(&sample_frame());
+    let path = scratch("flip");
+    for byte in 0..bytes.len() {
+        for bit in 0..8u8 {
+            fs::write(&path, &bytes).unwrap();
+            flip_bit(&path, byte, bit).unwrap();
+            let corrupted = fs::read(&path).unwrap();
+            assert!(
+                decode(&corrupted).is_err(),
+                "bit {bit} of byte {byte} flipped yet the frame decoded"
+            );
+        }
+    }
+}
+
+/// Every truncation the filesystem can produce fails typed, through both
+/// the pure decoder and the stream reader.
+#[test]
+fn every_truncation_is_rejected() {
+    let bytes = encode(&sample_frame());
+    let path = scratch("trunc");
+    for keep in 0..bytes.len() as u64 {
+        fs::write(&path, &bytes).unwrap();
+        truncate_file(&path, keep).unwrap();
+        let truncated = fs::read(&path).unwrap();
+        assert_eq!(truncated.len() as u64, keep);
+        assert!(decode(&truncated).is_err(), "truncation to {keep} bytes decoded");
+        let mut cursor = std::io::Cursor::new(truncated);
+        match read_frame(&mut cursor) {
+            Err(ReadError::Eof) => assert_eq!(keep, 0, "Eof is only clean before byte 0"),
+            Err(_) => {}
+            Ok(f) => panic!("truncation to {keep} bytes read a frame: {f:?}"),
+        }
+    }
+}
+
+/// A hostile length field is refused before any allocation happens.
+#[test]
+fn hostile_length_fields_are_refused() {
+    let mut bytes = encode(&sample_frame());
+    bytes[8..12].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+    assert_eq!(decode(&bytes), Err(DecodeError::Oversized(MAX_PAYLOAD as u32 + 1)));
+    // An in-bounds but wrong length lands on Truncated/TrailingBytes/CRC,
+    // never a panic.
+    let mut shrunk = encode(&sample_frame());
+    shrunk[8..12].copy_from_slice(&3u32.to_le_bytes());
+    assert!(decode(&shrunk).is_err());
+}
+
+/// Garbage byte soup never panics the decoder.
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for _ in 0..2_000 {
+        let len = rng.gen_range(0usize..256);
+        let mut soup = vec![0u8; len];
+        rng.fill_bytes(&mut soup);
+        let _ = decode(&soup); // must return, Ok or Err — never panic
+    }
+    // Bytes that *start* like a frame but lie about everything after.
+    for _ in 0..2_000 {
+        let len = rng.gen_range(0usize..64);
+        let mut framed = vec![b'S', b'T', b'G', b'W', 1];
+        let start = framed.len();
+        framed.resize(start + len, 0);
+        rng.fill_bytes(&mut framed[start..]);
+        let _ = decode(&framed);
+    }
+    let _ = decode(&[]);
+    assert_eq!(decode(&encode(&sample_frame())), Ok(sample_frame()));
+}

@@ -86,6 +86,18 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
         &self.cfg
     }
 
+    /// The dataset context requests are served against (catalogue size,
+    /// locations, window length). The gateway validates wire requests
+    /// against it before admission.
+    pub fn data(&self) -> &Processed {
+        self.data
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &M {
+        self.model
+    }
+
     /// Builds the candidate id list for one request: the full catalogue, or
     /// the geo-pruned subset around the request's most recent check-in.
     /// Returned ids are sorted ascending so tie-breaking in [`top_k`] is
@@ -139,11 +151,27 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
     ///
     /// [`serve_one`]: InferenceSession::serve_one
     pub fn serve_batch(&self, insts: &[EvalInstance]) -> Vec<Recommendation> {
-        stisan_obs::observe("serve.batch_size", insts.len() as f64);
         let workers = match self.cfg.workers {
             0 => suggested_workers(insts.len()),
-            w => w.min(insts.len()).max(1),
+            w => w,
         };
+        self.serve_batch_on(insts, workers)
+    }
+
+    /// [`serve_batch`] with an explicit worker count — the batch-scoring
+    /// entry point for callers that pre-group requests themselves (the
+    /// gateway's micro-batcher hands its batches here, with the pool size it
+    /// resolved at startup), bypassing [`ServeConfig::workers`].
+    ///
+    /// `workers` is clamped to `1..=insts.len()`; results are
+    /// position-for-position identical to a sequential [`serve_one`] loop
+    /// for every worker count.
+    ///
+    /// [`serve_batch`]: InferenceSession::serve_batch
+    /// [`serve_one`]: InferenceSession::serve_one
+    pub fn serve_batch_on(&self, insts: &[EvalInstance], workers: usize) -> Vec<Recommendation> {
+        stisan_obs::observe("serve.batch_size", insts.len() as f64);
+        let workers = workers.min(insts.len()).max(1);
         if workers <= 1 {
             return insts.iter().map(|i| self.serve_one(i)).collect();
         }

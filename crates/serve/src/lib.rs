@@ -13,8 +13,11 @@
 //!   falling back to the full catalogue when the radius is too sparse.
 //! * **Parallel batches** — [`InferenceSession::serve_batch`] fans requests
 //!   out over crossbeam scoped threads sized by
-//!   [`stisan_tensor::suggested_workers`], each worker writing a disjoint
-//!   output slice.
+//!   [`stisan_tensor::suggested_workers`] (tunable in deployment via the
+//!   `STISAN_WORKERS` environment variable), each worker writing a disjoint
+//!   output slice. [`InferenceSession::serve_batch_on`] is the same scorer
+//!   with an explicit worker count — the entry point the `stisan-gateway`
+//!   micro-batcher feeds with pre-grouped network requests.
 //! * **Bounded top-K** — [`top_k`] selects recommendations in `O(n log k)`
 //!   with full-sort-identical tie-breaking.
 //!

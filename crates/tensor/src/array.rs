@@ -484,15 +484,32 @@ impl Array {
 pub const BMM_PARALLEL_FLOPS: usize = 4_000_000;
 
 /// Worker threads for `tasks` independent, similarly-sized work items:
-/// `min(cores, tasks, 8)`, or 1 when there are fewer than 2 tasks. This is
-/// the fan-out heuristic of [`Array::bmm`], exported so other scoped-thread
-/// pools (the serving engine's request workers) stay consistent with it.
+/// `min(cap, tasks)`, or 1 when there are fewer than 2 tasks, where `cap` is
+/// the `STISAN_WORKERS` environment variable when set to a positive integer
+/// and `min(cores, 8)` otherwise. This is the fan-out heuristic of
+/// [`Array::bmm`], exported so other scoped-thread pools (the serving
+/// engine's request workers, the gateway's batch pool) stay consistent with
+/// it — one knob tunes them all without recompiling.
+///
+/// Precedence (highest first): an explicit worker count in the caller's
+/// config (`ServeConfig::workers`, `GatewayConfig::workers` — those callers
+/// bypass this function entirely), then `STISAN_WORKERS`, then the
+/// `min(cores, 8)` heuristic. Invalid or non-positive values of the variable
+/// are ignored. The variable is re-read on every call, so tests and
+/// long-running deployments can retune it at runtime.
 pub fn suggested_workers(tasks: usize) -> usize {
     if tasks < 2 {
         return 1;
     }
-    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-    cores.min(tasks).min(8)
+    let cap = match std::env::var("STISAN_WORKERS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(w) if w >= 1 => w,
+        _ => {
+            let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+            cores.min(8)
+        }
+    };
+    cap.min(tasks)
 }
 
 /// Threads to use for a batched matmul of this size (1 = stay sequential).
@@ -705,6 +722,27 @@ mod tests {
                 assert!((x - y).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn suggested_workers_env_override() {
+        // A single task never fans out, override or not.
+        assert_eq!(suggested_workers(1), 1);
+        // The override caps the pool; tasks still bound it from below.
+        std::env::set_var("STISAN_WORKERS", "3");
+        assert_eq!(suggested_workers(100), 3);
+        assert_eq!(suggested_workers(2), 2);
+        // Values above the built-in 8-core ceiling are honoured: deployments
+        // with more cores opt in explicitly.
+        std::env::set_var("STISAN_WORKERS", "12");
+        assert_eq!(suggested_workers(100), 12);
+        // Garbage and non-positive values fall back to the heuristic.
+        for bad in ["0", "-2", "lots", ""] {
+            std::env::set_var("STISAN_WORKERS", bad);
+            let w = suggested_workers(100);
+            assert!((1..=8).contains(&w), "fallback out of range: {w}");
+        }
+        std::env::remove_var("STISAN_WORKERS");
     }
 
     #[test]

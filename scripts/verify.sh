@@ -19,10 +19,16 @@ cargo test -q --release -p stisan-core --test gradcheck_blocks
 cargo test -q --release -p stisan --test property_tests
 cargo test -q --release -p stisan-eval --test golden_metrics
 
+echo "== gateway: protocol corruption, batcher property, and e2e suites"
+cargo test -q --release -p stisan-gateway
+
 echo "== serve_bench smoke"
 cargo run --release -p stisan-bench --bin serve_bench -- --smoke
 
-echo "== panic audit (crates/nn, crates/core, crates/data, crates/serve)"
+echo "== gateway_bench smoke (micro-batching >= 1.5x, bounded-queue shedding)"
+cargo run --release -p stisan-bench --bin gateway_bench -- --smoke
+
+echo "== panic audit (crates/nn, crates/core, crates/data, crates/serve, crates/gateway)"
 ./scripts/panic_audit.sh
 
 echo "== cargo clippy --workspace -- -D warnings"

@@ -11,7 +11,10 @@
 //! * [`data`] — synthetic LBSN datasets and preprocessing,
 //! * [`eval`] — HR@k / NDCG@k evaluation protocol,
 //! * [`models`] — the twelve baseline recommenders,
-//! * [`core`] — STiSAN itself (TAPE, IAAB, TAAD).
+//! * [`core`] — STiSAN itself (TAPE, IAAB, TAAD),
+//! * [`serve`] — the tape-free parallel inference engine,
+//! * [`gateway`] — the networked serving front-end (framing, micro-batching,
+//!   backpressure).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -19,6 +22,7 @@ pub use stisan_core as core;
 pub use stisan_obs as obs;
 pub use stisan_data as data;
 pub use stisan_eval as eval;
+pub use stisan_gateway as gateway;
 pub use stisan_geo as geo;
 pub use stisan_models as models;
 pub use stisan_nn as nn;
