@@ -1,0 +1,52 @@
+//! `expo_check` — validates a Prometheus/OpenMetrics text exposition file
+//! with the same line-format parser the test suites use
+//! (`stisan_obs::expo::parse`).
+//!
+//! ```text
+//! cargo run --release -p stisan-bench --bin expo_check -- <file.prom>
+//! ```
+//!
+//! Exit codes: 0 = well-formed (parses, `# EOF`-terminated, every sample
+//! attached to a declared family); 1 = malformed; 2 = usage/IO error.
+//! `scripts/verify.sh` runs it over the `results/metrics_scrape.prom` that
+//! `gateway_bench --smoke` scrapes from the live admin endpoint, closing
+//! the loop: what the gateway exposes is what a scraper can ingest.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: expo_check <file.prom>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("expo_check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match stisan_obs::expo::parse(&text) {
+        Ok(expo) if !expo.terminated => {
+            eprintln!("expo_check: {path}: missing `# EOF` terminator");
+            ExitCode::from(1)
+        }
+        Ok(expo) if expo.samples.is_empty() => {
+            eprintln!("expo_check: {path}: exposition carries no samples");
+            ExitCode::from(1)
+        }
+        Ok(expo) => {
+            println!(
+                "expo_check OK: {path}: {} samples across {} families",
+                expo.samples.len(),
+                expo.families.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("expo_check: {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -5,15 +5,23 @@
 //!
 //! ```text
 //! cargo run --release -p stisan-bench --bin gateway_server -- \
-//!     [--addr 127.0.0.1:7878] [--scale f] [--epochs n] [--batch n]
-//!     [--wait-us n] [--queue n] [--workers n] [--top-k k] [--seed s]
+//!     [--addr 127.0.0.1:7878] [--admin 127.0.0.1:9878] [--scale f]
+//!     [--epochs n] [--batch n] [--wait-us n] [--queue n] [--workers n]
+//!     [--top-k k] [--seed s]
 //! ```
 //!
 //! Worker-count precedence: `--workers` > the `STISAN_WORKERS` environment
 //! variable > the `min(cores, 8)` heuristic (see README, "Serving over the
 //! network"). Talk to it with `gateway_bench` or any `GatewayClient`.
+//!
+//! `--admin` additionally binds the observability endpoint (`GET /metrics`
+//! in Prometheus text format, `/healthz`, `/flightrec`, `/traces`); flight
+//! recorder dumps land under `results/` on shutdown and on the first
+//! overload shed.
 
 use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use stisan_bench::prep_config;
@@ -26,6 +34,7 @@ use stisan_serve::{InferenceSession, PruningPolicy, ServeConfig};
 
 struct Opts {
     addr: String,
+    admin: Option<SocketAddr>,
     scale: f64,
     epochs: usize,
     batch: usize,
@@ -39,6 +48,7 @@ struct Opts {
 fn parse() -> Opts {
     let mut o = Opts {
         addr: "127.0.0.1:7878".into(),
+        admin: None,
         scale: 0.02,
         epochs: 1,
         batch: 32,
@@ -58,6 +68,7 @@ fn parse() -> Opts {
         };
         match key.as_str() {
             "--addr" => o.addr = take(&mut i),
+            "--admin" => o.admin = Some(take(&mut i).parse().expect("bad --admin")),
             "--scale" => o.scale = take(&mut i).parse().expect("bad --scale"),
             "--epochs" => o.epochs = take(&mut i).parse().expect("bad --epochs"),
             "--batch" => o.batch = take(&mut i).parse().expect("bad --batch"),
@@ -67,8 +78,8 @@ fn parse() -> Opts {
             "--top-k" => o.top_k = take(&mut i).parse().expect("bad --top-k"),
             "--seed" => o.seed = take(&mut i).parse().expect("bad --seed"),
             other => panic!(
-                "unknown flag {other}; supported: --addr --scale --epochs --batch --wait-us \
-                 --queue --workers --top-k --seed"
+                "unknown flag {other}; supported: --addr --admin --scale --epochs --batch \
+                 --wait-us --queue --workers --top-k --seed"
             ),
         }
         i += 1;
@@ -112,6 +123,8 @@ fn main() {
         },
         workers: o.workers,
         read_timeout: Duration::from_secs(30),
+        admin: o.admin,
+        flight_dir: Some(PathBuf::from("results")),
     };
     let gw = Gateway::bind(o.addr.as_str(), cfg).expect("bind gateway address");
     let handle = gw.handle();
@@ -123,6 +136,9 @@ fn main() {
         o.wait_us,
         o.queue
     );
+    if let Some(admin) = gw.admin_addr() {
+        println!("admin endpoint on http://{admin} (/metrics /healthz /flightrec /traces)");
+    }
 
     std::thread::scope(|s| {
         let server = s.spawn(|| gw.serve(&session).expect("gateway serve"));

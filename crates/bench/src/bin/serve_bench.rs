@@ -12,10 +12,13 @@
 //! one round. The report prints requests/second and p50/p95/p99 latency for
 //! both paths plus the throughput speedup, and cross-checks that frozen and
 //! tape scores agree bit-for-bit on one request before timing anything.
+//! The same numbers land machine-readably in `results/BENCH_serve.json`.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use stisan_bench::{prep_config, timed};
+use stisan_obs::report::{json_num, json_str};
 use stisan_core::{StiSan, StisanConfig};
 use stisan_data::{generate, preprocess, DatasetPreset, EvalInstance, GenConfig};
 use stisan_eval::{FrozenScorer, Recommender};
@@ -90,17 +93,49 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[idx]
 }
 
-fn report(label: &str, wall_s: f64, mut lat_ms: Vec<f64>) -> f64 {
+/// One timed serving path, as printed and as serialized into
+/// `results/BENCH_serve.json`.
+struct PathStats {
+    label: &'static str,
+    rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+impl PathStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":{},\"rps\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{}}}",
+            json_str(self.label),
+            json_num(self.rps),
+            json_num(self.p50_ms),
+            json_num(self.p95_ms),
+            json_num(self.p99_ms),
+        )
+    }
+}
+
+fn report(label: &'static str, wall_s: f64, mut lat_ms: Vec<f64>) -> PathStats {
     lat_ms.sort_by(|a, b| a.total_cmp(b));
     let n = lat_ms.len() as f64;
     let rps = if wall_s > 0.0 { n / wall_s } else { 0.0 };
+    let stats = PathStats {
+        label,
+        rps,
+        p50_ms: percentile(&lat_ms, 0.50),
+        p95_ms: percentile(&lat_ms, 0.95),
+        p99_ms: percentile(&lat_ms, 0.99),
+    };
+    print_path(&stats);
+    stats
+}
+
+fn print_path(s: &PathStats) {
     println!(
-        "{label:<28} {rps:>9.1} req/s   p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms",
-        percentile(&lat_ms, 0.50),
-        percentile(&lat_ms, 0.95),
-        percentile(&lat_ms, 0.99),
+        "{:<28} {:>9.1} req/s   p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms",
+        s.label, s.rps, s.p50_ms, s.p95_ms, s.p99_ms,
     );
-    rps
 }
 
 fn main() {
@@ -158,7 +193,7 @@ fn main() {
         base_lat.push(t.elapsed().as_secs_f64() * 1e3);
     }
     let base_wall = t0.elapsed().as_secs_f64();
-    let base_rps = report("tape + full scan", base_wall, base_lat);
+    let base = report("tape + full scan", base_wall, base_lat);
 
     // Frozen forward, same full catalogue, sequential — isolates the no-tape
     // win from pruning and parallelism.
@@ -171,7 +206,7 @@ fn main() {
         frozen_lat.push(t.elapsed().as_secs_f64() * 1e3);
     }
     let frozen_wall = t0.elapsed().as_secs_f64();
-    report("frozen + full scan", frozen_wall, frozen_lat);
+    let frozen = report("frozen + full scan", frozen_wall, frozen_lat);
 
     // The full engine: frozen forward + geo pruning + parallel workers.
     let session = InferenceSession::new(
@@ -198,19 +233,47 @@ fn main() {
         .map(|h| (h.p50, h.p95, h.p99))
         .unwrap_or((0.0, 0.0, 0.0));
     let serve_rps = requests.len() as f64 / serve_wall.max(1e-12);
-    println!(
-        "{:<28} {serve_rps:>9.1} req/s   p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms",
-        "frozen + geo prune + par",
-        serve_lat.0,
-        serve_lat.1,
-        serve_lat.2,
-    );
-    println!(
-        "geo pruning: scored {scored} of {pool} candidate slots ({:.1}% pruned)",
-        100.0 * (1.0 - scored as f64 / pool.max(1) as f64)
-    );
-    let speedup = serve_rps / base_rps.max(1e-12);
+    let engine = PathStats {
+        label: "frozen + geo prune + par",
+        rps: serve_rps,
+        p50_ms: serve_lat.0,
+        p95_ms: serve_lat.1,
+        p99_ms: serve_lat.2,
+    };
+    print_path(&engine);
+    let pruned_frac = 1.0 - scored as f64 / pool.max(1) as f64;
+    println!("geo pruning: scored {scored} of {pool} candidate slots ({:.1}% pruned)", 100.0 * pruned_frac);
+    let speedup = serve_rps / base.rps.max(1e-12);
     println!("throughput speedup vs tape + full scan: {speedup:.2}x");
+
+    let mut json = String::from("{");
+    let _ = write!(
+        json,
+        "\"bench\":\"serve\",\"smoke\":{},\"scale\":{},\"rounds\":{},\"requests\":{},\"top_k\":{}",
+        o.smoke,
+        json_num(o.scale),
+        o.rounds,
+        requests.len(),
+        o.top_k
+    );
+    json.push_str(",\"paths\":[");
+    for (i, path) in [&base, &frozen, &engine].into_iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&path.to_json());
+    }
+    let _ = write!(
+        json,
+        "],\"speedup_vs_tape\":{},\"pruning\":{{\"scored\":{scored},\"pool\":{pool},\
+         \"pruned_frac\":{}}}}}",
+        json_num(speedup),
+        json_num(pruned_frac),
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_serve.json", json).expect("write BENCH_serve.json");
+    println!("wrote results/BENCH_serve.json");
+
     if o.smoke {
         println!("smoke OK: {} requests served", recs.len());
     } else {

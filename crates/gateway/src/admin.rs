@@ -1,0 +1,128 @@
+//! The admin/observability listener: a std-only HTTP/1.1 endpoint on its
+//! own port, serving live telemetry out of the running gateway.
+//!
+//! Routes:
+//!
+//! * `GET /metrics`   — the global registry in Prometheus text format
+//!   (rendered by [`stisan_obs::expo::render`], `# EOF`-terminated);
+//! * `GET /healthz`   — JSON: queue depth, requests/shed totals, shed rate;
+//! * `GET /flightrec` — an on-demand flight-recorder dump (JSON);
+//! * `GET /traces`    — the slowest-trace exemplar table (JSON).
+//!
+//! Deliberately minimal HTTP: enough to be `curl`-able and scrapeable by
+//! Prometheus. One request per connection (`Connection: close`), a hard
+//! byte cap and a wall budget per request so a stalled client cannot wedge
+//! scraping, and the accept loop polls the gateway's shutdown flag.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::server::Shared;
+
+/// Accept-loop sleep while no connection is pending.
+const ACCEPT_IDLE: Duration = Duration::from_millis(25);
+/// Wall budget for reading one request's head.
+const REQUEST_BUDGET: Duration = Duration::from_millis(500);
+/// Hard cap on request-head bytes; more is a bad client.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Runs the admin listener until gateway shutdown. Requests are served
+/// inline — admin traffic is one scraper, not a fleet.
+pub(crate) fn serve_admin(listener: TcpListener, shared: &Shared) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if shared.is_shutdown() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => handle(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_IDLE);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    match read_request_path(&mut stream) {
+        Some(path) => {
+            let (status, ctype, body) = route(&path);
+            respond(&mut stream, status, ctype, &body);
+        }
+        None => respond(&mut stream, 400, "text/plain", "bad request\n"),
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reads the request head (up to the blank line) and returns the path of a
+/// `GET` request, or `None` for anything unparseable, oversized, or slow.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let t0 = Instant::now();
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if t0.elapsed() > REQUEST_BUDGET || buf.len() > MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next()?.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Ignore any query string; routes take no parameters.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn route(path: &str) -> (u16, &'static str, String) {
+    let Some(obs) = stisan_obs::global() else {
+        return (503, "text/plain", "observability disabled\n".to_string());
+    };
+    match path {
+        "/metrics" => {
+            (200, "text/plain; version=0.0.4", stisan_obs::expo::render(&obs.registry.snapshot()))
+        }
+        "/healthz" => {
+            (200, "application/json", stisan_obs::expo::render_healthz(&obs.registry.snapshot()))
+        }
+        "/flightrec" => (200, "application/json", obs.flight.dump_json("admin")),
+        "/traces" => {
+            (200, "application/json", stisan_obs::trace::exemplars_to_json(&obs.traces.exemplars()))
+        }
+        _ => (404, "text/plain", "not found\n".to_string()),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, ctype: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Service Unavailable",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}

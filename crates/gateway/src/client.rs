@@ -62,6 +62,11 @@ impl GatewayClient {
     /// frame becomes [`ClientError::Server`]; the connection stays usable
     /// afterwards for the retryable codes (`OVERLOADED`,
     /// `DEADLINE_EXCEEDED`, `BAD_REQUEST`).
+    ///
+    /// Set `req.trace_id` to opt into request tracing (protocol v2): the
+    /// response's `trace` field then echoes the id and the server-side
+    /// stage offsets. Untraced requests go out as v1 frames, bit-identical
+    /// to the pre-tracing protocol.
     pub fn recommend(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, &Frame::Request(req.clone()))?;
         match read_frame(&mut self.stream) {

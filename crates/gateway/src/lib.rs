@@ -25,14 +25,22 @@
 //!
 //! Observability (`stisan-obs`): `gateway.queue_depth` (gauge),
 //! `gateway.batch_fill` / `gateway.wait_us` (histograms),
-//! `gateway.shed_total` / `gateway.deadline_exceeded_total` /
-//! `gateway.batches_total` (counters).
+//! `gateway.requests_total` / `gateway.shed_total` /
+//! `gateway.deadline_exceeded_total` / `gateway.batches_total` (counters).
+//! Every request additionally carries a trace id and per-stage monotonic
+//! stamps (admitted → enqueued → batch-sealed → scored → written) that feed
+//! `trace.*` histograms, the slowest-trace exemplar table, and the flight
+//! recorder; protocol v2 frames round-trip the trace id and echo the stage
+//! offsets to the client. When [`GatewayConfig::admin`] is set, an admin
+//! HTTP listener ([`admin`]) exposes `GET /metrics` (Prometheus text
+//! format), `/healthz`, `/flightrec`, and `/traces`.
 //!
 //! Responses are bit-identical to direct [`stisan_serve::InferenceSession`]
 //! calls for the same inputs — the e2e suite asserts it across a real
 //! socket, extending the tape/frozen parity contract of DESIGN.md §9 over
 //! the wire.
 
+pub mod admin;
 pub mod batcher;
 pub mod client;
 pub mod protocol;
@@ -41,7 +49,8 @@ pub mod server;
 pub use batcher::{BatchPolicy, MicroBatcher, Pending};
 pub use client::{ClientError, GatewayClient};
 pub use protocol::{
-    DecodeError, ErrorCode, ErrorFrame, Frame, ReadError, Request, Response, Visit,
+    DecodeError, ErrorCode, ErrorFrame, Frame, ReadError, Request, Response, TraceEcho, Visit,
+    VERSION, VERSION_V1,
 };
 pub use server::{
     request_from_instance, request_to_instance, Gateway, GatewayConfig, GatewayHandle,

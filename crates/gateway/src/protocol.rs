@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  = b"STGW"
-//!      4     1  version = 1
+//!      4     1  version (1 or 2)
 //!      5     1  kind    (1 = Request, 2 = Response, 3 = Error)
 //!      6     2  reserved (must be 0)
 //!      8     4  payload_len (LE; at most MAX_PAYLOAD)
@@ -20,6 +20,19 @@
 //! the same IEEE CRC-32 the checkpoint format uses
 //! ([`stisan_nn::crc32`]).
 //!
+//! ## Versions
+//!
+//! Version 2 extends the v1 payloads with trailing tracing fields: a
+//! request may carry a `trace_id` (u64) and a response may echo it back
+//! with per-stage server-side timings ([`TraceEcho`]). [`encode`] picks
+//! the lowest version that can represent the frame — a frame without
+//! tracing fields is emitted as v1 bit-for-bit identical to what a v1
+//! peer produces, and error frames are always v1 — so old clients
+//! interoperate untouched: a v1 client never receives a v2 frame, and a
+//! v2 server decodes both versions. A version this decoder does not
+//! speak fails typed ([`DecodeError::BadVersion`] →
+//! `UNSUPPORTED_VERSION` on the wire).
+//!
 //! Encoding and decoding are pure byte-slice functions, testable without a
 //! socket; [`read_frame`]/[`write_frame`] adapt them to blocking streams
 //! with an allocation bound enforced *before* the payload is read.
@@ -31,8 +44,10 @@ use stisan_nn::crc32;
 
 /// Frame magic: the first four bytes of every well-formed frame.
 pub const MAGIC: [u8; 4] = *b"STGW";
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// The original protocol version: no tracing fields.
+pub const VERSION_V1: u8 = 1;
+/// Current protocol version: optional trailing tracing fields.
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes (magic + version + kind + reserved + len).
 pub const HEADER_LEN: usize = 12;
 /// Hard upper bound on `payload_len`: a peer can never make the server
@@ -71,6 +86,45 @@ pub struct Request {
     /// Check-in history, oldest first. Only the most recent `max_len` are
     /// scored (the model's window).
     pub seq: Vec<Visit>,
+    /// Trace id to carry through the serving pipeline (v2 field). `None`
+    /// encodes as a v1 frame; the server then assigns its own id.
+    pub trace_id: Option<u64>,
+}
+
+/// Server-side stage timings echoed in a v2 response, all in microseconds
+/// since admission (saturating at `u32::MAX` ≈ 71 minutes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEcho {
+    /// The trace id the request travelled under (client-supplied or
+    /// server-assigned).
+    pub trace_id: u64,
+    /// Offsets at which the request was enqueued, its batch sealed, its
+    /// scores produced, and its response written — admission is 0 by
+    /// definition, so four stamps describe all five stages.
+    pub stage_us: [u32; 4],
+}
+
+impl TraceEcho {
+    /// µs from admission to enqueue.
+    pub fn enqueued_us(&self) -> u32 {
+        self.stage_us[0]
+    }
+    /// µs from admission to batch seal.
+    pub fn batch_sealed_us(&self) -> u32 {
+        self.stage_us[1]
+    }
+    /// µs from admission to scoring completion.
+    pub fn scored_us(&self) -> u32 {
+        self.stage_us[2]
+    }
+    /// µs from admission to response write — the server-side total.
+    pub fn written_us(&self) -> u32 {
+        self.stage_us[3]
+    }
+    /// Whether the stamps are non-decreasing in pipeline order.
+    pub fn is_monotonic(&self) -> bool {
+        self.stage_us.windows(2).all(|w| w[0] <= w[1])
+    }
 }
 
 /// A recommendation response frame.
@@ -82,6 +136,8 @@ pub struct Response {
     pub scored: u32,
     /// `(poi_id, score)` pairs, best first.
     pub items: Vec<(u32, f32)>,
+    /// Trace echo (v2 field). `None` encodes as a v1 frame.
+    pub trace: Option<TraceEcho>,
 }
 
 /// Typed server-side failure, sent instead of a [`Response`].
@@ -221,6 +277,8 @@ impl std::error::Error for DecodeError {}
 /// Decoded fixed header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Header {
+    /// Protocol version of the frame ([`VERSION_V1`]..=[`VERSION`]).
+    pub version: u8,
     /// Frame kind byte (validated against the known kinds).
     pub kind: u8,
     /// Payload length in bytes (validated against [`MAX_PAYLOAD`]).
@@ -233,8 +291,9 @@ pub fn decode_header(b: &[u8; HEADER_LEN]) -> Result<Header, DecodeError> {
     if b[0..4] != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    if b[4] != VERSION {
-        return Err(DecodeError::BadVersion(b[4]));
+    let version = b[4];
+    if !(VERSION_V1..=VERSION).contains(&version) {
+        return Err(DecodeError::BadVersion(version));
     }
     let kind = b[5];
     if !(KIND_REQUEST..=KIND_ERROR).contains(&kind) {
@@ -247,7 +306,7 @@ pub fn decode_header(b: &[u8; HEADER_LEN]) -> Result<Header, DecodeError> {
     if payload_len as usize > MAX_PAYLOAD {
         return Err(DecodeError::Oversized(payload_len));
     }
-    Ok(Header { kind, payload_len })
+    Ok(Header { version, kind, payload_len })
 }
 
 /// Bounds-checked little-endian reader over a payload slice.
@@ -285,6 +344,13 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
     }
 
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(s);
+        Ok(u64::from_le_bytes(a))
+    }
+
     fn f32(&mut self) -> Result<f32, DecodeError> {
         Ok(f32::from_bits(self.u32()?))
     }
@@ -316,9 +382,13 @@ fn encode_request(out: &mut Vec<u8>, r: &Request) {
         out.extend_from_slice(&v.lat.to_le_bytes());
         out.extend_from_slice(&v.lon.to_le_bytes());
     }
+    // v2: trailing trace id. Its presence is what makes the frame v2.
+    if let Some(id) = r.trace_id {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
 }
 
-fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
+fn decode_request(payload: &[u8], version: u8) -> Result<Request, DecodeError> {
     let mut r = Reader::new(payload);
     let user = r.u32()?;
     let k = r.u16()?;
@@ -331,8 +401,9 @@ fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
     for _ in 0..n {
         seq.push(Visit { poi: r.u32()?, time: r.f64()?, lat: r.f64()?, lon: r.f64()? });
     }
+    let trace_id = if version >= 2 { Some(r.u64()?) } else { None };
     r.finish()?;
-    Ok(Request { user, k, deadline_ms, seq })
+    Ok(Request { user, k, deadline_ms, seq, trace_id })
 }
 
 fn encode_response(out: &mut Vec<u8>, r: &Response) {
@@ -344,9 +415,16 @@ fn encode_response(out: &mut Vec<u8>, r: &Response) {
         out.extend_from_slice(&poi.to_le_bytes());
         out.extend_from_slice(&score.to_bits().to_le_bytes());
     }
+    // v2: trailing trace echo.
+    if let Some(t) = &r.trace {
+        out.extend_from_slice(&t.trace_id.to_le_bytes());
+        for us in t.stage_us {
+            out.extend_from_slice(&us.to_le_bytes());
+        }
+    }
 }
 
-fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
+fn decode_response(payload: &[u8], version: u8) -> Result<Response, DecodeError> {
     let mut r = Reader::new(payload);
     let pool = r.u32()?;
     let scored = r.u32()?;
@@ -355,8 +433,18 @@ fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
     for _ in 0..n {
         items.push((r.u32()?, r.f32()?));
     }
+    let trace = if version >= 2 {
+        let trace_id = r.u64()?;
+        let mut stage_us = [0u32; 4];
+        for us in &mut stage_us {
+            *us = r.u32()?;
+        }
+        Some(TraceEcho { trace_id, stage_us })
+    } else {
+        None
+    };
     r.finish()?;
-    Ok(Response { pool, scored, items })
+    Ok(Response { pool, scored, items, trace })
 }
 
 fn encode_error(out: &mut Vec<u8>, e: &ErrorFrame) {
@@ -381,26 +469,29 @@ fn decode_error(payload: &[u8]) -> Result<ErrorFrame, DecodeError> {
 }
 
 /// Encodes one frame into a fresh byte vector (header + payload + CRC).
+/// The version byte is the lowest that can represent the frame: frames
+/// without tracing fields (and all error frames) are emitted as v1,
+/// bit-for-bit identical to a v1 peer's encoding.
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let mut payload = Vec::new();
-    let kind = match frame {
+    let (kind, version) = match frame {
         Frame::Request(r) => {
             encode_request(&mut payload, r);
-            KIND_REQUEST
+            (KIND_REQUEST, if r.trace_id.is_some() { VERSION } else { VERSION_V1 })
         }
         Frame::Response(r) => {
             encode_response(&mut payload, r);
-            KIND_RESPONSE
+            (KIND_RESPONSE, if r.trace.is_some() { VERSION } else { VERSION_V1 })
         }
         Frame::Error(e) => {
             encode_error(&mut payload, e);
-            KIND_ERROR
+            (KIND_ERROR, VERSION_V1)
         }
     };
     debug_assert!(payload.len() <= MAX_PAYLOAD);
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.push(kind);
     out.extend_from_slice(&[0, 0]); // reserved
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -437,8 +528,8 @@ pub fn decode(bytes: &[u8]) -> Result<Frame, DecodeError> {
     }
     let payload = &bytes[HEADER_LEN..body_end];
     match header.kind {
-        KIND_REQUEST => Ok(Frame::Request(decode_request(payload)?)),
-        KIND_RESPONSE => Ok(Frame::Response(decode_response(payload)?)),
+        KIND_REQUEST => Ok(Frame::Request(decode_request(payload, header.version)?)),
+        KIND_RESPONSE => Ok(Frame::Response(decode_response(payload, header.version)?)),
         KIND_ERROR => Ok(Frame::Error(decode_error(payload)?)),
         k => Err(DecodeError::BadKind(k)),
     }
@@ -529,17 +620,32 @@ mod tests {
                 Visit { poi: 3, time: 1_000.0, lat: 30.25, lon: -97.75 },
                 Visit { poi: 9, time: 2_000.5, lat: 30.26, lon: -97.74 },
             ],
+            trace_id: None,
         })
+    }
+
+    fn traced_request(trace_id: u64) -> Frame {
+        let Frame::Request(mut r) = sample_request() else { unreachable!() };
+        r.trace_id = Some(trace_id);
+        Frame::Request(r)
     }
 
     #[test]
     fn roundtrip_all_kinds() {
         let frames = [
             sample_request(),
+            traced_request(0xDEAD_BEEF_CAFE_F00D),
             Frame::Response(Response {
                 pool: 500,
                 scored: 120,
                 items: vec![(4, 1.5), (2, 1.5), (9, -0.25)],
+                trace: None,
+            }),
+            Frame::Response(Response {
+                pool: 500,
+                scored: 120,
+                items: vec![(4, 1.5)],
+                trace: Some(TraceEcho { trace_id: 99, stage_us: [10, 250, 900, 950] }),
             }),
             Frame::Error(ErrorFrame::new(ErrorCode::Overloaded, "queue full")),
         ];
@@ -550,11 +656,70 @@ mod tests {
     }
 
     #[test]
+    fn version_byte_tracks_content() {
+        // Untraced frames and errors are v1 on the wire; traced are v2.
+        assert_eq!(encode(&sample_request())[4], VERSION_V1);
+        assert_eq!(encode(&traced_request(1))[4], VERSION);
+        let untraced =
+            Frame::Response(Response { pool: 1, scored: 1, items: vec![], trace: None });
+        assert_eq!(encode(&untraced)[4], VERSION_V1);
+        let traced = Frame::Response(Response {
+            pool: 1,
+            scored: 1,
+            items: vec![],
+            trace: Some(TraceEcho { trace_id: 5, stage_us: [0, 0, 0, 0] }),
+        });
+        assert_eq!(encode(&traced)[4], VERSION);
+        let err = Frame::Error(ErrorFrame::new(ErrorCode::Malformed, "x"));
+        assert_eq!(encode(&err)[4], VERSION_V1);
+    }
+
+    #[test]
+    fn version_payload_mismatches_are_typed() {
+        // A v2 header on a v1-sized request payload: the missing trace id
+        // reads as Truncated. (CRC is recomputed so only the version
+        // mismatch is under test.)
+        let mut bytes = encode(&sample_request());
+        bytes[4] = VERSION;
+        let len = bytes.len();
+        let crc = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(DecodeError::Truncated));
+
+        // A v1 header on a v2-sized payload: the trailing 8 bytes are junk.
+        let mut bytes = encode(&traced_request(42));
+        bytes[4] = VERSION_V1;
+        let len = bytes.len();
+        let crc = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn trace_echo_monotonicity_helper() {
+        let ok = TraceEcho { trace_id: 1, stage_us: [5, 5, 80, 81] };
+        assert!(ok.is_monotonic());
+        assert_eq!((ok.enqueued_us(), ok.written_us()), (5, 81));
+        let bad = TraceEcho { trace_id: 1, stage_us: [5, 4, 80, 81] };
+        assert!(!bad.is_monotonic());
+    }
+
+    #[test]
     fn empty_sequence_and_empty_items_roundtrip() {
-        let req = Frame::Request(Request { user: 0, k: 1, deadline_ms: 0, seq: vec![] });
+        let req =
+            Frame::Request(Request { user: 0, k: 1, deadline_ms: 0, seq: vec![], trace_id: None });
         assert_eq!(decode(&encode(&req)).unwrap(), req);
-        let resp = Frame::Response(Response { pool: 0, scored: 0, items: vec![] });
+        let resp = Frame::Response(Response { pool: 0, scored: 0, items: vec![], trace: None });
         assert_eq!(decode(&encode(&resp)).unwrap(), resp);
+        // A traced request with an empty history is still v2.
+        let req2 = Frame::Request(Request {
+            user: 0,
+            k: 1,
+            deadline_ms: 0,
+            seq: vec![],
+            trace_id: Some(3),
+        });
+        assert_eq!(decode(&encode(&req2)).unwrap(), req2);
     }
 
     #[test]

@@ -20,7 +20,23 @@
 //!   [`InferenceSession::serve_batch_on`] with the worker count resolved at
 //!   startup — one batch at a time, like a device: batch k+1 is not formed
 //!   while batch k is being scored, which is exactly what makes
-//!   micro-batching the throughput lever (`gateway_bench` measures it).
+//!   micro-batching the throughput lever (`gateway_bench` measures it);
+//! * when [`GatewayConfig::admin`] is set, the **admin listener** serves
+//!   `GET /metrics`, `/healthz`, `/flightrec`, and `/traces` on its own
+//!   port (see [`crate::admin`]).
+//!
+//! ## Request tracing
+//!
+//! Every request gets a trace id at admission — the client's, if the frame
+//! carried one (protocol v2), otherwise server-assigned — and a
+//! [`TraceCtx`] that stamps each pipeline stage on a monotonic clock:
+//! admitted → enqueued → batch-sealed → scored → written. Finished traces
+//! feed the global per-stage histograms and the slowest-trace exemplar
+//! table; clients that sent a trace id get the stage offsets echoed in the
+//! response. Lifecycle events (admission, sheds, deadline drops,
+//! completions) also land in the always-on flight recorder, which is dumped
+//! to [`GatewayConfig::flight_dir`] on shutdown and on the first
+//! `OVERLOADED` shed.
 //!
 //! ## Shutdown sequence
 //!
@@ -33,6 +49,7 @@
 
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -40,13 +57,14 @@ use std::{fmt, io};
 
 use stisan_data::{EvalInstance, Processed};
 use stisan_eval::FrozenScorer;
+use stisan_obs::{Outcome, Stage, TraceCtx};
 use stisan_serve::InferenceSession;
 use stisan_tensor::suggested_workers;
 
 use crate::batcher::{BatchPolicy, MicroBatcher};
 use crate::protocol::{
-    decode, decode_header, ErrorCode, ErrorFrame, Frame, Header, Request, Response, Visit,
-    HEADER_LEN, MAX_K,
+    decode, decode_header, ErrorCode, ErrorFrame, Frame, Header, Request, Response, TraceEcho,
+    Visit, HEADER_LEN, MAX_K,
 };
 
 /// Interval at which blocked reads re-check the shutdown flag.
@@ -57,7 +75,7 @@ const SHUTDOWN_GRACE: Duration = Duration::from_millis(250);
 const ACCEPT_IDLE: Duration = Duration::from_millis(5);
 
 /// Gateway configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct GatewayConfig {
     /// Micro-batching policy (batch bound, coalescing window, queue bound).
     pub batch: BatchPolicy,
@@ -70,15 +88,27 @@ pub struct GatewayConfig {
     /// Longest a connection may sit without sending a byte (between frames
     /// or mid-frame) before it is closed.
     pub read_timeout: Duration,
+    /// Bind address for the admin/observability HTTP listener
+    /// (`/metrics`, `/healthz`, `/flightrec`, `/traces`). `None` disables
+    /// it. Use port 0 for an ephemeral port and read it back via
+    /// [`Gateway::admin_addr`].
+    pub admin: Option<SocketAddr>,
+    /// Directory for flight-recorder dumps (written on shutdown and on the
+    /// first `OVERLOADED` shed). `None` disables dump files; the in-memory
+    /// recorder and the `/flightrec` endpoint stay live either way.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for GatewayConfig {
-    /// Default batching policy, auto worker count, 30 s idle timeout.
+    /// Default batching policy, auto worker count, 30 s idle timeout, no
+    /// admin listener, dumps under `results/`.
     fn default() -> Self {
         GatewayConfig {
             batch: BatchPolicy::default(),
             workers: 0,
             read_timeout: Duration::from_secs(30),
+            admin: None,
+            flight_dir: Some(PathBuf::from("results")),
         }
     }
 }
@@ -136,12 +166,14 @@ impl Counters {
     }
 }
 
-/// What the dispatcher sends back to a waiting connection handler.
+/// What the dispatcher sends back to a waiting connection handler. The
+/// trace context rides along so the handler can stamp [`Stage::Written`]
+/// and build the response's trace echo.
 enum Reply {
     /// Scored successfully; items already truncated to the request's `k`.
-    Ok(Response),
+    Ok(Response, TraceCtx),
     /// Dropped with a typed error.
-    Err(ErrorCode),
+    Err(ErrorCode, TraceCtx),
 }
 
 /// One admitted request, queued in the micro-batcher.
@@ -151,14 +183,20 @@ struct PendingReq {
     /// Absolute deadline on the gateway clock, `None` for no budget.
     deadline_us: Option<u64>,
     reply: mpsc::Sender<Reply>,
+    trace: TraceCtx,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     queue: Mutex<MicroBatcher<PendingReq>>,
     cv: Condvar,
     shutdown: AtomicBool,
     t0: Instant,
     stats: Counters,
+    /// Source of server-assigned trace ids (requests without a client id).
+    next_trace: AtomicU64,
+    /// Whether the first-shed flight dump was already written.
+    first_shed_dump: AtomicBool,
+    flight_dir: Option<PathBuf>,
 }
 
 impl Shared {
@@ -166,7 +204,7 @@ impl Shared {
         self.t0.elapsed().as_micros() as u64
     }
 
-    fn is_shutdown(&self) -> bool {
+    pub(crate) fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 }
@@ -184,12 +222,18 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct GatewayHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
 }
 
 impl GatewayHandle {
     /// The address the gateway is bound to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The admin listener's bound address, if one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// Signals drain-then-stop shutdown: no new connections or requests,
@@ -215,26 +259,43 @@ impl fmt::Debug for GatewayHandle {
 /// [`GatewayHandle::shutdown`]; grab the handle first.
 pub struct Gateway {
     listener: TcpListener,
+    admin: Option<TcpListener>,
+    admin_addr: Option<SocketAddr>,
     cfg: GatewayConfig,
     shared: Arc<Shared>,
     addr: SocketAddr,
 }
 
 impl Gateway {
-    /// Binds the listening socket. Use port 0 for an ephemeral port (tests,
-    /// the in-process load generator) and read it back via
-    /// [`Gateway::local_addr`].
+    /// Binds the listening socket (and the admin socket, when configured).
+    /// Use port 0 for an ephemeral port (tests, the in-process load
+    /// generator) and read it back via [`Gateway::local_addr`] /
+    /// [`Gateway::admin_addr`]. Also enables the global observability
+    /// context: the gateway's histograms, traces, and flight recorder are
+    /// always on.
     pub fn bind(addr: impl ToSocketAddrs, cfg: GatewayConfig) -> io::Result<Gateway> {
+        stisan_obs::init();
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let admin = match cfg.admin {
+            Some(a) => Some(TcpListener::bind(a)?),
+            None => None,
+        };
+        let admin_addr = match &admin {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(MicroBatcher::new(cfg.batch)),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             t0: Instant::now(),
             stats: Counters::default(),
+            next_trace: AtomicU64::new(1),
+            first_shed_dump: AtomicBool::new(false),
+            flight_dir: cfg.flight_dir.clone(),
         });
-        Ok(Gateway { listener, cfg, shared, addr })
+        Ok(Gateway { listener, admin, admin_addr, cfg, shared, addr })
     }
 
     /// The bound address.
@@ -242,14 +303,24 @@ impl Gateway {
         self.addr
     }
 
-    /// A shutdown/stats handle, cloneable and usable from any thread.
-    pub fn handle(&self) -> GatewayHandle {
-        GatewayHandle { shared: Arc::clone(&self.shared), addr: self.addr }
+    /// The admin listener's bound address, if one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
-    /// Runs the gateway until shutdown, then drains and returns the run's
-    /// stats. The worker count is resolved once, up front (explicit config
-    /// beats `STISAN_WORKERS` beats the core heuristic).
+    /// A shutdown/stats handle, cloneable and usable from any thread.
+    pub fn handle(&self) -> GatewayHandle {
+        GatewayHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+            admin_addr: self.admin_addr,
+        }
+    }
+
+    /// Runs the gateway until shutdown, then drains, writes the shutdown
+    /// flight dump, and returns the run's stats. The worker count is
+    /// resolved once, up front (explicit config beats `STISAN_WORKERS`
+    /// beats the core heuristic).
     pub fn serve<M: FrozenScorer + Sync>(
         self,
         session: &InferenceSession<'_, M>,
@@ -260,10 +331,14 @@ impl Gateway {
         };
         self.listener.set_nonblocking(true)?;
         let shared = &*self.shared;
-        let cfg = self.cfg;
+        let read_timeout = self.cfg.read_timeout;
+        let admin = self.admin;
         let data = session.data();
         std::thread::scope(|s| {
             s.spawn(|| dispatcher(shared, session, workers));
+            if let Some(listener) = admin {
+                s.spawn(move || crate::admin::serve_admin(listener, shared));
+            }
             loop {
                 if shared.is_shutdown() {
                     break;
@@ -271,7 +346,7 @@ impl Gateway {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
                         shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-                        s.spawn(move || handle_conn(stream, shared, data, cfg.read_timeout));
+                        s.spawn(move || handle_conn(stream, shared, data, read_timeout));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_IDLE);
@@ -286,7 +361,22 @@ impl Gateway {
             }
             shared.cv.notify_all();
         });
+        if let (Some(dir), Some(rec)) = (shared.flight_dir.as_ref(), stisan_obs::flight_recorder())
+        {
+            let _ = rec.write_dump(dir, "shutdown");
+        }
         Ok(shared.stats.snapshot())
+    }
+}
+
+/// Writes the first-shed flight dump, once per gateway run. Called *after*
+/// the shed's own event is recorded, so the dump contains it.
+fn maybe_dump_first_shed(shared: &Shared) {
+    if shared.first_shed_dump.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    if let (Some(dir), Some(rec)) = (shared.flight_dir.as_ref(), stisan_obs::flight_recorder()) {
+        let _ = rec.write_dump(dir, "first_shed");
     }
 }
 
@@ -329,16 +419,24 @@ fn dispatcher<M: FrozenScorer + Sync>(
         let now = shared.now_us();
         let mut insts = Vec::with_capacity(batch.len());
         let mut waiting = Vec::with_capacity(batch.len());
+        let mut traces: Vec<TraceCtx> = Vec::with_capacity(batch.len());
         for p in batch {
             stisan_obs::observe("gateway.wait_us", now.saturating_sub(p.arrived_us) as f64);
-            let req = p.item;
+            let mut req = p.item;
+            req.trace.stamp(Stage::BatchSealed);
             if req.deadline_us.is_some_and(|d| now > d) {
                 shared.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                 stisan_obs::counter("gateway.deadline_exceeded_total", 1);
-                let _ = req.reply.send(Reply::Err(ErrorCode::DeadlineExceeded));
+                stisan_obs::flight_event(
+                    req.trace.trace_id,
+                    Stage::BatchSealed,
+                    Outcome::DeadlineExceeded,
+                );
+                let _ = req.reply.send(Reply::Err(ErrorCode::DeadlineExceeded, req.trace));
             } else {
                 insts.push(req.inst);
                 waiting.push((req.reply, req.k));
+                traces.push(req.trace);
             }
         }
         if insts.is_empty() {
@@ -348,14 +446,18 @@ fn dispatcher<M: FrozenScorer + Sync>(
         stisan_obs::counter("gateway.batches_total", 1);
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
 
-        let recs = session.serve_batch_on(&insts, workers);
-        for ((reply, k), rec) in waiting.into_iter().zip(recs) {
+        let recs = session.serve_batch_traced(&insts, workers, &mut traces);
+        for (((reply, k), rec), trace) in waiting.into_iter().zip(recs).zip(traces) {
             let mut items = rec.items;
             items.truncate(k);
-            let resp =
-                Response { pool: rec.pool as u32, scored: rec.scored as u32, items };
+            let resp = Response {
+                pool: rec.pool as u32,
+                scored: rec.scored as u32,
+                items,
+                trace: None,
+            };
             shared.stats.served.fetch_add(1, Ordering::Relaxed);
-            let _ = reply.send(Reply::Ok(resp));
+            let _ = reply.send(Reply::Ok(resp, trace));
         }
     }
 }
@@ -444,6 +546,11 @@ fn send_error(stream: &mut TcpStream, code: ErrorCode, msg: impl Into<String>) {
     let _ = crate::protocol::write_frame(stream, &frame);
 }
 
+/// A stage stamp saturated into the response echo's `u32` µs field.
+fn stamp_u32(trace: &TraceCtx, stage: Stage) -> u32 {
+    trace.get(stage).unwrap_or(0).min(u64::from(u32::MAX)) as u32
+}
+
 /// One connection's request/response loop (one outstanding request at a
 /// time; concurrency comes from concurrent connections).
 fn handle_conn(
@@ -480,8 +587,16 @@ fn handle_conn(
                 break;
             }
         };
+        // Trace id: the client's (v2 frames), else server-assigned. Only
+        // client-supplied ids are echoed back in the response.
+        let wants_echo = req.trace_id.is_some();
+        let trace_id = req
+            .trace_id
+            .unwrap_or_else(|| shared.next_trace.fetch_add(1, Ordering::Relaxed));
+        let mut trace = TraceCtx::new(trace_id);
         if shared.is_shutdown() {
             shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            stisan_obs::flight_event(trace_id, Stage::Admitted, Outcome::ShuttingDown);
             send_error(&mut stream, ErrorCode::ShuttingDown, "gateway is draining");
             break;
         }
@@ -493,14 +608,17 @@ fn handle_conn(
                 continue;
             }
         };
+        stisan_obs::flight_event(trace_id, Stage::Admitted, Outcome::Ok);
         let (tx, rx) = mpsc::channel();
         let now = shared.now_us();
+        trace.stamp(Stage::Enqueued);
         let pending = PendingReq {
             inst,
             k: req.k as usize,
             deadline_us: (req.deadline_ms > 0)
                 .then(|| now.saturating_add(u64::from(req.deadline_ms) * 1_000)),
             reply: tx,
+            trace,
         };
         let admitted = {
             let mut q = lock(&shared.queue);
@@ -511,22 +629,44 @@ fn handle_conn(
         if admitted.is_err() {
             shared.stats.shed.fetch_add(1, Ordering::Relaxed);
             stisan_obs::counter("gateway.shed_total", 1);
+            stisan_obs::flight_event(trace_id, Stage::Enqueued, Outcome::Shed);
+            maybe_dump_first_shed(shared);
             send_error(&mut stream, ErrorCode::Overloaded, "pending queue full");
             continue;
         }
         shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        stisan_obs::counter("gateway.requests_total", 1);
         shared.cv.notify_all();
         match rx.recv() {
-            Ok(Reply::Ok(resp)) => {
-                if crate::protocol::write_frame(&mut stream, &Frame::Response(resp)).is_err() {
+            Ok(Reply::Ok(mut resp, mut trace)) => {
+                trace.stamp(Stage::Written);
+                if wants_echo {
+                    resp.trace = Some(TraceEcho {
+                        trace_id,
+                        stage_us: [
+                            stamp_u32(&trace, Stage::Enqueued),
+                            stamp_u32(&trace, Stage::BatchSealed),
+                            stamp_u32(&trace, Stage::Scored),
+                            stamp_u32(&trace, Stage::Written),
+                        ],
+                    });
+                }
+                let wrote =
+                    crate::protocol::write_frame(&mut stream, &Frame::Response(resp)).is_ok();
+                stisan_obs::flight_event(trace_id, Stage::Written, Outcome::Ok);
+                stisan_obs::record_trace(&trace);
+                if !wrote {
                     break;
                 }
             }
-            Ok(Reply::Err(code)) => {
+            Ok(Reply::Err(code, _trace)) => {
+                // Dropped traces (deadline blown) stay out of the latency
+                // histograms; their flight event was already recorded.
                 send_error(&mut stream, code, code.to_string());
             }
             Err(_) => {
                 // Dispatcher gone mid-request (server tearing down hard).
+                stisan_obs::flight_event(trace_id, Stage::Written, Outcome::Internal);
                 send_error(&mut stream, ErrorCode::Internal, "serving pipeline dropped request");
                 break;
             }
@@ -575,7 +715,8 @@ pub fn request_to_instance(data: &Processed, req: &Request) -> Result<EvalInstan
 
 /// The inverse of [`request_to_instance`] for tests and load generators:
 /// turns an [`EvalInstance`]'s non-padded visits back into a wire request,
-/// filling lat/lon from the catalogue.
+/// filling lat/lon from the catalogue. The request is untraced
+/// (`trace_id: None`); callers wanting a trace echo set `trace_id`.
 pub fn request_from_instance(
     data: &Processed,
     inst: &EvalInstance,
@@ -593,7 +734,7 @@ pub fn request_from_instance(
             Visit { poi: p, time: t, lat: loc.lat, lon: loc.lon }
         })
         .collect();
-    Request { user: inst.user, k, deadline_ms, seq }
+    Request { user: inst.user, k, deadline_ms, seq, trace_id: None }
 }
 
 #[cfg(test)]

@@ -10,7 +10,13 @@
 //!   `DEADLINE_EXCEEDED` at dequeue;
 //! * shutdown drains: every admitted request is answered even though the
 //!   signal arrives while they sit in the queue;
-//! * malformed bytes and misdirected frames get typed errors, never hangs.
+//! * malformed bytes and misdirected frames get typed errors, never hangs;
+//! * a client-supplied trace id round-trips (protocol v2) with monotonic
+//!   stage timings that account for the measured wall latency;
+//! * the admin endpoint serves parseable Prometheus text with `gateway_*`
+//!   and `serve_*` series, plus health/trace/flight-recorder JSON;
+//! * an `OVERLOADED` flood leaves a first-shed flight-recorder dump on
+//!   disk containing the shed requests' events.
 
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
@@ -31,6 +37,25 @@ use stisan_gateway::server::{
 };
 use stisan_models::common::TrainConfig;
 use stisan_serve::{InferenceSession, ServeConfig};
+
+/// Default config with dump files disabled — e2e tests that *want* dumps
+/// point `flight_dir` at a private temp directory instead.
+fn quiet_cfg() -> GatewayConfig {
+    GatewayConfig { flight_dir: None, ..GatewayConfig::default() }
+}
+
+/// One blocking HTTP GET against the admin endpoint; returns (status line,
+/// body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect admin");
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("write admin request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read admin response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("admin response must have a body");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
 
 fn processed() -> Processed {
     let cfg = GenConfig {
@@ -140,7 +165,7 @@ fn concurrent_clients_match_direct_serving_bitwise() {
         InferenceSession::new(&model, &p, ServeConfig { top_k: 10, ..Default::default() });
     let direct: Vec<_> = p.eval.iter().map(|i| session.serve_one(i)).collect();
 
-    let stats = with_gateway(&session, GatewayConfig::default(), |handle| {
+    let stats = with_gateway(&session, quiet_cfg(), |handle| {
         thread::scope(|cs| {
             for c in 0..3usize {
                 let handle = handle.clone();
@@ -175,7 +200,7 @@ fn overload_sheds_with_typed_overloaded_frames() {
     let cfg = GatewayConfig {
         batch: BatchPolicy { max_batch_size: 1, max_wait_us: 0, queue_capacity: 1 },
         workers: 1,
-        read_timeout: Duration::from_secs(30),
+        ..quiet_cfg()
     };
     const CLIENTS: usize = 8;
     const ROUNDS: usize = 4;
@@ -222,7 +247,7 @@ fn queued_past_deadline_gets_deadline_exceeded() {
     let cfg = GatewayConfig {
         batch: BatchPolicy { max_batch_size: 1, max_wait_us: 0, queue_capacity: 8 },
         workers: 1,
-        read_timeout: Duration::from_secs(30),
+        ..quiet_cfg()
     };
     let stats = with_gateway(&session, cfg, |handle| {
         thread::scope(|cs| {
@@ -268,7 +293,7 @@ fn shutdown_drains_every_admitted_request() {
     let cfg = GatewayConfig {
         batch: BatchPolicy { max_batch_size: 1, max_wait_us: 0, queue_capacity: 16 },
         workers: 1,
-        read_timeout: Duration::from_secs(30),
+        ..quiet_cfg()
     };
     const CLIENTS: usize = 4;
     let stats = with_gateway(&session, cfg, |handle| {
@@ -311,7 +336,7 @@ fn malformed_bytes_get_typed_errors() {
     let p = processed();
     let session =
         InferenceSession::new(&NearLast, &p, ServeConfig { top_k: 5, ..Default::default() });
-    let stats = with_gateway(&session, GatewayConfig::default(), |handle| {
+    let stats = with_gateway(&session, quiet_cfg(), |handle| {
         // CRC flip: MALFORMED, then close.
         let mut raw = TcpStream::connect(handle.addr()).expect("connect");
         let mut bytes = encode(&Frame::Request(request_from_instance(&p, &p.eval[0], 5, 0)));
@@ -338,7 +363,8 @@ fn malformed_bytes_get_typed_errors() {
 
         // A response frame sent *to* the server: MALFORMED.
         let mut raw = TcpStream::connect(handle.addr()).expect("connect");
-        let bytes = encode(&Frame::Response(Response { pool: 1, scored: 1, items: vec![] }));
+        let bytes =
+            encode(&Frame::Response(Response { pool: 1, scored: 1, items: vec![], trace: None }));
         raw.write_all(&bytes).expect("write misdirected frame");
         match read_frame(&mut raw) {
             Ok(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
@@ -357,7 +383,7 @@ fn bad_request_keeps_connection_usable_and_k_is_capped() {
     let p = processed();
     let session =
         InferenceSession::new(&NearLast, &p, ServeConfig { top_k: 10, ..Default::default() });
-    let stats = with_gateway(&session, GatewayConfig::default(), |handle| {
+    let stats = with_gateway(&session, quiet_cfg(), |handle| {
         let mut client = GatewayClient::connect(handle.addr()).expect("connect");
         let mut bad = request_from_instance(&p, &p.eval[0], 5, 0);
         bad.user = p.num_users as u32 + 3;
@@ -378,4 +404,172 @@ fn bad_request_keeps_connection_usable_and_k_is_capped() {
     });
     assert_eq!(stats.bad_requests, 1);
     assert_eq!(stats.served, 2);
+}
+
+/// A client-supplied trace id round-trips over the wire (protocol v2): the
+/// response echoes the id with monotonic stage offsets whose server-side
+/// total accounts for the measured wall latency to within 5%. An untraced
+/// request on the same connection stays v1 (no echo).
+#[test]
+fn trace_echo_roundtrips_with_monotonic_accounting_timings() {
+    let p = processed();
+    // 80 ms of scoring dominates; loopback transport overhead sits far
+    // inside the 5% accounting slack (4 ms).
+    let slow = Slow(Duration::from_millis(80));
+    let session = InferenceSession::new(&slow, &p, ServeConfig { top_k: 5, ..Default::default() });
+    let cfg = GatewayConfig {
+        batch: BatchPolicy { max_batch_size: 1, max_wait_us: 0, queue_capacity: 8 },
+        workers: 1,
+        ..quiet_cfg()
+    };
+    let stats = with_gateway(&session, cfg, |handle| {
+        let mut client = GatewayClient::connect(handle.addr()).expect("connect");
+        let mut req = request_from_instance(&p, &p.eval[0], 5, 0);
+        req.trace_id = Some(0xDEAD_BEEF_0001);
+        let t0 = Instant::now();
+        let resp = client.recommend(&req).expect("traced request");
+        let wall_us = t0.elapsed().as_micros() as u64;
+        let echo = resp.trace.expect("traced request must get a trace echo");
+        assert_eq!(echo.trace_id, 0xDEAD_BEEF_0001, "trace id must round-trip unchanged");
+        assert!(
+            echo.is_monotonic(),
+            "stage offsets must be non-decreasing: {:?}",
+            echo.stage_us
+        );
+        let total = u64::from(echo.written_us());
+        assert!(total > 0, "a scored request must have a non-zero server-side total");
+        assert!(total <= wall_us, "server total {total}µs exceeds client wall {wall_us}µs");
+        assert!(
+            wall_us - total <= wall_us / 20,
+            "stage timings must account for wall latency within 5%: \
+             server {total}µs vs wall {wall_us}µs"
+        );
+        // Scoring dominates: the scored→written gap is transport-free.
+        assert!(u64::from(echo.scored_us()) >= 80_000, "scoring stage lost: {:?}", echo.stage_us);
+
+        let resp = client
+            .recommend(&request_from_instance(&p, &p.eval[0], 5, 0))
+            .expect("untraced request");
+        assert!(resp.trace.is_none(), "untraced requests must not get an echo");
+    });
+    assert_eq!(stats.served, 2);
+}
+
+/// The admin endpoint serves a parseable Prometheus exposition containing
+/// the gateway's and the serving engine's series, plus health, exemplar,
+/// and flight-recorder JSON; unknown paths are 404.
+#[test]
+fn admin_endpoint_serves_parseable_metrics_health_and_dumps() {
+    let p = processed();
+    let session =
+        InferenceSession::new(&NearLast, &p, ServeConfig { top_k: 5, ..Default::default() });
+    let cfg = GatewayConfig {
+        admin: Some("127.0.0.1:0".parse().expect("admin addr")),
+        ..quiet_cfg()
+    };
+    let gw = Gateway::bind("127.0.0.1:0", cfg).expect("bind ephemeral ports");
+    let handle = gw.handle();
+    let admin = handle.admin_addr().expect("admin listener must be bound");
+    thread::scope(|s| {
+        let server = s.spawn(|| gw.serve(&session).expect("gateway serve"));
+        let mut client = GatewayClient::connect(handle.addr()).expect("connect");
+        for (i, inst) in p.eval.iter().take(4).enumerate() {
+            let mut req = request_from_instance(&p, inst, 5, 0);
+            req.trace_id = Some(9_000 + i as u64);
+            client.recommend(&req).expect("recommend");
+        }
+
+        let (status, body) = http_get(admin, "/metrics");
+        assert!(status.contains("200"), "metrics status: {status}");
+        let doc = stisan_obs::expo::parse(&body).expect("exposition must parse");
+        assert!(doc.terminated, "exposition must end with # EOF");
+        for family in
+            ["gateway_requests_total", "gateway_batches_total", "serve_latency_ms", "trace_total_us"]
+        {
+            assert!(
+                !doc.family_samples(family).is_empty(),
+                "scrape is missing the {family} series"
+            );
+        }
+
+        let (status, health) = http_get(admin, "/healthz");
+        assert!(status.contains("200"), "healthz status: {status}");
+        assert!(health.contains("\"status\":\"ok\"") && health.contains("\"queue_depth\""));
+
+        let (status, traces) = http_get(admin, "/traces");
+        assert!(status.contains("200") && traces.starts_with('['), "traces: {status}");
+        assert!(traces.contains("\"trace_id\""), "exemplar table must hold traced requests");
+
+        let (status, flight) = http_get(admin, "/flightrec");
+        assert!(status.contains("200"), "flightrec status: {status}");
+        assert!(flight.contains("\"reason\":\"admin\"") && flight.contains("\"events\""));
+
+        let (status, _) = http_get(admin, "/nope");
+        assert!(status.contains("404"), "unknown admin path must 404: {status}");
+
+        handle.shutdown();
+        server.join().expect("server thread");
+    });
+}
+
+/// An `OVERLOADED` flood writes the first-shed flight dump (and shutdown
+/// writes another); the first-shed dump contains the shed requests' events.
+#[test]
+fn overload_flood_writes_flight_dumps_with_shed_events() {
+    let p = processed();
+    let slow = Slow(Duration::from_millis(40));
+    let session = InferenceSession::new(&slow, &p, ServeConfig { top_k: 5, ..Default::default() });
+    let dir = std::env::temp_dir().join(format!("stisan-gw-flightrec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = GatewayConfig {
+        batch: BatchPolicy { max_batch_size: 1, max_wait_us: 0, queue_capacity: 1 },
+        workers: 1,
+        flight_dir: Some(dir.clone()),
+        ..quiet_cfg()
+    };
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 4;
+    let stats = with_gateway(&session, cfg, |handle| {
+        thread::scope(|cs| {
+            for c in 0..CLIENTS {
+                let handle = handle.clone();
+                let pr = &p;
+                cs.spawn(move || {
+                    let mut client = GatewayClient::connect(handle.addr()).expect("connect");
+                    let req = request_from_instance(pr, &pr.eval[c % pr.eval.len()], 5, 0);
+                    for _ in 0..ROUNDS {
+                        match client.recommend(&req) {
+                            Ok(_) => {}
+                            Err(ClientError::Server(e)) => {
+                                assert_eq!(e.code, ErrorCode::Overloaded)
+                            }
+                            Err(other) => panic!("unexpected client failure: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+    });
+    assert!(stats.shed > 0, "the flood must shed against a 1-deep queue");
+
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("flight dir must exist after a shed")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    let first_shed = names
+        .iter()
+        .find(|n| n.starts_with("flightrec_") && n.ends_with("_first_shed.json"))
+        .unwrap_or_else(|| panic!("no first-shed dump among {names:?}"));
+    assert!(
+        names.iter().any(|n| n.ends_with("_shutdown.json")),
+        "no shutdown dump among {names:?}"
+    );
+    let body = std::fs::read_to_string(dir.join(first_shed)).expect("read first-shed dump");
+    assert!(body.contains("\"reason\":\"first_shed\""));
+    assert!(
+        body.contains("\"outcome\":\"shed\""),
+        "first-shed dump must contain the shed requests' events"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

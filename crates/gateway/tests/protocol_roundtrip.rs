@@ -15,7 +15,7 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
 use stisan_gateway::protocol::{
     decode, encode, read_frame, DecodeError, ErrorCode, ErrorFrame, Frame, ReadError, Request,
-    Response, Visit, MAX_PAYLOAD,
+    Response, TraceEcho, Visit, MAX_PAYLOAD,
 };
 use stisan_nn::fault::{flip_bit, truncate_file};
 
@@ -35,7 +35,20 @@ fn sample_frame() -> Frame {
             Visit { poi: 2, time: 1_600.0, lat: 30.2, lon: -97.8 },
             Visit { poi: 8, time: 2_900.0, lat: 30.3, lon: -97.7 },
         ],
+        trace_id: None,
     })
+}
+
+/// The v2 variant: same request carrying a trace id, so corruption suites
+/// also cover the trailing trace-id bytes.
+fn traced_sample_frame() -> Frame {
+    match sample_frame() {
+        Frame::Request(mut r) => {
+            r.trace_id = Some(0xABCD_EF01_2345_6789);
+            Frame::Request(r)
+        }
+        other => other,
+    }
 }
 
 // ---------------------------------------------------------------- roundtrip
@@ -57,6 +70,9 @@ fn gen_frame(rng: &mut StdRng) -> Frame {
             k: rng.gen_range(0u16..u16::MAX),
             deadline_ms: rng.gen_range(0u32..u32::MAX),
             seq: (0..rng.gen_range(0usize..20)).map(|_| gen_visit(rng)).collect(),
+            // Half v1 (untraced), half v2 (traced): both wire versions live
+            // under the same property suite.
+            trace_id: rng.gen_bool(0.5).then(|| rng.gen_range(0u64..u64::MAX)),
         }),
         1 => Frame::Response(Response {
             pool: rng.gen_range(0u32..u32::MAX),
@@ -64,6 +80,10 @@ fn gen_frame(rng: &mut StdRng) -> Frame {
             items: (0..rng.gen_range(0usize..30))
                 .map(|_| (rng.gen_range(0u32..u32::MAX), rng.gen_range(-1.0e6f32..1.0e6)))
                 .collect(),
+            trace: rng.gen_bool(0.5).then(|| TraceEcho {
+                trace_id: rng.gen_range(0u64..u64::MAX),
+                stage_us: std::array::from_fn(|_| rng.gen_range(0u32..u32::MAX)),
+            }),
         }),
         _ => {
             let code = match rng.gen_range(1u8..8) {
@@ -111,6 +131,7 @@ fn nan_payloads_roundtrip_bitwise() {
         pool: 3,
         scored: 3,
         items: vec![(1, f32::NAN), (2, f32::INFINITY), (3, -0.0)],
+        trace: None,
     });
     let bytes = encode(&f);
     match decode(&bytes) {
@@ -129,40 +150,47 @@ fn nan_payloads_roundtrip_bitwise() {
 /// Every single-bit flip anywhere in the frame — header, payload, CRC —
 /// must yield a typed decode error. The CRC covers the header too, so even
 /// a flip that rewrites the frame kind cannot smuggle a misparse through.
+/// Runs over both wire versions, so the v2 trailing trace-id bytes are in
+/// the matrix too.
 #[test]
 fn every_single_bit_flip_is_rejected() {
-    let bytes = encode(&sample_frame());
-    let path = scratch("flip");
-    for byte in 0..bytes.len() {
-        for bit in 0..8u8 {
-            fs::write(&path, &bytes).unwrap();
-            flip_bit(&path, byte, bit).unwrap();
-            let corrupted = fs::read(&path).unwrap();
-            assert!(
-                decode(&corrupted).is_err(),
-                "bit {bit} of byte {byte} flipped yet the frame decoded"
-            );
+    for (tag, frame) in [("v1", sample_frame()), ("v2", traced_sample_frame())] {
+        let bytes = encode(&frame);
+        let path = scratch(&format!("flip_{tag}"));
+        for byte in 0..bytes.len() {
+            for bit in 0..8u8 {
+                fs::write(&path, &bytes).unwrap();
+                flip_bit(&path, byte, bit).unwrap();
+                let corrupted = fs::read(&path).unwrap();
+                assert!(
+                    decode(&corrupted).is_err(),
+                    "{tag}: bit {bit} of byte {byte} flipped yet the frame decoded"
+                );
+            }
         }
     }
 }
 
 /// Every truncation the filesystem can produce fails typed, through both
-/// the pure decoder and the stream reader.
+/// the pure decoder and the stream reader — a v2 frame cut back to its v1
+/// length (losing exactly the trace id) included.
 #[test]
 fn every_truncation_is_rejected() {
-    let bytes = encode(&sample_frame());
-    let path = scratch("trunc");
-    for keep in 0..bytes.len() as u64 {
-        fs::write(&path, &bytes).unwrap();
-        truncate_file(&path, keep).unwrap();
-        let truncated = fs::read(&path).unwrap();
-        assert_eq!(truncated.len() as u64, keep);
-        assert!(decode(&truncated).is_err(), "truncation to {keep} bytes decoded");
-        let mut cursor = std::io::Cursor::new(truncated);
-        match read_frame(&mut cursor) {
-            Err(ReadError::Eof) => assert_eq!(keep, 0, "Eof is only clean before byte 0"),
-            Err(_) => {}
-            Ok(f) => panic!("truncation to {keep} bytes read a frame: {f:?}"),
+    for (tag, frame) in [("v1", sample_frame()), ("v2", traced_sample_frame())] {
+        let bytes = encode(&frame);
+        let path = scratch(&format!("trunc_{tag}"));
+        for keep in 0..bytes.len() as u64 {
+            fs::write(&path, &bytes).unwrap();
+            truncate_file(&path, keep).unwrap();
+            let truncated = fs::read(&path).unwrap();
+            assert_eq!(truncated.len() as u64, keep);
+            assert!(decode(&truncated).is_err(), "{tag}: truncation to {keep} bytes decoded");
+            let mut cursor = std::io::Cursor::new(truncated);
+            match read_frame(&mut cursor) {
+                Err(ReadError::Eof) => assert_eq!(keep, 0, "Eof is only clean before byte 0"),
+                Err(_) => {}
+                Ok(f) => panic!("{tag}: truncation to {keep} bytes read a frame: {f:?}"),
+            }
         }
     }
 }

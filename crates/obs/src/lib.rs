@@ -3,7 +3,9 @@
 //! Std-only observability for the STiSAN reproduction: a metrics registry
 //! (counters, gauges, p50/p95/p99 histograms), RAII scoped spans with
 //! hierarchical names, a leveled logging facade, an autodiff-tape profiler
-//! fed by `stisan-tensor`, and JSON run reports written under `results/`.
+//! fed by `stisan-tensor`, request-scoped tracing with tail-sampled
+//! exemplars, a lock-free flight recorder, Prometheus text exposition,
+//! and JSON run reports written under `results/`.
 //!
 //! ## Global context
 //!
@@ -22,25 +24,40 @@
 //! assert!(!obs.registry.snapshot().histograms.is_empty());
 //! ```
 
+pub mod expo;
 pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod report;
+pub mod ring;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 pub use log::{level, parse_level, set_level, Level};
 pub use metrics::{HistogramSummary, Registry, Snapshot};
 pub use profile::{OpKindRow, OpKindStats, TapeProfiler};
 pub use report::{EpochStats, RunReport};
+pub use ring::{FlightEvent, FlightRecorder, Outcome};
 pub use span::{span, Span};
+pub use trace::{Stage, TraceCtx, TraceExemplar, TraceHub};
+
+/// Locks a mutex, shrugging off poisoning: a panic in another thread must
+/// not take the telemetry plane down with it.
+pub(crate) fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The process-wide observability context.
 pub struct Obs {
     pub registry: Registry,
     pub profiler: Arc<TapeProfiler>,
+    /// Tail-sampled slow-trace exemplars (see [`trace`]).
+    pub traces: TraceHub,
+    /// The always-on flight recorder (see [`ring`]).
+    pub flight: FlightRecorder,
     epochs: Mutex<Vec<EpochStats>>,
 }
 
@@ -53,6 +70,8 @@ pub fn init() -> &'static Obs {
     let obs = GLOBAL.get_or_init(|| Obs {
         registry: Registry::new(),
         profiler: Arc::new(TapeProfiler::new()),
+        traces: TraceHub::default(),
+        flight: FlightRecorder::default(),
         epochs: Mutex::new(Vec::new()),
     });
     ENABLED.store(true, Ordering::SeqCst);
@@ -102,16 +121,42 @@ pub fn tape_profiler() -> Option<Arc<TapeProfiler>> {
     global().map(|obs| Arc::clone(&obs.profiler))
 }
 
+/// Folds a finished request trace into the global per-stage histograms
+/// and the slowest-N exemplar table (no-op while disabled).
+pub fn record_trace(ctx: &TraceCtx) {
+    if let Some(obs) = global() {
+        obs.traces.record(&obs.registry, ctx);
+    }
+}
+
+/// The current slowest-N trace exemplars (empty while disabled).
+pub fn trace_exemplars() -> Vec<TraceExemplar> {
+    global().map(|obs| obs.traces.exemplars()).unwrap_or_default()
+}
+
+/// Records one event into the global flight recorder (no-op while
+/// disabled).
+pub fn flight_event(trace_id: u64, stage: Stage, outcome: Outcome) {
+    if let Some(obs) = global() {
+        obs.flight.record(trace_id, stage, outcome);
+    }
+}
+
+/// The global flight recorder, or `None` while disabled.
+pub fn flight_recorder() -> Option<&'static FlightRecorder> {
+    global().map(|obs| &obs.flight)
+}
+
 /// Appends one epoch's training stats to the global run record.
 pub fn record_epoch(stats: EpochStats) {
     if let Some(obs) = global() {
-        obs.epochs.lock().unwrap().push(stats);
+        plock(&obs.epochs).push(stats);
     }
 }
 
 /// All epochs recorded so far (empty while disabled).
 pub fn epochs() -> Vec<EpochStats> {
-    global().map(|obs| obs.epochs.lock().unwrap().clone()).unwrap_or_default()
+    global().map(|obs| plock(&obs.epochs).clone()).unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -127,12 +172,17 @@ mod tests {
         counter("pre.counter", 5);
         observe("pre.hist", 1.0);
         record_epoch(EpochStats::default());
+        record_trace(&TraceCtx::new(1));
+        flight_event(1, Stage::Admitted, Outcome::Ok);
         assert!(tape_profiler().is_none());
+        assert!(flight_recorder().is_none());
         assert!(epochs().is_empty());
+        assert!(trace_exemplars().is_empty());
 
         let obs = init();
         assert!(enabled());
         assert!(obs.registry.snapshot().counters.is_empty(), "pre-init writes must not leak");
+        assert_eq!(obs.flight.recorded(), 0, "pre-init flight events must not leak");
 
         counter("train.steps", 2);
         gauge("lr", 0.01);
@@ -143,6 +193,10 @@ mod tests {
         }
         record_epoch(EpochStats { epoch: 1, loss: 0.5, ..Default::default() });
         tape_profiler().unwrap().record_forward("linear", 10, 64);
+        let mut ctx = TraceCtx::new(42);
+        ctx.stamp(Stage::Written);
+        record_trace(&ctx);
+        flight_event(42, Stage::Written, Outcome::Ok);
 
         let snap = obs.registry.snapshot();
         assert_eq!(snap.counters, vec![("train.steps".to_string(), 2)]);
@@ -151,8 +205,13 @@ mod tests {
         let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
         assert!(names.contains(&"span.train/epoch"), "histograms: {names:?}");
         assert!(names.contains(&"span.train"), "histograms: {names:?}");
+        assert!(names.contains(&"trace.total_us"), "histograms: {names:?}");
         assert_eq!(epochs().len(), 1);
         assert_eq!(obs.profiler.total_flops(), 64);
+        assert_eq!(trace_exemplars().first().map(|e| e.trace_id), Some(42));
+        let events = flight_recorder().unwrap().dump();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace_id, 42);
 
         // init is idempotent: same context comes back.
         let again = init();

@@ -5,13 +5,43 @@
 //! storage at all, so instrumentation through a disabled registry is a
 //! single `Option` check — this is what the global default uses until
 //! [`crate::init`] is called.
+//!
+//! The counter hot path is **striped**: increments land in one of
+//! [`STRIPES`] independently-locked maps, chosen per thread (round-robin
+//! at first use), so concurrent gateway handlers don't serialize on one
+//! mutex. [`Registry::snapshot`] merges the stripes by summing.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::plock;
 
 /// Cap on retained histogram samples per metric; counts keep accumulating
 /// past this, quantiles are computed over the first `SAMPLE_CAP` values.
 const SAMPLE_CAP: usize = 262_144;
+
+/// Number of counter stripes. Power of two, comfortably above the
+/// gateway's worker/handler thread counts.
+pub const STRIPES: usize = 16;
+
+/// The stripe this thread increments into. Assigned round-robin on first
+/// use so any burst of threads spreads across all stripes.
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+            s.set(idx);
+        }
+        idx
+    })
+}
 
 #[derive(Default)]
 struct Hist {
@@ -23,7 +53,7 @@ struct Hist {
 
 #[derive(Default)]
 struct Inner {
-    counters: Mutex<BTreeMap<String, u64>>,
+    counters: [Mutex<BTreeMap<String, u64>>; STRIPES],
     gauges: Mutex<BTreeMap<String, f64>>,
     hists: Mutex<BTreeMap<String, Hist>>,
 }
@@ -50,10 +80,11 @@ impl Registry {
         self.inner.is_some()
     }
 
-    /// Adds `by` to the named counter.
+    /// Adds `by` to the named counter. Lands in this thread's stripe, so
+    /// threads on different stripes never contend.
     pub fn inc(&self, name: &str, by: u64) {
         if let Some(inner) = &self.inner {
-            let mut c = inner.counters.lock().unwrap();
+            let mut c = plock(&inner.counters[stripe_index()]);
             *c.entry(name.to_string()).or_insert(0) += by;
         }
     }
@@ -61,14 +92,14 @@ impl Registry {
     /// Sets the named gauge to `value` (last write wins).
     pub fn set_gauge(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            inner.gauges.lock().unwrap().insert(name.to_string(), value);
+            plock(&inner.gauges).insert(name.to_string(), value);
         }
     }
 
     /// Records one observation into the named histogram.
     pub fn observe(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            let mut hs = inner.hists.lock().unwrap();
+            let mut hs = plock(&inner.hists);
             let h = hs.entry(name.to_string()).or_default();
             h.count += 1;
             h.sum += value;
@@ -82,14 +113,18 @@ impl Registry {
     }
 
     /// A point-in-time copy of every metric, with histogram quantiles.
+    /// Counter stripes are merged by summing.
     pub fn snapshot(&self) -> Snapshot {
         let Some(inner) = &self.inner else { return Snapshot::default() };
-        let counters = inner.counters.lock().unwrap().iter().map(|(k, &v)| (k.clone(), v)).collect();
-        let gauges = inner.gauges.lock().unwrap().iter().map(|(k, &v)| (k.clone(), v)).collect();
-        let histograms = inner
-            .hists
-            .lock()
-            .unwrap()
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for stripe in &inner.counters {
+            for (k, &v) in plock(stripe).iter() {
+                *merged.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        let counters = merged.into_iter().collect();
+        let gauges = plock(&inner.gauges).iter().map(|(k, &v)| (k.clone(), v)).collect();
+        let histograms = plock(&inner.hists)
             .iter()
             .map(|(k, h)| {
                 let mut sorted = h.samples.clone();
@@ -106,6 +141,15 @@ impl Registry {
             })
             .collect();
         Snapshot { counters, gauges, histograms }
+    }
+
+    /// How many counter stripes hold at least one entry (test/diagnostic
+    /// hook for the striping itself).
+    pub fn nonempty_counter_stripes(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.counters.iter().filter(|s| !plock(s).is_empty()).count())
+            .unwrap_or(0)
     }
 }
 
@@ -204,6 +248,43 @@ mod tests {
     }
 
     #[test]
+    fn striped_counters_spread_and_merge_exactly() {
+        // The contention micro-test: a burst of threads hammering the same
+        // counter must (a) lose nothing and (b) actually spread over more
+        // than one stripe — otherwise the striping is decorative.
+        let r = Registry::new();
+        const THREADS: usize = 16;
+        const PER_THREAD: u64 = 50_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let r = r.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        r.inc("hot", 1);
+                        if i == 0 {
+                            r.inc(&format!("thread.{t}"), 1);
+                        }
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        let hot = snap.counters.iter().find(|(k, _)| k == "hot").map(|&(_, v)| v);
+        assert_eq!(hot, Some(THREADS as u64 * PER_THREAD));
+        assert!(
+            r.nonempty_counter_stripes() >= 2,
+            "16 threads landed on {} stripe(s); striping is not spreading",
+            r.nonempty_counter_stripes()
+        );
+        // Per-thread markers each merged in exactly once.
+        for t in 0..THREADS {
+            let name = format!("thread.{t}");
+            let v = snap.counters.iter().find(|(k, _)| *k == name).map(|&(_, v)| v);
+            assert_eq!(v, Some(1), "marker {name}");
+        }
+    }
+
+    #[test]
     fn noop_registry_records_nothing() {
         let r = Registry::noop();
         r.inc("a", 1);
@@ -212,5 +293,6 @@ mod tests {
         let s = r.snapshot();
         assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
         assert!(!r.is_enabled());
+        assert_eq!(r.nonempty_counter_stripes(), 0);
     }
 }

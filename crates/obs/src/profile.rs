@@ -11,6 +11,8 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use crate::plock;
+
 /// Aggregate cost of one op kind.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OpKindStats {
@@ -57,7 +59,7 @@ impl TapeProfiler {
 
     /// Records one forward execution of `kind`.
     pub fn record_forward(&self, kind: &'static str, ns: u64, flops: u64) {
-        let mut kinds = self.kinds.lock().unwrap();
+        let mut kinds = plock(&self.kinds);
         let s = kinds.entry(kind).or_default();
         s.count += 1;
         s.forward_ns += ns;
@@ -66,7 +68,7 @@ impl TapeProfiler {
 
     /// Records one backward visit of `kind`.
     pub fn record_backward(&self, kind: &'static str, ns: u64) {
-        let mut kinds = self.kinds.lock().unwrap();
+        let mut kinds = plock(&self.kinds);
         let s = kinds.entry(kind).or_default();
         s.backward_count += 1;
         s.backward_ns += ns;
@@ -74,7 +76,7 @@ impl TapeProfiler {
 
     /// Cost table sorted by total (forward + backward) time, descending.
     pub fn snapshot(&self) -> Vec<OpKindRow> {
-        let kinds = self.kinds.lock().unwrap();
+        let kinds = plock(&self.kinds);
         let mut rows: Vec<OpKindRow> =
             kinds.iter().map(|(&kind, &stats)| OpKindRow { kind, stats }).collect();
         rows.sort_by_key(|r| std::cmp::Reverse(r.stats.forward_ns + r.stats.backward_ns));
@@ -83,12 +85,12 @@ impl TapeProfiler {
 
     /// Total estimated FLOPs across all op kinds.
     pub fn total_flops(&self) -> u64 {
-        self.kinds.lock().unwrap().values().map(|s| s.flops).sum()
+        plock(&self.kinds).values().map(|s| s.flops).sum()
     }
 
     /// Clears all accumulated stats.
     pub fn reset(&self) {
-        self.kinds.lock().unwrap().clear();
+        plock(&self.kinds).clear();
     }
 }
 

@@ -116,11 +116,11 @@ impl RunReport {
                 s,
                 "{{\"epoch\":{},\"loss\":{},\"checkins_per_sec\":{},\"grad_norm\":{},\"nonfinite_steps\":{},\"wall_s\":{}}}",
                 e.epoch,
-                jnum(e.loss),
-                jnum(e.checkins_per_sec),
-                jnum(e.grad_norm),
+                json_num(e.loss),
+                json_num(e.checkins_per_sec),
+                json_num(e.grad_norm),
                 e.nonfinite_steps,
-                jnum(e.wall_s)
+                json_num(e.wall_s)
             );
         }
         s.push_str("],\"ops\":[");
@@ -131,10 +131,10 @@ impl RunReport {
             let _ = write!(
                 s,
                 "{{\"kind\":{},\"count\":{},\"forward_ms\":{},\"backward_ms\":{},\"flops\":{}}}",
-                jstr(r.kind),
+                json_str(r.kind),
                 r.stats.count,
-                jnum(r.forward_ms()),
-                jnum(r.backward_ms()),
+                json_num(r.forward_ms()),
+                json_num(r.backward_ms()),
                 r.stats.flops
             );
         }
@@ -143,14 +143,14 @@ impl RunReport {
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(s, "{}:{}", jstr(k), v);
+            let _ = write!(s, "{}:{}", json_str(k), v);
         }
         s.push_str("},\"gauges\":{");
         for (i, (k, v)) in self.metrics.gauges.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(s, "{}:{}", jstr(k), jnum(*v));
+            let _ = write!(s, "{}:{}", json_str(k), json_num(*v));
         }
         s.push_str("},\"histograms\":[");
         for (i, h) in self.metrics.histograms.iter().enumerate() {
@@ -160,13 +160,13 @@ impl RunReport {
             let _ = write!(
                 s,
                 "{{\"name\":{},\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
-                jstr(&h.name),
+                json_str(&h.name),
                 h.count,
-                jnum(h.mean),
-                jnum(h.p50),
-                jnum(h.p95),
-                jnum(h.p99),
-                jnum(h.max)
+                json_num(h.mean),
+                json_num(h.p50),
+                json_num(h.p95),
+                json_num(h.p99),
+                json_num(h.max)
             );
         }
         s.push_str("]}");
@@ -185,11 +185,12 @@ impl RunReport {
 }
 
 fn push_kv_str(s: &mut String, k: &str, v: &str) {
-    let _ = write!(s, "{}:{}", jstr(k), jstr(v));
+    let _ = write!(s, "{}:{}", json_str(k), json_str(v));
 }
 
-/// JSON string literal with escaping.
-fn jstr(s: &str) -> String {
+/// JSON string literal with escaping. Shared by every hand-emitted JSON
+/// document in this crate (reports, flight-recorder dumps, exemplars).
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -210,7 +211,7 @@ fn jstr(s: &str) -> String {
 }
 
 /// JSON number: non-finite values become `null`.
-fn jnum(v: f64) -> String {
+pub fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -275,7 +276,7 @@ mod tests {
 
     #[test]
     fn string_escaping() {
-        assert_eq!(jstr("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 
     #[test]

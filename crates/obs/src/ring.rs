@@ -1,0 +1,281 @@
+//! The flight recorder: a fixed-size, lock-free ring buffer of recent
+//! request events, always on at ~zero cost, dumpable to JSON for
+//! postmortems.
+//!
+//! Writers claim a slot with one `fetch_add` on the head counter and
+//! publish through a per-slot sequence word (a seqlock): the sequence is
+//! set odd before the fields are written and even (= `2 * ticket + 2`)
+//! after, so [`FlightRecorder::dump`] can detect and skip slots that are
+//! mid-write or were overwritten while being read. Writers never block,
+//! never allocate, and never wait on each other; a dump is a best-effort
+//! snapshot — exactly what a postmortem needs.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::trace::Stage;
+
+/// How a request left the stage recorded in an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Outcome {
+    /// Progressed normally.
+    Ok = 0,
+    /// Shed at admission (queue full).
+    Shed = 1,
+    /// Dropped at dequeue for blowing its deadline.
+    DeadlineExceeded = 2,
+    /// Refused because the server was draining.
+    ShuttingDown = 3,
+    /// Dropped by the pipeline (worker failure).
+    Internal = 4,
+}
+
+impl Outcome {
+    /// Stable lowercase name for dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Shed => "shed",
+            Outcome::DeadlineExceeded => "deadline_exceeded",
+            Outcome::ShuttingDown => "shutting_down",
+            Outcome::Internal => "internal",
+        }
+    }
+
+    /// Inverse of `as u8`.
+    pub fn from_u8(v: u8) -> Option<Outcome> {
+        match v {
+            0 => Some(Outcome::Ok),
+            1 => Some(Outcome::Shed),
+            2 => Some(Outcome::DeadlineExceeded),
+            3 => Some(Outcome::ShuttingDown),
+            4 => Some(Outcome::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded request event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Write ticket (global order of the record call).
+    pub ticket: u64,
+    /// The request's trace id.
+    pub trace_id: u64,
+    /// Pipeline stage the event marks.
+    pub stage: Stage,
+    /// Microseconds since the recorder was created.
+    pub t_us: u64,
+    /// How the request left that stage.
+    pub outcome: Outcome,
+}
+
+/// One ring slot: a seqlock word plus the event fields.
+#[derive(Default)]
+struct Slot {
+    seq: AtomicU64,
+    trace_id: AtomicU64,
+    stage_outcome: AtomicU64,
+    t_us: AtomicU64,
+}
+
+/// Default ring capacity (events, not requests).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Fixed-size, lock-free ring of recent [`FlightEvent`]s.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    t0: Instant,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` events (min 16).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(16);
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::default()).collect();
+        FlightRecorder { slots: slots.into_boxed_slice(), head: AtomicU64::new(0), t0: Instant::now() }
+    }
+
+    /// Microseconds since the recorder was created (its event clock).
+    pub fn now_us(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    /// Records one event. Wait-free: one `fetch_add` plus four stores.
+    pub fn record(&self, trace_id: u64, stage: Stage, outcome: Outcome) {
+        let t_us = self.now_us();
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        // Odd = mid-write; even 2t+2 = published for ticket t.
+        slot.seq.store(2 * ticket + 1, Ordering::Release);
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+        slot.stage_outcome.store(((stage as u64) << 8) | outcome as u64, Ordering::Relaxed);
+        slot.t_us.store(t_us, Ordering::Relaxed);
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Best-effort snapshot of the retained events, oldest first. Slots
+    /// that are mid-write (or overwritten during the read) are skipped.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue; // never written, or mid-write
+            }
+            let trace_id = slot.trace_id.load(Ordering::Relaxed);
+            let so = slot.stage_outcome.load(Ordering::Relaxed);
+            let t_us = slot.t_us.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Acquire) != s1 {
+                continue; // overwritten while reading
+            }
+            let (Some(stage), Some(outcome)) =
+                (Stage::from_u8((so >> 8) as u8), Outcome::from_u8((so & 0xFF) as u8))
+            else {
+                continue; // torn beyond recognition: drop the slot
+            };
+            out.push(FlightEvent { ticket: (s1 - 2) / 2, trace_id, stage, t_us, outcome });
+        }
+        out.sort_by_key(|e| e.ticket);
+        out
+    }
+
+    /// Renders a dump as a JSON document.
+    pub fn dump_json(&self, reason: &str) -> String {
+        let events = self.dump();
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut s = format!(
+            "{{\"reason\":{},\"dumped_at_unix_ms\":{unix_ms},\"recorded_total\":{},\"events\":[",
+            crate::report::json_str(reason),
+            self.recorded()
+        );
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"ticket\":{},\"trace_id\":{},\"stage\":\"{}\",\"t_us\":{},\"outcome\":\"{}\"}}",
+                e.ticket,
+                e.trace_id,
+                e.stage.name(),
+                e.t_us,
+                e.outcome.name()
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Writes `<dir>/flightrec_<unix_ms>_<reason>.json` (creating `dir`)
+    /// and returns the path.
+    pub fn write_dump(&self, dir: impl AsRef<Path>, reason: &str) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let path = dir.join(format!("flightrec_{unix_ms}_{reason}.json"));
+        std::fs::write(&path, self.dump_json(reason))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_dumps_in_order() {
+        let r = FlightRecorder::with_capacity(64);
+        r.record(1, Stage::Admitted, Outcome::Ok);
+        r.record(1, Stage::Written, Outcome::Ok);
+        r.record(2, Stage::Enqueued, Outcome::Shed);
+        let d = r.dump();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].trace_id, 1);
+        assert_eq!(d[2].outcome, Outcome::Shed);
+        assert!(d.windows(2).all(|w| w[0].ticket < w[1].ticket && w[0].t_us <= w[1].t_us));
+        assert_eq!(r.recorded(), 3);
+    }
+
+    #[test]
+    fn wraps_keeping_most_recent() {
+        let r = FlightRecorder::with_capacity(16);
+        for i in 0..100u64 {
+            r.record(i, Stage::Admitted, Outcome::Ok);
+        }
+        let d = r.dump();
+        assert_eq!(d.len(), 16);
+        assert!(d.iter().all(|e| e.trace_id >= 84), "only the newest 16 survive");
+        assert_eq!(r.recorded(), 100);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_a_dump() {
+        let r = FlightRecorder::with_capacity(256);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        r.record(t * 1_000_000 + i, Stage::Scored, Outcome::Ok);
+                    }
+                });
+            }
+            // Dump concurrently with the writers: must never panic and every
+            // surviving event must be well-formed.
+            for _ in 0..50 {
+                for e in r.dump() {
+                    assert_eq!(e.stage, Stage::Scored);
+                    assert_eq!(e.outcome, Outcome::Ok);
+                }
+            }
+        });
+        assert_eq!(r.recorded(), 40_000);
+        let final_dump = r.dump();
+        assert!(!final_dump.is_empty() && final_dump.len() <= 256);
+        assert!(final_dump.windows(2).all(|w| w[0].ticket < w[1].ticket));
+    }
+
+    #[test]
+    fn json_dump_is_well_formed() {
+        let r = FlightRecorder::with_capacity(16);
+        r.record(42, Stage::Written, Outcome::Ok);
+        let j = r.dump_json("test");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"reason\":\"test\""));
+        assert!(j.contains("\"trace_id\":42"));
+        assert!(j.contains("\"stage\":\"written\""));
+        assert!(j.contains("\"outcome\":\"ok\""));
+    }
+
+    #[test]
+    fn writes_dump_file() {
+        let dir = std::env::temp_dir().join(format!("stisan-flightrec-{}", std::process::id()));
+        let r = FlightRecorder::with_capacity(16);
+        r.record(1, Stage::Admitted, Outcome::Ok);
+        let path = r.write_dump(&dir, "shutdown").expect("write dump");
+        let body = std::fs::read_to_string(&path).expect("read dump");
+        assert!(body.contains("\"reason\":\"shutdown\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

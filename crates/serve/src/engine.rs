@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use stisan_data::{EvalInstance, Processed};
 use stisan_eval::FrozenScorer;
+use stisan_obs::{Stage, TraceCtx};
 use stisan_tensor::suggested_workers;
 
 use crate::topk::top_k;
@@ -170,18 +171,69 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
     /// [`serve_batch`]: InferenceSession::serve_batch
     /// [`serve_one`]: InferenceSession::serve_one
     pub fn serve_batch_on(&self, insts: &[EvalInstance], workers: usize) -> Vec<Recommendation> {
+        self.batch_inner(insts, workers, None)
+    }
+
+    /// [`serve_batch_on`] carrying request traces: each instance's
+    /// [`TraceCtx`] gets its [`Stage::Scored`] stamp the moment *that*
+    /// instance finishes scoring inside its worker, so per-request scoring
+    /// time is attributed exactly even when batch-mates are slower.
+    /// `traces` must be position-parallel to `insts`.
+    ///
+    /// [`serve_batch_on`]: InferenceSession::serve_batch_on
+    pub fn serve_batch_traced(
+        &self,
+        insts: &[EvalInstance],
+        workers: usize,
+        traces: &mut [TraceCtx],
+    ) -> Vec<Recommendation> {
+        self.batch_inner(insts, workers, Some(traces))
+    }
+
+    fn batch_inner(
+        &self,
+        insts: &[EvalInstance],
+        workers: usize,
+        traces: Option<&mut [TraceCtx]>,
+    ) -> Vec<Recommendation> {
         stisan_obs::observe("serve.batch_size", insts.len() as f64);
         let workers = workers.min(insts.len()).max(1);
+        // Normalize to one optional trace slot per instance so the chunked
+        // fan-out below is identical with and without tracing.
+        let mut slots: Vec<Option<&mut TraceCtx>> = match traces {
+            Some(ts) => {
+                assert_eq!(ts.len(), insts.len(), "serve_batch_traced: traces misaligned");
+                ts.iter_mut().map(Some).collect()
+            }
+            None => insts.iter().map(|_| None).collect(),
+        };
         if workers <= 1 {
-            return insts.iter().map(|i| self.serve_one(i)).collect();
+            return insts
+                .iter()
+                .zip(slots.iter_mut())
+                .map(|(i, t)| {
+                    let rec = self.serve_one(i);
+                    if let Some(t) = t {
+                        t.stamp(Stage::Scored);
+                    }
+                    rec
+                })
+                .collect();
         }
         let mut out: Vec<Option<Recommendation>> = vec![None; insts.len()];
         let chunk = insts.len().div_ceil(workers);
         let scope = crossbeam::thread::scope(|scope| {
-            for (in_chunk, out_chunk) in insts.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            for ((in_chunk, out_chunk), tr_chunk) in
+                insts.chunks(chunk).zip(out.chunks_mut(chunk)).zip(slots.chunks_mut(chunk))
+            {
                 scope.spawn(move |_| {
-                    for (inst, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    for ((inst, slot), t) in
+                        in_chunk.iter().zip(out_chunk.iter_mut()).zip(tr_chunk.iter_mut())
+                    {
                         *slot = Some(self.serve_one(inst));
+                        if let Some(t) = t {
+                            t.stamp(Stage::Scored);
+                        }
                     }
                 });
             }
@@ -267,6 +319,27 @@ mod tests {
             },
         );
         assert_eq!(strict.serve_one(&p.eval[0]).scored, p.num_pois);
+    }
+
+    #[test]
+    fn traced_batch_stamps_scored_per_instance() {
+        let p = processed();
+        let s = InferenceSession::new(&NearLast, &p, ServeConfig::default());
+        for workers in [1usize, 3] {
+            let mut traces: Vec<TraceCtx> =
+                (0..p.eval.len()).map(|i| TraceCtx::new(i as u64)).collect();
+            let recs = s.serve_batch_traced(&p.eval, workers, &mut traces);
+            assert_eq!(recs.len(), traces.len());
+            for t in &traces {
+                assert!(t.get(Stage::Scored).is_some(), "workers={workers}");
+                assert!(t.is_monotonic());
+            }
+            // Traced and untraced scoring are the same computation.
+            let plain = s.serve_batch_on(&p.eval, workers);
+            for (a, b) in recs.iter().zip(&plain) {
+                assert_eq!(a.items, b.items);
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Panic-audit gate for the robustness-critical crates (nn, core, data,
-# serve, gateway).
+# serve, gateway, obs).
 #
 # Counts `.unwrap()` / `.expect(` calls in *library* code — everything above
 # the first `#[cfg(test)]` marker — of each source file and compares against
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ALLOWLIST=scripts/panic_allowlist.txt
-AUDITED_DIRS=(crates/nn/src crates/core/src crates/data/src crates/serve/src crates/gateway/src)
+AUDITED_DIRS=(crates/nn/src crates/core/src crates/data/src crates/serve/src crates/gateway/src crates/obs/src)
 
 count_panics() {
     # Library-code unwrap/expect count for one file (0 if none).

@@ -25,10 +25,13 @@ cargo test -q --release -p stisan-gateway
 echo "== serve_bench smoke"
 cargo run --release -p stisan-bench --bin serve_bench -- --smoke
 
-echo "== gateway_bench smoke (micro-batching >= 1.5x, bounded-queue shedding)"
+echo "== gateway_bench smoke (micro-batching >= 1.5x, shedding, tracing overhead < 3%)"
 cargo run --release -p stisan-bench --bin gateway_bench -- --smoke
 
-echo "== panic audit (crates/nn, crates/core, crates/data, crates/serve, crates/gateway)"
+echo "== exposition check (admin-endpoint scrape must be parseable Prometheus text)"
+cargo run --release -p stisan-bench --bin expo_check -- results/metrics_scrape.prom
+
+echo "== panic audit (crates/nn, core, data, serve, gateway, obs)"
 ./scripts/panic_audit.sh
 
 echo "== cargo clippy --workspace -- -D warnings"
