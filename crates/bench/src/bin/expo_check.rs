@@ -4,10 +4,16 @@
 //!
 //! ```text
 //! cargo run --release -p stisan-bench --bin expo_check -- <file.prom>
+//!     [--require <family-prefix>]...
 //! ```
 //!
+//! Each `--require` (repeatable) names a family prefix that must match at
+//! least one declared family — used by `scripts/verify.sh` to assert the
+//! profiling series (`alloc_*`, `prof_*`) actually reach the exposition.
+//!
 //! Exit codes: 0 = well-formed (parses, `# EOF`-terminated, every sample
-//! attached to a declared family); 1 = malformed; 2 = usage/IO error.
+//! attached to a declared family, all required prefixes present);
+//! 1 = malformed or missing a required prefix; 2 = usage/IO error.
 //! `scripts/verify.sh` runs it over the `results/metrics_scrape.prom` that
 //! `gateway_bench --smoke` scrapes from the live admin endpoint, closing
 //! the loop: what the gateway exposes is what a scraper can ingest.
@@ -15,9 +21,35 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: expo_check <file.prom>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => required.push(p.clone()),
+                    None => {
+                        eprintln!("expo_check: --require needs a prefix");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("expo_check: unexpected argument {other}");
+                eprintln!("usage: expo_check <file.prom> [--require <family-prefix>]...");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: expo_check <file.prom> [--require <family-prefix>]...");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -37,10 +69,23 @@ fn main() -> ExitCode {
             ExitCode::from(1)
         }
         Ok(expo) => {
+            for prefix in &required {
+                if !expo.families.keys().any(|f| f.starts_with(prefix.as_str())) {
+                    eprintln!(
+                        "expo_check: {path}: no family matches required prefix {prefix:?}"
+                    );
+                    return ExitCode::from(1);
+                }
+            }
             println!(
-                "expo_check OK: {path}: {} samples across {} families",
+                "expo_check OK: {path}: {} samples across {} families{}",
                 expo.samples.len(),
-                expo.families.len()
+                expo.families.len(),
+                if required.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (required prefixes present: {})", required.join(", "))
+                }
             );
             ExitCode::SUCCESS
         }

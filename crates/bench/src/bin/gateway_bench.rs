@@ -54,7 +54,13 @@ use stisan_gateway::{
 };
 use stisan_models::TrainConfig;
 use stisan_obs::report::{json_num, json_str};
+use stisan_obs::CountingAlloc;
 use stisan_serve::{InferenceSession, PruningPolicy, ServeConfig};
+
+/// Counting wrapper around the system allocator so the profiled run can
+/// report per-request allocation churn through `GET /profile`.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
 
 struct Opts {
     smoke: bool,
@@ -391,6 +397,38 @@ fn scrape_admin(admin: SocketAddr) {
     );
 }
 
+/// Structural JSON check: one object, braces/brackets balanced outside
+/// strings. Not a parser — enough to catch truncation or unescaped output
+/// from the admin endpoints.
+fn assert_json_object(body: &str, what: &str) {
+    let t = body.trim();
+    assert!(t.starts_with('{') && t.ends_with('}'), "{what}: body is not a JSON object");
+    let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+    for c in t.chars() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "{what}: unbalanced JSON");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "{what}: unbalanced JSON");
+    assert!(!in_str, "{what}: unterminated string in JSON");
+}
+
 fn run_json(label: &str, r: &LoadResult) -> String {
     format!(
         "{{\"label\":{},\"rps\":{},\"ok\":{},\"shed\":{},\"shed_rate\":{},\"p50_ms\":{},\
@@ -416,6 +454,7 @@ fn write_bench_json(
     speedup: f64,
     stage_us: &[[u32; 4]],
     tracing: Option<(f64, f64)>,
+    profiling: Option<&str>,
 ) {
     let mut s = String::from("{");
     let _ = write!(
@@ -464,6 +503,9 @@ fn write_bench_json(
             json_num(traced_p95),
             json_num(overhead),
         );
+    }
+    if let Some(prof) = profiling {
+        let _ = write!(s, ",\"profiling\":{prof}");
     }
     s.push('}');
     std::fs::create_dir_all("results").expect("create results dir");
@@ -573,6 +615,61 @@ fn main() {
         });
         report(&format!("open loop, {qps:.0} qps"), &ropen);
 
+        // Continuous profiling: one more closed-loop run with allocation
+        // accounting and flame/kernel timing on, self-scraping the admin
+        // `/profile` endpoint while the gateway is still up. Kept separate
+        // from the traced run so profiling cannot perturb the tracing
+        // overhead gate above.
+        stisan_obs::alloc::enable();
+        stisan_obs::flame::enable();
+        let prof_cfg = GatewayConfig {
+            admin: Some("127.0.0.1:0".parse().expect("admin addr")),
+            ..gateway_cfg(&o, batch, o.queue)
+        };
+        let (_, (rprof, profile)) = with_gateway(&session, prof_cfg, |addr, admin| {
+            let r = run_load(addr, &p, o.clients, o.requests, o.top_k, 0.0, false, "profiled");
+            let admin = admin.expect("profiled run configures an admin endpoint");
+            let profile = http_get(admin, "/profile");
+            assert_json_object(&profile, "GET /profile");
+            assert!(
+                profile.contains("\"profiling_enabled\":true"),
+                "profile scrape must report profiling enabled"
+            );
+            assert!(
+                profile.contains("serve_one"),
+                "profile scrape must contain the serve_one frame"
+            );
+            // Re-scrape /metrics with profiling on so the committed
+            // exposition carries live alloc.* / prof.* gauges.
+            scrape_admin(admin);
+            (r, profile)
+        });
+        stisan_obs::flame::disable();
+        stisan_obs::alloc::disable();
+        report(&format!("profiled, batch {batch}"), &rprof);
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write("results/profile_scrape.json", &profile)
+            .expect("write profile_scrape.json");
+        let snap = stisan_obs::global().map(|ob| ob.registry.snapshot()).unwrap_or_default();
+        let hist_mean = |name: &str| {
+            snap.histograms.iter().find(|h| h.name == name).map(|h| h.mean).unwrap_or(0.0)
+        };
+        let bytes_per_req = hist_mean("alloc.request_bytes");
+        let allocs_per_req = hist_mean("alloc.request_allocs");
+        println!(
+            "profile self-scrape: {} B body, {:.0} B / {:.1} allocs per request -> \
+             results/profile_scrape.json",
+            profile.len(),
+            bytes_per_req,
+            allocs_per_req
+        );
+        let prof_json = format!(
+            "{{\"bytes_per_request\":{},\"allocs_per_request\":{},\"scrape_bytes\":{}}}",
+            json_num(bytes_per_req),
+            json_num(allocs_per_req),
+            profile.len()
+        );
+
         write_bench_json(
             &o,
             "fixed-latency-device",
@@ -582,10 +679,12 @@ fn main() {
                 ("traced", &rt),
                 ("overload", &ro),
                 ("open", &ropen),
+                ("profiled", &rprof),
             ],
             speedup,
             &rt.stage_us,
             Some((untraced_p95, traced_p95)),
+            Some(&prof_json),
         );
 
         if o.smoke {
@@ -652,6 +751,7 @@ fn main() {
             &[("batch1", &r1), ("batched", &rb)],
             speedup,
             &rb.stage_us,
+            None,
             None,
         );
     }

@@ -19,11 +19,19 @@ use std::time::Instant;
 
 use stisan_bench::{prep_config, timed};
 use stisan_obs::report::{json_num, json_str};
+use stisan_obs::CountingAlloc;
 use stisan_core::{StiSan, StisanConfig};
 use stisan_data::{generate, preprocess, DatasetPreset, EvalInstance, GenConfig};
 use stisan_eval::{FrozenScorer, Recommender};
 use stisan_models::TrainConfig;
 use stisan_serve::{top_k, InferenceSession, PruningPolicy, ServeConfig};
+
+/// Counting wrapper around the system allocator, so the profiled pass can
+/// attribute per-request allocation churn. Costs one relaxed atomic load
+/// per allocation while accounting is off — the disabled-overhead gate at
+/// the end of `main` bounds the total impact.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
 
 struct Opts {
     smoke: bool,
@@ -246,6 +254,75 @@ fn main() {
     let speedup = serve_rps / base.rps.max(1e-12);
     println!("throughput speedup vs tape + full scan: {speedup:.2}x");
 
+    // --- Continuous-profiling passes -------------------------------------
+    //
+    // Three more engine passes over the same request stream:
+    //   1. disabled baseline (min of two walls, profiling off — as above);
+    //   2. a profiled pass: allocation accounting + flame/kernel timing on,
+    //      feeding bytes-per-request, the kernel cost table and the folded
+    //      flamegraph export;
+    //   3. re-disabled (min of two walls) — gated against the baseline to
+    //      prove the disabled instrumentation path stays under 3%.
+    let run_wall = |session: &InferenceSession<'_, StiSan>, reqs: &[EvalInstance]| {
+        let t = Instant::now();
+        std::hint::black_box(session.serve_batch(reqs));
+        t.elapsed().as_secs_f64()
+    };
+    let base_wall =
+        run_wall(&session, &requests).min(run_wall(&session, &requests)).max(1e-9);
+
+    stisan_obs::alloc::enable();
+    stisan_obs::flame::enable();
+    let prof_wall = run_wall(&session, &requests);
+    stisan_obs::flame::disable();
+    stisan_obs::alloc::disable();
+
+    let snap = stisan_obs::global().map(|o| o.registry.snapshot()).unwrap_or_default();
+    let alloc_hist = |name: &str| {
+        snap.histograms.iter().find(|h| h.name == name).map(|h| h.mean).unwrap_or(0.0)
+    };
+    let bytes_per_req = alloc_hist("alloc.request_bytes");
+    let allocs_per_req = alloc_hist("alloc.request_allocs");
+    let prof = stisan_obs::serve_profiler();
+    let top = prof.map(|p| p.top_kernels(5)).unwrap_or_default();
+    let folded = prof.map(|p| p.to_folded()).unwrap_or_default();
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/flame_serve_bench.folded", &folded)
+        .expect("write flame_serve_bench.folded");
+    let folded_lines = folded.lines().count();
+    println!(
+        "profiled pass: {:.0} B / {:.1} allocs per request; {} flame stacks -> \
+         results/flame_serve_bench.folded",
+        bytes_per_req, allocs_per_req, folded_lines
+    );
+    println!("top kernels by self time:");
+    for row in &top {
+        println!(
+            "  {:<18} {:>8} calls {:>9.2} ms {:>14} flops",
+            row.kind,
+            row.stats.count,
+            row.forward_ms(),
+            row.stats.flops
+        );
+    }
+
+    let dis_wall = run_wall(&session, &requests).min(run_wall(&session, &requests));
+    let overhead = dis_wall / base_wall - 1.0;
+    println!(
+        "profiling overhead: enabled {:+.1}%, disabled {:+.1}% vs baseline wall {base_wall:.3}s",
+        100.0 * (prof_wall / base_wall - 1.0),
+        100.0 * overhead,
+    );
+    // Smoke gate, mirroring the gateway tracing gate: the disabled path must
+    // cost < 3% (plus an absolute floor for timer noise on tiny workloads).
+    assert!(
+        dis_wall <= base_wall * 1.03 + 0.05,
+        "profiling-disabled overhead too high: {dis_wall:.4}s vs baseline {base_wall:.4}s"
+    );
+    if !folded.is_empty() {
+        stisan_obs::flame::parse_folded(&folded).expect("folded export must parse");
+    }
+
     let mut json = String::from("{");
     let _ = write!(
         json,
@@ -266,11 +343,32 @@ fn main() {
     let _ = write!(
         json,
         "],\"speedup_vs_tape\":{},\"pruning\":{{\"scored\":{scored},\"pool\":{pool},\
-         \"pruned_frac\":{}}}}}",
+         \"pruned_frac\":{}}}",
         json_num(speedup),
         json_num(pruned_frac),
     );
-    std::fs::create_dir_all("results").expect("create results dir");
+    let _ = write!(
+        json,
+        ",\"profiling\":{{\"bytes_per_request\":{},\"allocs_per_request\":{},\
+         \"disabled_overhead_frac\":{},\"flame_stacks\":{folded_lines},\"top_kernels\":[",
+        json_num(bytes_per_req),
+        json_num(allocs_per_req),
+        json_num(overhead),
+    );
+    for (i, row) in top.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"kind\":{},\"calls\":{},\"self_ms\":{},\"flops\":{}}}",
+            json_str(row.kind),
+            row.stats.count,
+            json_num(row.forward_ms()),
+            row.stats.flops
+        );
+    }
+    json.push_str("]}}");
     std::fs::write("results/BENCH_serve.json", json).expect("write BENCH_serve.json");
     println!("wrote results/BENCH_serve.json");
 

@@ -198,11 +198,19 @@ mod tests {
         assert_eq!(ins.attention[0].shape(), &[8, 8]);
         assert_eq!(ins.dt_hours.len(), 8);
         assert!(ins.dt_hours.iter().all(|&x| x >= 0.0));
-        // Attention is causal.
+        // Attention is causal on the real query rows. Rows before
+        // `valid_from` are left-padding: every key is masked there, so the
+        // softmax degenerates to uniform weights and says nothing about
+        // causality.
+        assert!(ins.valid_from < 8, "eval instance has no real positions");
         for w in &ins.attention {
-            for i in 0..8 {
+            for i in ins.valid_from..8 {
                 for j in (i + 1)..8 {
-                    assert!(w.at(&[i, j]) < 1e-5);
+                    assert!(
+                        w.at(&[i, j]) < 1e-5,
+                        "future key leaked: w[{i},{j}] = {}",
+                        w.at(&[i, j])
+                    );
                 }
             }
         }

@@ -76,7 +76,10 @@ fn iaab_block_gradients_match_finite_differences() {
     let (n, d) = (5, 8);
     let (soft, mask, raw) = biases(n);
     for mode in [CoreAttention::Full, CoreAttention::NoRelation, CoreAttention::RelationOnly] {
-        let mut rng = StdRng::seed_from_u64(11);
+        // Seed chosen so no probed coordinate sits next to a relu kink or a
+        // LayerNorm saturation point — central differences across a kink
+        // give O(1) error regardless of gradient correctness.
+        let mut rng = StdRng::seed_from_u64(29);
         let mut store = ParamStore::new();
         let blk = Iaab::new(&mut store, "blk", d, 0.0, &mut rng);
         let x_id = store.register("x", Array::randn(vec![1, n, d], 0.4, &mut rng));

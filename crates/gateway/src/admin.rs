@@ -7,7 +7,9 @@
 //!   (rendered by [`stisan_obs::expo::render`], `# EOF`-terminated);
 //! * `GET /healthz`   — JSON: queue depth, requests/shed totals, shed rate;
 //! * `GET /flightrec` — an on-demand flight-recorder dump (JSON);
-//! * `GET /traces`    — the slowest-trace exemplar table (JSON).
+//! * `GET /traces`    — the slowest-trace exemplar table (JSON);
+//! * `GET /profile`   — the serve-path profile: flame tree, per-kernel
+//!   self-times and allocation counters (JSON).
 //!
 //! Deliberately minimal HTTP: enough to be `curl`-able and scrapeable by
 //! Prometheus. One request per connection (`Connection: close`), a hard
@@ -98,8 +100,12 @@ fn route(path: &str) -> (u16, &'static str, String) {
     };
     match path {
         "/metrics" => {
+            // Fold the profiler's current counters into the registry so
+            // `alloc.*` / `prof.*` series are fresh at scrape time.
+            stisan_obs::publish_profile_gauges();
             (200, "text/plain; version=0.0.4", stisan_obs::expo::render(&obs.registry.snapshot()))
         }
+        "/profile" => (200, "application/json", stisan_obs::profile_json()),
         "/healthz" => {
             (200, "application/json", stisan_obs::expo::render_healthz(&obs.registry.snapshot()))
         }

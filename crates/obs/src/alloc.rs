@@ -1,0 +1,248 @@
+//! Allocation accounting via a wrapping [`GlobalAlloc`].
+//!
+//! [`CountingAlloc`] wraps the system allocator and, when accounting is
+//! enabled, charges every allocation to (a) a set of thread-local counters
+//! — so the serving path can diff them around a request and report
+//! bytes/allocs per request — and (b) process-wide atomics surfaced by the
+//! `/profile` admin endpoint. Binaries opt in by installing it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: stisan_obs::alloc::CountingAlloc = stisan_obs::alloc::CountingAlloc::system();
+//! ```
+//!
+//! and then enabling accounting at runtime, either programmatically via
+//! [`enable`] or by exporting `STISAN_PROF_ALLOC=1` before
+//! [`crate::init`] runs.
+//!
+//! ## Hard rules inside the hooks
+//!
+//! A panic inside a `GlobalAlloc` aborts the process, and an allocation
+//! inside one recurses. The `alloc`/`dealloc`/`realloc` hooks therefore
+//! (1) never allocate — they only touch `Cell`s and atomics, (2) never
+//! unwind — thread-local access goes through `try_with` and ignores
+//! teardown errors, and (3) cost a single relaxed atomic load when
+//! accounting is off.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Whether the hooks should count at all (set by [`enable`]).
+static ACCOUNTING: AtomicBool = AtomicBool::new(false);
+/// Whether a [`CountingAlloc`] is actually installed as the global
+/// allocator, verified by a probe allocation in [`enable`].
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+// Process-wide totals (only written while accounting is on).
+static G_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static G_BYTES: AtomicU64 = AtomicU64::new(0);
+static G_LIVE: AtomicU64 = AtomicU64::new(0);
+static G_PEAK: AtomicU64 = AtomicU64::new(0);
+
+struct ThreadCounters {
+    allocs: Cell<u64>,
+    bytes: Cell<u64>,
+    live: Cell<u64>,
+    peak: Cell<u64>,
+}
+
+thread_local! {
+    static TL: ThreadCounters = const {
+        ThreadCounters {
+            allocs: Cell::new(0),
+            bytes: Cell::new(0),
+            live: Cell::new(0),
+            peak: Cell::new(0),
+        }
+    };
+}
+
+/// A snapshot of allocation counters (thread-local or process-wide).
+///
+/// `allocs` and `bytes` are monotone churn totals; `live` is
+/// currently-outstanding bytes (relative to when accounting was enabled);
+/// `peak` is the high-water mark of `live`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    pub allocs: u64,
+    pub bytes: u64,
+    pub live: u64,
+    pub peak: u64,
+}
+
+/// The system allocator wrapped with accounting hooks.
+///
+/// Install with `#[global_allocator]`; accounting stays off (one relaxed
+/// load per allocation) until [`enable`] is called.
+pub struct CountingAlloc {
+    inner: System,
+}
+
+impl CountingAlloc {
+    /// A counting wrapper around [`System`] (const, for statics).
+    pub const fn system() -> Self {
+        CountingAlloc { inner: System }
+    }
+
+    #[inline]
+    fn on_alloc(&self, size: u64) {
+        let _ = TL.try_with(|c| {
+            c.allocs.set(c.allocs.get().wrapping_add(1));
+            c.bytes.set(c.bytes.get().wrapping_add(size));
+            let live = c.live.get().wrapping_add(size);
+            c.live.set(live);
+            if live > c.peak.get() {
+                c.peak.set(live);
+            }
+        });
+        G_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        G_BYTES.fetch_add(size, Ordering::Relaxed);
+        let live = G_LIVE.fetch_add(size, Ordering::Relaxed).wrapping_add(size);
+        G_PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_dealloc(&self, size: u64) {
+        let _ = TL.try_with(|c| {
+            c.live.set(c.live.get().saturating_sub(size));
+        });
+        // saturating decrement: frees of allocations made before accounting
+        // was enabled must not wrap the gauge.
+        let mut cur = G_LIVE.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(size);
+            match G_LIVE.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+// SAFETY: delegates all allocation to `System`; the hooks only touch
+// `Cell`s and atomics (no allocation, no unwinding).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = self.inner.alloc(layout);
+        if !p.is_null() && ACCOUNTING.load(Ordering::Relaxed) {
+            self.on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if ACCOUNTING.load(Ordering::Relaxed) {
+            self.on_dealloc(layout.size() as u64);
+        }
+        self.inner.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = self.inner.realloc(ptr, layout, new_size);
+        if !p.is_null() && ACCOUNTING.load(Ordering::Relaxed) {
+            // Account the churn of the new block and retire the old one.
+            self.on_alloc(new_size as u64);
+            self.on_dealloc(layout.size() as u64);
+        }
+        p
+    }
+}
+
+/// Turns accounting on and probes whether a [`CountingAlloc`] is actually
+/// installed (a binary that never declared `#[global_allocator]` keeps
+/// [`active`] false so callers skip meaningless diffs). Idempotent.
+pub fn enable() {
+    ACCOUNTING.store(true, Ordering::SeqCst);
+    if INSTALLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let before = thread_stats().allocs;
+    let probe = std::hint::black_box(Box::new(0u64));
+    drop(probe);
+    INSTALLED.store(thread_stats().allocs > before, Ordering::SeqCst);
+}
+
+/// Turns accounting off (counters keep their values; hooks go back to a
+/// single relaxed load).
+pub fn disable() {
+    ACCOUNTING.store(false, Ordering::SeqCst);
+}
+
+/// Whether allocations are currently being counted: accounting is enabled
+/// *and* a [`CountingAlloc`] is installed in this binary.
+#[inline]
+pub fn active() -> bool {
+    ACCOUNTING.load(Ordering::Relaxed) && INSTALLED.load(Ordering::Relaxed)
+}
+
+/// This thread's counters.
+pub fn thread_stats() -> AllocStats {
+    TL.try_with(|c| AllocStats {
+        allocs: c.allocs.get(),
+        bytes: c.bytes.get(),
+        live: c.live.get(),
+        peak: c.peak.get(),
+    })
+    .unwrap_or_default()
+}
+
+/// Process-wide counters (summed across threads).
+pub fn global_stats() -> AllocStats {
+    AllocStats {
+        allocs: G_ALLOCS.load(Ordering::Relaxed),
+        bytes: G_BYTES.load(Ordering::Relaxed),
+        live: G_LIVE.load(Ordering::Relaxed),
+        peak: G_PEAK.load(Ordering::Relaxed),
+    }
+}
+
+/// Opens a peak-tracking window on this thread: resets the thread-local
+/// peak to the current live level and returns `(saved_peak, live_at_open)`
+/// for [`end_peak_window`]. Used by the flame profiler to compute each
+/// frame's peak-above-entry scratch footprint.
+pub fn begin_peak_window() -> (u64, u64) {
+    TL.try_with(|c| {
+        let saved = c.peak.get();
+        let live = c.live.get();
+        c.peak.set(live);
+        (saved, live)
+    })
+    .unwrap_or((0, 0))
+}
+
+/// Closes a peak-tracking window: returns the bytes this window peaked
+/// *above* its entry live level, and restores the enclosing window's peak.
+pub fn end_peak_window(saved_peak: u64, live_at_open: u64) -> u64 {
+    TL.try_with(|c| {
+        let window_peak = c.peak.get();
+        c.peak.set(saved_peak.max(window_peak));
+        window_peak.saturating_sub(live_at_open)
+    })
+    .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `enable`/`active` with no #[global_allocator] in this test binary:
+    // the probe must report not-installed, so `active()` stays false and
+    // stats remain zero. (Positive-path attribution tests live in
+    // tests/alloc_flame.rs, which installs the allocator.)
+    #[test]
+    fn inactive_without_installed_allocator() {
+        enable();
+        assert!(!active(), "no CountingAlloc installed in unit-test binary");
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        drop(v);
+        assert_eq!(thread_stats(), AllocStats::default());
+        disable();
+    }
+
+    #[test]
+    fn peak_window_without_accounting_is_zero() {
+        let (saved, live) = begin_peak_window();
+        assert_eq!(end_peak_window(saved, live), 0);
+    }
+}

@@ -24,7 +24,9 @@
 //! assert!(!obs.registry.snapshot().histograms.is_empty());
 //! ```
 
+pub mod alloc;
 pub mod expo;
+pub mod flame;
 pub mod log;
 pub mod metrics;
 pub mod profile;
@@ -36,6 +38,8 @@ pub mod trace;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
+pub use alloc::{AllocStats, CountingAlloc};
+pub use flame::{FrameRow, FrameStats, ServeProfiler};
 pub use log::{level, parse_level, set_level, Level};
 pub use metrics::{HistogramSummary, Registry, Snapshot};
 pub use profile::{OpKindRow, OpKindStats, TapeProfiler};
@@ -54,6 +58,8 @@ pub(crate) fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct Obs {
     pub registry: Registry,
     pub profiler: Arc<TapeProfiler>,
+    /// Serve-path profile tree + kernel cost table (see [`flame`]).
+    pub serve_prof: ServeProfiler,
     /// Tail-sampled slow-trace exemplars (see [`trace`]).
     pub traces: TraceHub,
     /// The always-on flight recorder (see [`ring`]).
@@ -63,18 +69,30 @@ pub struct Obs {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static GLOBAL: OnceLock<Obs> = OnceLock::new();
+static ENV_PROF: OnceLock<()> = OnceLock::new();
 
 /// Enables observability and returns the global context. Idempotent; the
-/// first call wins.
+/// first call wins. Honors `STISAN_PROF_ALLOC=1` (allocation accounting,
+/// see [`alloc`]) and `STISAN_PROF=1` (serve-path profiling, see
+/// [`flame`]) the first time it runs.
 pub fn init() -> &'static Obs {
     let obs = GLOBAL.get_or_init(|| Obs {
         registry: Registry::new(),
         profiler: Arc::new(TapeProfiler::new()),
+        serve_prof: ServeProfiler::default(),
         traces: TraceHub::default(),
         flight: FlightRecorder::default(),
         epochs: Mutex::new(Vec::new()),
     });
     ENABLED.store(true, Ordering::SeqCst);
+    ENV_PROF.get_or_init(|| {
+        if std::env::var("STISAN_PROF_ALLOC").is_ok_and(|v| v == "1") {
+            alloc::enable();
+        }
+        if std::env::var("STISAN_PROF").is_ok_and(|v| v == "1") {
+            flame::enable();
+        }
+    });
     obs
 }
 
@@ -119,6 +137,37 @@ pub fn observe(name: &str, value: f64) {
 /// `None` while disabled, so graphs built in normal runs carry no profiler.
 pub fn tape_profiler() -> Option<Arc<TapeProfiler>> {
     global().map(|obs| Arc::clone(&obs.profiler))
+}
+
+/// The global serve-path profiler, or `None` while disabled.
+#[inline]
+pub fn serve_profiler() -> Option<&'static ServeProfiler> {
+    global().map(|obs| &obs.serve_prof)
+}
+
+/// Whether the serve path should emit profile frames and kernel timings
+/// (one relaxed atomic load; also false before [`init`]).
+#[inline]
+pub fn serve_profiling() -> bool {
+    flame::enabled() && enabled()
+}
+
+/// The current profile (alloc stats + flame tree + kernel table) as JSON.
+/// Always a valid JSON object, even while disabled.
+pub fn profile_json() -> String {
+    match serve_profiler() {
+        Some(p) => p.to_json(),
+        None => "{\"profiling_enabled\":false,\"alloc\":{\"active\":false},\"frames\":[],\"kernels\":[]}"
+            .to_string(),
+    }
+}
+
+/// Publishes the aggregate `alloc.*` / `prof.*` gauges into the global
+/// registry (no-op while disabled). Called before rendering `/metrics`.
+pub fn publish_profile_gauges() {
+    if let Some(obs) = global() {
+        obs.serve_prof.publish_gauges(&obs.registry);
+    }
 }
 
 /// Folds a finished request trace into the global per-stage histograms

@@ -184,16 +184,21 @@ impl FlightRecorder {
         s
     }
 
-    /// Writes `<dir>/flightrec_<unix_ms>_<reason>.json` (creating `dir`)
-    /// and returns the path.
+    /// Writes `<dir>/flightrec_<unix_ms>_<seq>_<reason>.json` (creating
+    /// `dir`) and returns the path. `<seq>` is a process-wide monotonic
+    /// sequence number, so two dumps landing in the same millisecond (e.g.
+    /// a shed burst triggering several recorders) can never overwrite each
+    /// other.
     pub fn write_dump(&self, dir: impl AsRef<Path>, reason: &str) -> io::Result<PathBuf> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let unix_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)
             .unwrap_or(0);
-        let path = dir.join(format!("flightrec_{unix_ms}_{reason}.json"));
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("flightrec_{unix_ms}_{seq}_{reason}.json"));
         std::fs::write(&path, self.dump_json(reason))?;
         Ok(path)
     }
@@ -276,6 +281,25 @@ mod tests {
         let path = r.write_dump(&dir, "shutdown").expect("write dump");
         let body = std::fs::read_to_string(&path).expect("read dump");
         assert!(body.contains("\"reason\":\"shutdown\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn same_millisecond_dumps_get_distinct_paths() {
+        let dir = std::env::temp_dir().join(format!("stisan-flightrec-seq-{}", std::process::id()));
+        let r = FlightRecorder::with_capacity(16);
+        r.record(7, Stage::Admitted, Outcome::Shed);
+        // Back-to-back dumps land well within one millisecond; the
+        // monotonic sequence suffix must keep every path unique.
+        let mut paths = std::collections::BTreeSet::new();
+        for _ in 0..8 {
+            paths.insert(r.write_dump(&dir, "first_shed").expect("write dump"));
+        }
+        assert_eq!(paths.len(), 8, "colliding dump filenames: {paths:?}");
+        for p in &paths {
+            let name = p.file_name().and_then(|n| n.to_str()).expect("utf8 name");
+            assert!(name.starts_with("flightrec_") && name.ends_with("_first_shed.json"));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

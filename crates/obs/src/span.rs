@@ -18,16 +18,24 @@ thread_local! {
 #[must_use = "a span records on drop; bind it (`let _span = ...`) so it covers the scope"]
 pub struct Span {
     start: Option<Instant>,
+    /// Whether this span also opened a serve-profile flame frame.
+    flame: bool,
 }
 
 /// Opens a scoped timer named `name`, nested under any enclosing spans on
 /// this thread. No-op (and allocation-free) while observability is off.
+/// While serve profiling is on (see [`crate::flame`]), the span also
+/// opens a flame frame, so spans and kernels form one profile tree.
 pub fn span(name: &'static str) -> Span {
     if !crate::enabled() {
-        return Span { start: None };
+        return Span { start: None, flame: false };
     }
     STACK.with(|s| s.borrow_mut().push(name));
-    Span { start: Some(Instant::now()) }
+    let flame = crate::flame::enabled();
+    if flame {
+        crate::flame::push(name);
+    }
+    Span { start: Some(Instant::now()), flame }
 }
 
 /// The `/`-joined path of spans currently open on this thread.
@@ -42,6 +50,9 @@ impl Drop for Span {
             let path = current_path();
             if let Some(obs) = crate::global() {
                 obs.registry.observe(&format!("span.{path}"), ms);
+            }
+            if self.flame {
+                crate::flame::pop();
             }
             STACK.with(|s| {
                 s.borrow_mut().pop();

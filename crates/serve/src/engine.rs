@@ -131,6 +131,13 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
     /// `serve.pruned_candidates` (counter of candidates skipped by pruning).
     pub fn serve_one(&self, inst: &EvalInstance) -> Recommendation {
         let t0 = Instant::now();
+        let prof = stisan_obs::serve_profiling();
+        let _frame = if prof { Some(stisan_obs::flame::frame("serve_one")) } else { None };
+        let alloc0 = if prof && stisan_obs::alloc::active() {
+            Some(stisan_obs::alloc::thread_stats())
+        } else {
+            None
+        };
         let pool = self.data.num_pois;
         let cands = self.candidates(inst);
         let scores = self.model.score_frozen(self.data, inst, &cands);
@@ -140,6 +147,17 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
             .collect();
         stisan_obs::counter("serve.pruned_candidates", (pool - cands.len()) as u64);
         stisan_obs::observe("serve.latency_ms", t0.elapsed().as_secs_f64() * 1e3);
+        if let Some(a0) = alloc0 {
+            let a1 = stisan_obs::alloc::thread_stats();
+            stisan_obs::observe(
+                "alloc.request_bytes",
+                a1.bytes.saturating_sub(a0.bytes) as f64,
+            );
+            stisan_obs::observe(
+                "alloc.request_allocs",
+                a1.allocs.saturating_sub(a0.allocs) as f64,
+            );
+        }
         Recommendation { items, pool, scored: cands.len() }
     }
 

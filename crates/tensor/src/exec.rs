@@ -238,15 +238,27 @@ impl Exec for Graph {
 /// gradient slots and never touches the tape profiler; `backward` simply
 /// does not exist on it. Dropout is rejected in training mode — this backend
 /// is for frozen weights.
-#[derive(Default)]
+///
+/// When serve-path profiling is on (`stisan_obs::flame`), each op is
+/// timed into the per-kernel cost table and the flame tree. The flag is
+/// captured once per backend at construction — one relaxed atomic load —
+/// so the disabled path adds a single branch per op and nothing else.
 pub struct NoGrad {
     vals: Vec<Array>,
+    /// Serve-path profiling flag, captured at construction.
+    prof: bool,
+}
+
+impl Default for NoGrad {
+    fn default() -> Self {
+        NoGrad::new()
+    }
 }
 
 impl NoGrad {
     /// An empty inference backend.
     pub fn new() -> Self {
-        Self::default()
+        NoGrad { vals: Vec::new(), prof: stisan_obs::serve_profiling() }
     }
 
     /// Number of computed nodes.
@@ -263,6 +275,39 @@ impl NoGrad {
         self.vals.push(v);
         Var(self.vals.len() - 1)
     }
+
+    /// `per_elem` FLOPs per input element when profiling, else 0. Matches
+    /// the tape profiler's elementwise conventions (`graph.rs::op_flops`).
+    #[inline]
+    fn ew_flops(&self, a: Var, per_elem: u64) -> u64 {
+        if self.prof { per_elem * self.value(a).len() as u64 } else { 0 }
+    }
+
+    /// Elementwise FLOPs of a broadcasting binary op: `per_elem` per output
+    /// element, with the output length taken as the larger operand's.
+    #[inline]
+    fn ew_flops2(&self, a: Var, b: Var, per_elem: u64) -> u64 {
+        if self.prof {
+            per_elem * self.value(a).len().max(self.value(b).len()) as u64
+        } else {
+            0
+        }
+    }
+
+    /// Runs one kernel, timing it into the serve profile when profiling is
+    /// on. Kind names match [`Graph`]'s op kinds so tape and serve profiles
+    /// line up.
+    #[inline]
+    fn op(&mut self, kind: &'static str, flops: u64, f: impl FnOnce(&NoGrad) -> Array) -> Var {
+        if !self.prof {
+            let v = f(self);
+            return self.push(v);
+        }
+        let guard = stisan_obs::flame::kernel(kind, flops);
+        let v = f(self);
+        drop(guard);
+        self.push(v)
+    }
 }
 
 impl Exec for NoGrad {
@@ -273,142 +318,146 @@ impl Exec for NoGrad {
         &self.vals[v.0]
     }
     fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(v)
+        let fl = self.ew_flops2(a, b, 1);
+        self.op("add", fl, |s| s.value(a).add(s.value(b)))
     }
     fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v)
+        let fl = self.ew_flops2(a, b, 1);
+        self.op("sub", fl, |s| s.value(a).sub(s.value(b)))
     }
     fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push(v)
+        let fl = self.ew_flops2(a, b, 1);
+        self.op("mul", fl, |s| s.value(a).mul(s.value(b)))
     }
     fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).scale(c);
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("scale", fl, |s| s.value(a).scale(c))
     }
     fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).add_scalar(c);
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("add_scalar", fl, |s| s.value(a).add_scalar(c))
     }
     fn neg(&mut self, a: Var) -> Var {
-        let v = self.value(a).scale(-1.0);
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("neg", fl, |s| s.value(a).scale(-1.0))
     }
     fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
-        let v = kernels::linear_forward(self.value(x), self.value(w), b.map(|b| self.value(b)));
-        self.push(v)
+        let fl = if self.prof {
+            kernels::linear_flops(self.value(x), self.value(w), b.is_some())
+        } else {
+            0
+        };
+        self.op("linear", fl, |s| {
+            kernels::linear_forward(s.value(x), s.value(w), b.map(|b| s.value(b)))
+        })
     }
     fn bmm(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).bmm(self.value(b));
-        self.push(v)
+        let fl =
+            if self.prof { kernels::bmm_flops(self.value(a), self.value(b)) } else { 0 };
+        self.op("bmm", fl, |s| s.value(a).bmm(s.value(b)))
     }
     fn transpose_last2(&mut self, a: Var) -> Var {
-        let v = self.value(a).transpose_last2();
-        self.push(v)
+        self.op("transpose", 0, |s| s.value(a).transpose_last2())
     }
     fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("relu", fl, |s| s.value(a).map(|x| x.max(0.0)))
     }
     fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(kernels::stable_sigmoid);
-        self.push(v)
+        let fl = self.ew_flops(a, 4);
+        self.op("sigmoid", fl, |s| s.value(a).map(kernels::stable_sigmoid))
     }
     fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
-        self.push(v)
+        let fl = self.ew_flops(a, 4);
+        self.op("tanh", fl, |s| s.value(a).map(f32::tanh))
     }
     fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::exp);
-        self.push(v)
+        let fl = self.ew_flops(a, 4);
+        self.op("exp", fl, |s| s.value(a).map(f32::exp))
     }
     fn log(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::ln);
-        self.push(v)
+        let fl = self.ew_flops(a, 4);
+        self.op("log", fl, |s| s.value(a).map(f32::ln))
     }
     fn softplus(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(kernels::softplus_scalar);
-        self.push(v)
+        let fl = self.ew_flops(a, 4);
+        self.op("softplus", fl, |s| s.value(a).map(kernels::softplus_scalar))
     }
     fn softmax_last(&mut self, a: Var) -> Var {
-        let v = self.value(a).softmax_last();
-        self.push(v)
+        let fl = self.ew_flops(a, 5);
+        self.op("softmax", fl, |s| s.value(a).softmax_last())
     }
     fn sum_all(&mut self, a: Var) -> Var {
-        let v = Array::scalar(self.value(a).sum_all());
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("sum_all", fl, |s| Array::scalar(s.value(a).sum_all()))
     }
     fn mean_all(&mut self, a: Var) -> Var {
-        let v = Array::scalar(self.value(a).mean_all());
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("mean_all", fl, |s| Array::scalar(s.value(a).mean_all()))
     }
     fn sum_last(&mut self, a: Var) -> Var {
-        let v = self.value(a).sum_last();
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("sum_last", fl, |s| s.value(a).sum_last())
     }
     fn sum_axis1(&mut self, a: Var) -> Var {
-        let v = self.value(a).sum_axis1();
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("sum_axis1", fl, |s| s.value(a).sum_axis1())
     }
     fn max_axis1(&mut self, a: Var) -> Var {
-        let v = kernels::max_axis1(self.value(a));
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("max_axis1", fl, |s| kernels::max_axis1(s.value(a)))
     }
     fn gather(&mut self, table: Var, indices: &[usize], batch_shape: &[usize]) -> Var {
-        let v = kernels::gather_rows(self.value(table), indices, batch_shape);
-        self.push(v)
+        self.op("gather", 0, |s| kernels::gather_rows(s.value(table), indices, batch_shape))
     }
     fn gather_last(&mut self, v: Var, idx: Arc<Vec<usize>>, m_out: usize) -> Var {
-        let out = kernels::gather_last(self.value(v), &idx, m_out);
-        self.push(out)
+        self.op("gather_last", 0, |s| kernels::gather_last(s.value(v), &idx, m_out))
     }
     fn scatter_add_last(&mut self, a: Var, idx: Arc<Vec<usize>>, k_out: usize) -> Var {
-        let out = kernels::scatter_add_last(self.value(a), &idx, k_out);
-        self.push(out)
+        let fl = self.ew_flops(a, 1);
+        self.op("scatter_add_last", fl, |s| kernels::scatter_add_last(s.value(a), &idx, k_out))
     }
     fn concat_last(&mut self, parts: &[Var]) -> Var {
-        let arrays: Vec<&Array> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Array::concat_last(&arrays);
-        self.push(v)
+        self.op("concat_last", 0, |s| {
+            let arrays: Vec<&Array> = parts.iter().map(|&p| s.value(p)).collect();
+            Array::concat_last(&arrays)
+        })
     }
     fn slice_last(&mut self, v: Var, start: usize, len: usize) -> Var {
-        let out = self.value(v).slice_last(start, len);
-        self.push(out)
+        self.op("slice_last", 0, |s| s.value(v).slice_last(start, len))
     }
     fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var {
-        let out = self.value(v).reshape(shape);
-        self.push(out)
+        self.op("reshape", 0, |s| s.value(v).reshape(shape))
     }
     fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var {
-        let out = kernels::layer_norm_affine(self.value(x), self.value(alpha), self.value(beta), eps);
-        self.push(out)
+        let fl = self.ew_flops(x, 8);
+        self.op("layer_norm", fl, |s| {
+            kernels::layer_norm_affine(s.value(x), s.value(alpha), s.value(beta), eps)
+        })
     }
     fn mul_const(&mut self, a: Var, c: Array) -> Var {
-        let v = self.value(a).mul(&c);
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("mul_const", fl, move |s| s.value(a).mul(&c))
     }
     fn add_const(&mut self, a: Var, c: Array) -> Var {
-        let v = self.value(a).add(&c);
-        self.push(v)
+        let fl = self.ew_flops(a, 1);
+        self.op("add_const", fl, move |s| s.value(a).add(&c))
     }
     fn dropout(&mut self, a: Var, _rate: f32, training: bool, _rng: &mut StdRng) -> Var {
         assert!(!training, "NoGrad is inference-only: dropout cannot run in training mode");
         a
     }
     fn stack_axis1(&mut self, parts: &[Var]) -> Var {
-        let arrays: Vec<&Array> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = kernels::stack_axis1(&arrays);
-        self.push(v)
+        self.op("stack_axis1", 0, |s| {
+            let arrays: Vec<&Array> = parts.iter().map(|&p| s.value(p)).collect();
+            kernels::stack_axis1(&arrays)
+        })
     }
     fn slice_axis1(&mut self, v: Var, idx: usize) -> Var {
-        let out = kernels::slice_axis1(self.value(v), idx);
-        self.push(out)
+        self.op("slice_axis1", 0, |s| kernels::slice_axis1(s.value(v), idx))
     }
     fn unfold1(&mut self, v: Var, width: usize) -> Var {
-        let out = kernels::unfold1(self.value(v), width);
-        self.push(out)
+        self.op("unfold1", 0, |s| kernels::unfold1(s.value(v), width))
     }
 }
 

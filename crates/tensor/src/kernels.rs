@@ -189,3 +189,23 @@ pub(crate) fn linear_forward(x: &Array, w: &Array, b: Option<&Array>) -> Array {
     }
     v
 }
+
+/// Estimated FLOPs of [`linear_forward`], matching the tape profiler's
+/// convention (`2*rows*k*f` plus `rows*f` for the bias add).
+pub(crate) fn linear_flops(x: &Array, w: &Array, bias: bool) -> u64 {
+    let k = x.shape().last().copied().unwrap_or(1).max(1);
+    let f = w.shape().get(1).copied().unwrap_or(1);
+    let rows = (x.len() / k) as u64;
+    2 * rows * (k as u64) * (f as u64) + if bias { rows * f as u64 } else { 0 }
+}
+
+/// Estimated FLOPs of a batched matmul `[b,m,k] × [b,k,n]`, matching the
+/// tape profiler's convention (`b * 2mkn`).
+pub(crate) fn bmm_flops(a: &Array, b: &Array) -> u64 {
+    let ash = a.shape();
+    let n = b.shape().last().copied().unwrap_or(1);
+    if ash.len() != 3 {
+        return 0;
+    }
+    (ash[0] as u64) * 2 * (ash[1] as u64) * (ash[2] as u64) * (n as u64)
+}

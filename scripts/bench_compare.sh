@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares fresh bench reports against the committed
+# baselines and fails on a throughput regression beyond the threshold.
+#
+#   ./scripts/bench_compare.sh [--warn-only]
+#
+# Inputs (written by `serve_bench` / `gateway_bench`):
+#   results/BENCH_serve.json      vs  results/BENCH_serve.baseline.json
+#   results/BENCH_gateway.json    vs  results/BENCH_gateway.baseline.json
+#
+# For every run/path label present in both files the script prints the
+# requests/second and p95 latency deltas. A path whose rps drops more than
+# 15% below baseline fails the gate (exit 1) unless --warn-only is given —
+# verify.sh runs warn-only because smoke-mode numbers on shared CI hosts are
+# noisy; run strict mode manually on a quiet machine before re-baselining.
+#
+# On first run (no baseline yet) the fresh report is copied into place as
+# the baseline candidate; commit it (`git add -f results/*.baseline.json`)
+# to lock it in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WARN_ONLY=0
+if [ "${1:-}" = "--warn-only" ]; then
+    WARN_ONLY=1
+elif [ -n "${1:-}" ]; then
+    echo "usage: bench_compare.sh [--warn-only]" >&2
+    exit 2
+fi
+
+THRESHOLD_PCT=15
+fail=0
+
+# The run/path entries in both bench JSONs are flat objects, so a
+# brace-free grep pulls each one out whole regardless of field order.
+objects() { grep -o '{[^{}]*"label":[^{}]*}' "$1" || true; }
+label_of() { sed -n 's/.*"label":"\([^"]*\)".*/\1/p' <<<"$1"; }
+field() { sed -n 's/.*"'"$2"'":\(-\{0,1\}[0-9.eE+-]*\).*/\1/p' <<<"$1"; }
+
+compare_file() {
+    local fresh=$1 base=$2 name=$3
+    if [ ! -f "$fresh" ]; then
+        echo "bench_compare: $name: no fresh report at $fresh (run the bench first); skipping"
+        return
+    fi
+    if [ ! -f "$base" ]; then
+        cp "$fresh" "$base"
+        echo "bench_compare: $name: no baseline — copied $fresh to $base;" \
+             "commit it to lock the baseline"
+        return
+    fi
+    while IFS= read -r obj; do
+        [ -z "$obj" ] && continue
+        local label rps p95 bobj brps bp95
+        label=$(label_of "$obj")
+        rps=$(field "$obj" rps)
+        p95=$(field "$obj" p95_ms)
+        bobj=$(objects "$base" | awk -v l="\"label\":\"$label\"" 'index($0, l) {print; exit}')
+        if [ -z "$bobj" ]; then
+            echo "  $name/$label: new path (no baseline entry)"
+            continue
+        fi
+        brps=$(field "$bobj" rps)
+        bp95=$(field "$bobj" p95_ms)
+        if awk -v n="$name" -v l="$label" -v f="${rps:-0}" -v b="${brps:-0}" \
+               -v fp="${p95:-0}" -v bp="${bp95:-0}" -v t="$THRESHOLD_PCT" '
+            BEGIN {
+                drps = (b > 0) ? 100 * (f - b) / b : 0
+                dp95 = (bp > 0) ? 100 * (fp - bp) / bp : 0
+                printf "  %s/%-14s rps %9.1f -> %9.1f (%+6.1f%%)   p95 %7.2f -> %7.2f ms (%+6.1f%%)\n",
+                       n, l, b, f, drps, bp, fp, dp95
+                exit (drps < -t) ? 1 : 0
+            }'; then :; else
+            echo "bench_compare: $name/$label throughput regressed more than ${THRESHOLD_PCT}% vs baseline" >&2
+            fail=1
+        fi
+    done < <(objects "$fresh")
+}
+
+compare_file results/BENCH_serve.json results/BENCH_serve.baseline.json serve
+compare_file results/BENCH_gateway.json results/BENCH_gateway.baseline.json gateway
+
+if [ "$fail" -ne 0 ]; then
+    if [ "$WARN_ONLY" -eq 1 ]; then
+        echo "bench_compare: WARN — regression beyond ${THRESHOLD_PCT}% (warn-only mode, not failing)"
+        exit 0
+    fi
+    echo "bench_compare: FAILED — throughput regression beyond ${THRESHOLD_PCT}%;" \
+         "fix it or re-baseline deliberately (cp results/BENCH_*.json ... .baseline.json)" >&2
+    exit 1
+fi
+echo "bench_compare: OK"

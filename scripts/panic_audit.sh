@@ -40,7 +40,20 @@ if [ ! -f "$ALLOWLIST" ]; then
     exit 1
 fi
 
+# Allocator-hook code gets zero tolerance, allowlist or not: a panic inside
+# a GlobalAlloc hook aborts the process, and the flame recorder runs on the
+# serving hot path. These files must stay free of unwrap/expect entirely.
+ZERO_TOLERANCE=(crates/obs/src/alloc.rs crates/obs/src/flame.rs)
+
 fail=0
+for file in "${ZERO_TOLERANCE[@]}"; do
+    count=$(count_panics "$file")
+    if [ "${count:-0}" -gt 0 ]; then
+        echo "panic_audit: $file has $count unwrap/expect calls — zero tolerated in allocator/profiler hooks (allowlist does not apply)" >&2
+        fail=1
+    fi
+done
+
 while read -r file; do
     count=$(count_panics "$file")
     count=${count:-0}

@@ -29,7 +29,11 @@ echo "== gateway_bench smoke (micro-batching >= 1.5x, shedding, tracing overhead
 cargo run --release -p stisan-bench --bin gateway_bench -- --smoke
 
 echo "== exposition check (admin-endpoint scrape must be parseable Prometheus text)"
-cargo run --release -p stisan-bench --bin expo_check -- results/metrics_scrape.prom
+cargo run --release -p stisan-bench --bin expo_check -- results/metrics_scrape.prom \
+    --require alloc_ --require prof_
+
+echo "== bench regression compare (warn-only: smoke numbers are noisy on shared hosts)"
+./scripts/bench_compare.sh --warn-only
 
 echo "== panic audit (crates/nn, core, data, serve, gateway, obs)"
 ./scripts/panic_audit.sh

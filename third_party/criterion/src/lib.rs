@@ -1,0 +1,163 @@
+//! Offline stand-in for the subset of criterion 0.5 this workspace's
+//! benches use: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! benchmark groups, `BenchmarkId`, and `Throughput`.
+//!
+//! Not a statistics engine: each `Bencher::iter` body runs a small fixed
+//! number of times and the mean wall time is printed. Good enough to keep
+//! `cargo bench` compiling and producing order-of-magnitude numbers in an
+//! offline container; upstream criterion drops in unchanged when a
+//! network-enabled environment is available.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+const ITERS: u32 = 30;
+
+/// Measurement driver passed to bench closures.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then the timed batch.
+        std::hint::black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = t0.elapsed().as_nanos();
+        self.iters = ITERS;
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), param) }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation (accepted and ignored).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+fn run_bench(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { elapsed_ns: 0, iters: 1 };
+    f(&mut b);
+    let mean_ns = b.elapsed_ns / u128::from(b.iters.max(1));
+    println!("bench {label}: {mean_ns} ns/iter (stub harness, {} iters)", b.iters);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F)
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level bench driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _c: self }
+    }
+
+    pub fn bench_function<F>(&mut self, label: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(label, f);
+        self
+    }
+}
+
+/// Re-export for bench code that imports `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(8));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter(|| n * n);
+        });
+        group.bench_function("direct", |b| b.iter(|| 2 + 2));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn stub_harness_runs_every_shape() {
+        benches();
+    }
+}

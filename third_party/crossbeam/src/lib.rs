@@ -1,0 +1,75 @@
+//! Offline stand-in for the one crossbeam API this workspace uses:
+//! `crossbeam::thread::scope` with `Scope::spawn(|_| ...)`.
+//!
+//! Implemented on top of `std::thread::scope` (stable since 1.63). The
+//! only semantic difference from std's scope is crossbeam's error
+//! contract, which callers here rely on: a panicking worker is reported
+//! as an `Err` from `scope` instead of propagating the panic, so the
+//! parent can attach its own context.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Scope handle passed to `scope` closures and to each spawned worker.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope (so
+        /// workers can spawn sub-workers), mirroring crossbeam's
+        /// signature; the join handle is managed by the scope itself.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                f(&Scope { inner });
+            });
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, non-`'static` threads can
+    /// be spawned; returns `Err` (instead of panicking) if any worker
+    /// panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        let r = super::thread::scope(|s| {
+            for &x in &data {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(x, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

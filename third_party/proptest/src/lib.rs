@@ -1,0 +1,229 @@
+//! Offline stand-in for the subset of proptest this workspace uses:
+//! the `proptest!` macro with `#![proptest_config(...)]`, range
+//! strategies, `prop::collection::vec`, and `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Cases are sampled with a deterministic per-test RNG (FNV of the test
+//! name XOR the case index), so failures reproduce run-to-run. There is
+//! no shrinking: a failing case panics with the regular assert message.
+//! Upstream proptest drops in unchanged when a network-enabled
+//! environment is available.
+
+pub mod test_runner {
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator: the sampling core of a proptest strategy.
+    pub trait Strategy {
+        type Value;
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: a fixed size or a
+    /// half-open range of sizes.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem`-generated values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..n).map(|_| self.elem.sample_value(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use crate::strategy::Strategy;
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// FNV-1a of a test's name, the base of its deterministic seed.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    /// `prop::...` paths (e.g. `prop::collection::vec`) resolve through
+    /// this crate-root alias, as in upstream's prelude.
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __seed = $crate::__rt::name_seed(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                    __seed ^ u64::from(__case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::__rt::Strategy::sample_value(&($strat), &mut __rng);)+
+                // Upstream proptest bodies may early-exit a case with
+                // `return Ok(())`; run the body in a Result-returning
+                // closure so that convention keeps compiling here.
+                let __res: ::core::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(__e) = __res {
+                    panic!("proptest case failed: {}", __e);
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds and vec sizes respect their SizeRange.
+        #[test]
+        fn ranges_and_vecs(x in 3usize..10, f in -1.0f32..1.0,
+                           v in prop::collection::vec(0u64..5, 2..7),
+                           w in prop::collection::vec(0usize..9, 4)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(v.len() >= 2 && v.len() < 7, "len {}", v.len());
+            prop_assert_eq!(w.len(), 4);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in 0u64..1000) {
+            prop_assert_ne!(seed, 1000);
+        }
+
+        /// Upstream-style early exit from a degenerate case compiles and
+        /// skips the rest of the body.
+        #[test]
+        fn early_return_ok_skips_case(x in 0u32..4) {
+            if x < 4 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable: all cases return early");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for serde: the `Serialize` / `Deserialize` names as
+//! both traits and (no-op) derive macros. No serializer exists in this
+//! workspace's dependency tree, so the traits are markers and the derives
+//! expand to nothing — enough for `#[derive(Serialize, Deserialize)]`
+//! decoration on data types to keep compiling offline.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

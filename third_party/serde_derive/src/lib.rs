@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! stand-in. Nothing in this workspace actually serializes through serde
+//! (there is no serializer crate in the dependency tree); the derives are
+//! declarative decoration on data types, so expanding to nothing is
+//! faithful to how they are used.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
