@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p stisan-bench --bin gateway_bench -- [--smoke]
-//!     [--scale f] [--clients n] [--requests n] [--qps f] [--batch n]
-//!     [--wait-us n] [--queue n] [--workers n] [--top-k k]
+//!     [--chaos-smoke] [--scale f] [--clients n] [--requests n] [--qps f]
+//!     [--batch n] [--wait-us n] [--queue n] [--workers n] [--top-k k]
 //!     [--device-us n] [--epochs n] [--seed s]
 //! ```
 //!
@@ -28,6 +28,13 @@
 //! cost < 3% p95 over the untraced one (plus a small absolute timer-noise
 //! floor), a bounded-queue overload flood (assert sheds with `OVERLOADED`,
 //! nothing lost), and a paced open-loop run at a sustainable QPS target.
+//!
+//! `--chaos-smoke` runs the fleet acceptance scenario instead: a
+//! replicated, hot-reloading gateway under flood while replicas are killed
+//! and good/corrupt/poison checkpoints are published. Asserts that
+//! availability stays at 99% or above, that there are zero torn reads
+//! (bit-parity with some published epoch or the fallback), and that the
+//! process survives; writes `results/BENCH_chaos.json`.
 //!
 //! Artifacts: `results/BENCH_gateway.json` (per-run p50/p95/p99, shed rate,
 //! per-stage breakdown, tracing overhead) and `results/metrics_scrape.prom`
@@ -64,6 +71,7 @@ static ALLOC: CountingAlloc = CountingAlloc::system();
 
 struct Opts {
     smoke: bool,
+    chaos_smoke: bool,
     scale: f64,
     clients: usize,
     requests: usize, // per client
@@ -81,6 +89,7 @@ struct Opts {
 fn parse() -> Opts {
     let mut o = Opts {
         smoke: false,
+        chaos_smoke: false,
         scale: 0.02,
         clients: 8,
         requests: 25,
@@ -104,6 +113,7 @@ fn parse() -> Opts {
         };
         match key.as_str() {
             "--smoke" => o.smoke = true,
+            "--chaos-smoke" => o.chaos_smoke = true,
             "--scale" => o.scale = take(&mut i).parse().expect("bad --scale"),
             "--clients" => o.clients = take(&mut i).parse().expect("bad --clients"),
             "--requests" => o.requests = take(&mut i).parse().expect("bad --requests"),
@@ -117,8 +127,9 @@ fn parse() -> Opts {
             "--epochs" => o.epochs = take(&mut i).parse().expect("bad --epochs"),
             "--seed" => o.seed = take(&mut i).parse().expect("bad --seed"),
             other => panic!(
-                "unknown flag {other}; supported: --smoke --scale --clients --requests --qps \
-                 --batch --wait-us --queue --workers --top-k --device-us --epochs --seed"
+                "unknown flag {other}; supported: --smoke --chaos-smoke --scale --clients \
+                 --requests --qps --batch --wait-us --queue --workers --top-k --device-us \
+                 --epochs --seed"
             ),
         }
         i += 1;
@@ -126,6 +137,9 @@ fn parse() -> Opts {
     if o.smoke {
         o.scale = 0.01;
         o.device_us = 500;
+    }
+    if o.chaos_smoke {
+        o.scale = 0.01;
     }
     o
 }
@@ -513,12 +527,287 @@ fn write_bench_json(
     println!("wrote results/BENCH_gateway.json");
 }
 
+/// The chaos acceptance run (`--chaos-smoke`): a replicated, hot-reloading
+/// gateway floods while the driver kills replicas and publishes good /
+/// corrupt / canary-poison checkpoints. Asserts the DESIGN.md §13 fleet
+/// invariants — availability >= 99%, zero torn reads (every answer
+/// bit-matches a direct single-session score under one published epoch or
+/// the fallback prior), process survives — and writes
+/// `results/BENCH_chaos.json`.
+fn run_chaos_smoke(o: &Opts, p: &Processed) {
+    use stisan_gateway::RetryPolicy;
+    use stisan_nn::CheckpointManager;
+    use stisan_serve::chaos::{silence_chaos_panics, ChaosPlan, ChaosScorer, WeightedPrior};
+    use stisan_serve::{
+        CanaryConfig, FallbackScorer, ReloadWatcher, ReplicatedEngine, SharedModel,
+        SupervisorConfig,
+    };
+    use std::sync::atomic::AtomicBool;
+
+    /// Per-instance reference answers for one scoring source.
+    type AnswerTable = Vec<Vec<(u32, f32)>>;
+
+    silence_chaos_panics();
+    let n_inst = p.eval.len().min(24);
+    let insts = &p.eval[..n_inst];
+    let serve_cfg = ServeConfig {
+        top_k: o.top_k as usize,
+        workers: 0,
+        pruning: PruningPolicy::Full,
+    };
+    let epoch_seed = |e: u64| 500 + e;
+    let last_good_epoch = 4u64;
+
+    // Reference tables: direct single-session answers per servable epoch
+    // plus the degraded-mode fallback. Torn reads match none of them.
+    let mut tables: Vec<(String, AnswerTable)> = (0..=last_good_epoch)
+        .map(|e| {
+            let m = WeightedPrior::seeded(p.num_pois, epoch_seed(e));
+            let s = InferenceSession::new(&m, p, serve_cfg);
+            (format!("epoch_{e}"), insts.iter().map(|i| s.serve_one(i).items).collect())
+        })
+        .collect();
+    let fb = FallbackScorer::build(p);
+    let fbs = InferenceSession::new(&fb, p, serve_cfg);
+    tables.push(("fallback".into(), insts.iter().map(|i| fbs.serve_one(i).items).collect()));
+
+    let plan = ChaosPlan::new();
+    let shared = SharedModel::new(
+        ChaosScorer::new(WeightedPrior::seeded(p.num_pois, epoch_seed(0)), plan.clone()),
+        0,
+    );
+    let eng = ReplicatedEngine::new(
+        shared.clone(),
+        p,
+        serve_cfg,
+        SupervisorConfig {
+            replicas: 3,
+            restart_base_us: 3_000,
+            restart_max_us: 20_000,
+            ..SupervisorConfig::default()
+        },
+    );
+
+    let ckpt_dir = std::env::temp_dir()
+        .join(format!("stisan_chaos_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mgr = CheckpointManager::new(&ckpt_dir, 16).expect("checkpoint dir");
+    let num_pois = p.num_pois;
+    let loader_plan = plan.clone();
+    let watcher = ReloadWatcher::new(
+        CheckpointManager::new(&ckpt_dir, 16).expect("watcher manager"),
+        shared.clone(),
+        p,
+        move |path| {
+            WeightedPrior::load(path, num_pois).map(|m| ChaosScorer::new(m, loader_plan.clone()))
+        },
+        CanaryConfig::default(),
+    );
+
+    let gw = Gateway::bind("127.0.0.1:0", gateway_cfg(o, o.batch.max(2), o.queue))
+        .expect("bind ephemeral port");
+    let addr = gw.local_addr();
+    let handle = gw.handle();
+
+    let clients = o.clients.max(2);
+    let per_client = o.requests.max(20);
+    type Answer = (usize, Vec<(u32, f32)>);
+    let answered: Mutex<Vec<Answer>> = Mutex::new(Vec::new());
+    let typed_errors = AtomicU64::new(0);
+    let unanswered = AtomicU64::new(0);
+    let lat = Mutex::new(Vec::new());
+    let flood_done = AtomicBool::new(false);
+
+    let t0 = Instant::now();
+    let stats = thread::scope(|s| {
+        let server = s.spawn(|| {
+            gw.serve_reloading(&eng, &watcher, Duration::from_millis(2)).expect("gateway serve")
+        });
+
+        // The chaos driver: one replica kill per wave, checkpoint churn on
+        // a fixed script. Runs the script to completion even if the flood
+        // drains early.
+        s.spawn(|| {
+            plan.set_delay_us(150);
+            let mut wave = 0u64;
+            while !flood_done.load(Ordering::SeqCst) || wave < 9 {
+                wave += 1;
+                if !flood_done.load(Ordering::SeqCst) {
+                    plan.arm_panic(1 + wave % 3);
+                }
+                match wave {
+                    2 => {
+                        WeightedPrior::seeded(num_pois, epoch_seed(1)).save(&mgr, 1).unwrap();
+                    }
+                    4 => {
+                        std::fs::write(ckpt_dir.join("ckpt-00000002.stsn"), b"garbage").unwrap();
+                    }
+                    6 => {
+                        WeightedPrior::poisoned(num_pois).save(&mgr, 3).unwrap();
+                    }
+                    8 => {
+                        WeightedPrior::seeded(num_pois, epoch_seed(4)).save(&mgr, 4).unwrap();
+                    }
+                    _ => {}
+                }
+                thread::sleep(Duration::from_millis(8));
+            }
+            plan.set_delay_us(0);
+        });
+
+        thread::scope(|f| {
+            for c in 0..clients {
+                let (answered, typed_errors, unanswered, lat) =
+                    (&answered, &typed_errors, &unanswered, &lat);
+                f.spawn(move || {
+                    let policy = RetryPolicy {
+                        max_attempts: 4,
+                        base_backoff_us: 500,
+                        max_backoff_us: 10_000,
+                        jitter_seed: c as u64,
+                        idempotent: true,
+                    };
+                    let mut client = GatewayClient::connect(addr).expect("connect to gateway");
+                    client.set_timeout(Some(Duration::from_secs(5))).expect("timeout");
+                    let mut local = Vec::new();
+                    let mut local_lat = Vec::new();
+                    for r in 0..per_client {
+                        let idx = (c + r * clients) % n_inst;
+                        let req = request_from_instance(p, &insts[idx], o.top_k, 0);
+                        let t = Instant::now();
+                        match client.recommend_retrying(&req, &policy) {
+                            Ok((resp, _)) => {
+                                local_lat.push(t.elapsed().as_secs_f64() * 1e3);
+                                local.push((idx, resp.items));
+                            }
+                            Err(ClientError::Server(_)) => {
+                                typed_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                unanswered.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("chaos client {c} request {r}: unanswered: {e}");
+                            }
+                        }
+                    }
+                    answered.lock().expect("answers lock").extend(local);
+                    lat.lock().expect("latency lock").extend(local_lat);
+                });
+            }
+        });
+        flood_done.store(true, Ordering::SeqCst);
+
+        // Let the watcher land the final epoch before drain. A leftover
+        // armed panic can fire inside the canary and quarantine the *good*
+        // epoch (the gate correctly refuses a candidate that panics while
+        // scoring) — disarm the chaos and re-publish, as an operator would.
+        plan.disarm();
+        let tw = Instant::now();
+        while shared.epoch() != last_good_epoch && tw.elapsed() < Duration::from_secs(3) {
+            plan.disarm();
+            if !ckpt_dir.join("ckpt-00000004.stsn").exists() {
+                WeightedPrior::seeded(num_pois, epoch_seed(4)).save(&mgr, 4).expect("re-save");
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        handle.shutdown();
+        server.join().expect("the gateway process must survive chaos")
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Classify every answer by the reference table it bit-matches.
+    let answered = answered.into_inner().expect("answers lock");
+    let typed_errors = typed_errors.into_inner();
+    let unanswered = unanswered.into_inner();
+    let mut by_source: Vec<(String, u64)> =
+        tables.iter().map(|(n, _)| (n.clone(), 0u64)).collect();
+    let mut torn = 0u64;
+    for (idx, items) in &answered {
+        let hit = tables.iter().position(|(_, t)| {
+            t[*idx].len() == items.len()
+                && t[*idx]
+                    .iter()
+                    .zip(items)
+                    .all(|((tp, ts), (ip, is))| tp == ip && ts.to_bits() == is.to_bits())
+        });
+        match hit {
+            Some(i) => by_source[i].1 += 1,
+            None => torn += 1,
+        }
+    }
+    let sent = (clients * per_client) as u64;
+    let typed = answered.len() as u64 + typed_errors;
+    let availability = typed as f64 / sent as f64;
+    let mut lat_ms = lat.into_inner().expect("latency lock");
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+
+    println!(
+        "chaos: {sent} sent, {} ok, {typed_errors} typed errors, {unanswered} unanswered \
+         ({:.2}% availability), {torn} torn reads, final epoch {}",
+        answered.len(),
+        100.0 * availability,
+        shared.epoch()
+    );
+    for (name, n) in &by_source {
+        println!("  answers from {name:<10} {n}");
+    }
+    println!(
+        "  p50 {:.2} ms, p95 {:.2} ms, {} chaos injections, {} internal errors at the wire",
+        percentile(&lat_ms, 0.50),
+        percentile(&lat_ms, 0.95),
+        plan.calls(),
+        stats.internal_errors,
+    );
+
+    let mut s = String::from("{\"bench\":\"gateway_chaos\",");
+    let _ = write!(
+        s,
+        "\"clients\":{clients},\"requests_per_client\":{per_client},\"sent\":{sent},\
+         \"ok\":{},\"typed_errors\":{typed_errors},\"unanswered\":{unanswered},\
+         \"availability\":{},\"torn_reads\":{torn},\"final_epoch\":{},\
+         \"internal_errors\":{},\"wall_s\":{},\"p50_ms\":{},\"p95_ms\":{},\
+         \"chaos_injections\":{}",
+        answered.len(),
+        json_num(availability),
+        shared.epoch(),
+        stats.internal_errors,
+        json_num(wall_s),
+        json_num(percentile(&lat_ms, 0.50)),
+        json_num(percentile(&lat_ms, 0.95)),
+        plan.calls(),
+    );
+    s.push_str(",\"answers_by_source\":{");
+    for (i, (name, n)) in by_source.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}:{n}", json_str(name));
+    }
+    s.push_str("}}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_chaos.json", s).expect("write BENCH_chaos.json");
+    println!("wrote results/BENCH_chaos.json");
+
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+
+    assert!(
+        availability >= 0.99,
+        "acceptance: availability {availability:.4} < 0.99 ({typed}/{sent} typed answers)"
+    );
+    assert_eq!(torn, 0, "acceptance: {torn} answers match no epoch — torn reads");
+    assert_eq!(shared.epoch(), last_good_epoch, "acceptance: fleet must land on the last good epoch");
+    assert!(plan.calls() > 0, "acceptance: chaos plan was never consulted");
+    println!(
+        "chaos smoke OK: {:.2}% availability, 0 torn reads, epoch {last_good_epoch} live",
+        100.0 * availability
+    );
+}
+
 fn main() {
     let o = parse();
     stisan_obs::init();
     let gen_cfg = GenConfig { ..Gowalla.config(o.scale) };
     let data = generate(&gen_cfg, o.seed);
-    let p = preprocess(&data, &prep_config(if o.smoke { 10 } else { 20 }, o.scale));
+    let p = preprocess(&data, &prep_config(if o.smoke || o.chaos_smoke { 10 } else { 20 }, o.scale));
     assert!(!p.eval.is_empty(), "no eval instances at this scale — raise --scale");
     println!(
         "Gowalla synth @ scale {}: {} users, {} POIs, {} eval instances; {} clients x {} \
@@ -531,6 +820,11 @@ fn main() {
         o.requests,
         o.workers
     );
+
+    if o.chaos_smoke {
+        run_chaos_smoke(&o, &p);
+        return;
+    }
 
     let serve_cfg = ServeConfig {
         top_k: o.top_k as usize,

@@ -18,10 +18,16 @@
 //! * **[`server`]** — the serving loop: bounded pending queue that sheds
 //!   with `OVERLOADED` frames, per-request deadlines enforced at dequeue
 //!   (`DEADLINE_EXCEEDED`), per-connection idle timeouts, and graceful
-//!   drain-then-stop shutdown via [`GatewayHandle::shutdown`].
+//!   drain-then-stop shutdown via [`GatewayHandle::shutdown`]. The
+//!   dispatcher scores through any [`stisan_serve::EngineBackend`] — a
+//!   plain `InferenceSession` or a supervised
+//!   [`stisan_serve::ReplicatedEngine`] — and
+//!   [`Gateway::serve_reloading`] additionally runs a hot-reload poller
+//!   so new checkpoints publish with zero downtime (DESIGN.md §13).
 //! * **[`client`]** — a small blocking client for tests and the
 //!   `gateway_bench` load generator (closed- and open-loop, in
-//!   `stisan-bench`).
+//!   `stisan-bench`), with an opt-in bounded [`client::RetryPolicy`]
+//!   (exponential backoff + jitter, duplicate-safe re-send rules).
 //!
 //! Observability (`stisan-obs`): `gateway.queue_depth` (gauge),
 //! `gateway.batch_fill` / `gateway.wait_us` (histograms),
@@ -47,7 +53,7 @@ pub mod protocol;
 pub mod server;
 
 pub use batcher::{BatchPolicy, MicroBatcher, Pending};
-pub use client::{ClientError, GatewayClient};
+pub use client::{ClientError, GatewayClient, RetryPolicy};
 pub use protocol::{
     DecodeError, ErrorCode, ErrorFrame, Frame, ReadError, Request, Response, TraceEcho, Visit,
     VERSION, VERSION_V1,

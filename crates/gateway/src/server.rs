@@ -16,14 +16,24 @@
 //!   response frame;
 //! * the **dispatcher** sleeps until the batcher has a ready batch, drops
 //!   requests whose deadline expired while queued (`DEADLINE_EXCEEDED`,
-//!   enforced at dequeue time), and hands the rest to
-//!   [`InferenceSession::serve_batch_on`] with the worker count resolved at
-//!   startup — one batch at a time, like a device: batch k+1 is not formed
-//!   while batch k is being scored, which is exactly what makes
-//!   micro-batching the throughput lever (`gateway_bench` measures it);
+//!   enforced at dequeue time), and hands the rest to the
+//!   [`EngineBackend`] with the worker count resolved at startup — one
+//!   batch at a time, like a device: batch k+1 is not formed while batch k
+//!   is being scored, which is exactly what makes micro-batching the
+//!   throughput lever (`gateway_bench` measures it). The backend is either
+//!   a plain `InferenceSession` or a supervised
+//!   `stisan_serve::ReplicatedEngine`; either way scoring **cannot panic
+//!   the gateway** — failures come back as typed [`ServeFailure`]s that
+//!   the dispatcher converts to `INTERNAL` error frames (with the failure
+//!   detail in the message) and the handler writes like any other reply;
+//! * with [`Gateway::serve_reloading`], a **reload thread** polls a
+//!   `stisan_serve::Reloader` on a fixed interval, hot-swapping validated
+//!   checkpoints into the backend with zero downtime;
 //! * when [`GatewayConfig::admin`] is set, the **admin listener** serves
 //!   `GET /metrics`, `/healthz`, `/flightrec`, and `/traces` on its own
 //!   port (see [`crate::admin`]).
+//!
+//! [`ServeFailure`]: stisan_serve::ServeFailure
 //!
 //! ## Request tracing
 //!
@@ -56,9 +66,8 @@ use std::time::{Duration, Instant};
 use std::{fmt, io};
 
 use stisan_data::{EvalInstance, Processed};
-use stisan_eval::FrozenScorer;
-use stisan_obs::{Outcome, Stage, TraceCtx};
-use stisan_serve::InferenceSession;
+use stisan_obs::{Outcome, Stage, TraceCtx, NO_REPLICA};
+use stisan_serve::{EngineBackend, Reloader};
 use stisan_tensor::suggested_workers;
 
 use crate::batcher::{BatchPolicy, MicroBatcher};
@@ -135,6 +144,9 @@ pub struct GatewayStats {
     pub rejected_shutdown: u64,
     /// Batches handed to the scoring pool.
     pub batches: u64,
+    /// Admitted requests that failed inside the scoring backend
+    /// (replica panic with no recovery path; answered `INTERNAL`).
+    pub internal_errors: u64,
 }
 
 #[derive(Default)]
@@ -148,6 +160,7 @@ struct Counters {
     protocol_errors: AtomicU64,
     rejected_shutdown: AtomicU64,
     batches: AtomicU64,
+    internal_errors: AtomicU64,
 }
 
 impl Counters {
@@ -162,6 +175,7 @@ impl Counters {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -171,9 +185,12 @@ impl Counters {
 /// and build the response's trace echo.
 enum Reply {
     /// Scored successfully; items already truncated to the request's `k`.
-    Ok(Response, TraceCtx),
-    /// Dropped with a typed error.
-    Err(ErrorCode, TraceCtx),
+    /// Carries the replica id and reload epoch that produced the answer
+    /// for flight-recorder attribution ([`NO_REPLICA`] from fallback).
+    Ok(Response, TraceCtx, u16, u64),
+    /// Dropped with a typed error; the detail string goes out in the error
+    /// frame so clients see *why* (e.g. which replica panicked).
+    Err(ErrorCode, String, TraceCtx),
 }
 
 /// One admitted request, queued in the micro-batcher.
@@ -196,6 +213,8 @@ pub(crate) struct Shared {
     next_trace: AtomicU64,
     /// Whether the first-shed flight dump was already written.
     first_shed_dump: AtomicBool,
+    /// Whether the first replica-panic flight dump was already written.
+    replica_panic_dump: AtomicBool,
     flight_dir: Option<PathBuf>,
 }
 
@@ -293,6 +312,7 @@ impl Gateway {
             stats: Counters::default(),
             next_trace: AtomicU64::new(1),
             first_shed_dump: AtomicBool::new(false),
+            replica_panic_dump: AtomicBool::new(false),
             flight_dir: cfg.flight_dir.clone(),
         });
         Ok(Gateway { listener, admin, admin_addr, cfg, shared, addr })
@@ -320,10 +340,30 @@ impl Gateway {
     /// Runs the gateway until shutdown, then drains, writes the shutdown
     /// flight dump, and returns the run's stats. The worker count is
     /// resolved once, up front (explicit config beats `STISAN_WORKERS`
-    /// beats the core heuristic).
-    pub fn serve<M: FrozenScorer + Sync>(
+    /// beats the core heuristic). The backend is any [`EngineBackend`] — a
+    /// plain `InferenceSession` or a supervised `ReplicatedEngine`.
+    pub fn serve<B: EngineBackend>(self, backend: &B) -> io::Result<GatewayStats> {
+        self.serve_inner(backend, None)
+    }
+
+    /// [`serve`] plus a hot-reload loop: polls `reloader` every `interval`
+    /// until shutdown, so checkpoints published while the gateway runs are
+    /// validated and swapped in with requests in flight.
+    ///
+    /// [`serve`]: Gateway::serve
+    pub fn serve_reloading<B: EngineBackend>(
         self,
-        session: &InferenceSession<'_, M>,
+        backend: &B,
+        reloader: &dyn Reloader,
+        interval: Duration,
+    ) -> io::Result<GatewayStats> {
+        self.serve_inner(backend, Some((reloader, interval)))
+    }
+
+    fn serve_inner<B: EngineBackend>(
+        self,
+        backend: &B,
+        reload: Option<(&dyn Reloader, Duration)>,
     ) -> io::Result<GatewayStats> {
         let workers = match self.cfg.workers {
             0 => suggested_workers(self.cfg.batch.sanitized().max_batch_size.max(2)),
@@ -333,11 +373,14 @@ impl Gateway {
         let shared = &*self.shared;
         let read_timeout = self.cfg.read_timeout;
         let admin = self.admin;
-        let data = session.data();
+        let data = backend.data();
         std::thread::scope(|s| {
-            s.spawn(|| dispatcher(shared, session, workers));
+            s.spawn(|| dispatcher(shared, backend, workers));
             if let Some(listener) = admin {
                 s.spawn(move || crate::admin::serve_admin(listener, shared));
+            }
+            if let Some((reloader, interval)) = reload {
+                s.spawn(move || reload_loop(shared, reloader, interval));
             }
             loop {
                 if shared.is_shutdown() {
@@ -380,13 +423,36 @@ fn maybe_dump_first_shed(shared: &Shared) {
     }
 }
 
+/// Writes the first replica-panic flight dump, once per gateway run —
+/// post-mortems want the ring exactly as it stood when the first replica
+/// died, replica/epoch attribution included. Called *after* the failure's
+/// own event is recorded, so the dump contains it.
+fn maybe_dump_replica_panic(shared: &Shared) {
+    if shared.replica_panic_dump.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    if let (Some(dir), Some(rec)) = (shared.flight_dir.as_ref(), stisan_obs::flight_recorder()) {
+        let _ = rec.write_dump(dir, "replica_panic");
+    }
+}
+
+/// The hot-reload loop: polls for newly published checkpoints until
+/// shutdown, sleeping in short slices so drain is never delayed.
+fn reload_loop(shared: &Shared, reloader: &dyn Reloader, interval: Duration) {
+    while !shared.is_shutdown() {
+        let _ = reloader.poll_now();
+        let mut left = interval;
+        while !shared.is_shutdown() && !left.is_zero() {
+            let nap = left.min(POLL_INTERVAL);
+            std::thread::sleep(nap);
+            left = left.saturating_sub(nap);
+        }
+    }
+}
+
 /// The dispatcher: sleeps until the batcher is ready, enforces deadlines at
-/// dequeue, scores the batch on the fixed worker pool, replies.
-fn dispatcher<M: FrozenScorer + Sync>(
-    shared: &Shared,
-    session: &InferenceSession<'_, M>,
-    workers: usize,
-) {
+/// dequeue, scores the batch through the backend's panic boundary, replies.
+fn dispatcher<B: EngineBackend>(shared: &Shared, backend: &B, workers: usize) {
     loop {
         let batch = {
             let mut q = lock(&shared.queue);
@@ -432,7 +498,11 @@ fn dispatcher<M: FrozenScorer + Sync>(
                     Stage::BatchSealed,
                     Outcome::DeadlineExceeded,
                 );
-                let _ = req.reply.send(Reply::Err(ErrorCode::DeadlineExceeded, req.trace));
+                let _ = req.reply.send(Reply::Err(
+                    ErrorCode::DeadlineExceeded,
+                    ErrorCode::DeadlineExceeded.to_string(),
+                    req.trace,
+                ));
             } else {
                 insts.push(req.inst);
                 waiting.push((req.reply, req.k));
@@ -446,18 +516,34 @@ fn dispatcher<M: FrozenScorer + Sync>(
         stisan_obs::counter("gateway.batches_total", 1);
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
 
-        let recs = session.serve_batch_traced(&insts, workers, &mut traces);
-        for (((reply, k), rec), trace) in waiting.into_iter().zip(recs).zip(traces) {
-            let mut items = rec.items;
-            items.truncate(k);
-            let resp = Response {
-                pool: rec.pool as u32,
-                scored: rec.scored as u32,
-                items,
-                trace: None,
-            };
-            shared.stats.served.fetch_add(1, Ordering::Relaxed);
-            let _ = reply.send(Reply::Ok(resp, trace));
+        let outcomes = backend.serve_outcomes(&insts, workers, &mut traces);
+        for (((reply, k), outcome), trace) in waiting.into_iter().zip(outcomes).zip(traces) {
+            match outcome {
+                Ok(served) => {
+                    let mut items = served.rec.items;
+                    items.truncate(k);
+                    let resp = Response {
+                        pool: served.rec.pool as u32,
+                        scored: served.rec.scored as u32,
+                        items,
+                        trace: None,
+                    };
+                    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                    let replica = if served.degraded { NO_REPLICA } else { served.replica };
+                    let _ = reply.send(Reply::Ok(resp, trace, replica, served.epoch));
+                }
+                Err(failure) => {
+                    shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+                    stisan_obs::counter("gateway.internal_errors_total", 1);
+                    stisan_obs::flight_event(trace.trace_id, Stage::Scored, Outcome::Internal);
+                    maybe_dump_replica_panic(shared);
+                    let _ = reply.send(Reply::Err(
+                        ErrorCode::Internal,
+                        failure.to_string(),
+                        trace,
+                    ));
+                }
+            }
         }
     }
 }
@@ -638,7 +724,7 @@ fn handle_conn(
         stisan_obs::counter("gateway.requests_total", 1);
         shared.cv.notify_all();
         match rx.recv() {
-            Ok(Reply::Ok(mut resp, mut trace)) => {
+            Ok(Reply::Ok(mut resp, mut trace, replica, epoch)) => {
                 trace.stamp(Stage::Written);
                 if wants_echo {
                     resp.trace = Some(TraceEcho {
@@ -653,16 +739,17 @@ fn handle_conn(
                 }
                 let wrote =
                     crate::protocol::write_frame(&mut stream, &Frame::Response(resp)).is_ok();
-                stisan_obs::flight_event(trace_id, Stage::Written, Outcome::Ok);
+                stisan_obs::flight_event_ext(trace_id, Stage::Written, Outcome::Ok, replica, epoch);
                 stisan_obs::record_trace(&trace);
                 if !wrote {
                     break;
                 }
             }
-            Ok(Reply::Err(code, _trace)) => {
-                // Dropped traces (deadline blown) stay out of the latency
-                // histograms; their flight event was already recorded.
-                send_error(&mut stream, code, code.to_string());
+            Ok(Reply::Err(code, detail, _trace)) => {
+                // Dropped traces (deadline blown, backend failure) stay out
+                // of the latency histograms; their flight event was already
+                // recorded by the dispatcher.
+                send_error(&mut stream, code, detail);
             }
             Err(_) => {
                 // Dispatcher gone mid-request (server tearing down hard).

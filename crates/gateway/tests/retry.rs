@@ -1,0 +1,236 @@
+//! Client retry policy against a scripted flaky server.
+//!
+//! The fake server speaks the real wire protocol but follows a per-test
+//! script: fail the first N requests with a typed error, drop connections
+//! mid-response, or answer cleanly — while counting every request frame it
+//! actually received. The counts are the point: they prove not just that
+//! the client eventually succeeds, but *how many times* the server was hit
+//! (idempotency) and that non-retryable errors stop the loop cold.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use stisan_gateway::client::{ClientError, GatewayClient, RetryPolicy};
+use stisan_gateway::protocol::{
+    read_frame, write_frame, ErrorCode, ErrorFrame, Frame, ReadError, Request, Response,
+};
+
+/// What the fake server does with one incoming request frame.
+#[derive(Clone, Copy, Debug)]
+enum Script {
+    /// Answer with a valid response.
+    Ok,
+    /// Answer with a typed error frame, connection stays open.
+    Error(ErrorCode),
+    /// Read the request, then drop the connection without answering
+    /// (the client sees EOF/reset after a successful write).
+    DropAfterRead,
+    /// Write half an error frame then drop (mid-frame cut: `ReadError::Io`).
+    DropMidWrite,
+}
+
+/// A scripted wire-protocol server. Each received request frame consumes
+/// the next script step (sticking on the last step when the script runs
+/// out) and bumps `hits`.
+struct FlakyServer {
+    addr: std::net::SocketAddr,
+    hits: Arc<AtomicUsize>,
+    stopping: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl FlakyServer {
+    fn start(script: Vec<Script>) -> FlakyServer {
+        assert!(!script.is_empty());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+        let addr = listener.local_addr().expect("local addr");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        let stopping = Arc::new(AtomicBool::new(false));
+        let stopping2 = stopping.clone();
+        let handle = thread::spawn(move || {
+            let step = AtomicUsize::new(0);
+            for conn in listener.incoming() {
+                if stopping2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { break };
+                loop {
+                    match read_frame(&mut stream) {
+                        Ok(Frame::Request(_)) => {}
+                        _ => break, // clean close or garbage: next connection
+                    }
+                    let i = step.fetch_add(1, Ordering::SeqCst);
+                    hits2.fetch_add(1, Ordering::SeqCst);
+                    let action = script[i.min(script.len() - 1)];
+                    match action {
+                        Script::Ok => {
+                            let resp = Response {
+                                pool: 10,
+                                scored: 10,
+                                items: vec![(1, 0.5), (2, 0.25)],
+                                trace: None,
+                            };
+                            if write_frame(&mut stream, &Frame::Response(resp)).is_err() {
+                                break;
+                            }
+                        }
+                        Script::Error(code) => {
+                            let e = ErrorFrame { code, message: "scripted".into() };
+                            if write_frame(&mut stream, &Frame::Error(e)).is_err() {
+                                break;
+                            }
+                        }
+                        Script::DropAfterRead => break,
+                        Script::DropMidWrite => {
+                            // Half a header: magic only, then cut.
+                            let _ = stream.write_all(b"ST");
+                            break;
+                        }
+                    }
+                    // `Ok` on the final step keeps serving further requests;
+                    // drop variants already broke out of the loop.
+                }
+            }
+        });
+        FlakyServer { addr, hits, stopping, handle: Some(handle) }
+    }
+
+    fn hits(&self) -> usize {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Raises the stop flag, then connects once to unblock the accept
+    /// loop so the thread can observe it and exit.
+    fn stop(mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        if let Some(h) = self.handle.take() {
+            h.join().expect("fake server thread");
+        }
+    }
+}
+
+fn request() -> Request {
+    Request { user: 1, k: 2, deadline_ms: 0, seq: Vec::new(), trace_id: None }
+}
+
+/// A fast policy so tests don't sleep for real-world backoffs.
+fn fast(max_attempts: u32, idempotent: bool) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff_us: 200,
+        max_backoff_us: 2_000,
+        jitter_seed: 42,
+        idempotent,
+    }
+}
+
+#[test]
+fn overloaded_then_ok_retries_on_same_connection() {
+    let srv = FlakyServer::start(vec![
+        Script::Error(ErrorCode::Overloaded),
+        Script::Error(ErrorCode::Overloaded),
+        Script::Ok,
+    ]);
+    let mut c = GatewayClient::connect(srv.addr).expect("connect");
+    let (resp, attempts) =
+        c.recommend_retrying(&request(), &fast(5, true)).expect("must succeed on attempt 3");
+    assert_eq!(attempts, 3);
+    assert_eq!(resp.items.len(), 2);
+    assert_eq!(srv.hits(), 3, "exactly three requests must reach the server");
+    drop(c);
+    srv.stop();
+}
+
+#[test]
+fn internal_error_is_retryable_bad_request_is_not() {
+    let srv = FlakyServer::start(vec![Script::Error(ErrorCode::Internal), Script::Ok]);
+    let mut c = GatewayClient::connect(srv.addr).expect("connect");
+    let (_, attempts) = c.recommend_retrying(&request(), &fast(4, true)).expect("retryable");
+    assert_eq!(attempts, 2);
+    drop(c);
+    srv.stop();
+
+    let srv = FlakyServer::start(vec![Script::Error(ErrorCode::BadRequest), Script::Ok]);
+    let mut c = GatewayClient::connect(srv.addr).expect("connect");
+    match c.recommend_retrying(&request(), &fast(4, true)) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("BAD_REQUEST must not be retried, got {other:?}"),
+    }
+    assert_eq!(srv.hits(), 1, "non-retryable error must stop after one attempt");
+    drop(c);
+    srv.stop();
+}
+
+#[test]
+fn connection_drop_after_write_resends_only_when_idempotent() {
+    // Idempotent: the drop after a successful write is re-sent elsewhere.
+    let srv = FlakyServer::start(vec![Script::DropAfterRead, Script::Ok]);
+    let mut c = GatewayClient::connect(srv.addr).expect("connect");
+    let (_, attempts) = c.recommend_retrying(&request(), &fast(4, true)).expect("reconnect+retry");
+    assert_eq!(attempts, 2);
+    assert_eq!(srv.hits(), 2, "one original + one re-send");
+    drop(c);
+    srv.stop();
+
+    // Non-idempotent: the same failure must surface, not re-send.
+    let srv = FlakyServer::start(vec![Script::DropAfterRead, Script::Ok]);
+    let mut c = GatewayClient::connect(srv.addr).expect("connect");
+    let err = c
+        .recommend_retrying(&request(), &fast(4, false))
+        .expect_err("write-then-drop must not be retried without idempotency");
+    match err {
+        ClientError::Protocol(ReadError::Eof) | ClientError::Protocol(ReadError::Io(_)) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+    assert_eq!(srv.hits(), 1, "the request must reach the server exactly once");
+    drop(c);
+    srv.stop();
+}
+
+#[test]
+fn mid_frame_cut_reconnects_and_recovers() {
+    let srv = FlakyServer::start(vec![Script::DropMidWrite, Script::Ok]);
+    let mut c = GatewayClient::connect(srv.addr).expect("connect");
+    let (resp, attempts) = c.recommend_retrying(&request(), &fast(4, true)).expect("recover");
+    assert_eq!(attempts, 2);
+    assert_eq!(resp.pool, 10);
+    assert_eq!(srv.hits(), 2);
+    drop(c);
+    srv.stop();
+}
+
+#[test]
+fn attempts_are_bounded() {
+    let srv = FlakyServer::start(vec![Script::Error(ErrorCode::Overloaded)]);
+    let mut c = GatewayClient::connect(srv.addr).expect("connect");
+    let err = c
+        .recommend_retrying(&request(), &fast(3, true))
+        .expect_err("a permanently overloaded server must exhaust the budget");
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Overloaded),
+        other => panic!("expected the last server error, got {other:?}"),
+    }
+    assert_eq!(srv.hits(), 3, "max_attempts must bound the server hits");
+    drop(c);
+    srv.stop();
+}
+
+#[test]
+fn plain_recommend_is_unchanged_by_retry_plumbing() {
+    let srv = FlakyServer::start(vec![Script::Ok]);
+    let mut c = GatewayClient::connect(srv.addr).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(2))).expect("timeout");
+    let resp = c.recommend(&request()).expect("single-shot path");
+    assert_eq!(resp.items, vec![(1, 0.5), (2, 0.25)]);
+    assert_eq!(srv.hits(), 1);
+    drop(c);
+    srv.stop();
+}

@@ -138,7 +138,9 @@ impl CheckpointManager {
         self.dir.join(format!("ckpt-{epoch:08}.{CKPT_EXT}"))
     }
 
-    fn parse_epoch(path: &Path) -> Option<u64> {
+    /// The epoch a checkpoint file encodes in its name, or `None` for
+    /// non-checkpoint files (staging, quarantine, strangers).
+    pub fn epoch_of(path: &Path) -> Option<u64> {
         if path.extension().and_then(|e| e.to_str()) != Some(CKPT_EXT) {
             return None;
         }
@@ -152,7 +154,7 @@ impl CheckpointManager {
         let mut out = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let path = entry?.path();
-            if let Some(epoch) = Self::parse_epoch(&path) {
+            if let Some(epoch) = Self::epoch_of(&path) {
                 out.push((epoch, path));
             }
         }
@@ -163,6 +165,15 @@ impl CheckpointManager {
     /// The newest checkpoint on disk, if any (by epoch number).
     pub fn latest(&self) -> io::Result<Option<(u64, PathBuf)>> {
         Ok(self.list()?.pop())
+    }
+
+    /// Checkpoints strictly newer than `epoch`, sorted oldest → newest.
+    /// Reload watchers poll this to find unseen publications without
+    /// re-reading files they already validated or quarantined.
+    pub fn newer_than(&self, epoch: u64) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut list = self.list()?;
+        list.retain(|&(e, _)| e > epoch);
+        Ok(list)
     }
 
     /// Atomically saves `store` (plus optional trainer state) as the
@@ -240,7 +251,12 @@ impl CheckpointManager {
         Ok(None)
     }
 
-    fn quarantine(&self, path: &Path) {
+    /// Renames `path` to `*.corrupt` so it never shadows a good checkpoint
+    /// again (deleting it as a last resort if the rename fails). Public so
+    /// external validators — e.g. the serve-side reload watcher, which
+    /// rejects checkpoints on canary-score grounds the CRC can't see — can
+    /// apply the same quarantine discipline.
+    pub fn quarantine(&self, path: &Path) {
         let mut name = path.as_os_str().to_os_string();
         name.push(".");
         name.push(QUARANTINE_SUFFIX);
@@ -343,6 +359,23 @@ mod tests {
         assert!(!p2.exists(), "corrupt file left in place");
         let quarantined = dir.join("ckpt-00000002.stsn.corrupt");
         assert!(quarantined.exists(), "corrupt file not quarantined");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn newer_than_filters_and_sorts() {
+        let dir = tmpdir("newer");
+        let mgr = CheckpointManager::new(&dir, 10).unwrap();
+        let src = sample_store(1);
+        for e in [5u64, 2, 9, 7] {
+            mgr.save(&src, None, e).unwrap();
+        }
+        let newer: Vec<u64> = mgr.newer_than(5).unwrap().into_iter().map(|(e, _)| e).collect();
+        assert_eq!(newer, vec![7, 9]);
+        assert!(mgr.newer_than(9).unwrap().is_empty());
+        assert_eq!(mgr.newer_than(0).unwrap().len(), 4);
+        assert_eq!(CheckpointManager::epoch_of(&mgr.path_for(7)), Some(7));
+        assert_eq!(CheckpointManager::epoch_of(Path::new("ckpt-00000001.stsn.tmp")), None);
         fs::remove_dir_all(&dir).ok();
     }
 

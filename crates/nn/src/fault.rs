@@ -89,6 +89,19 @@ pub fn torn_write(path: &Path, bytes: &[u8], keep: usize) -> io::Result<()> {
     w.flush()
 }
 
+/// Flips one payload bit near the middle of the checkpoint at `path` — a
+/// bad-sector corruption that the format's CRC-32 footer must catch. The
+/// midpoint lands well past the header in any real checkpoint, so the file
+/// still *looks* like a checkpoint until the integrity check runs. Chaos
+/// suites use this to publish plausible-but-corrupt checkpoints.
+pub fn corrupt_checkpoint(path: &Path) -> io::Result<()> {
+    let len = fs::metadata(path)?.len() as usize;
+    if len == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "cannot corrupt an empty file"));
+    }
+    flip_bit(path, len / 2, 3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +139,21 @@ mod tests {
         let p = tmpfile("torn");
         torn_write(&p, b"0123456789", 4).unwrap();
         assert_eq!(fs::read(&p).unwrap(), b"0123");
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_flips_one_middle_bit() {
+        let p = tmpfile("corrupt");
+        fs::write(&p, b"0123456789").unwrap();
+        corrupt_checkpoint(&p).unwrap();
+        let got = fs::read(&p).unwrap();
+        assert_eq!(got.len(), 10, "length must be preserved");
+        let diffs: Vec<usize> = (0..10).filter(|&i| got[i] != b"0123456789"[i]).collect();
+        assert_eq!(diffs, vec![5], "exactly the middle byte differs");
+        assert_eq!(got[5] ^ b'5', 1 << 3, "exactly one bit flipped");
+        fs::write(&p, b"").unwrap();
+        assert!(corrupt_checkpoint(&p).is_err());
         fs::remove_file(&p).ok();
     }
 }

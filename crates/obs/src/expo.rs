@@ -247,7 +247,12 @@ pub fn parse(text: &str) -> Result<Exposition, String> {
 }
 
 /// Renders a health document as JSON: queue depth, shed counters and
-/// rate, derived from a snapshot. Used by the gateway's `/healthz`.
+/// rate, plus fleet state (replica counts, reload epoch, panic totals),
+/// derived from a snapshot. Used by the gateway's `/healthz`.
+///
+/// `status` is `"ok"` while at least one replica is healthy (or the
+/// deployment is unreplicated), `"degraded"` once every replica is down
+/// and requests are being answered by the fallback scorer.
 pub fn render_healthz(snap: &Snapshot) -> String {
     let counter = |name: &str| {
         snap.counters.iter().find(|(k, _)| k == name).map(|&(_, v)| v).unwrap_or(0)
@@ -259,10 +264,18 @@ pub fn render_healthz(snap: &Snapshot) -> String {
     let shed = counter("gateway.shed_total");
     let offered = admitted + shed;
     let shed_rate = if offered == 0 { 0.0 } else { shed as f64 / offered as f64 };
+    let replicas_total = gauge("gateway.replicas_total");
+    let replicas_healthy = gauge("gateway.replicas_healthy");
+    let status = if replicas_total > 0.0 && replicas_healthy == 0.0 { "degraded" } else { "ok" };
     format!(
-        "{{\"status\":\"ok\",\"queue_depth\":{},\"requests_total\":{admitted},\"shed_total\":{shed},\"shed_rate\":{}}}",
+        "{{\"status\":\"{status}\",\"queue_depth\":{},\"requests_total\":{admitted},\"shed_total\":{shed},\"shed_rate\":{},\
+         \"replicas_total\":{},\"replicas_healthy\":{},\"replica_panics_total\":{},\"reload_epoch\":{}}}",
         json_num(gauge("gateway.queue_depth")),
-        json_num(shed_rate)
+        json_num(shed_rate),
+        json_num(replicas_total),
+        json_num(replicas_healthy),
+        counter("gateway.replica_panics_total"),
+        json_num(gauge("reload.epoch")),
     )
 }
 
@@ -342,8 +355,32 @@ mod tests {
         r.inc("gateway.shed_total", 25);
         r.set_gauge("gateway.queue_depth", 7.0);
         let h = render_healthz(&r.snapshot());
+        assert!(h.contains("\"status\":\"ok\""));
         assert!(h.contains("\"queue_depth\":7"));
         assert!(h.contains("\"shed_total\":25"));
         assert!(h.contains("\"shed_rate\":0.25"));
+        // Unreplicated deployments report empty fleet state, still ok.
+        assert!(h.contains("\"replicas_total\":0"));
+        assert!(h.contains("\"reload_epoch\":0"));
+    }
+
+    #[test]
+    fn healthz_degrades_when_all_replicas_down() {
+        let r = Registry::new();
+        r.set_gauge("gateway.replicas_total", 3.0);
+        r.set_gauge("gateway.replicas_healthy", 0.0);
+        r.set_gauge("reload.epoch", 12.0);
+        r.inc("gateway.replica_panics_total", 4);
+        let h = render_healthz(&r.snapshot());
+        assert!(h.contains("\"status\":\"degraded\""), "got: {h}");
+        assert!(h.contains("\"replicas_total\":3"));
+        assert!(h.contains("\"replicas_healthy\":0"));
+        assert!(h.contains("\"replica_panics_total\":4"));
+        assert!(h.contains("\"reload_epoch\":12"));
+
+        // One healthy replica flips it back to ok.
+        r.set_gauge("gateway.replicas_healthy", 1.0);
+        let h = render_healthz(&r.snapshot());
+        assert!(h.contains("\"status\":\"ok\""), "got: {h}");
     }
 }

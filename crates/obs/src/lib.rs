@@ -44,7 +44,7 @@ pub use log::{level, parse_level, set_level, Level};
 pub use metrics::{HistogramSummary, Registry, Snapshot};
 pub use profile::{OpKindRow, OpKindStats, TapeProfiler};
 pub use report::{EpochStats, RunReport};
-pub use ring::{FlightEvent, FlightRecorder, Outcome};
+pub use ring::{FlightEvent, FlightRecorder, Outcome, NO_REPLICA};
 pub use span::{span, Span};
 pub use trace::{Stage, TraceCtx, TraceExemplar, TraceHub};
 
@@ -188,6 +188,15 @@ pub fn trace_exemplars() -> Vec<TraceExemplar> {
 pub fn flight_event(trace_id: u64, stage: Stage, outcome: Outcome) {
     if let Some(obs) = global() {
         obs.flight.record(trace_id, stage, outcome);
+    }
+}
+
+/// [`flight_event`] with replica and reload-epoch attribution, so dumps can
+/// pin a failure on the replica and weights that produced it (no-op while
+/// disabled). Pass [`NO_REPLICA`] for events outside any replica.
+pub fn flight_event_ext(trace_id: u64, stage: Stage, outcome: Outcome, replica: u16, epoch: u64) {
+    if let Some(obs) = global() {
+        obs.flight.record_ext(trace_id, stage, outcome, replica, epoch);
     }
 }
 

@@ -58,6 +58,10 @@ impl Outcome {
     }
 }
 
+/// Sentinel replica id for events that did not pass through a replica
+/// (single-session serving, admission-side events).
+pub const NO_REPLICA: u16 = u16::MAX;
+
 /// One recorded request event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlightEvent {
@@ -71,15 +75,31 @@ pub struct FlightEvent {
     pub t_us: u64,
     /// How the request left that stage.
     pub outcome: Outcome,
+    /// Replica that handled the stage, when one did (`None` for
+    /// admission-side events and single-session serving). Lets postmortems
+    /// attribute failures to a replica.
+    pub replica: Option<u16>,
+    /// Model reload epoch in force when the event was recorded (0 when the
+    /// serving path has no reloadable model).
+    pub epoch: u64,
 }
 
-/// One ring slot: a seqlock word plus the event fields.
+/// One ring slot: a seqlock word plus the event fields. `replica_epoch`
+/// packs the replica id (high 16 bits, [`NO_REPLICA`] = none) and the
+/// reload epoch (low 48 bits) into one word so publication stays a fixed
+/// five stores.
 #[derive(Default)]
 struct Slot {
     seq: AtomicU64,
     trace_id: AtomicU64,
     stage_outcome: AtomicU64,
     t_us: AtomicU64,
+    replica_epoch: AtomicU64,
+}
+
+/// Packs a replica id and reload epoch into one slot word.
+fn pack_replica_epoch(replica: u16, epoch: u64) -> u64 {
+    ((replica as u64) << 48) | (epoch & ((1 << 48) - 1))
 }
 
 /// Default ring capacity (events, not requests).
@@ -111,8 +131,22 @@ impl FlightRecorder {
         self.t0.elapsed().as_micros() as u64
     }
 
-    /// Records one event. Wait-free: one `fetch_add` plus four stores.
+    /// Records one event with no replica attribution. Wait-free: one
+    /// `fetch_add` plus five stores.
     pub fn record(&self, trace_id: u64, stage: Stage, outcome: Outcome) {
+        self.record_ext(trace_id, stage, outcome, NO_REPLICA, 0);
+    }
+
+    /// Records one event attributed to a replica and reload epoch (pass
+    /// [`NO_REPLICA`] when the event did not pass through a replica).
+    pub fn record_ext(
+        &self,
+        trace_id: u64,
+        stage: Stage,
+        outcome: Outcome,
+        replica: u16,
+        epoch: u64,
+    ) {
         let t_us = self.now_us();
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
@@ -121,6 +155,7 @@ impl FlightRecorder {
         slot.trace_id.store(trace_id, Ordering::Relaxed);
         slot.stage_outcome.store(((stage as u64) << 8) | outcome as u64, Ordering::Relaxed);
         slot.t_us.store(t_us, Ordering::Relaxed);
+        slot.replica_epoch.store(pack_replica_epoch(replica, epoch), Ordering::Relaxed);
         slot.seq.store(2 * ticket + 2, Ordering::Release);
     }
 
@@ -141,6 +176,7 @@ impl FlightRecorder {
             let trace_id = slot.trace_id.load(Ordering::Relaxed);
             let so = slot.stage_outcome.load(Ordering::Relaxed);
             let t_us = slot.t_us.load(Ordering::Relaxed);
+            let re = slot.replica_epoch.load(Ordering::Relaxed);
             if slot.seq.load(Ordering::Acquire) != s1 {
                 continue; // overwritten while reading
             }
@@ -149,7 +185,16 @@ impl FlightRecorder {
             else {
                 continue; // torn beyond recognition: drop the slot
             };
-            out.push(FlightEvent { ticket: (s1 - 2) / 2, trace_id, stage, t_us, outcome });
+            let replica_raw = (re >> 48) as u16;
+            out.push(FlightEvent {
+                ticket: (s1 - 2) / 2,
+                trace_id,
+                stage,
+                t_us,
+                outcome,
+                replica: (replica_raw != NO_REPLICA).then_some(replica_raw),
+                epoch: re & ((1 << 48) - 1),
+            });
         }
         out.sort_by_key(|e| e.ticket);
         out
@@ -172,13 +217,17 @@ impl FlightRecorder {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"ticket\":{},\"trace_id\":{},\"stage\":\"{}\",\"t_us\":{},\"outcome\":\"{}\"}}",
+                "{{\"ticket\":{},\"trace_id\":{},\"stage\":\"{}\",\"t_us\":{},\"outcome\":\"{}\"",
                 e.ticket,
                 e.trace_id,
                 e.stage.name(),
                 e.t_us,
                 e.outcome.name()
             ));
+            if let Some(r) = e.replica {
+                s.push_str(&format!(",\"replica\":{r},\"epoch\":{}", e.epoch));
+            }
+            s.push('}');
         }
         s.push_str("]}");
         s
@@ -271,6 +320,24 @@ mod tests {
         assert!(j.contains("\"trace_id\":42"));
         assert!(j.contains("\"stage\":\"written\""));
         assert!(j.contains("\"outcome\":\"ok\""));
+        // Unattributed events carry no replica/epoch keys.
+        assert!(!j.contains("\"replica\""));
+    }
+
+    #[test]
+    fn replica_and_epoch_are_attributed_per_slot() {
+        let r = FlightRecorder::with_capacity(16);
+        r.record(1, Stage::Admitted, Outcome::Ok);
+        r.record_ext(2, Stage::Scored, Outcome::Internal, 3, 17);
+        r.record_ext(3, Stage::Scored, Outcome::Ok, 0, (1 << 48) - 1);
+        let d = r.dump();
+        assert_eq!(d[0].replica, None);
+        assert_eq!((d[0].epoch, d[1].replica, d[1].epoch), (0, Some(3), 17));
+        // The 48-bit epoch field saturates at its own width, not u64's.
+        assert_eq!((d[2].replica, d[2].epoch), (Some(0), (1 << 48) - 1));
+        let j = r.dump_json("postmortem");
+        assert!(j.contains("\"replica\":3,\"epoch\":17"));
+        assert!(j.contains("\"outcome\":\"internal\""));
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Per-replica circuit breaker: closed → open → half-open.
+//!
+//! A pure state machine over a caller-supplied microsecond clock, in the
+//! same style as the gateway's `MicroBatcher`: no `Instant` inside, so
+//! tests drive it with a simulated clock and every transition is
+//! deterministic.
+//!
+//! * **Closed** — requests flow; `failure_threshold` *consecutive* failures
+//!   trip the breaker open.
+//! * **Open** — requests are refused for `open_cooldown_us`; after the
+//!   cooldown the next [`CircuitBreaker::allow`] moves to half-open.
+//! * **Half-open** — up to `half_open_probes` probe requests are admitted;
+//!   one failure re-opens (with a fresh cooldown), a success closes.
+//!
+//! The supervisor (`crate::replica`) keeps one breaker per replica and
+//! feeds it panics and slow batches as failures.
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// How long Open refuses traffic before probing, in µs.
+    pub open_cooldown_us: u64,
+    /// Probe requests admitted while Half-open before further traffic is
+    /// refused (pending their outcomes).
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    /// Trip after 3 consecutive failures, cool down 250 ms, probe once.
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, open_cooldown_us: 250_000, half_open_probes: 1 }
+    }
+}
+
+/// The observable breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests refused until the cooldown elapses.
+    Open,
+    /// Probing: a bounded number of requests admitted to test recovery.
+    HalfOpen,
+}
+
+/// A closed→open→half-open circuit breaker (see the module docs).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_us: u64,
+    probes_in_flight: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker. `failure_threshold` and `half_open_probes` are
+    /// clamped to at least 1.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let cfg = BreakerConfig {
+            failure_threshold: cfg.failure_threshold.max(1),
+            half_open_probes: cfg.half_open_probes.max(1),
+            ..cfg
+        };
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_us: 0,
+            probes_in_flight: 0,
+        }
+    }
+
+    /// The current state (Open reads as Open even if the cooldown has
+    /// elapsed; the transition happens on the next [`allow`]).
+    ///
+    /// [`allow`]: CircuitBreaker::allow
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a request may proceed at `now_us`. Admitting a probe while
+    /// half-open consumes one probe slot; the caller must report the
+    /// probe's outcome via [`on_success`] / [`on_failure`].
+    ///
+    /// [`on_success`]: CircuitBreaker::on_success
+    /// [`on_failure`]: CircuitBreaker::on_failure
+    pub fn allow(&mut self, now_us: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_us.saturating_sub(self.opened_at_us) >= self.cfg.open_cooldown_us {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_in_flight = 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight < self.cfg.half_open_probes {
+                    self.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a success: closes a half-open breaker, clears the
+    /// consecutive-failure count.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.probes_in_flight = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Reports a failure at `now_us`: re-opens a half-open breaker
+    /// immediately, trips a closed one once `failure_threshold`
+    /// consecutive failures accumulate.
+    pub fn on_failure(&mut self, now_us: u64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => self.open_at(now_us),
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.open_at(now_us);
+                }
+            }
+            BreakerState::Open => self.opened_at_us = now_us,
+        }
+    }
+
+    /// Forces the breaker into half-open probing — the supervisor calls
+    /// this when it restarts a crashed replica, so the first requests after
+    /// the restart are probes regardless of where the open cooldown stood.
+    pub fn begin_probation(&mut self) {
+        self.state = BreakerState::HalfOpen;
+        self.probes_in_flight = 0;
+    }
+
+    fn open_at(&mut self, now_us: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at_us = now_us;
+        self.probes_in_flight = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown_us: 1_000,
+            half_open_probes: 2,
+        })
+    }
+
+    #[test]
+    fn trips_only_on_consecutive_failures() {
+        let mut b = breaker();
+        for _ in 0..10 {
+            b.on_failure(0);
+            b.on_success(); // interleaved successes reset the streak
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(0);
+        b.on_failure(1);
+        assert!(b.allow(2), "two failures must not trip a threshold of 3");
+        b.on_failure(2);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(3));
+    }
+
+    #[test]
+    fn cooldown_then_probe_then_close_or_reopen() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(!b.allow(500), "still cooling down");
+        // Cooldown elapsed: exactly `half_open_probes` probes admitted.
+        assert!(b.allow(1_002));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(1_003));
+        assert!(!b.allow(1_004), "probe budget exhausted");
+        // A probe failure re-opens with a fresh cooldown...
+        b.on_failure(1_005);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(1_900), "fresh cooldown from the probe failure");
+        assert!(b.allow(2_006));
+        // ...and a probe success closes.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(2_007));
+    }
+
+    #[test]
+    fn begin_probation_restores_probe_budget() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        b.begin_probation();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(4), "probation must admit probes without waiting out the cooldown");
+        assert!(b.allow(5));
+        assert!(!b.allow(6));
+    }
+
+    #[test]
+    fn zero_thresholds_are_clamped() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 0,
+            open_cooldown_us: 100,
+            half_open_probes: 0,
+        });
+        assert!(b.allow(0));
+        b.on_failure(0); // threshold clamps to 1: first failure trips
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(200), "clamped probe budget of 1 must admit one probe");
+        assert!(!b.allow(201));
+    }
+}

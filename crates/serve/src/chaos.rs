@@ -1,0 +1,307 @@
+//! Chaos injection for the serving stack.
+//!
+//! Builds on `stisan_nn::fault` (torn writes, truncation, bit flips —
+//! reused by chaos suites to publish corrupt checkpoints) with the serving
+//! failure modes those can't express:
+//!
+//! * [`ChaosPlan`] — a shared, atomically-armed injection plan: panic after
+//!   N scoring calls, delay every call by D µs.
+//! * [`ChaosScorer`] — wraps any [`FrozenScorer`] and consults the plan on
+//!   every call, so injected faults fire *inside* replica workers, exactly
+//!   where real model bugs would.
+//! * [`WeightedPrior`] — a deliberately tiny checkpointable model (one bias
+//!   array over the catalogue, saved/loaded through the real `ParamStore`
+//!   v2 format) so chaos and reload tests exercise genuine CRC-guarded
+//!   checkpoint files, deterministic per epoch seed, cheap enough to
+//!   publish dozens of epochs in a test.
+//!
+//! Injected panics carry the `"chaos:"` prefix so harnesses can install a
+//! panic hook that silences exactly them and nothing else.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use stisan_data::{EvalInstance, Processed};
+use stisan_eval::{FrozenScorer, Recommender};
+use stisan_nn::{CheckpointManager, LoadError, ParamStore};
+use stisan_tensor::Array;
+
+/// Marker prefix of every chaos-injected panic message.
+pub const CHAOS_PANIC_PREFIX: &str = "chaos:";
+
+/// A shared injection plan. Clone the `Arc` into every [`ChaosScorer`];
+/// arm faults from the test driver while replicas serve.
+#[derive(Debug, Default)]
+pub struct ChaosPlan {
+    /// Scoring calls remaining until a panic fires; negative = disarmed.
+    panic_after: AtomicI64,
+    /// Delay injected into every scoring call, µs.
+    delay_us: AtomicU64,
+    /// Total scoring calls observed.
+    calls: AtomicU64,
+}
+
+impl ChaosPlan {
+    /// A disarmed plan.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ChaosPlan {
+            panic_after: AtomicI64::new(-1),
+            delay_us: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// Arms a single panic: the `n`-th scoring call from now panics
+    /// (n ≥ 1). The plan disarms itself after firing, so each armed panic
+    /// kills at most one replica.
+    pub fn arm_panic(&self, n: u64) {
+        self.panic_after.store(n.max(1) as i64, Ordering::SeqCst);
+    }
+
+    /// Disarms any pending panic countdown.
+    pub fn disarm(&self) {
+        self.panic_after.store(-1, Ordering::SeqCst);
+    }
+
+    /// Injects a fixed delay into every scoring call (0 to disable).
+    pub fn set_delay_us(&self, us: u64) {
+        self.delay_us.store(us, Ordering::SeqCst);
+    }
+
+    /// Total scoring calls that consulted this plan.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// Whether a panic is currently armed.
+    pub fn panic_armed(&self) -> bool {
+        self.panic_after.load(Ordering::SeqCst) > 0
+    }
+
+    /// Consults the plan from inside a scoring call: sleeps, counts, and
+    /// panics when an armed countdown reaches zero.
+    pub fn trip(&self) {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let delay = self.delay_us.load(Ordering::SeqCst);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_micros(delay));
+        }
+        let prev = self.panic_after.load(Ordering::SeqCst);
+        if prev > 0 && self.panic_after.fetch_sub(1, Ordering::SeqCst) == 1 {
+            panic!("{CHAOS_PANIC_PREFIX} injected replica panic");
+        }
+    }
+}
+
+/// Installs a process-wide panic hook that suppresses the default stderr
+/// backtrace for chaos-injected panics only (they are expected noise in
+/// chaos suites; real panics still print). Call once per test process.
+pub fn silence_chaos_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let is_chaos = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.starts_with(CHAOS_PANIC_PREFIX));
+        if !is_chaos {
+            default(info);
+        }
+    }));
+}
+
+/// Wraps a scorer with chaos injection points (see [`ChaosPlan`]).
+pub struct ChaosScorer<M> {
+    /// The real scorer.
+    pub inner: M,
+    plan: Arc<ChaosPlan>,
+}
+
+impl<M> ChaosScorer<M> {
+    /// Wraps `inner`, consulting `plan` on every scoring call.
+    pub fn new(inner: M, plan: Arc<ChaosPlan>) -> Self {
+        ChaosScorer { inner, plan }
+    }
+
+    /// The shared plan handle.
+    pub fn plan(&self) -> &Arc<ChaosPlan> {
+        &self.plan
+    }
+}
+
+impl<M: Recommender> Recommender for ChaosScorer<M> {
+    fn name(&self) -> String {
+        format!("chaos({})", self.inner.name())
+    }
+
+    fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        self.plan.trip();
+        self.inner.score(data, inst, candidates)
+    }
+}
+
+impl<M: FrozenScorer> FrozenScorer for ChaosScorer<M> {
+    fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        self.plan.trip();
+        self.inner.score_frozen(data, inst, candidates)
+    }
+}
+
+/// The splitmix64 finalizer (same construction as the training loops'
+/// `epoch_rng`): a cheap, high-quality hash from `(seed, index)` to u64.
+pub(crate) fn splitmix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Name of the single parameter a [`WeightedPrior`] checkpoint stores.
+const PRIOR_PARAM: &str = "prior.bias";
+
+/// A minimal checkpointable model for chaos/reload testing: one bias per
+/// POI; `score(p) = bias[p] − distance_km(last_checkin, p)`. Different
+/// epochs get visibly different biases, so parity checks can tell *which*
+/// epoch answered a request.
+#[derive(Debug)]
+pub struct WeightedPrior {
+    /// Per-POI bias, indexed by id (entry 0 is padding).
+    bias: Vec<f32>,
+}
+
+impl WeightedPrior {
+    /// Deterministic biases derived from `(seed, poi)` via splitmix64,
+    /// in `[0, 4)`.
+    pub fn seeded(num_pois: usize, seed: u64) -> Self {
+        let bias = (0..=num_pois)
+            .map(|p| (splitmix64(seed, p as u64) % 4096) as f32 / 1024.0)
+            .collect();
+        WeightedPrior { bias }
+    }
+
+    /// All-NaN biases: a checkpoint that is bytewise intact (CRC passes)
+    /// but semantically poison — the canary gate's job to catch.
+    pub fn poisoned(num_pois: usize) -> Self {
+        WeightedPrior { bias: vec![f32::NAN; num_pois + 1] }
+    }
+
+    /// The bias vector (for constructing fixtures).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Saves through the real checkpoint pipeline: `ParamStore` v2 bytes,
+    /// atomic write, retention — so chaos suites corrupt and quarantine
+    /// genuine files.
+    pub fn save(&self, mgr: &CheckpointManager, epoch: u64) -> std::io::Result<std::path::PathBuf> {
+        let mut store = ParamStore::new();
+        store.register(PRIOR_PARAM, Array::from_vec(vec![self.bias.len()], self.bias.clone()));
+        mgr.save(&store, None, epoch)
+    }
+
+    /// Loads a checkpoint written by [`save`] for a catalogue of
+    /// `num_pois` POIs. CRC/parse failures surface as
+    /// [`LoadError::Format`], wrong catalogue size as
+    /// [`LoadError::Mismatch`] — exactly what the reload watcher's
+    /// quarantine logic keys on.
+    ///
+    /// [`save`]: WeightedPrior::save
+    pub fn load(path: &Path, num_pois: usize) -> Result<Self, LoadError> {
+        let mut store = ParamStore::new();
+        let id = store.register(PRIOR_PARAM, Array::zeros(vec![num_pois + 1]));
+        store.load_file(path)?;
+        Ok(WeightedPrior { bias: store.value(id).data().to_vec() })
+    }
+}
+
+impl Recommender for WeightedPrior {
+    fn name(&self) -> String {
+        "weighted-prior".into()
+    }
+
+    fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        let last = inst.poi.last().copied().unwrap_or(0);
+        let anchor = (last >= 1 && (last as usize) <= data.num_pois).then(|| data.loc(last));
+        candidates
+            .iter()
+            .map(|&p| {
+                let bias = self.bias.get(p as usize).copied().unwrap_or(0.0);
+                let dist = match anchor {
+                    Some(a) if p >= 1 && (p as usize) <= data.num_pois => {
+                        data.loc(p).distance_km(&a) as f32
+                    }
+                    _ => 0.0,
+                };
+                bias - dist
+            })
+            .collect()
+    }
+}
+
+impl FrozenScorer for WeightedPrior {
+    fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        self.score(data, inst, candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn plan_counts_delays_and_panics_once() {
+        let plan = ChaosPlan::new();
+        plan.trip();
+        plan.trip();
+        assert_eq!(plan.calls(), 2);
+        assert!(!plan.panic_armed());
+
+        plan.arm_panic(2);
+        plan.trip(); // 1 of 2
+        let hit = catch_unwind(AssertUnwindSafe(|| plan.trip()));
+        assert!(hit.is_err(), "second armed call must panic");
+        assert!(!plan.panic_armed(), "plan must disarm after firing");
+        plan.trip(); // and stay disarmed
+        assert_eq!(plan.calls(), 5);
+    }
+
+    #[test]
+    fn prior_roundtrips_through_real_checkpoints() {
+        let dir = std::env::temp_dir()
+            .join(format!("stisan_chaos_prior_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mgr = CheckpointManager::new(&dir, 4).unwrap();
+        let num_pois = 50;
+        let a = WeightedPrior::seeded(num_pois, 7);
+        let b = WeightedPrior::seeded(num_pois, 8);
+        assert_ne!(a.bias(), b.bias(), "different seeds must be distinguishable");
+        let path = a.save(&mgr, 3).unwrap();
+        let loaded = WeightedPrior::load(&path, num_pois).unwrap();
+        assert_eq!(loaded.bias(), a.bias(), "checkpoint roundtrip must be bit-exact");
+        // Corruption is caught by the format, typed as Format.
+        stisan_nn::fault::corrupt_checkpoint(&path).unwrap();
+        match WeightedPrior::load(&path, num_pois) {
+            Err(LoadError::Format(_)) => {}
+            other => panic!("expected Format error from corrupt file, got {other:?}"),
+        }
+        // Wrong catalogue size is a structural mismatch.
+        let c = WeightedPrior::seeded(num_pois, 9);
+        let p2 = c.save(&mgr, 4).unwrap();
+        assert!(matches!(
+            WeightedPrior::load(&p2, num_pois + 5),
+            Err(LoadError::Mismatch(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_prior_is_nan() {
+        let p = WeightedPrior::poisoned(10);
+        assert!(p.bias()[1].is_nan());
+        assert_eq!(p.bias().len(), 11);
+    }
+}

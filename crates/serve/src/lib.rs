@@ -21,13 +21,44 @@
 //! * **Bounded top-K** — [`top_k`] selects recommendations in `O(n log k)`
 //!   with full-sort-identical tie-breaking.
 //!
+//! Fault tolerance (DESIGN.md §13) is layered on top:
+//!
+//! * **Hot reload** — [`SharedModel`] publishes immutable epoch-stamped
+//!   weight snapshots (Arc-swap); [`ReloadWatcher`] validates candidate
+//!   checkpoints (CRC + canary scoring) before publishing, quarantining
+//!   failures, so a bad checkpoint can never reach a request.
+//! * **Replica supervision** — [`ReplicatedEngine`] routes users across N
+//!   replicas behind a `catch_unwind` panic boundary, restarts crashed
+//!   replicas with exponential backoff + jitter, and feeds a per-replica
+//!   [`CircuitBreaker`].
+//! * **Graceful degradation** — when no replica is routable, the
+//!   popularity/geo [`FallbackScorer`] answers in degraded mode instead of
+//!   erroring.
+//! * **Chaos harness** — the [`chaos`] module injects panics, delays, and
+//!   (via `stisan_nn::fault`) corrupt checkpoints to prove all of the
+//!   above under load.
+//!
 //! Instrumented with `serve.latency_ms`, `serve.batch_size` (histograms) and
-//! `serve.pruned_candidates` (counter) via `stisan-obs`. Throughput and tail
+//! `serve.pruned_candidates` (counter) via `stisan-obs`, plus the
+//! `gateway.replica_*` / `reload.*` fleet series. Throughput and tail
 //! latency against the tape-based path are measured by the `serve_bench`
-//! binary in `stisan-bench`.
+//! binary in `stisan-bench`; fleet behaviour under fault injection by
+//! `gateway_bench --chaos-smoke`.
 
+mod breaker;
+pub mod chaos;
 mod engine;
+mod fallback;
+mod reload;
+mod replica;
 mod topk;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use engine::{InferenceSession, PruningPolicy, Recommendation, ServeConfig};
+pub use fallback::FallbackScorer;
+pub use reload::{CanaryConfig, EpochModel, ReloadReport, ReloadWatcher, Reloader, SharedModel};
+pub use replica::{
+    EngineBackend, ReplicatedEngine, ServeFailure, ServeOutcome, ServedRec, SupervisorConfig,
+    FALLBACK_REPLICA,
+};
 pub use topk::top_k;

@@ -42,8 +42,19 @@ fi
 
 # Allocator-hook code gets zero tolerance, allowlist or not: a panic inside
 # a GlobalAlloc hook aborts the process, and the flame recorder runs on the
-# serving hot path. These files must stay free of unwrap/expect entirely.
-ZERO_TOLERANCE=(crates/obs/src/alloc.rs crates/obs/src/flame.rs)
+# serving hot path. The fault-tolerance layer (reload watcher, replica
+# supervisor, circuit breaker, fallback scorer) joins the set: its entire
+# purpose is absorbing panics, so the only sanctioned panic surface is the
+# catch_unwind boundary in replica.rs — poison-tolerant locking
+# (`unwrap_or_else(PoisonError::into_inner)`) everywhere else.
+ZERO_TOLERANCE=(
+    crates/obs/src/alloc.rs
+    crates/obs/src/flame.rs
+    crates/serve/src/reload.rs
+    crates/serve/src/replica.rs
+    crates/serve/src/breaker.rs
+    crates/serve/src/fallback.rs
+)
 
 fail=0
 for file in "${ZERO_TOLERANCE[@]}"; do

@@ -22,11 +22,18 @@ cargo test -q --release -p stisan-eval --test golden_metrics
 echo "== gateway: protocol corruption, batcher property, and e2e suites"
 cargo test -q --release -p stisan-gateway
 
+echo "== fault tolerance: reload edge cases, client retry, chaos e2e"
+cargo test -q --release -p stisan-serve --test reload
+cargo test -q --release -p stisan-gateway --test retry --test chaos
+
 echo "== serve_bench smoke"
 cargo run --release -p stisan-bench --bin serve_bench -- --smoke
 
 echo "== gateway_bench smoke (micro-batching >= 1.5x, shedding, tracing overhead < 3%)"
 cargo run --release -p stisan-bench --bin gateway_bench -- --smoke
+
+echo "== gateway_bench chaos smoke (availability >= 99%, zero torn reads, process survives)"
+cargo run --release -p stisan-bench --bin gateway_bench -- --chaos-smoke
 
 echo "== exposition check (admin-endpoint scrape must be parseable Prometheus text)"
 cargo run --release -p stisan-bench --bin expo_check -- results/metrics_scrape.prom \
