@@ -554,6 +554,7 @@ fn run_chaos_smoke(o: &Opts, p: &Processed) {
         top_k: o.top_k as usize,
         workers: 0,
         pruning: PruningPolicy::Full,
+        arena: true,
     };
     let epoch_seed = |e: u64| 500 + e;
     let last_good_epoch = 4u64;
@@ -830,6 +831,7 @@ fn main() {
         top_k: o.top_k as usize,
         workers: 0,
         pruning: PruningPolicy::Full,
+        arena: true,
     };
 
     if o.device_us > 0 {

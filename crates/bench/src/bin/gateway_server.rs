@@ -113,7 +113,7 @@ fn main() {
     let session = InferenceSession::new(
         &model,
         &p,
-        ServeConfig { top_k: o.top_k, workers: 0, pruning: PruningPolicy::Full },
+        ServeConfig { top_k: o.top_k, workers: 0, pruning: PruningPolicy::Full, arena: true },
     );
     let cfg = GatewayConfig {
         batch: BatchPolicy {

@@ -224,6 +224,7 @@ fn main() {
             top_k: o.top_k,
             workers: 0,
             pruning: PruningPolicy::Radius { km: o.radius_km, min_candidates: o.min_candidates },
+            arena: true,
         },
     );
     let t0 = Instant::now();

@@ -1,6 +1,7 @@
 //! The STiSAN model and its Table IV ablation variants.
 
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -21,7 +22,7 @@ use stisan_nn::{
     weighted_bce_loss, Adam, CheckpointError, CheckpointManager, Embedding, FeedForward,
     LayerNorm, Linear, ParamStore, Session, TrainState,
 };
-use stisan_tensor::{Array, Exec, Var};
+use stisan_tensor::{Arena, Array, Exec, Var};
 
 /// Quadkey zoom level of the geography encoder (GeoSAN uses 17; we default
 /// lower so the n-gram vocabulary stays proportionate at reduced scale).
@@ -228,6 +229,11 @@ pub struct StiSan {
     pub cfg: StisanConfig,
     poi_tokens: Vec<usize>,
     tokens_per_loc: usize,
+    num_pois: usize,
+    /// Lazily built `[num_pois + 1, d]` candidate-embedding table for frozen
+    /// scoring (see [`StiSan::candidate_table`]). Invalidated whenever the
+    /// weights change ([`StiSan::load`], [`StiSan::fit_with_checkpoints`]).
+    cand_cache: OnceLock<Array>,
 }
 
 impl StiSan {
@@ -259,7 +265,18 @@ impl StiSan {
                 poi_tokens.extend(tokens_for(data.loc(poi as u32), QK_LEVEL, QK_N));
             }
         }
-        StiSan { store, poi_emb, geo_enc, blocks, final_ln, cfg, poi_tokens, tokens_per_loc }
+        StiSan {
+            store,
+            poi_emb,
+            geo_enc,
+            blocks,
+            final_ln,
+            cfg,
+            poi_tokens,
+            tokens_per_loc,
+            num_pois: data.num_pois,
+            cand_cache: OnceLock::new(),
+        }
     }
 
     /// Number of scalar parameters (for the "lightweight" claims).
@@ -283,7 +300,27 @@ impl StiSan {
     /// to resume training). The model must have been built with the same
     /// configuration and dataset shape.
     pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), stisan_nn::LoadError> {
+        self.cand_cache = OnceLock::new(); // weights change: drop the stale table
         self.store.load_file(path).map(|_| ())
+    }
+
+    /// The frozen candidate-embedding table `[num_pois + 1, d]`: row `p` is
+    /// `embed(p)` under the current weights, built lazily on first use.
+    ///
+    /// Every op in the embedding path (embedding gather, the geography
+    /// encoder's per-location attention, the padding mask, concat) is
+    /// row-independent, so gathering candidate rows from this table is
+    /// *bit-identical* to embedding the candidates per request — the parity
+    /// suite asserts this. Serving amortizes the whole geography encoder to
+    /// one table gather per request.
+    fn candidate_table(&self) -> &Array {
+        self.cand_cache.get_or_init(|| {
+            let _span = stisan_obs::span("candidate_table");
+            let ids: Vec<usize> = (0..=self.num_pois).collect();
+            let mut sess = Session::frozen(&self.store);
+            let v = self.embed(&mut sess, &ids);
+            sess.g.value(v).clone()
+        })
     }
 
     /// Embeds POI ids (Section III-B): `poi_embedding (⊕ geo encoding)`,
@@ -381,7 +418,7 @@ impl StiSan {
     ) -> (Var, Vec<Var>) {
         let (b, n, d) = (batch.b, batch.n, self.cfg.train.dim);
         let e = self.embed(sess, &batch.src);
-        let e = sess.g.reshape(e, vec![b, n, d]);
+        let e = sess.g.reshape(e, &[b, n, d]);
         let e = sess.g.add_const(e, self.position_matrix(batch)); // E = E + P
         let mut x = sess.dropout(e, self.cfg.train.dropout);
         let (soft, mask, raw) = self.biases(data, batch);
@@ -404,34 +441,44 @@ impl StiSan {
         self.encode_full(sess, data, batch).0
     }
 
-    /// Backend-generic candidate scoring: one code path serves both the
-    /// tape-based [`Recommender::score`] and the tape-free
-    /// [`FrozenScorer::score_frozen`], so the serving engine is
-    /// parity-by-construction with evaluation.
-    fn score_in<E: Exec>(
+    /// Backend-generic candidate scoring: one code path serves the tape-based
+    /// [`Recommender::score`], the tape-free [`FrozenScorer::score_frozen`],
+    /// and the arena-backed [`FrozenScorer::score_frozen_into`], so the
+    /// serving engine is parity-by-construction with evaluation.
+    ///
+    /// `table`: the precomputed candidate-embedding table
+    /// ([`StiSan::candidate_table`]); `None` embeds the candidates in-graph
+    /// (required on the tape, where the table has no gradient path). The two
+    /// produce bit-identical scores.
+    fn score_var<E: Exec>(
         &self,
         sess: &mut Session<'_, E>,
         data: &Processed,
         inst: &EvalInstance,
         candidates: &[u32],
-    ) -> Vec<f32> {
+        table: Option<&Array>,
+    ) -> Var {
         let batch = SeqBatch::from_eval(data, inst);
         let (n, d) = (batch.n, self.cfg.train.dim);
         let f = self.encode(sess, data, &batch);
         let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
-        let c = self.embed(sess, &ids);
+        let c = match table {
+            Some(t) => {
+                let tv = sess.g.constant(t.clone()); // Arc bump, no copy
+                sess.g.gather(tv, &ids, &[ids.len()])
+            }
+            None => self.embed(sess, &ids),
+        };
         if self.cfg.use_taad {
-            let c = sess.g.reshape(c, vec![1, ids.len(), d]);
+            let c = sess.g.reshape(c, &[1, ids.len(), d]);
             let mask = taad_eval_mask(ids.len(), n, batch.valid_from[0]);
-            let y = taad_scores(sess, f, c, mask);
-            sess.g.value(y).data().to_vec()
+            taad_scores(sess, f, c, mask)
         } else {
             let h_last = sess.g.slice_axis1(f, n - 1);
-            let c = sess.g.reshape(c, vec![1, ids.len(), d]);
-            let h3 = sess.g.reshape(h_last, vec![1, 1, d]);
+            let c = sess.g.reshape(c, &[1, ids.len(), d]);
+            let h3 = sess.g.reshape(h_last, &[1, 1, d]);
             let ct = sess.g.transpose_last2(c);
-            let y = sess.g.bmm(h3, ct);
-            sess.g.value(y).data().to_vec()
+            sess.g.bmm(h3, ct)
         }
     }
 
@@ -460,6 +507,7 @@ impl StiSan {
         data: &Processed,
         ckpt: Option<&CheckpointConfig>,
     ) -> Result<FitSummary, CheckpointError> {
+        self.cand_cache = OnceLock::new(); // training mutates the weights
         let t = self.cfg.train.clone();
         let _train_span = stisan_obs::span("train");
         let sampler = KnnNegativeSampler::build(data, t.neg_pool);
@@ -576,20 +624,20 @@ impl StiSan {
             let cand_ids = interleave_candidates(&batch.tgt, negs, l);
             let c = self.embed(&mut sess, &cand_ids);
             let y = if self.cfg.use_taad {
-                let c = sess.g.reshape(c, vec![b, n * (l + 1), d]);
+                let c = sess.g.reshape(c, &[b, n * (l + 1), d]);
                 let mask = taad_train_mask(b, n, l + 1, &batch.valid_from);
                 let y = taad_scores(&mut sess, f, c, mask);
-                sess.g.reshape(y, vec![b, n, l + 1])
+                sess.g.reshape(y, &[b, n, l + 1])
             } else {
                 // Variant V (Eq 17): match F_i with candidates directly.
-                let c = sess.g.reshape(c, vec![b * n, l + 1, d]);
-                let f2 = sess.g.reshape(f, vec![b * n, 1, d]);
+                let c = sess.g.reshape(c, &[b * n, l + 1, d]);
+                let f2 = sess.g.reshape(f, &[b * n, 1, d]);
                 let ct = sess.g.transpose_last2(c);
                 let y = sess.g.bmm(f2, ct);
-                sess.g.reshape(y, vec![b, n, l + 1])
+                sess.g.reshape(y, &[b, n, l + 1])
             };
             let pos = sess.g.slice_last(y, 0, 1);
-            let pos = sess.g.reshape(pos, vec![b, n]);
+            let pos = sess.g.reshape(pos, &[b, n]);
             let neg = sess.g.slice_last(y, 1, l);
             weighted_bce_loss(&mut sess, pos, neg, t.temperature, &batch.step_mask)
         };
@@ -625,14 +673,33 @@ impl Recommender for StiSan {
 
     fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
         let mut sess = Session::new(&self.store, false, 0);
-        self.score_in(&mut sess, data, inst, candidates)
+        let y = self.score_var(&mut sess, data, inst, candidates, None);
+        sess.g.value(y).data().to_vec()
     }
 }
 
 impl FrozenScorer for StiSan {
     fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
+        let table = self.candidate_table();
         let mut sess = Session::frozen(&self.store);
-        self.score_in(&mut sess, data, inst, candidates)
+        let y = self.score_var(&mut sess, data, inst, candidates, Some(table));
+        sess.g.value(y).data().to_vec()
+    }
+
+    fn score_frozen_into(
+        &self,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+        arena: &mut Arena,
+        out: &mut Vec<f32>,
+    ) {
+        let table = self.candidate_table();
+        let mut sess = Session::frozen_in(&self.store, std::mem::take(arena));
+        let y = self.score_var(&mut sess, data, inst, candidates, Some(table));
+        out.clear();
+        out.extend_from_slice(sess.g.value(y).data());
+        *arena = sess.recycle();
     }
 }
 

@@ -29,6 +29,32 @@ pub trait FrozenScorer: Recommender {
     /// recording an autodiff tape (no gradient bookkeeping, less memory
     /// traffic, same floats).
     fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32>;
+
+    /// [`FrozenScorer::score_frozen`] drawing every scratch buffer from
+    /// `arena` and writing scores into `out` (cleared first) — the
+    /// steady-state serving entry point.
+    ///
+    /// The contract extends `score_frozen`'s: scores must be *bit-identical*
+    /// to both tape and fresh-alloc frozen scoring, for any arena state
+    /// (cold, warmed, or poisoned — recycled buffer contents must never leak
+    /// into a score). Tensor-backed models override this with
+    /// `Session::frozen_in`/`Session::recycle` so a warmed-up call performs
+    /// zero heap allocations inside the forward pass; the default delegates
+    /// to [`FrozenScorer::score_frozen`] (correct, but allocating) so
+    /// heuristic scorers need no arena plumbing.
+    fn score_frozen_into(
+        &self,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+        arena: &mut stisan_tensor::Arena,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = arena;
+        let scores = self.score_frozen(data, inst, candidates);
+        out.clear();
+        out.extend_from_slice(&scores);
+    }
 }
 
 /// Per-instance evaluation candidates: the held-out target plus its

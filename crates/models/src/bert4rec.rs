@@ -110,7 +110,7 @@ impl Bert4Rec {
                 let c = self.emb.forward(&mut sess, &cand_ids, &[b * n, l + 1]);
                 let y = dot_scores(&mut sess, f, c, b, n, l + 1);
                 let pos = sess.g.slice_last(y, 0, 1);
-                let pos = sess.g.reshape(pos, vec![b, n]);
+                let pos = sess.g.reshape(pos, &[b, n]);
                 let neg = sess.g.slice_last(y, 1, l);
                 let mask = Array::from_vec(vec![b, n], loss_mask);
                 let loss = bce_loss(&mut sess, pos, neg, &mask);
@@ -144,7 +144,7 @@ impl Recommender for Bert4Rec {
         let h_last = sess.g.slice_axis1(f, n - 1);
         let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
         let c = self.emb.forward(&mut sess, &ids, &[1, ids.len()]);
-        let h3 = sess.g.reshape(h_last, vec![1, 1, self.cfg.dim]);
+        let h3 = sess.g.reshape(h_last, &[1, 1, self.cfg.dim]);
         let ct = sess.g.transpose_last2(c);
         let y = sess.g.bmm(h3, ct);
         sess.g.value(y).data().to_vec()

@@ -84,7 +84,7 @@ impl Caser {
         // Vertical: linear over the position axis.
         let et = sess.g.transpose_last2(e); // [b, d, h]
         let v = self.v_conv.forward(sess, et); // [b, d, n_v]
-        let v = sess.g.reshape(v, vec![b, self.cfg.dim * self.shape.n_v]);
+        let v = sess.g.reshape(v, &[b, self.cfg.dim * self.shape.n_v]);
         feats.push(v);
         let concat = sess.g.concat_last(&feats);
         let z = self.fc.forward(sess, concat);
@@ -99,11 +99,11 @@ impl Caser {
     fn score_candidates(&self, sess: &mut Session<'_>, z: Var, cand_ids: &[usize], b: usize, c: usize) -> Var {
         let w = self.out_emb.forward(sess, cand_ids, &[b, c]); // [b, c, 2d]
         let bias = self.out_bias.forward(sess, cand_ids, &[b, c]); // [b, c, 1]
-        let z3 = sess.g.reshape(z, vec![b, 1, 2 * self.cfg.dim]);
+        let z3 = sess.g.reshape(z, &[b, 1, 2 * self.cfg.dim]);
         let wt = sess.g.transpose_last2(w); // [b, 2d, c]
         let y = sess.g.bmm(z3, wt); // [b, 1, c]
-        let y = sess.g.reshape(y, vec![b, c]);
-        let bias = sess.g.reshape(bias, vec![b, c]);
+        let y = sess.g.reshape(y, &[b, c]);
+        let bias = sess.g.reshape(bias, &[b, c]);
         sess.g.add(y, bias)
     }
 
@@ -161,7 +161,7 @@ impl Caser {
                 let y = self.score_candidates(&mut sess, z, &cand_ids, b, l + 1);
                 let pos = sess.g.slice_last(y, 0, 1); // [b, 1]
                 let neg = sess.g.slice_last(y, 1, l); // [b, l]
-                let neg = sess.g.reshape(neg, vec![b, 1, l]);
+                let neg = sess.g.reshape(neg, &[b, 1, l]);
                 let mask = Array::ones(vec![b, 1]);
                 let loss = bce_loss(&mut sess, pos, neg, &mask);
                 total += sess.g.value(loss).item() as f64;

@@ -316,10 +316,10 @@ pub fn dot_scores<E: stisan_tensor::Exec>(
     l1: usize,
 ) -> stisan_tensor::Var {
     let d = *sess.g.value(reps).shape().last().expect("dot_scores: scalar reps");
-    let f = sess.g.reshape(reps, vec![b * n, 1, d]);
+    let f = sess.g.reshape(reps, &[b * n, 1, d]);
     let ct = sess.g.transpose_last2(cands);
     let y = sess.g.bmm(f, ct); // [b*n, 1, 1+l]
-    sess.g.reshape(y, vec![b, n, l1])
+    sess.g.reshape(y, &[b, n, l1])
 }
 
 /// Target-aware attention decoding (GeoSAN's decoder, STiSAN's TAAD, Eq 10):

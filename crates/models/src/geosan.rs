@@ -103,7 +103,7 @@ impl GeoSan {
     pub fn encode(&self, sess: &mut Session<'_>, batch: &SeqBatch) -> Var {
         let (b, n, d) = (batch.b, batch.n, self.cfg.dim);
         let e = self.embed(sess, &batch.src);
-        let e = sess.g.reshape(e, vec![b, n, d]);
+        let e = sess.g.reshape(e, &[b, n, d]);
         let mut pos_data = Vec::with_capacity(b * n * d);
         for row in 0..b {
             let vf = batch.valid_from[row];
@@ -143,12 +143,12 @@ impl GeoSan {
                 let mut sess = Session::new(&self.store, true, self.cfg.seed ^ (epoch as u64) << 19);
                 let f = self.encode(&mut sess, &batch);
                 let c = self.embed(&mut sess, &cand_ids);
-                let c = sess.g.reshape(c, vec![b, n * (l + 1), self.cfg.dim]);
+                let c = sess.g.reshape(c, &[b, n * (l + 1), self.cfg.dim]);
                 let mask = taad_train_mask(b, n, l + 1, &batch.valid_from);
                 let y = taad_scores(&mut sess, f, c, mask); // [b, n*(1+l)]
-                let y = sess.g.reshape(y, vec![b, n, l + 1]);
+                let y = sess.g.reshape(y, &[b, n, l + 1]);
                 let pos = sess.g.slice_last(y, 0, 1);
-                let pos = sess.g.reshape(pos, vec![b, n]);
+                let pos = sess.g.reshape(pos, &[b, n]);
                 let neg = sess.g.slice_last(y, 1, l);
                 let loss =
                     weighted_bce_loss(&mut sess, pos, neg, self.cfg.temperature, &batch.step_mask);
@@ -177,7 +177,7 @@ impl Recommender for GeoSan {
         let f = self.encode(&mut sess, &batch);
         let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
         let c = self.embed(&mut sess, &ids);
-        let c = sess.g.reshape(c, vec![1, ids.len(), self.cfg.dim]);
+        let c = sess.g.reshape(c, &[1, ids.len(), self.cfg.dim]);
         let mask = taad_eval_mask(ids.len(), batch.n, batch.valid_from[0]);
         let y = taad_scores(&mut sess, f, c, mask);
         sess.g.value(y).data().to_vec()

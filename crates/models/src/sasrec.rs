@@ -203,7 +203,7 @@ impl SasRec {
         let c = self.emb.forward(&mut sess, &cand_ids, &[batch.b * batch.n, l + 1]);
         let y = dot_scores(&mut sess, f, c, batch.b, batch.n, l + 1);
         let pos = sess.g.slice_last(y, 0, 1);
-        let pos = sess.g.reshape(pos, vec![batch.b, batch.n]);
+        let pos = sess.g.reshape(pos, &[batch.b, batch.n]);
         let neg = sess.g.slice_last(y, 1, l);
         let loss = bce_loss(&mut sess, pos, neg, &batch.step_mask);
         let loss_val = sess.g.value(loss).item();
@@ -229,7 +229,7 @@ impl SasRec {
         let h_last = sess.g.slice_axis1(f, batch.n - 1); // [1, d]
         let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
         let c = self.emb.forward(sess, &ids, &[1, ids.len()]); // [1, C, d]
-        let h3 = sess.g.reshape(h_last, vec![1, 1, self.cfg.dim]);
+        let h3 = sess.g.reshape(h_last, &[1, 1, self.cfg.dim]);
         let ct = sess.g.transpose_last2(c);
         let y = sess.g.bmm(h3, ct); // [1, 1, C]
         sess.g.value(y).data().to_vec()
@@ -267,6 +267,21 @@ impl FrozenScorer for SasRec {
         let mut sess = Session::frozen(&self.store);
         self.score_in(&mut sess, data, inst, candidates)
     }
+
+    fn score_frozen_into(
+        &self,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+        arena: &mut stisan_tensor::Arena,
+        out: &mut Vec<f32>,
+    ) {
+        let mut sess = Session::frozen_in(&self.store, std::mem::take(arena));
+        let scores = self.score_in(&mut sess, data, inst, candidates);
+        *arena = sess.recycle();
+        out.clear();
+        out.extend_from_slice(&scores);
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +317,7 @@ mod tests {
             let c = m.emb.forward(&mut sess, &cand_ids, &[batch.b * batch.n, 2]);
             let y = dot_scores(&mut sess, f, c, batch.b, batch.n, 2);
             let pos = sess.g.slice_last(y, 0, 1);
-            let pos = sess.g.reshape(pos, vec![batch.b, batch.n]);
+            let pos = sess.g.reshape(pos, &[batch.b, batch.n]);
             let neg = sess.g.slice_last(y, 1, 1);
             let l = bce_loss(&mut sess, pos, neg, &batch.step_mask);
             sess.g.value(l).item()

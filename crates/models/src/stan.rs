@@ -253,9 +253,9 @@ impl Stan {
                 let f = self.encode(&mut sess, data, &batch);
                 let c = self.emb.forward(&mut sess, &cand_ids, &[b, n * (l + 1)]);
                 let y = self.match_candidates(&mut sess, f, c, mask, &lt, &ld);
-                let y = sess.g.reshape(y, vec![b, n, l + 1]);
+                let y = sess.g.reshape(y, &[b, n, l + 1]);
                 let pos = sess.g.slice_last(y, 0, 1);
-                let pos = sess.g.reshape(pos, vec![b, n]);
+                let pos = sess.g.reshape(pos, &[b, n]);
                 let neg = sess.g.slice_last(y, 1, l);
                 let loss = bce_loss(&mut sess, pos, neg, &batch.step_mask);
                 total += sess.g.value(loss).item() as f64;

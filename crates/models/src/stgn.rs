@@ -78,7 +78,7 @@ impl Stgn {
                 let c = self.emb.forward(&mut sess, &cand_ids, &[batch.b * batch.n, l + 1]);
                 let y = dot_scores(&mut sess, f, c, batch.b, batch.n, l + 1);
                 let pos = sess.g.slice_last(y, 0, 1);
-                let pos = sess.g.reshape(pos, vec![batch.b, batch.n]);
+                let pos = sess.g.reshape(pos, &[batch.b, batch.n]);
                 let neg = sess.g.slice_last(y, 1, l);
                 let loss = bce_loss(&mut sess, pos, neg, &batch.step_mask);
                 total += sess.g.value(loss).item() as f64;
@@ -107,7 +107,7 @@ impl Recommender for Stgn {
         let h_last = sess.g.slice_axis1(f, batch.n - 1);
         let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
         let c = self.emb.forward(&mut sess, &ids, &[1, ids.len()]);
-        let h3 = sess.g.reshape(h_last, vec![1, 1, self.cfg.dim]);
+        let h3 = sess.g.reshape(h_last, &[1, 1, self.cfg.dim]);
         let ct = sess.g.transpose_last2(c);
         let y = sess.g.bmm(h3, ct);
         sess.g.value(y).data().to_vec()

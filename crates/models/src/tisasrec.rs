@@ -157,7 +157,7 @@ impl TiSasRec {
         let h_last = sess.g.slice_axis1(f, batch.n - 1);
         let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
         let c = self.emb.forward(sess, &ids, &[1, ids.len()]);
-        let h3 = sess.g.reshape(h_last, vec![1, 1, self.cfg.dim]);
+        let h3 = sess.g.reshape(h_last, &[1, 1, self.cfg.dim]);
         let ct = sess.g.transpose_last2(c);
         let y = sess.g.bmm(h3, ct);
         sess.g.value(y).data().to_vec()
@@ -183,7 +183,7 @@ impl TiSasRec {
                 let c = self.emb.forward(&mut sess, &cand_ids, &[batch.b * batch.n, l + 1]);
                 let y = dot_scores(&mut sess, f, c, batch.b, batch.n, l + 1);
                 let pos = sess.g.slice_last(y, 0, 1);
-                let pos = sess.g.reshape(pos, vec![batch.b, batch.n]);
+                let pos = sess.g.reshape(pos, &[batch.b, batch.n]);
                 let neg = sess.g.slice_last(y, 1, l);
                 let loss = bce_loss(&mut sess, pos, neg, &batch.step_mask);
                 total += sess.g.value(loss).item() as f64;
@@ -215,6 +215,21 @@ impl FrozenScorer for TiSasRec {
     fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
         let mut sess = Session::frozen(&self.store);
         self.score_in(&mut sess, data, inst, candidates)
+    }
+
+    fn score_frozen_into(
+        &self,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+        arena: &mut stisan_tensor::Arena,
+        out: &mut Vec<f32>,
+    ) {
+        let mut sess = Session::frozen_in(&self.store, std::mem::take(arena));
+        let scores = self.score_in(&mut sess, data, inst, candidates);
+        *arena = sess.recycle();
+        out.clear();
+        out.extend_from_slice(&scores);
     }
 }
 

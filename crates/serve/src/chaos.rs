@@ -148,6 +148,18 @@ impl<M: FrozenScorer> FrozenScorer for ChaosScorer<M> {
         self.plan.trip();
         self.inner.score_frozen(data, inst, candidates)
     }
+
+    fn score_frozen_into(
+        &self,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+        arena: &mut stisan_tensor::Arena,
+        out: &mut Vec<f32>,
+    ) {
+        self.plan.trip();
+        self.inner.score_frozen_into(data, inst, candidates, arena, out)
+    }
 }
 
 /// The splitmix64 finalizer (same construction as the training loops'

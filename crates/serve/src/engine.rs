@@ -1,14 +1,15 @@
 //! The inference engine: frozen-forward scoring, geo pruning, parallel
 //! batch serving.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use stisan_data::{EvalInstance, Processed};
 use stisan_eval::FrozenScorer;
 use stisan_obs::{Stage, TraceCtx};
-use stisan_tensor::suggested_workers;
+use stisan_tensor::{suggested_workers, Arena};
 
-use crate::topk::top_k;
+use crate::topk::{top_k_into, TopKScratch};
 
 /// How the candidate pool is narrowed before scoring.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -41,17 +42,56 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Candidate pruning policy.
     pub pruning: PruningPolicy,
+    /// Serve forward passes from recycled arena buffers
+    /// ([`FrozenScorer::score_frozen_into`]); off falls back to fresh-alloc
+    /// [`FrozenScorer::score_frozen`]. Scores are bit-identical either way
+    /// (the arena parity suite asserts it) — this switch exists for A/B
+    /// benchmarking and as an operational escape hatch.
+    pub arena: bool,
 }
 
 impl Default for ServeConfig {
-    /// Top-10, automatic worker count, no pruning.
+    /// Top-10, automatic worker count, no pruning, arena-backed scoring.
     fn default() -> Self {
-        ServeConfig { top_k: 10, workers: 0, pruning: PruningPolicy::Full }
+        ServeConfig { top_k: 10, workers: 0, pruning: PruningPolicy::Full, arena: true }
     }
 }
 
+/// Per-request reusable state: the tensor arena plus every engine-side
+/// buffer (candidate ids, scores, top-K heap, ranked indices).
+///
+/// [`InferenceSession`] keeps a pool of these — one per concurrently active
+/// request — so a warmed-up [`InferenceSession::serve_one_into`] call
+/// performs zero heap allocations (`tests/zero_alloc.rs` enforces this with
+/// a counting global allocator).
+#[derive(Default)]
+pub struct ServeScratch {
+    arena: Arena,
+    cands: Vec<u32>,
+    scores: Vec<f32>,
+    topk: TopKScratch,
+    ranked: Vec<(usize, f32)>,
+}
+
+impl ServeScratch {
+    /// A cold scratch (first use warms it up).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arena statistics for the embedded tensor arena (observability).
+    pub fn arena_stats(&self) -> stisan_tensor::ArenaStats {
+        self.arena.stats()
+    }
+}
+
+/// Upper bound on pooled [`ServeScratch`] instances; beyond this,
+/// checked-in scratches are dropped instead of pooled (bounds memory under a
+/// transient worker spike).
+const MAX_POOLED_SCRATCH: usize = 64;
+
 /// One served recommendation list.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Recommendation {
     /// `(poi_id, score)` pairs, best first, at most `top_k` of them.
     pub items: Vec<(u32, f32)>,
@@ -74,12 +114,31 @@ pub struct InferenceSession<'a, M: FrozenScorer + Sync> {
     model: &'a M,
     data: &'a Processed,
     cfg: ServeConfig,
+    /// Pool of per-request scratch state (arena + engine buffers). Workers
+    /// check one out per request and return it warmed, so steady-state
+    /// serving reuses buffers instead of allocating.
+    scratch: Mutex<Vec<ServeScratch>>,
 }
 
 impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
     /// Wraps a model and its dataset context for serving.
     pub fn new(model: &'a M, data: &'a Processed, cfg: ServeConfig) -> Self {
-        InferenceSession { model, data, cfg }
+        InferenceSession { model, data, cfg, scratch: Mutex::new(Vec::new()) }
+    }
+
+    /// Checks a scratch out of the pool (cold if the pool is empty).
+    pub fn checkout_scratch(&self) -> ServeScratch {
+        let mut pool = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch to the pool, keeping its warmed-up buffers for the
+    /// next request (dropped if the pool is already at capacity).
+    pub fn checkin_scratch(&self, scratch: ServeScratch) {
+        let mut pool = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < MAX_POOLED_SCRATCH {
+            pool.push(scratch);
+        }
     }
 
     /// The active configuration.
@@ -99,37 +158,57 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
         self.model
     }
 
-    /// Builds the candidate id list for one request: the full catalogue, or
-    /// the geo-pruned subset around the request's most recent check-in.
-    /// Returned ids are sorted ascending so tie-breaking in [`top_k`] is
-    /// independent of spatial-index iteration order.
-    pub fn candidates(&self, inst: &EvalInstance) -> Vec<u32> {
-        let full = || (1..=self.data.num_pois as u32).collect::<Vec<u32>>();
+    /// Builds the candidate id list for one request into `out` (cleared
+    /// first): the full catalogue, or the geo-pruned subset around the
+    /// request's most recent check-in. Ids are sorted ascending so
+    /// tie-breaking in [`top_k_into`] is independent of spatial-index
+    /// iteration order. The [`PruningPolicy::Full`] path is allocation-free
+    /// once `out` has warmed up to catalogue size.
+    pub fn candidates_into(&self, inst: &EvalInstance, out: &mut Vec<u32>) {
+        out.clear();
         match self.cfg.pruning {
-            PruningPolicy::Full => full(),
+            PruningPolicy::Full => out.extend(1..=self.data.num_pois as u32),
             PruningPolicy::Radius { km, min_candidates } => {
                 let last = inst.poi.last().copied().unwrap_or(0);
                 if last == 0 {
-                    return full(); // degenerate: empty source sequence
+                    // Degenerate: empty source sequence.
+                    out.extend(1..=self.data.num_pois as u32);
+                    return;
                 }
                 let anchor = self.data.loc(last);
                 let hits = self.data.index.within_radius(anchor, km);
                 if hits.len() < min_candidates {
-                    return full();
+                    out.extend(1..=self.data.num_pois as u32);
+                    return;
                 }
                 // Index entry i is POI id i + 1.
-                let mut ids: Vec<u32> = hits.into_iter().map(|(i, _)| (i + 1) as u32).collect();
-                ids.sort_unstable();
-                ids
+                out.extend(hits.into_iter().map(|(i, _)| (i + 1) as u32));
+                out.sort_unstable();
             }
         }
     }
 
-    /// Serves one request: prune, score on the frozen backend, select top-K.
+    /// Allocating convenience wrapper over [`InferenceSession::candidates_into`].
+    pub fn candidates(&self, inst: &EvalInstance) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.candidates_into(inst, &mut out);
+        out
+    }
+
+    /// Serves one request into caller-provided storage: prune, score on the
+    /// frozen backend, select top-K. With [`ServeConfig::arena`] on, a
+    /// warmed-up `scratch` makes the whole call allocation-free under
+    /// [`PruningPolicy::Full`] (`tests/zero_alloc.rs`); results are always
+    /// bit-identical to [`InferenceSession::serve_one`].
     ///
     /// Instrumented with `serve.latency_ms` (histogram) and
     /// `serve.pruned_candidates` (counter of candidates skipped by pruning).
-    pub fn serve_one(&self, inst: &EvalInstance) -> Recommendation {
+    pub fn serve_one_into(
+        &self,
+        inst: &EvalInstance,
+        scratch: &mut ServeScratch,
+        rec: &mut Recommendation,
+    ) {
         let t0 = Instant::now();
         let prof = stisan_obs::serve_profiling();
         let _frame = if prof { Some(stisan_obs::flame::frame("serve_one")) } else { None };
@@ -139,13 +218,26 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
             None
         };
         let pool = self.data.num_pois;
-        let cands = self.candidates(inst);
-        let scores = self.model.score_frozen(self.data, inst, &cands);
-        let items = top_k(&scores, self.cfg.top_k)
-            .into_iter()
-            .map(|(i, s)| (cands[i], s))
-            .collect();
-        stisan_obs::counter("serve.pruned_candidates", (pool - cands.len()) as u64);
+        self.candidates_into(inst, &mut scratch.cands);
+        if self.cfg.arena {
+            self.model.score_frozen_into(
+                self.data,
+                inst,
+                &scratch.cands,
+                &mut scratch.arena,
+                &mut scratch.scores,
+            );
+        } else {
+            let scores = self.model.score_frozen(self.data, inst, &scratch.cands);
+            scratch.scores.clear();
+            scratch.scores.extend_from_slice(&scores);
+        }
+        top_k_into(&scratch.scores, self.cfg.top_k, &mut scratch.topk, &mut scratch.ranked);
+        rec.items.clear();
+        rec.items.extend(scratch.ranked.iter().map(|&(i, s)| (scratch.cands[i], s)));
+        rec.pool = pool;
+        rec.scored = scratch.cands.len();
+        stisan_obs::counter("serve.pruned_candidates", (pool - scratch.cands.len()) as u64);
         stisan_obs::observe("serve.latency_ms", t0.elapsed().as_secs_f64() * 1e3);
         if let Some(a0) = alloc0 {
             let a1 = stisan_obs::alloc::thread_stats();
@@ -158,7 +250,18 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
                 a1.allocs.saturating_sub(a0.allocs) as f64,
             );
         }
-        Recommendation { items, pool, scored: cands.len() }
+    }
+
+    /// Serves one request, checking scratch state out of (and back into) the
+    /// session's pool. The returned [`Recommendation`] is freshly allocated;
+    /// allocation-sensitive callers hold their own scratch and reuse a
+    /// `Recommendation` via [`InferenceSession::serve_one_into`].
+    pub fn serve_one(&self, inst: &EvalInstance) -> Recommendation {
+        let mut scratch = self.checkout_scratch();
+        let mut rec = Recommendation::default();
+        self.serve_one_into(inst, &mut scratch, &mut rec);
+        self.checkin_scratch(scratch);
+        rec
     }
 
     /// Serves a batch of requests, fanning out across a scoped worker pool.
@@ -226,17 +329,21 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
             None => insts.iter().map(|_| None).collect(),
         };
         if workers <= 1 {
-            return insts
+            let mut scratch = self.checkout_scratch();
+            let out = insts
                 .iter()
                 .zip(slots.iter_mut())
                 .map(|(i, t)| {
-                    let rec = self.serve_one(i);
+                    let mut rec = Recommendation::default();
+                    self.serve_one_into(i, &mut scratch, &mut rec);
                     if let Some(t) = t {
                         t.stamp(Stage::Scored);
                     }
                     rec
                 })
                 .collect();
+            self.checkin_scratch(scratch);
+            return out;
         }
         let mut out: Vec<Option<Recommendation>> = vec![None; insts.len()];
         let chunk = insts.len().div_ceil(workers);
@@ -245,14 +352,20 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
                 insts.chunks(chunk).zip(out.chunks_mut(chunk)).zip(slots.chunks_mut(chunk))
             {
                 scope.spawn(move |_| {
+                    // One scratch per worker for the whole chunk: requests on
+                    // a worker reuse each other's warmed buffers.
+                    let mut scratch = self.checkout_scratch();
                     for ((inst, slot), t) in
                         in_chunk.iter().zip(out_chunk.iter_mut()).zip(tr_chunk.iter_mut())
                     {
-                        *slot = Some(self.serve_one(inst));
+                        let mut rec = Recommendation::default();
+                        self.serve_one_into(inst, &mut scratch, &mut rec);
+                        *slot = Some(rec);
                         if let Some(t) = t {
                             t.stamp(Stage::Scored);
                         }
                     }
+                    self.checkin_scratch(scratch);
                 });
             }
         });

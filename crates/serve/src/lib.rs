@@ -54,11 +54,11 @@ mod replica;
 mod topk;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use engine::{InferenceSession, PruningPolicy, Recommendation, ServeConfig};
+pub use engine::{InferenceSession, PruningPolicy, Recommendation, ServeConfig, ServeScratch};
 pub use fallback::FallbackScorer;
 pub use reload::{CanaryConfig, EpochModel, ReloadReport, ReloadWatcher, Reloader, SharedModel};
 pub use replica::{
     EngineBackend, ReplicatedEngine, ServeFailure, ServeOutcome, ServedRec, SupervisorConfig,
     FALLBACK_REPLICA,
 };
-pub use topk::top_k;
+pub use topk::{top_k, top_k_into, TopKScratch};

@@ -29,20 +29,31 @@ impl PartialOrd for Entry {
     }
 }
 
+/// Reusable storage for [`top_k_into`]: the selection heap, kept allocated
+/// between requests so steady-state selection performs zero heap allocations.
+#[derive(Default)]
+pub struct TopKScratch {
+    heap: BinaryHeap<std::cmp::Reverse<Entry>>,
+}
+
 /// Selects the `k` highest-scoring positions of `scores` in `O(n log k)`,
-/// returned best-first as `(index, score)` pairs.
+/// writing best-first `(index, score)` pairs into `out` (cleared first).
 ///
 /// Exact ties resolve toward the lower index, so the result is *identical* to
 /// sorting all scores by `(score desc, index asc)` and truncating to `k` —
 /// the property test suite asserts this equivalence. `k` larger than the
-/// input returns everything, ranked.
-pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+/// input returns everything, ranked. Once `scratch` and `out` have warmed up
+/// to capacity `k`, the call allocates nothing.
+pub fn top_k_into(scores: &[f32], k: usize, scratch: &mut TopKScratch, out: &mut Vec<(usize, f32)>) {
+    out.clear();
     if k == 0 || scores.is_empty() {
-        return Vec::new();
+        return;
     }
     // Min-heap of the best k seen so far: the root is the current worst
     // keeper, so each new score only pays O(log k) when it beats the root.
-    let mut heap: BinaryHeap<std::cmp::Reverse<Entry>> = BinaryHeap::with_capacity(k);
+    let heap = &mut scratch.heap;
+    heap.clear(); // keeps the buffer
+    heap.reserve(k.min(scores.len()));
     for (idx, &score) in scores.iter().enumerate() {
         let e = Entry { score, idx };
         if heap.len() < k {
@@ -54,9 +65,21 @@ pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
             }
         }
     }
-    let mut kept: Vec<Entry> = heap.into_iter().map(|r| r.0).collect();
-    kept.sort_by(|a, b| b.cmp(a));
-    kept.into_iter().map(|e| (e.idx, e.score)).collect()
+    // Draining by pop() (worst-first) keeps the heap's buffer alive for the
+    // next request, unlike into_iter(); reversing restores best-first order.
+    out.reserve(heap.len());
+    while let Some(std::cmp::Reverse(e)) = heap.pop() {
+        out.push((e.idx, e.score));
+    }
+    out.reverse();
+}
+
+/// Allocating convenience wrapper over [`top_k_into`].
+pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let mut scratch = TopKScratch::default();
+    let mut out = Vec::new();
+    top_k_into(scores, k, &mut scratch, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -101,5 +124,24 @@ mod tests {
     fn infinities_are_ordered() {
         let scores = [f32::NEG_INFINITY, 0.0, f32::INFINITY];
         assert_eq!(top_k(&scores, 2), vec![(2, f32::INFINITY), (1, 0.0)]);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_calls() {
+        let inputs: Vec<Vec<f32>> = vec![
+            vec![0.3, -1.0, 7.5, 7.5, 0.0, 2.25, -0.0, 7.5],
+            vec![1.0; 6],
+            vec![5.0],
+            vec![],
+            (0..50).map(|i| ((i * 37) % 11) as f32).collect(),
+        ];
+        let mut scratch = TopKScratch::default();
+        let mut out = Vec::new();
+        for scores in &inputs {
+            for k in 0..=scores.len() + 2 {
+                top_k_into(scores, k, &mut scratch, &mut out);
+                assert_eq!(out, by_full_sort(scores, k), "k={k}");
+            }
+        }
     }
 }

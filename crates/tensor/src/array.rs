@@ -5,17 +5,24 @@ use std::sync::Arc;
 
 use rand::Rng;
 
-use crate::broadcast::{broadcast_shapes, BroadcastIter};
+use crate::broadcast::{broadcast_shape, BroadcastIter};
+use crate::kernels;
+use crate::shape::Shape;
+
+#[allow(unused_imports)]
+pub use crate::kernels::BMM_PARALLEL_FLOPS;
 
 /// A dense, row-major `f32` tensor with `Arc`-backed storage.
 ///
 /// Cloning an `Array` is a reference-count bump; mutation goes through
 /// [`Array::data_mut`], which copies on write only when the storage is shared.
 /// This lets model parameters enter an autodiff [`crate::Graph`] every training
-/// step without copying the weight matrices.
+/// step without copying the weight matrices. The shape is an inline
+/// [`Shape`] (`Copy`, at most [`crate::shape::MAX_DIMS`] dims), so cloning
+/// never allocates.
 #[derive(Clone)]
 pub struct Array {
-    shape: Vec<usize>,
+    shape: Shape,
     data: Arc<Vec<f32>>,
 }
 
@@ -25,19 +32,21 @@ impl Array {
     // ------------------------------------------------------------------
 
     /// An array of zeros.
-    pub fn zeros(shape: Vec<usize>) -> Self {
-        let n: usize = shape.iter().product();
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
         Array { shape, data: Arc::new(vec![0.0; n]) }
     }
 
     /// An array filled with `value`.
-    pub fn full(shape: Vec<usize>, value: f32) -> Self {
-        let n: usize = shape.iter().product();
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
         Array { shape, data: Arc::new(vec![value; n]) }
     }
 
     /// An array of ones.
-    pub fn ones(shape: Vec<usize>) -> Self {
+    pub fn ones(shape: impl Into<Shape>) -> Self {
         Self::full(shape, 1.0)
     }
 
@@ -45,21 +54,49 @@ impl Array {
     ///
     /// # Panics
     /// Panics when `data.len()` does not match the shape's element count.
-    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
-        let n: usize = shape.iter().product();
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        Self::from_parts(shape.into(), data)
+    }
+
+    /// Builds an array from an already-converted [`Shape`] and a buffer (the
+    /// allocation-free constructor the kernels and the arena use).
+    ///
+    /// # Panics
+    /// Panics when `data.len()` does not match the shape's element count.
+    #[inline]
+    pub(crate) fn from_parts(shape: Shape, data: Vec<f32>) -> Self {
+        let n = shape.numel();
         assert_eq!(n, data.len(), "from_vec: shape {shape:?} wants {n} elements, got {}", data.len());
         Array { shape, data: Arc::new(data) }
     }
 
+    /// Wraps shared storage directly (the arena's reuse path).
+    ///
+    /// # Panics
+    /// Panics when the storage length does not match the shape.
+    #[inline]
+    pub(crate) fn from_arc(shape: Shape, data: Arc<Vec<f32>>) -> Self {
+        let n = shape.numel();
+        assert_eq!(n, data.len(), "from_arc: shape {shape:?} wants {n} elements, got {}", data.len());
+        Array { shape, data }
+    }
+
+    /// Consumes the array, returning its backing storage (for recycling).
+    #[inline]
+    pub(crate) fn into_data(self) -> Arc<Vec<f32>> {
+        self.data
+    }
+
     /// A 0-dimensional scalar.
     pub fn scalar(v: f32) -> Self {
-        Array { shape: vec![], data: Arc::new(vec![v]) }
+        Array { shape: Shape::scalar(), data: Arc::new(vec![v]) }
     }
 
     /// Samples i.i.d. Gaussians with mean 0 and the given standard deviation
     /// (Box–Muller, driven by the caller's RNG for determinism).
-    pub fn randn<R: Rng>(shape: Vec<usize>, std: f32, rng: &mut R) -> Self {
-        let n: usize = shape.iter().product();
+    pub fn randn<R: Rng>(shape: impl Into<Shape>, std: f32, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
         let mut data = Vec::with_capacity(n);
         while data.len() < n {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
@@ -75,8 +112,9 @@ impl Array {
     }
 
     /// Samples i.i.d. uniforms in `[lo, hi)`.
-    pub fn uniform<R: Rng>(shape: Vec<usize>, lo: f32, hi: f32, rng: &mut R) -> Self {
-        let n: usize = shape.iter().product();
+    pub fn uniform<R: Rng>(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
         let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
         Array { shape, data: Arc::new(data) }
     }
@@ -88,7 +126,13 @@ impl Array {
     /// The shape (dimensions) of the array.
     #[inline]
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
+    }
+
+    /// The shape as the inline `Copy` type.
+    #[inline]
+    pub(crate) fn shape_inline(&self) -> Shape {
+        self.shape
     }
 
     /// Number of dimensions.
@@ -153,8 +197,9 @@ impl Array {
     // ------------------------------------------------------------------
 
     /// Reinterprets the buffer with a new shape of equal element count.
-    pub fn reshape(&self, shape: Vec<usize>) -> Array {
-        let n: usize = shape.iter().product();
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Array {
+        let shape = shape.into();
+        let n = shape.numel();
         assert_eq!(n, self.len(), "reshape: {:?} -> {shape:?} changes element count", self.shape);
         Array { shape, data: Arc::clone(&self.data) }
     }
@@ -166,29 +211,21 @@ impl Array {
         let (r, c) = (self.shape[nd - 2], self.shape[nd - 1]);
         let batch: usize = self.shape[..nd - 2].iter().product();
         let mut out = vec![0.0f32; self.len()];
-        let src = self.data();
-        for b in 0..batch {
-            let base = b * r * c;
-            for i in 0..r {
-                for j in 0..c {
-                    out[base + j * r + i] = src[base + i * c + j];
-                }
-            }
-        }
-        let mut shape = self.shape.clone();
+        kernels::transpose_last2_into(self.data(), &mut out, batch, r, c);
+        let mut shape = self.shape;
         shape.swap(nd - 2, nd - 1);
-        Array::from_vec(shape, out)
+        Array::from_parts(shape, out)
     }
 
     /// Concatenates arrays along the last dimension.
     pub fn concat_last(parts: &[&Array]) -> Array {
         assert!(!parts.is_empty(), "concat_last: no inputs");
         let nd = parts[0].ndim();
-        let lead = &parts[0].shape[..nd - 1];
+        let lead = &parts[0].shape()[..nd - 1];
         let mut last_total = 0usize;
         for p in parts {
             assert_eq!(p.ndim(), nd, "concat_last: rank mismatch");
-            assert_eq!(&p.shape[..nd - 1], lead, "concat_last: leading dims differ");
+            assert_eq!(&p.shape()[..nd - 1], lead, "concat_last: leading dims differ");
             last_total += p.shape[nd - 1];
         }
         let rows: usize = lead.iter().product();
@@ -199,9 +236,9 @@ impl Array {
                 out.extend_from_slice(&p.data()[r * w..(r + 1) * w]);
             }
         }
-        let mut shape = lead.to_vec();
+        let mut shape = Shape::of(lead);
         shape.push(last_total);
-        Array::from_vec(shape, out)
+        Array::from_parts(shape, out)
     }
 
     /// Extracts the half-open range `[start, start+len)` of the last dimension.
@@ -210,13 +247,11 @@ impl Array {
         let w = self.shape[nd - 1];
         assert!(start + len <= w, "slice_last: {start}+{len} > {w}");
         let rows = self.len() / w;
-        let mut out = Vec::with_capacity(rows * len);
-        for r in 0..rows {
-            out.extend_from_slice(&self.data()[r * w + start..r * w + start + len]);
-        }
-        let mut shape = self.shape.clone();
+        let mut out = vec![0.0f32; rows * len];
+        kernels::slice_last_into(self.data(), &mut out, w, start, len);
+        let mut shape = self.shape;
         shape[nd - 1] = len;
-        Array::from_vec(shape, out)
+        Array::from_parts(shape, out)
     }
 
     // ------------------------------------------------------------------
@@ -226,37 +261,15 @@ impl Array {
     /// Applies a function to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Array {
         let data: Vec<f32> = self.data().iter().map(|&x| f(x)).collect();
-        Array { shape: self.shape.clone(), data: Arc::new(data) }
+        Array { shape: self.shape, data: Arc::new(data) }
     }
 
     /// Elementwise binary op with NumPy-style right-aligned broadcasting.
     pub fn zip_broadcast(&self, other: &Array, f: impl Fn(f32, f32) -> f32) -> Array {
-        if self.shape == other.shape {
-            // Fast path: identical shapes.
-            let data: Vec<f32> = self
-                .data()
-                .iter()
-                .zip(other.data().iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
-            return Array { shape: self.shape.clone(), data: Arc::new(data) };
-        }
-        let out_shape = broadcast_shapes(&self.shape, &other.shape);
-        // Fast path: `other` is an exact suffix of `self` (the common bias case).
-        if out_shape == self.shape && is_suffix(&other.shape, &self.shape) {
-            let m = other.len().max(1);
-            let a = self.data();
-            let b = other.data();
-            let data: Vec<f32> = a.iter().enumerate().map(|(i, &x)| f(x, b[i % m])).collect();
-            return Array { shape: out_shape, data: Arc::new(data) };
-        }
-        let n: usize = out_shape.iter().product();
-        let mut data = Vec::with_capacity(n);
-        let a = self.data();
-        let b = other.data();
-        for (oa, ob) in BroadcastIter::new(&out_shape, &self.shape, &other.shape) {
-            data.push(f(a[oa], b[ob]));
-        }
+        let out_shape =
+            if self.shape == other.shape { self.shape } else { broadcast_shape(&self.shape, &other.shape) };
+        let mut data = vec![0.0f32; out_shape.numel()];
+        kernels::zip_into(self.data(), &self.shape, other.data(), &other.shape, &out_shape, &mut data, f);
         Array { shape: out_shape, data: Arc::new(data) }
     }
 
@@ -298,10 +311,10 @@ impl Array {
     /// Sums `grad` (shaped like a broadcast output) back down to `target_shape`,
     /// summing over broadcast dimensions. Used by backward passes.
     pub fn reduce_to_shape(&self, target_shape: &[usize]) -> Array {
-        if self.shape == target_shape {
+        if self.shape == *target_shape {
             return self.clone();
         }
-        let mut out = Array::zeros(target_shape.to_vec());
+        let mut out = Array::zeros(target_shape);
         {
             let dst = out.data_mut();
             let src = self.data();
@@ -316,7 +329,7 @@ impl Array {
     // Matrix multiplication
     // ------------------------------------------------------------------
 
-    /// 2-D matrix product `[m,k] x [k,n] -> [m,n]` (ikj loop order).
+    /// 2-D matrix product `[m,k] x [k,n] -> [m,n]` (blocked kernel).
     pub fn matmul(&self, other: &Array) -> Array {
         assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
         assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
@@ -324,8 +337,8 @@ impl Array {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        matmul_into(self.data(), other.data(), &mut out, m, k, n);
-        Array::from_vec(vec![m, n], out)
+        kernels::matmul_into(self.data(), other.data(), &mut out, m, k, n);
+        Array::from_parts(Shape::of(&[m, n]), out)
     }
 
     /// Batched matrix product `[b,m,k] x [b,k,n] -> [b,m,n]`.
@@ -342,43 +355,8 @@ impl Array {
         assert_eq!(b, b2, "bmm: batch dims {b} vs {b2}");
         assert_eq!(k, k2, "bmm: inner dims {k} vs {k2}");
         let mut out = vec![0.0f32; b * m * n];
-        let threads = bmm_threads(b, m, k, n);
-        if threads <= 1 {
-            for i in 0..b {
-                matmul_into(
-                    &self.data()[i * m * k..(i + 1) * m * k],
-                    &other.data()[i * k * n..(i + 1) * k * n],
-                    &mut out[i * m * n..(i + 1) * m * n],
-                    m,
-                    k,
-                    n,
-                );
-            }
-        } else {
-            let lhs = self.data();
-            let rhs = other.data();
-            let chunk = b.div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
-                for (ci, out_chunk) in out.chunks_mut(chunk * m * n).enumerate() {
-                    let start = ci * chunk;
-                    scope.spawn(move |_| {
-                        for (j, o) in out_chunk.chunks_mut(m * n).enumerate() {
-                            let i = start + j;
-                            matmul_into(
-                                &lhs[i * m * k..(i + 1) * m * k],
-                                &rhs[i * k * n..(i + 1) * k * n],
-                                o,
-                                m,
-                                k,
-                                n,
-                            );
-                        }
-                    });
-                }
-            })
-            .expect("bmm worker panicked");
-        }
-        Array::from_vec(vec![b, m, n], out)
+        kernels::bmm_into(self.data(), other.data(), &mut out, b, m, k, n);
+        Array::from_parts(Shape::of(&[b, m, n]), out)
     }
 
     /// Affine map over the last dimension: `[... , k] x [k, f] -> [... , f]`.
@@ -391,10 +369,10 @@ impl Array {
         let f = w.shape[1];
         let rows = self.len() / k;
         let mut out = vec![0.0f32; rows * f];
-        matmul_into(self.data(), w.data(), &mut out, rows, k, f);
-        let mut shape = self.shape.clone();
-        *shape.last_mut().unwrap() = f;
-        Array::from_vec(shape, out)
+        kernels::matmul_into(self.data(), w.data(), &mut out, rows, k, f);
+        let mut shape = self.shape;
+        shape[self.ndim() - 1] = f;
+        Array::from_parts(shape, out)
     }
 
     // ------------------------------------------------------------------
@@ -419,11 +397,9 @@ impl Array {
     pub fn sum_last(&self) -> Array {
         let w = *self.shape.last().expect("sum_last: scalar input");
         let rows = self.len() / w.max(1);
-        let mut out = Vec::with_capacity(rows);
-        for r in 0..rows {
-            out.push(self.data()[r * w..(r + 1) * w].iter().sum());
-        }
-        Array::from_vec(self.shape[..self.ndim() - 1].to_vec(), out)
+        let mut out = vec![0.0f32; rows];
+        kernels::sum_last_into(self.data(), &mut out, w);
+        Array::from_parts(Shape::of(&self.shape[..self.ndim() - 1]), out)
     }
 
     /// Sums a 3-D array over axis 1: `[b, n, d] -> [b, d]`.
@@ -431,41 +407,16 @@ impl Array {
         assert_eq!(self.ndim(), 3, "sum_axis1 requires a 3-D array");
         let (b, n, d) = (self.shape[0], self.shape[1], self.shape[2]);
         let mut out = vec![0.0f32; b * d];
-        for i in 0..b {
-            for j in 0..n {
-                let row = &self.data()[(i * n + j) * d..(i * n + j + 1) * d];
-                for (o, &x) in out[i * d..(i + 1) * d].iter_mut().zip(row) {
-                    *o += x;
-                }
-            }
-        }
-        Array::from_vec(vec![b, d], out)
+        kernels::sum_axis1_into(self.data(), &mut out, b, n, d);
+        Array::from_parts(Shape::of(&[b, d]), out)
     }
 
     /// Numerically stable softmax over the last dimension.
     pub fn softmax_last(&self) -> Array {
         let w = *self.shape.last().expect("softmax_last: scalar input");
-        let rows = self.len() / w;
         let mut out = vec![0.0f32; self.len()];
-        for r in 0..rows {
-            let row = &self.data()[r * w..(r + 1) * w];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let dst = &mut out[r * w..(r + 1) * w];
-            let mut sum = 0.0f32;
-            for (d, &x) in dst.iter_mut().zip(row) {
-                // Rows that are fully masked (-inf everywhere) become uniform 0
-                // rather than NaN.
-                let e = if max == f32::NEG_INFINITY { 0.0 } else { (x - max).exp() };
-                *d = e;
-                sum += e;
-            }
-            if sum > 0.0 {
-                for d in dst.iter_mut() {
-                    *d /= sum;
-                }
-            }
-        }
-        Array::from_vec(self.shape.clone(), out)
+        kernels::softmax_last_into(self.data(), &mut out, w);
+        Array::from_parts(self.shape, out)
     }
 
     /// Maximum element.
@@ -478,10 +429,6 @@ impl Array {
         self.data().iter().map(|&x| x * x).sum()
     }
 }
-
-/// Multiply-add count above which [`Array::bmm`] parallelizes across the
-/// batch dimension.
-pub const BMM_PARALLEL_FLOPS: usize = 4_000_000;
 
 /// Worker threads for `tasks` independent, similarly-sized work items:
 /// `min(cap, tasks)`, or 1 when there are fewer than 2 tasks, where `cap` is
@@ -510,40 +457,6 @@ pub fn suggested_workers(tasks: usize) -> usize {
         }
     };
     cap.min(tasks)
-}
-
-/// Threads to use for a batched matmul of this size (1 = stay sequential).
-fn bmm_threads(b: usize, m: usize, k: usize, n: usize) -> usize {
-    let work = b * m * k * n;
-    if work < BMM_PARALLEL_FLOPS {
-        return 1;
-    }
-    suggested_workers(b)
-}
-
-/// `out += a x b` for row-major `[m,k] x [k,n]`, ikj loop order so the inner
-/// loop streams both `b` and `out` (autovectorizes well).
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
-fn is_suffix(suffix: &[usize], of: &[usize]) -> bool {
-    suffix.len() <= of.len() && of[of.len() - suffix.len()..] == *suffix
 }
 
 impl fmt::Debug for Array {
@@ -711,7 +624,7 @@ mod tests {
         let (m, k, n) = (60, 60, 60);
         let a = Array::randn(vec![b, m, k], 1.0, &mut rng);
         let c = Array::randn(vec![b, k, n], 1.0, &mut rng);
-        assert!(b * m * k * n >= crate::array::BMM_PARALLEL_FLOPS);
+        assert!(b * m * k * n >= BMM_PARALLEL_FLOPS);
         let fast = a.bmm(&c);
         for i in 0..b {
             let ai = Array::from_vec(vec![m, k], a.data()[i * m * k..(i + 1) * m * k].to_vec());

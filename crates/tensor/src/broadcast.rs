@@ -1,15 +1,23 @@
 //! NumPy-style right-aligned broadcasting rules and iteration helpers.
+//!
+//! Everything here is allocation-free: shapes and strides live in inline
+//! [`MAX_DIMS`]-element arrays so the broadcast fallback path of the
+//! elementwise kernels can run inside the arena-backed serving loop without
+//! touching the heap.
 
-/// Computes the broadcast result shape of two shapes, aligning from the right.
+use crate::shape::{Shape, MAX_DIMS};
+
+/// Computes the broadcast result shape of two shapes, aligning from the
+/// right, as an inline [`Shape`] (no allocation).
 ///
 /// Dimensions must be equal or one of them must be `1` (a missing leading
 /// dimension is treated as `1`).
 ///
 /// # Panics
 /// Panics when the shapes are incompatible.
-pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
+pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Shape {
     let ndim = a.len().max(b.len());
-    let mut out = vec![0usize; ndim];
+    let mut out = Shape::of(&[0; MAX_DIMS][..ndim]);
     for i in 0..ndim {
         let da = dim_from_right(a, i);
         let db = dim_from_right(b, i);
@@ -23,6 +31,12 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
     out
 }
 
+/// [`broadcast_shape`] returning a `Vec` (the original public API, kept for
+/// external callers and property tests).
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
+    broadcast_shape(a, b).to_vec()
+}
+
 fn dim_from_right(shape: &[usize], i: usize) -> usize {
     if i < shape.len() {
         shape[shape.len() - 1 - i]
@@ -32,44 +46,60 @@ fn dim_from_right(shape: &[usize], i: usize) -> usize {
 }
 
 /// Row-major strides for a shape (in elements).
+#[cfg(test)]
 pub fn strides_of(shape: &[usize]) -> Vec<usize> {
     let mut s = vec![0usize; shape.len()];
+    strides_into(shape, &mut s);
+    s
+}
+
+fn strides_into(shape: &[usize], s: &mut [usize]) {
     let mut acc = 1usize;
     for i in (0..shape.len()).rev() {
         s[i] = acc;
         acc *= shape[i];
     }
-    s
 }
 
 /// Strides of an operand `shape` viewed in the broadcast `out_shape` space.
 ///
 /// Broadcast dimensions (size 1 in the operand, or missing leading dims) get
 /// stride 0 so iteration re-reads the same element.
+#[cfg(test)]
 pub fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
-    let own = strides_of(shape);
+    let mut s = vec![0usize; out_shape.len()];
+    broadcast_strides_into(shape, out_shape, &mut s);
+    s
+}
+
+fn broadcast_strides_into(shape: &[usize], out_shape: &[usize], s: &mut [usize]) {
+    let mut own = [0usize; MAX_DIMS];
+    strides_into(shape, &mut own[..shape.len()]);
     let ndim = out_shape.len();
-    let mut s = vec![0usize; ndim];
-    for i in 0..ndim {
+    for (i, slot) in s.iter_mut().enumerate().take(ndim) {
+        *slot = 0;
         let from_right = ndim - 1 - i;
         if from_right < shape.len() {
             let j = shape.len() - 1 - from_right;
             if shape[j] != 1 {
                 debug_assert_eq!(shape[j], out_shape[i]);
-                s[i] = own[j];
+                *slot = own[j];
             }
         }
     }
-    s
 }
 
 /// An odometer that walks a broadcast output space while tracking the flat
 /// offsets of two operands with (possibly zero) broadcast strides.
+///
+/// All cursor state lives in inline arrays: constructing and driving the
+/// iterator performs no heap allocation.
 pub struct BroadcastIter {
-    shape: Vec<usize>,
-    idx: Vec<usize>,
-    sa: Vec<usize>,
-    sb: Vec<usize>,
+    ndim: usize,
+    shape: [usize; MAX_DIMS],
+    idx: [usize; MAX_DIMS],
+    sa: [usize; MAX_DIMS],
+    sb: [usize; MAX_DIMS],
     oa: usize,
     ob: usize,
     remaining: usize,
@@ -77,16 +107,27 @@ pub struct BroadcastIter {
 
 impl BroadcastIter {
     pub fn new(out_shape: &[usize], a_shape: &[usize], b_shape: &[usize]) -> Self {
+        assert!(
+            out_shape.len() <= MAX_DIMS,
+            "BroadcastIter: {} dims exceed the inline capacity of {MAX_DIMS}",
+            out_shape.len()
+        );
         let total: usize = out_shape.iter().product();
-        BroadcastIter {
-            shape: out_shape.to_vec(),
-            idx: vec![0; out_shape.len()],
-            sa: broadcast_strides(a_shape, out_shape),
-            sb: broadcast_strides(b_shape, out_shape),
+        let ndim = out_shape.len();
+        let mut it = BroadcastIter {
+            ndim,
+            shape: [0; MAX_DIMS],
+            idx: [0; MAX_DIMS],
+            sa: [0; MAX_DIMS],
+            sb: [0; MAX_DIMS],
             oa: 0,
             ob: 0,
             remaining: total,
-        }
+        };
+        it.shape[..ndim].copy_from_slice(out_shape);
+        broadcast_strides_into(a_shape, out_shape, &mut it.sa[..ndim]);
+        broadcast_strides_into(b_shape, out_shape, &mut it.sb[..ndim]);
+        it
     }
 }
 
@@ -101,7 +142,7 @@ impl Iterator for BroadcastIter {
         let out = (self.oa, self.ob);
         self.remaining -= 1;
         // Advance the odometer from the innermost dimension.
-        for d in (0..self.shape.len()).rev() {
+        for d in (0..self.ndim).rev() {
             self.idx[d] += 1;
             self.oa += self.sa[d];
             self.ob += self.sb[d];

@@ -8,20 +8,28 @@
 //!   slots, profiler hooks) so [`Graph::backward`] can run afterwards.
 //! * [`NoGrad`] — the serving backend. Stores *only* forward values: no op
 //!   metadata, no gradient slots, no profiler bookkeeping. Sessions built on
-//!   it cannot run backward, which is exactly the point.
+//!   it cannot run backward, which is exactly the point. Every op writes its
+//!   output into a buffer from an [`Arena`], so a warmed-up pass performs
+//!   zero steady-state heap allocations.
 //!
 //! **Parity guarantee.** Every `Exec` method on both backends routes through
-//! the same [`Array`] methods / [`kernels`](crate::kernels) functions in the
-//! same order, so a forward pass produces bit-identical `f32` values on
-//! either backend (asserted end-to-end by `crates/serve/tests/parity.rs`).
+//! the same [`kernels`](crate::kernels) functions with the same per-element
+//! arithmetic in the same order, so a forward pass produces bit-identical
+//! `f32` values on either backend (asserted end-to-end by
+//! `crates/serve/tests/parity.rs`), and the arena path is bit-identical to
+//! the fresh-alloc path because the `_into` kernels have set semantics —
+//! recycled buffer contents are never read.
 
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
+use crate::arena::Arena;
 use crate::array::Array;
+use crate::broadcast::broadcast_shape;
 use crate::graph::{Graph, Var};
 use crate::kernels;
+use crate::shape::Shape;
 
 /// The closed op-constructor surface a model forward pass needs.
 ///
@@ -103,7 +111,7 @@ pub trait Exec {
     /// Slices the last dimension.
     fn slice_last(&mut self, v: Var, start: usize, len: usize) -> Var;
     /// Reinterprets the shape.
-    fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var;
+    fn reshape(&mut self, v: Var, shape: &[usize]) -> Var;
     /// Layer normalization over the last dimension with learned scale/shift.
     fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var;
     /// Elementwise product with a constant array (masking, dropout).
@@ -206,7 +214,7 @@ impl Exec for Graph {
     fn slice_last(&mut self, v: Var, start: usize, len: usize) -> Var {
         Graph::slice_last(self, v, start, len)
     }
-    fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var {
+    fn reshape(&mut self, v: Var, shape: &[usize]) -> Var {
         Graph::reshape(self, v, shape)
     }
     fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var {
@@ -232,12 +240,28 @@ impl Exec for Graph {
     }
 }
 
+/// Unique mutable view of an arena buffer. The arena only hands out unique
+/// `Arc`s, so `make_mut` never clones — this is a plain field projection
+/// with no panic path.
+#[inline]
+fn buf_mut(arc: &mut Arc<Vec<f32>>) -> &mut [f32] {
+    Arc::make_mut(arc).as_mut_slice()
+}
+
 /// The tape-free inference backend: stores forward values only.
 ///
 /// Compared to [`Graph`], a `NoGrad` pass allocates no op metadata, no
 /// gradient slots and never touches the tape profiler; `backward` simply
 /// does not exist on it. Dropout is rejected in training mode — this backend
 /// is for frozen weights.
+///
+/// Every op requests its output buffer from the backend's [`Arena`] and
+/// writes it with the set-semantics `_into` kernels. [`NoGrad::new`] starts
+/// with an empty arena (every request allocates, exactly like before);
+/// [`NoGrad::with_arena`] resumes a pool recycled from a previous pass via
+/// [`NoGrad::into_arena`], which is what makes steady-state serving
+/// allocation-free. Both paths run the same kernels over buffers whose prior
+/// contents are never read, so their outputs are bit-identical.
 ///
 /// When serve-path profiling is on (`stisan_obs::flame`), each op is
 /// timed into the per-kernel cost table and the flame tree. The flag is
@@ -247,6 +271,7 @@ pub struct NoGrad {
     vals: Vec<Array>,
     /// Serve-path profiling flag, captured at construction.
     prof: bool,
+    arena: Arena,
 }
 
 impl Default for NoGrad {
@@ -256,9 +281,28 @@ impl Default for NoGrad {
 }
 
 impl NoGrad {
-    /// An empty inference backend.
+    /// An empty inference backend with a cold (empty) arena.
     pub fn new() -> Self {
-        NoGrad { vals: Vec::new(), prof: stisan_obs::serve_profiling() }
+        NoGrad::with_arena(Arena::new())
+    }
+
+    /// An inference backend that draws scratch buffers from `arena`.
+    pub fn with_arena(mut arena: Arena) -> Self {
+        let vals = arena.take_vals();
+        NoGrad { vals, prof: stisan_obs::serve_profiling(), arena }
+    }
+
+    /// Tears the backend down, recycling every node value's storage into the
+    /// arena and returning it for the next pass.
+    pub fn into_arena(mut self) -> Arena {
+        let vals = std::mem::take(&mut self.vals);
+        self.arena.put_vals(vals);
+        self.arena
+    }
+
+    /// Counters of the backing arena (pool hits/misses/drops).
+    pub fn arena_stats(&self) -> crate::arena::ArenaStats {
+        self.arena.stats()
     }
 
     /// Number of computed nodes.
@@ -294,19 +338,82 @@ impl NoGrad {
         }
     }
 
-    /// Runs one kernel, timing it into the serve profile when profiling is
-    /// on. Kind names match [`Graph`]'s op kinds so tape and serve profiles
-    /// line up.
+    /// Profiling guard for one kernel, when profiling is on. Kind names
+    /// match [`Graph`]'s op kinds so tape and serve profiles line up.
     #[inline]
-    fn op(&mut self, kind: &'static str, flops: u64, f: impl FnOnce(&NoGrad) -> Array) -> Var {
-        if !self.prof {
-            let v = f(self);
-            return self.push(v);
+    fn guard(&self, kind: &'static str, flops: u64) -> Option<stisan_obs::flame::KernelGuard> {
+        if self.prof { Some(stisan_obs::flame::kernel(kind, flops)) } else { None }
+    }
+
+    /// Unary elementwise op through the arena.
+    #[inline]
+    fn map_op(
+        &mut self,
+        kind: &'static str,
+        a: Var,
+        per_elem: u64,
+        f: impl Fn(f32) -> f32,
+    ) -> Var {
+        let fl = self.ew_flops(a, per_elem);
+        let g = self.guard(kind, fl);
+        let sh = self.value(a).shape_inline();
+        let mut buf = self.arena.take(sh.numel());
+        kernels::map_into(self.value(a).data(), buf_mut(&mut buf), f);
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
+    }
+
+    /// Broadcasting binary elementwise op through the arena.
+    #[inline]
+    fn zip_op(&mut self, kind: &'static str, a: Var, b: Var, f: impl Fn(f32, f32) -> f32) -> Var {
+        let fl = self.ew_flops2(a, b, 1);
+        let g = self.guard(kind, fl);
+        let sh = {
+            let (av, bv) = (self.value(a), self.value(b));
+            if av.shape() == bv.shape() {
+                av.shape_inline()
+            } else {
+                broadcast_shape(av.shape(), bv.shape())
+            }
+        };
+        let mut buf = self.arena.take(sh.numel());
+        {
+            let (av, bv) = (self.value(a), self.value(b));
+            kernels::zip_into(av.data(), av.shape(), bv.data(), bv.shape(), &sh, buf_mut(&mut buf), f);
         }
-        let guard = stisan_obs::flame::kernel(kind, flops);
-        let v = f(self);
-        drop(guard);
-        self.push(v)
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
+    }
+
+    /// Binary elementwise op against a constant array. The constant's
+    /// storage is offered back to the arena afterwards (it is usually a
+    /// per-request mask; shared or foreign storages are simply dropped).
+    #[inline]
+    fn zip_const_op(
+        &mut self,
+        kind: &'static str,
+        a: Var,
+        c: Array,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Var {
+        let fl = if self.prof { self.value(a).len().max(c.len()) as u64 } else { 0 };
+        let g = self.guard(kind, fl);
+        let sh = {
+            let av = self.value(a);
+            if av.shape() == c.shape() {
+                av.shape_inline()
+            } else {
+                broadcast_shape(av.shape(), c.shape())
+            }
+        };
+        let mut buf = self.arena.take(sh.numel());
+        {
+            let av = self.value(a);
+            kernels::zip_into(av.data(), av.shape(), c.data(), c.shape(), &sh, buf_mut(&mut buf), f);
+        }
+        drop(g);
+        self.arena.recycle(c.into_data());
+        self.push(Array::from_arc(sh, buf))
     }
 }
 
@@ -318,28 +425,25 @@ impl Exec for NoGrad {
         &self.vals[v.0]
     }
     fn add(&mut self, a: Var, b: Var) -> Var {
-        let fl = self.ew_flops2(a, b, 1);
-        self.op("add", fl, |s| s.value(a).add(s.value(b)))
+        self.zip_op("add", a, b, |x, y| x + y)
     }
     fn sub(&mut self, a: Var, b: Var) -> Var {
-        let fl = self.ew_flops2(a, b, 1);
-        self.op("sub", fl, |s| s.value(a).sub(s.value(b)))
+        self.zip_op("sub", a, b, |x, y| x - y)
     }
     fn mul(&mut self, a: Var, b: Var) -> Var {
-        let fl = self.ew_flops2(a, b, 1);
-        self.op("mul", fl, |s| s.value(a).mul(s.value(b)))
+        self.zip_op("mul", a, b, |x, y| x * y)
     }
     fn scale(&mut self, a: Var, c: f32) -> Var {
-        let fl = self.ew_flops(a, 1);
-        self.op("scale", fl, |s| s.value(a).scale(c))
+        self.map_op("scale", a, 1, |x| x * c)
     }
     fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let fl = self.ew_flops(a, 1);
-        self.op("add_scalar", fl, |s| s.value(a).add_scalar(c))
+        self.map_op("add_scalar", a, 1, |x| x + c)
     }
+    // Not `-x`: the tape's neg is `scale(-1.0)`, and the two differ on NaN
+    // payloads — the multiply keeps frozen values bit-identical to the tape.
+    #[allow(clippy::neg_multiply)]
     fn neg(&mut self, a: Var) -> Var {
-        let fl = self.ew_flops(a, 1);
-        self.op("neg", fl, |s| s.value(a).scale(-1.0))
+        self.map_op("neg", a, 1, |x| x * -1.0)
     }
     fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
         let fl = if self.prof {
@@ -347,117 +451,375 @@ impl Exec for NoGrad {
         } else {
             0
         };
-        self.op("linear", fl, |s| {
-            kernels::linear_forward(s.value(x), s.value(w), b.map(|b| s.value(b)))
-        })
+        let g = self.guard("linear", fl);
+        // A 1-D bias of the output width (every layer in this repo) takes
+        // the fused arena path; any other broadcastable bias falls back to
+        // the allocating kernel — both identical to `linear_forward`.
+        let fused = match b {
+            None => true,
+            Some(bv) => {
+                let (bvv, wv) = (self.value(bv), self.value(w));
+                wv.ndim() == 2 && bvv.ndim() == 1 && bvv.len() == wv.shape()[1]
+            }
+        };
+        let out = if fused {
+            let (sh, rows, k, f_dim) = {
+                let (xv, wv) = (self.value(x), self.value(w));
+                assert_eq!(wv.ndim(), 2, "matmul_last: weight must be 2-D");
+                let k = *xv.shape().last().expect("matmul_last: scalar input");
+                assert_eq!(k, wv.shape()[0], "matmul_last: inner dims {k} vs {}", wv.shape()[0]);
+                let f_dim = wv.shape()[1];
+                let rows = xv.len() / k;
+                let mut sh = xv.shape_inline();
+                let nd = sh.len();
+                sh[nd - 1] = f_dim;
+                (sh, rows, k, f_dim)
+            };
+            let mut buf = self.arena.take(sh.numel());
+            kernels::linear_forward_into(
+                self.value(x).data(),
+                self.value(w).data(),
+                b.map(|bv| self.value(bv).data()),
+                buf_mut(&mut buf),
+                rows,
+                k,
+                f_dim,
+            );
+            Array::from_arc(sh, buf)
+        } else {
+            kernels::linear_forward(self.value(x), self.value(w), b.map(|bv| self.value(bv)))
+        };
+        drop(g);
+        self.push(out)
     }
     fn bmm(&mut self, a: Var, b: Var) -> Var {
-        let fl =
-            if self.prof { kernels::bmm_flops(self.value(a), self.value(b)) } else { 0 };
-        self.op("bmm", fl, |s| s.value(a).bmm(s.value(b)))
+        let fl = if self.prof { kernels::bmm_flops(self.value(a), self.value(b)) } else { 0 };
+        let g = self.guard("bmm", fl);
+        let (bsz, m, k, n) = {
+            let (av, bv) = (self.value(a), self.value(b));
+            assert_eq!(av.ndim(), 3, "bmm lhs must be 3-D, got {:?}", av.shape());
+            assert_eq!(bv.ndim(), 3, "bmm rhs must be 3-D, got {:?}", bv.shape());
+            let (bsz, m, k) = (av.shape()[0], av.shape()[1], av.shape()[2]);
+            let (b2, k2, n) = (bv.shape()[0], bv.shape()[1], bv.shape()[2]);
+            assert_eq!(bsz, b2, "bmm: batch dims {bsz} vs {b2}");
+            assert_eq!(k, k2, "bmm: inner dims {k} vs {k2}");
+            (bsz, m, k, n)
+        };
+        let mut buf = self.arena.take(bsz * m * n);
+        kernels::bmm_into(
+            self.value(a).data(),
+            self.value(b).data(),
+            buf_mut(&mut buf),
+            bsz,
+            m,
+            k,
+            n,
+        );
+        drop(g);
+        self.push(Array::from_arc(Shape::of(&[bsz, m, n]), buf))
     }
     fn transpose_last2(&mut self, a: Var) -> Var {
-        self.op("transpose", 0, |s| s.value(a).transpose_last2())
+        let g = self.guard("transpose", 0);
+        let (batch, r, c, sh) = {
+            let av = self.value(a);
+            let nd = av.ndim();
+            assert!(nd >= 2, "transpose_last2 requires ndim >= 2");
+            let (r, c) = (av.shape()[nd - 2], av.shape()[nd - 1]);
+            let batch: usize = av.shape()[..nd - 2].iter().product();
+            let mut sh = av.shape_inline();
+            sh.swap(nd - 2, nd - 1);
+            (batch, r, c, sh)
+        };
+        let mut buf = self.arena.take(sh.numel());
+        kernels::transpose_last2_into(self.value(a).data(), buf_mut(&mut buf), batch, r, c);
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
     }
     fn relu(&mut self, a: Var) -> Var {
-        let fl = self.ew_flops(a, 1);
-        self.op("relu", fl, |s| s.value(a).map(|x| x.max(0.0)))
+        self.map_op("relu", a, 1, |x| x.max(0.0))
     }
     fn sigmoid(&mut self, a: Var) -> Var {
-        let fl = self.ew_flops(a, 4);
-        self.op("sigmoid", fl, |s| s.value(a).map(kernels::stable_sigmoid))
+        self.map_op("sigmoid", a, 4, kernels::stable_sigmoid)
     }
     fn tanh(&mut self, a: Var) -> Var {
-        let fl = self.ew_flops(a, 4);
-        self.op("tanh", fl, |s| s.value(a).map(f32::tanh))
+        self.map_op("tanh", a, 4, f32::tanh)
     }
     fn exp(&mut self, a: Var) -> Var {
-        let fl = self.ew_flops(a, 4);
-        self.op("exp", fl, |s| s.value(a).map(f32::exp))
+        self.map_op("exp", a, 4, f32::exp)
     }
     fn log(&mut self, a: Var) -> Var {
-        let fl = self.ew_flops(a, 4);
-        self.op("log", fl, |s| s.value(a).map(f32::ln))
+        self.map_op("log", a, 4, f32::ln)
     }
     fn softplus(&mut self, a: Var) -> Var {
-        let fl = self.ew_flops(a, 4);
-        self.op("softplus", fl, |s| s.value(a).map(kernels::softplus_scalar))
+        self.map_op("softplus", a, 4, kernels::softplus_scalar)
     }
     fn softmax_last(&mut self, a: Var) -> Var {
         let fl = self.ew_flops(a, 5);
-        self.op("softmax", fl, |s| s.value(a).softmax_last())
+        let g = self.guard("softmax", fl);
+        let (w, sh) = {
+            let av = self.value(a);
+            let w = *av.shape().last().expect("softmax_last: scalar input");
+            (w, av.shape_inline())
+        };
+        let mut buf = self.arena.take(sh.numel());
+        kernels::softmax_last_into(self.value(a).data(), buf_mut(&mut buf), w);
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
     }
     fn sum_all(&mut self, a: Var) -> Var {
         let fl = self.ew_flops(a, 1);
-        self.op("sum_all", fl, |s| Array::scalar(s.value(a).sum_all()))
+        let g = self.guard("sum_all", fl);
+        let s = self.value(a).sum_all();
+        let mut buf = self.arena.take(1);
+        buf_mut(&mut buf)[0] = s;
+        drop(g);
+        self.push(Array::from_arc(Shape::scalar(), buf))
     }
     fn mean_all(&mut self, a: Var) -> Var {
         let fl = self.ew_flops(a, 1);
-        self.op("mean_all", fl, |s| Array::scalar(s.value(a).mean_all()))
+        let g = self.guard("mean_all", fl);
+        let s = self.value(a).mean_all();
+        let mut buf = self.arena.take(1);
+        buf_mut(&mut buf)[0] = s;
+        drop(g);
+        self.push(Array::from_arc(Shape::scalar(), buf))
     }
     fn sum_last(&mut self, a: Var) -> Var {
         let fl = self.ew_flops(a, 1);
-        self.op("sum_last", fl, |s| s.value(a).sum_last())
+        let g = self.guard("sum_last", fl);
+        let (w, rows, sh) = {
+            let av = self.value(a);
+            let w = *av.shape().last().expect("sum_last: scalar input");
+            let rows = av.len() / w.max(1);
+            (w, rows, Shape::of(&av.shape()[..av.ndim() - 1]))
+        };
+        let mut buf = self.arena.take(rows);
+        kernels::sum_last_into(self.value(a).data(), buf_mut(&mut buf), w);
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
     }
     fn sum_axis1(&mut self, a: Var) -> Var {
         let fl = self.ew_flops(a, 1);
-        self.op("sum_axis1", fl, |s| s.value(a).sum_axis1())
+        let g = self.guard("sum_axis1", fl);
+        let (b, n, d) = {
+            let av = self.value(a);
+            assert_eq!(av.ndim(), 3, "sum_axis1 requires a 3-D array");
+            (av.shape()[0], av.shape()[1], av.shape()[2])
+        };
+        let mut buf = self.arena.take(b * d);
+        kernels::sum_axis1_into(self.value(a).data(), buf_mut(&mut buf), b, n, d);
+        drop(g);
+        self.push(Array::from_arc(Shape::of(&[b, d]), buf))
     }
     fn max_axis1(&mut self, a: Var) -> Var {
         let fl = self.ew_flops(a, 1);
-        self.op("max_axis1", fl, |s| kernels::max_axis1(s.value(a)))
+        let g = self.guard("max_axis1", fl);
+        let (b, n, d) = {
+            let av = self.value(a);
+            assert_eq!(av.ndim(), 3, "max_axis1 requires a 3-D array");
+            (av.shape()[0], av.shape()[1], av.shape()[2])
+        };
+        let mut buf = self.arena.take(b * d);
+        kernels::max_axis1_into(self.value(a).data(), buf_mut(&mut buf), b, n, d);
+        drop(g);
+        self.push(Array::from_arc(Shape::of(&[b, d]), buf))
     }
     fn gather(&mut self, table: Var, indices: &[usize], batch_shape: &[usize]) -> Var {
-        self.op("gather", 0, |s| kernels::gather_rows(s.value(table), indices, batch_shape))
+        let g = self.guard("gather", 0);
+        let (t_rows, d) = {
+            let t = self.value(table);
+            assert_eq!(t.ndim(), 2, "gather: table must be 2-D");
+            (t.shape()[0], t.shape()[1])
+        };
+        let rows: usize = batch_shape.iter().product();
+        assert_eq!(
+            rows,
+            indices.len(),
+            "gather: batch shape {batch_shape:?} vs {} indices",
+            indices.len()
+        );
+        let mut sh = Shape::of(batch_shape);
+        sh.push(d);
+        let mut buf = self.arena.take(rows * d);
+        kernels::gather_rows_into(self.value(table).data(), t_rows, d, indices, buf_mut(&mut buf));
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
     }
     fn gather_last(&mut self, v: Var, idx: Arc<Vec<usize>>, m_out: usize) -> Var {
-        self.op("gather_last", 0, |s| kernels::gather_last(s.value(v), &idx, m_out))
+        let g = self.guard("gather_last", 0);
+        let (k, rows, sh) = {
+            let vv = self.value(v);
+            let k = *vv.shape().last().expect("gather_last: scalar input");
+            let rows = vv.len() / k;
+            let mut sh = vv.shape_inline();
+            let nd = sh.len();
+            sh[nd - 1] = m_out;
+            (k, rows, sh)
+        };
+        assert_eq!(idx.len(), rows * m_out, "gather_last: index count mismatch");
+        let mut buf = self.arena.take(rows * m_out);
+        kernels::gather_last_into(self.value(v).data(), k, &idx, m_out, buf_mut(&mut buf));
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
     }
     fn scatter_add_last(&mut self, a: Var, idx: Arc<Vec<usize>>, k_out: usize) -> Var {
         let fl = self.ew_flops(a, 1);
-        self.op("scatter_add_last", fl, |s| kernels::scatter_add_last(s.value(a), &idx, k_out))
+        let g = self.guard("scatter_add_last", fl);
+        let (m, rows, sh) = {
+            let av = self.value(a);
+            let m = *av.shape().last().expect("scatter_add_last: scalar input");
+            let rows = av.len() / m;
+            let mut sh = av.shape_inline();
+            let nd = sh.len();
+            sh[nd - 1] = k_out;
+            (m, rows, sh)
+        };
+        assert_eq!(idx.len(), rows * m, "scatter_add_last: index count mismatch");
+        let mut buf = self.arena.take(rows * k_out);
+        kernels::scatter_add_last_into(self.value(a).data(), m, &idx, k_out, buf_mut(&mut buf));
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
     }
     fn concat_last(&mut self, parts: &[Var]) -> Var {
-        self.op("concat_last", 0, |s| {
-            let arrays: Vec<&Array> = parts.iter().map(|&p| s.value(p)).collect();
-            Array::concat_last(&arrays)
-        })
+        let g = self.guard("concat_last", 0);
+        assert!(!parts.is_empty(), "concat_last: no inputs");
+        let (nd, rows, last_total, sh) = {
+            let first = self.value(parts[0]);
+            let nd = first.ndim();
+            let mut last_total = 0usize;
+            for &p in parts {
+                let pv = self.value(p);
+                assert_eq!(pv.ndim(), nd, "concat_last: rank mismatch");
+                assert_eq!(
+                    &pv.shape()[..nd - 1],
+                    &first.shape()[..nd - 1],
+                    "concat_last: leading dims differ"
+                );
+                last_total += pv.shape()[nd - 1];
+            }
+            let rows: usize = first.shape()[..nd - 1].iter().product();
+            let mut sh = first.shape_inline();
+            sh[nd - 1] = last_total;
+            (nd, rows, last_total, sh)
+        };
+        let mut buf = self.arena.take(rows * last_total);
+        {
+            let dst = buf_mut(&mut buf);
+            for r in 0..rows {
+                let mut o = r * last_total;
+                for &p in parts {
+                    let pv = self.value(p);
+                    let w = pv.shape()[nd - 1];
+                    dst[o..o + w].copy_from_slice(&pv.data()[r * w..(r + 1) * w]);
+                    o += w;
+                }
+            }
+        }
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
     }
     fn slice_last(&mut self, v: Var, start: usize, len: usize) -> Var {
-        self.op("slice_last", 0, |s| s.value(v).slice_last(start, len))
+        let g = self.guard("slice_last", 0);
+        let (w, rows, sh) = {
+            let vv = self.value(v);
+            let nd = vv.ndim();
+            let w = vv.shape()[nd - 1];
+            assert!(start + len <= w, "slice_last: {start}+{len} > {w}");
+            let rows = vv.len() / w;
+            let mut sh = vv.shape_inline();
+            sh[nd - 1] = len;
+            (w, rows, sh)
+        };
+        let mut buf = self.arena.take(rows * len);
+        kernels::slice_last_into(self.value(v).data(), buf_mut(&mut buf), w, start, len);
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
     }
-    fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var {
-        self.op("reshape", 0, |s| s.value(v).reshape(shape))
+    fn reshape(&mut self, v: Var, shape: &[usize]) -> Var {
+        let g = self.guard("reshape", 0);
+        let out = self.value(v).reshape(shape);
+        drop(g);
+        self.push(out)
     }
     fn layer_norm(&mut self, x: Var, alpha: Var, beta: Var, eps: f32) -> Var {
         let fl = self.ew_flops(x, 8);
-        self.op("layer_norm", fl, |s| {
-            kernels::layer_norm_affine(s.value(x), s.value(alpha), s.value(beta), eps)
-        })
+        let g = self.guard("layer_norm", fl);
+        let (w, sh) = {
+            let xv = self.value(x);
+            let w = *xv.shape().last().expect("layer_norm: scalar input");
+            (w, xv.shape_inline())
+        };
+        assert_eq!(self.value(alpha).shape(), &[w], "layer_norm: alpha must be [width]");
+        assert_eq!(self.value(beta).shape(), &[w], "layer_norm: beta must be [width]");
+        let mut buf = self.arena.take(sh.numel());
+        kernels::layer_norm_affine_into(
+            self.value(x).data(),
+            self.value(alpha).data(),
+            self.value(beta).data(),
+            eps,
+            buf_mut(&mut buf),
+            w,
+        );
+        drop(g);
+        self.push(Array::from_arc(sh, buf))
     }
     fn mul_const(&mut self, a: Var, c: Array) -> Var {
-        let fl = self.ew_flops(a, 1);
-        self.op("mul_const", fl, move |s| s.value(a).mul(&c))
+        self.zip_const_op("mul_const", a, c, |x, y| x * y)
     }
     fn add_const(&mut self, a: Var, c: Array) -> Var {
-        let fl = self.ew_flops(a, 1);
-        self.op("add_const", fl, move |s| s.value(a).add(&c))
+        self.zip_const_op("add_const", a, c, |x, y| x + y)
     }
     fn dropout(&mut self, a: Var, _rate: f32, training: bool, _rng: &mut StdRng) -> Var {
         assert!(!training, "NoGrad is inference-only: dropout cannot run in training mode");
         a
     }
     fn stack_axis1(&mut self, parts: &[Var]) -> Var {
-        self.op("stack_axis1", 0, |s| {
-            let arrays: Vec<&Array> = parts.iter().map(|&p| s.value(p)).collect();
-            kernels::stack_axis1(&arrays)
-        })
+        let g = self.guard("stack_axis1", 0);
+        assert!(!parts.is_empty(), "stack_axis1: no inputs");
+        let (b, d) = {
+            let first = self.value(parts[0]);
+            assert_eq!(first.ndim(), 2, "stack_axis1: parts must be 2-D");
+            (first.shape()[0], first.shape()[1])
+        };
+        let k = parts.len();
+        let mut buf = self.arena.take(b * k * d);
+        {
+            let dst = buf_mut(&mut buf);
+            for (j, &p) in parts.iter().enumerate() {
+                let pv = self.value(p);
+                assert_eq!(pv.shape(), &[b, d], "stack_axis1: shape mismatch");
+                kernels::stack_part_into(pv.data(), dst, j, b, k, d);
+            }
+        }
+        drop(g);
+        self.push(Array::from_arc(Shape::of(&[b, k, d]), buf))
     }
     fn slice_axis1(&mut self, v: Var, idx: usize) -> Var {
-        self.op("slice_axis1", 0, |s| kernels::slice_axis1(s.value(v), idx))
+        let g = self.guard("slice_axis1", 0);
+        let (b, n, d) = {
+            let vv = self.value(v);
+            assert_eq!(vv.ndim(), 3, "slice_axis1: input must be 3-D");
+            (vv.shape()[0], vv.shape()[1], vv.shape()[2])
+        };
+        assert!(idx < n, "slice_axis1: step {idx} out of {n}");
+        let mut buf = self.arena.take(b * d);
+        kernels::slice_axis1_into(self.value(v).data(), buf_mut(&mut buf), idx, b, n, d);
+        drop(g);
+        self.push(Array::from_arc(Shape::of(&[b, d]), buf))
     }
     fn unfold1(&mut self, v: Var, width: usize) -> Var {
-        self.op("unfold1", 0, |s| kernels::unfold1(s.value(v), width))
+        let g = self.guard("unfold1", 0);
+        let (b, n, d) = {
+            let vv = self.value(v);
+            assert_eq!(vv.ndim(), 3, "unfold1: input must be 3-D");
+            (vv.shape()[0], vv.shape()[1], vv.shape()[2])
+        };
+        assert!(width >= 1 && width <= n, "unfold1: width {width} out of 1..={n}");
+        let windows = n - width + 1;
+        let mut buf = self.arena.take(b * windows * width * d);
+        kernels::unfold1_into(self.value(v).data(), buf_mut(&mut buf), b, n, d, width);
+        drop(g);
+        self.push(Array::from_arc(Shape::of(&[b, windows, width * d]), buf))
     }
 }
 
@@ -494,6 +856,34 @@ mod tests {
         let mut g = Graph::new();
         let mut n = NoGrad::new();
         assert_eq!(run(&mut g), run(&mut n));
+    }
+
+    /// The same chain, run twice through a recycled arena: the second pass
+    /// must hit the pool and still be bit-identical to the first.
+    #[test]
+    fn arena_reuse_is_bitwise_stable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = Array::randn(vec![2, 4, 6], 1.0, &mut rng);
+        let w = Array::randn(vec![6, 6], 1.0, &mut rng);
+        let run = |n: &mut NoGrad| -> Vec<u32> {
+            let x = n.constant(x.clone());
+            let w = n.constant(w.clone());
+            let h = Exec::linear(n, x, w, None);
+            let ht = Exec::transpose_last2(n, h);
+            let logits = Exec::bmm(n, h, ht);
+            let wts = Exec::softmax_last(n, logits);
+            let out = Exec::bmm(n, wts, h);
+            let pooled = Exec::max_axis1(n, out);
+            n.value(pooled).data().iter().map(|v| v.to_bits()).collect()
+        };
+        let mut n1 = NoGrad::new();
+        let first = run(&mut n1);
+        let arena = n1.into_arena();
+        let mut n2 = NoGrad::with_arena(arena);
+        let second = run(&mut n2);
+        assert_eq!(first, second);
+        let stats = n2.arena_stats();
+        assert!(stats.hits > 0, "second pass should reuse pooled buffers: {stats:?}");
     }
 
     #[test]

@@ -505,11 +505,11 @@ impl Graph {
     }
 
     /// Reinterprets the shape.
-    pub fn reshape(&mut self, v: Var, shape: Vec<usize>) -> Var {
+    pub fn reshape(&mut self, v: Var, shape: &[usize]) -> Var {
         self.tick();
-        let val = self.value(v).reshape(shape.clone());
+        let val = self.value(v).reshape(shape);
         let rg = self.rg(v);
-        self.push(val, Op::Reshape(v, shape), rg)
+        self.push(val, Op::Reshape(v, shape.to_vec()), rg)
     }
 
     /// Layer normalization over the last dimension (Eq 9 of the paper).

@@ -6,12 +6,45 @@
 //! function. This is what makes the tape-free serving path *bit-for-bit*
 //! identical to the training forward: there is exactly one implementation of
 //! each kernel, so the two backends cannot drift apart numerically.
+//!
+//! # `_into` kernels and the arena
+//!
+//! The hot kernels come in `_into` form: they write into a caller-provided
+//! output slice instead of allocating. The allocating [`Array`] methods are
+//! thin wrappers over these, and the arena-backed [`NoGrad`](crate::NoGrad)
+//! path calls the same `_into` functions with recycled buffers — so the
+//! fresh-alloc and arena paths are bit-identical *by construction*. Unless
+//! noted otherwise, `_into` kernels have **set** semantics: every output
+//! element is written, previous contents are ignored (which is what makes
+//! arena reuse safe without clearing).
+//!
+//! # Blocking and the bit-parity policy
+//!
+//! [`matmul_into`] is cache-blocked: the output row is split into panels of
+//! [`MM_JB`] columns accumulated in a stack register block, so the inner loop
+//! autovectorizes and the output is written exactly once. The naive reference
+//! implementations live in [`naive`] and are property-tested against the
+//! blocked kernels in `crates/tensor/tests/kernel_diff.rs`. The blocking
+//! never reassociates floating-point addition: for every output element the
+//! reduction over `k` runs in the same ascending order, with the same
+//! skip-on-zero, as the naive triple loop — so blocked and naive results are
+//! **bit-identical**, not merely close (see DESIGN.md §14).
 
-use crate::array::Array;
+use crate::array::{suggested_workers, Array};
+use crate::broadcast::BroadcastIter;
+
+/// Multiply-add count above which [`bmm_into`] parallelizes across the batch
+/// dimension.
+pub const BMM_PARALLEL_FLOPS: usize = 4_000_000;
+
+/// Column-panel width of the blocked [`matmul_into`]: the per-row accumulator
+/// block is `MM_JB` floats (256 bytes — four AVX2 registers' worth), written
+/// back to the output exactly once per panel.
+pub const MM_JB: usize = 64;
 
 /// Numerically stable logistic sigmoid.
 #[inline]
-pub(crate) fn stable_sigmoid(x: f32) -> f32 {
+pub fn stable_sigmoid(x: f32) -> f32 {
     if x >= 0.0 {
         1.0 / (1.0 + (-x).exp())
     } else {
@@ -22,7 +55,7 @@ pub(crate) fn stable_sigmoid(x: f32) -> f32 {
 
 /// Numerically stable softplus `ln(1 + e^x)` (clamped tails).
 #[inline]
-pub(crate) fn softplus_scalar(x: f32) -> f32 {
+pub fn softplus_scalar(x: f32) -> f32 {
     if x > 20.0 {
         x
     } else if x < -20.0 {
@@ -32,126 +65,264 @@ pub(crate) fn softplus_scalar(x: f32) -> f32 {
     }
 }
 
-/// Max of a 3-D array over axis 1: `[b,n,d] -> [b,d]`.
-pub(crate) fn max_axis1(av: &Array) -> Array {
-    assert_eq!(av.ndim(), 3, "max_axis1 requires a 3-D array");
-    let (b, n, d) = (av.shape()[0], av.shape()[1], av.shape()[2]);
-    assert!(n >= 1, "max_axis1: empty axis");
-    let mut out = vec![f32::NEG_INFINITY; b * d];
-    for i in 0..b {
-        for j in 0..n {
-            for k in 0..d {
-                let x = av.data()[(i * n + j) * d + k];
-                if x > out[i * d + k] {
-                    out[i * d + k] = x;
+// ----------------------------------------------------------------------
+// Elementwise
+// ----------------------------------------------------------------------
+
+/// `out[i] = f(a[i])` (set semantics).
+#[inline]
+pub fn map_into(a: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32) {
+    debug_assert_eq!(a.len(), out.len());
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = f(x);
+    }
+}
+
+fn is_suffix(suffix: &[usize], of: &[usize]) -> bool {
+    suffix.len() <= of.len() && of[of.len() - suffix.len()..] == *suffix
+}
+
+/// Broadcasting elementwise binary op into `out` (set semantics).
+///
+/// `out_shape` must be `broadcast_shape(a_shape, b_shape)`. The three code
+/// paths (identical shapes, suffix broadcast, general odometer) match
+/// `Array::zip_broadcast` exactly — element order and arithmetic are the
+/// same, so the allocating and `_into` forms are bit-identical.
+pub fn zip_into(
+    a: &[f32],
+    a_shape: &[usize],
+    b: &[f32],
+    b_shape: &[usize],
+    out_shape: &[usize],
+    out: &mut [f32],
+    f: impl Fn(f32, f32) -> f32,
+) {
+    if a_shape == b_shape {
+        // Fast path: identical shapes.
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = f(x, y);
+        }
+        return;
+    }
+    // Fast path: `b` is an exact suffix of `a` (the common bias case).
+    if out_shape == a_shape && is_suffix(b_shape, a_shape) {
+        let m = b.len().max(1);
+        for (i, (o, &x)) in out.iter_mut().zip(a).enumerate() {
+            *o = f(x, b[i % m]);
+        }
+        return;
+    }
+    for (o, (oa, ob)) in out.iter_mut().zip(BroadcastIter::new(out_shape, a_shape, b_shape)) {
+        *o = f(a[oa], b[ob]);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Matrix multiplication
+// ----------------------------------------------------------------------
+
+/// `out = a × b` for row-major `[m,k] × [k,n]` (set semantics).
+///
+/// Cache-blocked: each output row is produced one [`MM_JB`]-wide column
+/// panel at a time, accumulated in a stack block that stays in registers
+/// while rows of the `b` panel stream through the inner loop. Per output
+/// element the reduction over `p` runs in ascending order from `0.0`,
+/// skipping `a[i,p] == 0.0` terms — the exact accumulation of
+/// [`naive::matmul_into`], so results are bit-identical.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if n <= MM_JB {
+        // Sub-panel output: the whole row fits where the register block
+        // would go, so the panel machinery (64-wide zero-init + copy-out per
+        // row) is pure overhead. The direct loop has the identical
+        // ascending-p accumulation, so this dispatch is invisible in the
+        // bits (`tests/kernel_diff.rs` covers both sides of the cutoff).
+        naive::matmul_into(a, b, out, m, k, n);
+        return;
+    }
+    let mut jb = 0usize;
+    while jb < n {
+        let w = MM_JB.min(n - jb);
+        if w == MM_JB {
+            // Full-width panel: fixed-size accumulator, unrolled + vectorized.
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let mut acc = [0.0f32; MM_JB];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n + jb..p * n + jb + MM_JB];
+                    for (c, &bv) in acc.iter_mut().zip(brow) {
+                        *c += av * bv;
+                    }
                 }
+                out[i * n + jb..i * n + jb + MM_JB].copy_from_slice(&acc);
+            }
+        } else {
+            // Ragged tail panel: same math over the first `w` lanes.
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let mut acc = [0.0f32; MM_JB];
+                let acc = &mut acc[..w];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n + jb..p * n + jb + w];
+                    for (c, &bv) in acc.iter_mut().zip(brow) {
+                        *c += av * bv;
+                    }
+                }
+                out[i * n + jb..i * n + jb + w].copy_from_slice(acc);
+            }
+        }
+        jb += MM_JB;
+    }
+}
+
+/// Threads to use for a batched matmul of this size (1 = stay sequential).
+fn bmm_threads(b: usize, m: usize, k: usize, n: usize) -> usize {
+    let work = b * m * k * n;
+    if work < BMM_PARALLEL_FLOPS {
+        return 1;
+    }
+    suggested_workers(b)
+}
+
+/// Batched `out = a × b` for `[b,m,k] × [b,k,n]` (set semantics).
+///
+/// Large batches (beyond [`BMM_PARALLEL_FLOPS`] multiply-adds) fan out
+/// across crossbeam scoped threads; per-slice results are identical to the
+/// sequential path because each thread owns a disjoint output slice.
+pub fn bmm_into(a: &[f32], b: &[f32], out: &mut [f32], bsz: usize, m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), bsz * m * k);
+    debug_assert_eq!(b.len(), bsz * k * n);
+    debug_assert_eq!(out.len(), bsz * m * n);
+    let threads = bmm_threads(bsz, m, k, n);
+    if threads <= 1 {
+        for i in 0..bsz {
+            matmul_into(
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    } else {
+        let chunk = bsz.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (ci, out_chunk) in out.chunks_mut(chunk * m * n).enumerate() {
+                let start = ci * chunk;
+                scope.spawn(move |_| {
+                    for (j, o) in out_chunk.chunks_mut(m * n).enumerate() {
+                        let i = start + j;
+                        matmul_into(
+                            &a[i * m * k..(i + 1) * m * k],
+                            &b[i * k * n..(i + 1) * k * n],
+                            o,
+                            m,
+                            k,
+                            n,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("bmm worker panicked");
+    }
+}
+
+/// Forward of the affine map `x W (+ b)` over the last dimension, into a
+/// caller-provided buffer (set semantics). `rows = x.len() / k`.
+pub fn linear_forward_into(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    f: usize,
+) {
+    matmul_into(x, w, out, rows, k, f);
+    if let Some(bias) = bias {
+        debug_assert_eq!(bias.len(), f);
+        for row in out.chunks_exact_mut(f) {
+            for (o, &bv) in row.iter_mut().zip(bias) {
+                *o += bv;
             }
         }
     }
-    Array::from_vec(vec![b, d], out)
 }
 
-/// Embedding lookup: rows of a 2-D `table` selected by `indices`, shaped
-/// `batch_shape + [d]`.
-pub(crate) fn gather_rows(t: &Array, indices: &[usize], batch_shape: &[usize]) -> Array {
-    assert_eq!(t.ndim(), 2, "gather: table must be 2-D");
-    let rows: usize = batch_shape.iter().product();
-    assert_eq!(rows, indices.len(), "gather: batch shape {batch_shape:?} vs {} indices", indices.len());
-    let d = t.shape()[1];
-    let mut data = Vec::with_capacity(indices.len() * d);
-    for &i in indices {
-        assert!(i < t.shape()[0], "gather: index {i} out of {} rows", t.shape()[0]);
-        data.extend_from_slice(&t.data()[i * d..(i + 1) * d]);
+/// Forward of the affine map `x W (+ b)` over the last dimension.
+///
+/// A 1-D bias of the output width takes the fused in-place path of
+/// [`linear_forward_into`]; any other (broadcastable) bias shape falls back
+/// to the generic broadcast add. Both produce the same per-element
+/// arithmetic as `matmul_last(..).add(b)` did.
+pub fn linear_forward(x: &Array, w: &Array, b: Option<&Array>) -> Array {
+    let mut v = x.matmul_last(w);
+    match b {
+        Some(b) if b.ndim() == 1 && b.len() == *v.shape().last().unwrap_or(&1) => {
+            let f = b.len();
+            for row in v.data_mut().chunks_exact_mut(f) {
+                for (o, &bv) in row.iter_mut().zip(b.data()) {
+                    *o += bv;
+                }
+            }
+            v
+        }
+        Some(b) => v.add(b),
+        None => v,
     }
-    let mut out_shape = batch_shape.to_vec();
-    out_shape.push(d);
-    Array::from_vec(out_shape, data)
 }
 
-/// Per-row lookup along the last dimension:
-/// `v: [..., K]`, `idx: flat [rows * m_out]` → `out: [..., m_out]`.
-pub(crate) fn gather_last(val: &Array, idx: &[usize], m_out: usize) -> Array {
-    let k = *val.shape().last().expect("gather_last: scalar input");
-    let rows = val.len() / k;
-    assert_eq!(idx.len(), rows * m_out, "gather_last: index count mismatch");
-    let mut data = Vec::with_capacity(rows * m_out);
+// ----------------------------------------------------------------------
+// Reductions and normalizations
+// ----------------------------------------------------------------------
+
+/// Softmax over rows of width `w` (set semantics). Rows that are fully
+/// masked (`-inf` everywhere) become uniform 0 rather than NaN.
+pub fn softmax_last_into(src: &[f32], out: &mut [f32], w: usize) {
+    debug_assert_eq!(src.len(), out.len());
+    let rows = src.len() / w;
     for r in 0..rows {
-        for m in 0..m_out {
-            let j = idx[r * m_out + m];
-            assert!(j < k, "gather_last: index {j} out of last dim {k}");
-            data.push(val.data()[r * k + j]);
+        let row = &src[r * w..(r + 1) * w];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let dst = &mut out[r * w..(r + 1) * w];
+        let mut sum = 0.0f32;
+        for (d, &x) in dst.iter_mut().zip(row) {
+            let e = if max == f32::NEG_INFINITY { 0.0 } else { (x - max).exp() };
+            *d = e;
+            sum += e;
+        }
+        if sum > 0.0 {
+            for d in dst.iter_mut() {
+                *d /= sum;
+            }
         }
     }
-    let mut shape = val.shape().to_vec();
-    *shape.last_mut().unwrap() = m_out;
-    Array::from_vec(shape, data)
 }
 
-/// Per-row scatter-add along the last dimension (dual of `gather_last`):
-/// `a: [..., M]`, `idx: flat [rows * M]` → `out: [..., k_out]`.
-pub(crate) fn scatter_add_last(val: &Array, idx: &[usize], k_out: usize) -> Array {
-    let m = *val.shape().last().expect("scatter_add_last: scalar input");
-    let rows = val.len() / m;
-    assert_eq!(idx.len(), rows * m, "scatter_add_last: index count mismatch");
-    let mut data = vec![0.0f32; rows * k_out];
-    for r in 0..rows {
-        for j in 0..m {
-            let k = idx[r * m + j];
-            assert!(k < k_out, "scatter_add_last: index {k} out of {k_out}");
-            data[r * k_out + k] += val.data()[r * m + j];
-        }
-    }
-    let mut shape = val.shape().to_vec();
-    *shape.last_mut().unwrap() = k_out;
-    Array::from_vec(shape, data)
-}
-
-/// Stacks `k` arrays of shape `[b,d]` into `[b,k,d]`.
-pub(crate) fn stack_axis1(parts: &[&Array]) -> Array {
-    assert!(!parts.is_empty(), "stack_axis1: no inputs");
-    let first = parts[0].shape().to_vec();
-    assert_eq!(first.len(), 2, "stack_axis1: parts must be 2-D");
-    let (b, d) = (first[0], first[1]);
-    let k = parts.len();
-    let mut data = vec![0.0f32; b * k * d];
-    for (j, pv) in parts.iter().enumerate() {
-        assert_eq!(pv.shape(), &[b, d], "stack_axis1: shape mismatch");
-        for i in 0..b {
-            data[(i * k + j) * d..(i * k + j + 1) * d].copy_from_slice(&pv.data()[i * d..(i + 1) * d]);
-        }
-    }
-    Array::from_vec(vec![b, k, d], data)
-}
-
-/// Extracts time step `idx`: `[b,n,d] -> [b,d]`.
-pub(crate) fn slice_axis1(val: &Array, idx: usize) -> Array {
-    assert_eq!(val.ndim(), 3, "slice_axis1: input must be 3-D");
-    let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
-    assert!(idx < n, "slice_axis1: step {idx} out of {n}");
-    let mut data = Vec::with_capacity(b * d);
-    for i in 0..b {
-        data.extend_from_slice(&val.data()[(i * n + idx) * d..(i * n + idx + 1) * d]);
-    }
-    Array::from_vec(vec![b, d], data)
-}
-
-/// Sliding-window unfold over axis 1: `[b,n,d] -> [b, n-w+1, w*d]`.
-pub(crate) fn unfold1(val: &Array, width: usize) -> Array {
-    assert_eq!(val.ndim(), 3, "unfold1: input must be 3-D");
-    let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
-    assert!(width >= 1 && width <= n, "unfold1: width {width} out of 1..={n}");
-    let windows = n - width + 1;
-    let mut data = Vec::with_capacity(b * windows * width * d);
-    for i in 0..b {
-        for s in 0..windows {
-            data.extend_from_slice(&val.data()[(i * n + s) * d..(i * n + s + width) * d]);
-        }
-    }
-    Array::from_vec(vec![b, windows, width * d], data)
+/// Per-row mean and inverse standard deviation of layer norm. The single
+/// source of this arithmetic: [`layer_norm_forward`] (tape backward) and
+/// [`layer_norm_affine_into`] (both forwards) share it, keeping every layer
+/// norm path bit-identical.
+#[inline]
+fn ln_row_stats(row: &[f32], eps: f32) -> (f32, f32) {
+    let w = row.len();
+    let mu: f32 = row.iter().sum::<f32>() / w as f32;
+    let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / w as f32;
+    (mu, 1.0 / (var + eps).sqrt())
 }
 
 /// Shared layer-norm forward: returns `(xhat, mu, inv_std)` per last-dim row.
-pub(crate) fn layer_norm_forward(x: &Array, eps: f32) -> (Array, Vec<f32>, Vec<f32>) {
+pub fn layer_norm_forward(x: &Array, eps: f32) -> (Array, Vec<f32>, Vec<f32>) {
     let w = *x.shape().last().expect("layer_norm: scalar input");
     let rows = x.len() / w;
     let mut xhat = vec![0.0f32; x.len()];
@@ -159,40 +330,297 @@ pub(crate) fn layer_norm_forward(x: &Array, eps: f32) -> (Array, Vec<f32>, Vec<f
     let mut inv_stds = Vec::with_capacity(rows);
     for r in 0..rows {
         let row = &x.data()[r * w..(r + 1) * w];
-        let mu: f32 = row.iter().sum::<f32>() / w as f32;
-        let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / w as f32;
-        let inv_std = 1.0 / (var + eps).sqrt();
+        let (mu, inv_std) = ln_row_stats(row, eps);
         for j in 0..w {
             xhat[r * w + j] = (row[j] - mu) * inv_std;
         }
         mus.push(mu);
         inv_stds.push(inv_std);
     }
-    (Array::from_vec(x.shape().to_vec(), xhat), mus, inv_stds)
+    (Array::from_parts(crate::shape::Shape::of(x.shape()), xhat), mus, inv_stds)
+}
+
+/// Fused affine layer norm `(x - mu) * inv_std * alpha + beta` into a
+/// caller-provided buffer (set semantics). One pass over each row instead of
+/// the three materialized arrays of the naive compose; per element the
+/// arithmetic steps (normalize, scale, shift) are the same three roundings,
+/// so the fusion is bit-identical to [`naive::layer_norm_affine_into`].
+pub fn layer_norm_affine_into(
+    x: &[f32],
+    alpha: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+    w: usize,
+) {
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert_eq!(alpha.len(), w);
+    debug_assert_eq!(beta.len(), w);
+    let rows = x.len() / w;
+    for r in 0..rows {
+        let row = &x[r * w..(r + 1) * w];
+        let (mu, inv_std) = ln_row_stats(row, eps);
+        let dst = &mut out[r * w..(r + 1) * w];
+        for ((o, &v), (&a, &b)) in dst.iter_mut().zip(row).zip(alpha.iter().zip(beta)) {
+            let xh = (v - mu) * inv_std;
+            let scaled = xh * a;
+            *o = scaled + b;
+        }
+    }
 }
 
 /// Full affine layer-norm output `xhat * alpha + beta` (both backends).
-pub(crate) fn layer_norm_affine(xv: &Array, alpha: &Array, beta: &Array, eps: f32) -> Array {
+///
+/// # Panics
+/// Panics up front when `alpha`/`beta` are not `[width]` — the asserts run
+/// *before* any arithmetic so a shape mismatch dies with this message, not
+/// inside broadcasting.
+pub fn layer_norm_affine(xv: &Array, alpha: &Array, beta: &Array, eps: f32) -> Array {
     let w = *xv.shape().last().expect("layer_norm: scalar input");
-    let (xhat, _, _) = layer_norm_forward(xv, eps);
-    let scaled = xhat.mul(alpha).add(beta);
     assert_eq!(alpha.shape(), &[w], "layer_norm: alpha must be [width]");
     assert_eq!(beta.shape(), &[w], "layer_norm: beta must be [width]");
-    scaled
+    let mut out = vec![0.0f32; xv.len()];
+    layer_norm_affine_into(xv.data(), alpha.data(), beta.data(), eps, &mut out, w);
+    Array::from_parts(crate::shape::Shape::of(xv.shape()), out)
 }
 
-/// Forward of the affine map `x W (+ b)` over the last dimension.
-pub(crate) fn linear_forward(x: &Array, w: &Array, b: Option<&Array>) -> Array {
-    let mut v = x.matmul_last(w);
-    if let Some(b) = b {
-        v = v.add(b);
+/// Max of a 3-D array over axis 1 into `[b*d]` (set semantics: output is
+/// seeded with `-inf`, then maxed over the `n` axis in ascending order).
+pub fn max_axis1_into(src: &[f32], out: &mut [f32], b: usize, n: usize, d: usize) {
+    debug_assert_eq!(src.len(), b * n * d);
+    debug_assert_eq!(out.len(), b * d);
+    assert!(n >= 1, "max_axis1: empty axis");
+    out.fill(f32::NEG_INFINITY);
+    for i in 0..b {
+        let orow = &mut out[i * d..(i + 1) * d];
+        for j in 0..n {
+            let row = &src[(i * n + j) * d..(i * n + j + 1) * d];
+            for (o, &x) in orow.iter_mut().zip(row) {
+                if x > *o {
+                    *o = x;
+                }
+            }
+        }
     }
-    v
 }
+
+/// Max of a 3-D array over axis 1: `[b,n,d] -> [b,d]`.
+pub fn max_axis1(av: &Array) -> Array {
+    assert_eq!(av.ndim(), 3, "max_axis1 requires a 3-D array");
+    let (b, n, d) = (av.shape()[0], av.shape()[1], av.shape()[2]);
+    let mut out = vec![0.0f32; b * d];
+    max_axis1_into(av.data(), &mut out, b, n, d);
+    Array::from_parts(crate::shape::Shape::of(&[b, d]), out)
+}
+
+/// Sum over rows of width `w`, dropping the last dimension (set semantics).
+pub fn sum_last_into(src: &[f32], out: &mut [f32], w: usize) {
+    debug_assert_eq!(out.len(), src.len() / w.max(1));
+    for (o, row) in out.iter_mut().zip(src.chunks_exact(w.max(1))) {
+        *o = row.iter().sum();
+    }
+}
+
+/// Sum of a 3-D array over axis 1 into `[b*d]`. Seeds the output with zeros
+/// and accumulates rows in ascending `j` order — the exact arithmetic of the
+/// fresh-alloc path, which starts from a zeroed buffer.
+pub fn sum_axis1_into(src: &[f32], out: &mut [f32], b: usize, n: usize, d: usize) {
+    debug_assert_eq!(src.len(), b * n * d);
+    debug_assert_eq!(out.len(), b * d);
+    out.fill(0.0);
+    for i in 0..b {
+        for j in 0..n {
+            let row = &src[(i * n + j) * d..(i * n + j + 1) * d];
+            for (o, &x) in out[i * d..(i + 1) * d].iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Data movement
+// ----------------------------------------------------------------------
+
+/// Transpose of the last two dims: `[batch, r, c] -> [batch, c, r]` (copies).
+pub fn transpose_last2_into(src: &[f32], out: &mut [f32], batch: usize, r: usize, c: usize) {
+    debug_assert_eq!(src.len(), batch * r * c);
+    debug_assert_eq!(out.len(), src.len());
+    for b in 0..batch {
+        let base = b * r * c;
+        for i in 0..r {
+            for j in 0..c {
+                out[base + j * r + i] = src[base + i * c + j];
+            }
+        }
+    }
+}
+
+/// Embedding lookup into a caller-provided buffer: `out` row `i` is row
+/// `indices[i]` of the `[t_rows, d]` table.
+pub fn gather_rows_into(table: &[f32], t_rows: usize, d: usize, indices: &[usize], out: &mut [f32]) {
+    debug_assert_eq!(out.len(), indices.len() * d);
+    for (&i, orow) in indices.iter().zip(out.chunks_exact_mut(d)) {
+        assert!(i < t_rows, "gather: index {i} out of {t_rows} rows");
+        orow.copy_from_slice(&table[i * d..(i + 1) * d]);
+    }
+}
+
+/// Embedding lookup: rows of a 2-D `table` selected by `indices`, shaped
+/// `batch_shape + [d]`.
+pub fn gather_rows(t: &Array, indices: &[usize], batch_shape: &[usize]) -> Array {
+    assert_eq!(t.ndim(), 2, "gather: table must be 2-D");
+    let rows: usize = batch_shape.iter().product();
+    assert_eq!(rows, indices.len(), "gather: batch shape {batch_shape:?} vs {} indices", indices.len());
+    let d = t.shape()[1];
+    let mut data = vec![0.0f32; indices.len() * d];
+    gather_rows_into(t.data(), t.shape()[0], d, indices, &mut data);
+    let mut out_shape = crate::shape::Shape::of(batch_shape);
+    out_shape.push(d);
+    Array::from_parts(out_shape, data)
+}
+
+/// Per-row lookup along the last dimension into a caller-provided buffer:
+/// `src: [rows, K]` flat, `idx: flat [rows * m_out]` → `out: [rows * m_out]`.
+pub fn gather_last_into(src: &[f32], k: usize, idx: &[usize], m_out: usize, out: &mut [f32]) {
+    let rows = src.len() / k;
+    debug_assert_eq!(idx.len(), rows * m_out);
+    debug_assert_eq!(out.len(), rows * m_out);
+    for r in 0..rows {
+        for m in 0..m_out {
+            let j = idx[r * m_out + m];
+            assert!(j < k, "gather_last: index {j} out of last dim {k}");
+            out[r * m_out + m] = src[r * k + j];
+        }
+    }
+}
+
+/// Per-row lookup along the last dimension:
+/// `v: [..., K]`, `idx: flat [rows * m_out]` → `out: [..., m_out]`.
+pub fn gather_last(val: &Array, idx: &[usize], m_out: usize) -> Array {
+    let k = *val.shape().last().expect("gather_last: scalar input");
+    let rows = val.len() / k;
+    assert_eq!(idx.len(), rows * m_out, "gather_last: index count mismatch");
+    let mut data = vec![0.0f32; rows * m_out];
+    gather_last_into(val.data(), k, idx, m_out, &mut data);
+    let mut shape = crate::shape::Shape::of(val.shape());
+    shape[val.ndim() - 1] = m_out;
+    Array::from_parts(shape, data)
+}
+
+/// Per-row scatter-add along the last dimension into a caller-provided
+/// buffer (zeroed first, then accumulated — matching the fresh-alloc path).
+pub fn scatter_add_last_into(src: &[f32], m: usize, idx: &[usize], k_out: usize, out: &mut [f32]) {
+    let rows = src.len() / m;
+    debug_assert_eq!(idx.len(), rows * m);
+    debug_assert_eq!(out.len(), rows * k_out);
+    out.fill(0.0);
+    for r in 0..rows {
+        for j in 0..m {
+            let k = idx[r * m + j];
+            assert!(k < k_out, "scatter_add_last: index {k} out of {k_out}");
+            out[r * k_out + k] += src[r * m + j];
+        }
+    }
+}
+
+/// Per-row scatter-add along the last dimension (dual of `gather_last`):
+/// `a: [..., M]`, `idx: flat [rows * M]` → `out: [..., k_out]`.
+pub fn scatter_add_last(val: &Array, idx: &[usize], k_out: usize) -> Array {
+    let m = *val.shape().last().expect("scatter_add_last: scalar input");
+    let rows = val.len() / m;
+    assert_eq!(idx.len(), rows * m, "scatter_add_last: index count mismatch");
+    let mut data = vec![0.0f32; rows * k_out];
+    scatter_add_last_into(val.data(), m, idx, k_out, &mut data);
+    let mut shape = crate::shape::Shape::of(val.shape());
+    shape[val.ndim() - 1] = k_out;
+    Array::from_parts(shape, data)
+}
+
+/// Stacks `k` arrays of shape `[b,d]` into `[b,k,d]`.
+pub fn stack_axis1(parts: &[&Array]) -> Array {
+    assert!(!parts.is_empty(), "stack_axis1: no inputs");
+    let first = parts[0].shape();
+    assert_eq!(first.len(), 2, "stack_axis1: parts must be 2-D");
+    let (b, d) = (first[0], first[1]);
+    let k = parts.len();
+    let mut data = vec![0.0f32; b * k * d];
+    for (j, pv) in parts.iter().enumerate() {
+        assert_eq!(pv.shape(), &[b, d], "stack_axis1: shape mismatch");
+        stack_part_into(pv.data(), &mut data, j, b, k, d);
+    }
+    Array::from_parts(crate::shape::Shape::of(&[b, k, d]), data)
+}
+
+/// Copies one `[b,d]` part into lane `j` of a `[b,k,d]` stack buffer.
+pub fn stack_part_into(part: &[f32], out: &mut [f32], j: usize, b: usize, k: usize, d: usize) {
+    debug_assert_eq!(part.len(), b * d);
+    debug_assert_eq!(out.len(), b * k * d);
+    for i in 0..b {
+        out[(i * k + j) * d..(i * k + j + 1) * d].copy_from_slice(&part[i * d..(i + 1) * d]);
+    }
+}
+
+/// Extracts time step `idx` of a `[b,n,d]` buffer into `[b*d]`.
+pub fn slice_axis1_into(src: &[f32], out: &mut [f32], idx: usize, b: usize, n: usize, d: usize) {
+    debug_assert_eq!(src.len(), b * n * d);
+    debug_assert_eq!(out.len(), b * d);
+    for i in 0..b {
+        out[i * d..(i + 1) * d].copy_from_slice(&src[(i * n + idx) * d..(i * n + idx + 1) * d]);
+    }
+}
+
+/// Extracts time step `idx`: `[b,n,d] -> [b,d]`.
+pub fn slice_axis1(val: &Array, idx: usize) -> Array {
+    assert_eq!(val.ndim(), 3, "slice_axis1: input must be 3-D");
+    let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
+    assert!(idx < n, "slice_axis1: step {idx} out of {n}");
+    let mut data = vec![0.0f32; b * d];
+    slice_axis1_into(val.data(), &mut data, idx, b, n, d);
+    Array::from_parts(crate::shape::Shape::of(&[b, d]), data)
+}
+
+/// Sliding-window unfold of a `[b,n,d]` buffer into `[b, n-w+1, w*d]`.
+pub fn unfold1_into(src: &[f32], out: &mut [f32], b: usize, n: usize, d: usize, width: usize) {
+    let windows = n - width + 1;
+    debug_assert_eq!(src.len(), b * n * d);
+    debug_assert_eq!(out.len(), b * windows * width * d);
+    for i in 0..b {
+        for s in 0..windows {
+            out[(i * windows + s) * width * d..(i * windows + s + 1) * width * d]
+                .copy_from_slice(&src[(i * n + s) * d..(i * n + s + width) * d]);
+        }
+    }
+}
+
+/// Sliding-window unfold over axis 1: `[b,n,d] -> [b, n-w+1, w*d]`.
+pub fn unfold1(val: &Array, width: usize) -> Array {
+    assert_eq!(val.ndim(), 3, "unfold1: input must be 3-D");
+    let (b, n, d) = (val.shape()[0], val.shape()[1], val.shape()[2]);
+    assert!(width >= 1 && width <= n, "unfold1: width {width} out of 1..={n}");
+    let windows = n - width + 1;
+    let mut data = vec![0.0f32; b * windows * width * d];
+    unfold1_into(val.data(), &mut data, b, n, d, width);
+    Array::from_parts(crate::shape::Shape::of(&[b, windows, width * d]), data)
+}
+
+/// Extracts the half-open column range `[start, start+len)` of rows of width
+/// `w` into a `[rows, len]` buffer.
+pub fn slice_last_into(src: &[f32], out: &mut [f32], w: usize, start: usize, len: usize) {
+    let rows = src.len() / w;
+    debug_assert_eq!(out.len(), rows * len);
+    for r in 0..rows {
+        out[r * len..(r + 1) * len].copy_from_slice(&src[r * w + start..r * w + start + len]);
+    }
+}
+
+// ----------------------------------------------------------------------
+// FLOP estimates
+// ----------------------------------------------------------------------
 
 /// Estimated FLOPs of [`linear_forward`], matching the tape profiler's
 /// convention (`2*rows*k*f` plus `rows*f` for the bias add).
-pub(crate) fn linear_flops(x: &Array, w: &Array, bias: bool) -> u64 {
+pub fn linear_flops(x: &Array, w: &Array, bias: bool) -> u64 {
     let k = x.shape().last().copied().unwrap_or(1).max(1);
     let f = w.shape().get(1).copied().unwrap_or(1);
     let rows = (x.len() / k) as u64;
@@ -201,11 +629,124 @@ pub(crate) fn linear_flops(x: &Array, w: &Array, bias: bool) -> u64 {
 
 /// Estimated FLOPs of a batched matmul `[b,m,k] × [b,k,n]`, matching the
 /// tape profiler's convention (`b * 2mkn`).
-pub(crate) fn bmm_flops(a: &Array, b: &Array) -> u64 {
+pub fn bmm_flops(a: &Array, b: &Array) -> u64 {
     let ash = a.shape();
     let n = b.shape().last().copied().unwrap_or(1);
     if ash.len() != 3 {
         return 0;
     }
     (ash[0] as u64) * 2 * (ash[1] as u64) * (ash[2] as u64) * (n as u64)
+}
+
+// ----------------------------------------------------------------------
+// Naive references
+// ----------------------------------------------------------------------
+
+/// Naive reference implementations of every blocked/fused kernel above.
+///
+/// These are the pre-blocking triple loops and materializing composes, kept
+/// as the ground truth for the differential property suite
+/// (`crates/tensor/tests/kernel_diff.rs`) and the `kernel_bench` binary.
+/// They are never called on the serving path.
+pub mod naive {
+    use super::Array;
+
+    /// `out = a × b`, plain ikj triple loop (set semantics).
+    pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        out.fill(0.0);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Batched naive matmul, always sequential.
+    pub fn bmm_into(a: &[f32], b: &[f32], out: &mut [f32], bsz: usize, m: usize, k: usize, n: usize) {
+        for i in 0..bsz {
+            matmul_into(
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+
+    /// Naive linear: matmul then a separate bias pass.
+    pub fn linear_forward_into(
+        x: &[f32],
+        w: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        rows: usize,
+        k: usize,
+        f: usize,
+    ) {
+        matmul_into(x, w, out, rows, k, f);
+        if let Some(bias) = bias {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o += bias[i % f];
+            }
+        }
+    }
+
+    /// Softmax over rows of width `w`, one temporary-free pass per row.
+    pub fn softmax_last_into(src: &[f32], out: &mut [f32], w: usize) {
+        let rows = src.len() / w;
+        for r in 0..rows {
+            let row = &src[r * w..(r + 1) * w];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let dst = &mut out[r * w..(r + 1) * w];
+            let mut sum = 0.0f32;
+            for (d, &x) in dst.iter_mut().zip(row) {
+                let e = if max == f32::NEG_INFINITY { 0.0 } else { (x - max).exp() };
+                *d = e;
+                sum += e;
+            }
+            if sum > 0.0 {
+                for d in dst.iter_mut() {
+                    *d /= sum;
+                }
+            }
+        }
+    }
+
+    /// Affine layer norm as the original three materialized steps:
+    /// normalize into `xhat`, broadcast-multiply by `alpha`, broadcast-add
+    /// `beta`. The ground truth the fused kernel must match bit-for-bit.
+    pub fn layer_norm_affine(x: &Array, alpha: &Array, beta: &Array, eps: f32) -> Array {
+        let (xhat, _, _) = super::layer_norm_forward(x, eps);
+        xhat.mul(alpha).add(beta)
+    }
+
+    /// Max over axis 1 with the original `j`-middle loop nest and indexed
+    /// compare-and-store.
+    pub fn max_axis1_into(src: &[f32], out: &mut [f32], b: usize, n: usize, d: usize) {
+        assert!(n >= 1, "max_axis1: empty axis");
+        out.fill(f32::NEG_INFINITY);
+        for i in 0..b {
+            for j in 0..n {
+                for k in 0..d {
+                    let x = src[(i * n + j) * d + k];
+                    if x > out[i * d + k] {
+                        out[i * d + k] = x;
+                    }
+                }
+            }
+        }
+    }
 }

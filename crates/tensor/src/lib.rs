@@ -36,16 +36,20 @@
 //! assert_eq!(g.grad(w).unwrap().shape(), &[3, 2]);
 //! ```
 
+pub mod arena;
 mod array;
 mod broadcast;
 pub mod check;
 mod exec;
 mod graph;
 mod init;
-mod kernels;
+pub mod kernels;
+mod shape;
 
+pub use arena::{Arena, ArenaStats};
 pub use array::{suggested_workers, Array};
-pub use broadcast::broadcast_shapes;
+pub use broadcast::{broadcast_shape, broadcast_shapes};
 pub use exec::{Exec, NoGrad};
 pub use graph::{Graph, Op, Var};
 pub use init::{xavier_uniform, normal_init};
+pub use shape::{Shape, MAX_DIMS};

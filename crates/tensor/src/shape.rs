@@ -1,0 +1,209 @@
+//! An inline, heap-free shape type.
+//!
+//! Every [`Array`](crate::Array) used to carry its dimensions in a
+//! `Vec<usize>`, which meant every array construction — and every `clone()`
+//! of an array, including the per-request parameter binds of the frozen
+//! serving path — paid a heap allocation just for the shape. [`Shape`] stores
+//! up to [`MAX_DIMS`] dimensions inline and is `Copy`, so cloning an `Array`
+//! is now a pure reference-count bump and the arena-backed serving path can
+//! run with zero steady-state allocations.
+//!
+//! No model in this repository builds arrays beyond 3-D; the cap is 4 to
+//! leave one dimension of headroom. Exceeding it panics with a descriptive
+//! message (the same convention as shape mismatches).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Maximum number of dimensions an [`Array`](crate::Array) can have.
+pub const MAX_DIMS: usize = 4;
+
+/// A fixed-capacity, inline shape: up to [`MAX_DIMS`] dimensions, `Copy`.
+///
+/// Dereferences to `&[usize]`, so all slice idioms (`shape[i]`, `.last()`,
+/// `.iter().product()`, comparisons against `&[a, b]`) keep working.
+/// Unused trailing slots are kept at zero so derived equality and hashing
+/// only see the active dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    len: u8,
+    dims: [usize; MAX_DIMS],
+}
+
+impl Shape {
+    /// The shape of a 0-dimensional scalar.
+    #[inline]
+    pub fn scalar() -> Self {
+        Shape { len: 0, dims: [0; MAX_DIMS] }
+    }
+
+    /// Builds a shape from a slice of dimensions.
+    ///
+    /// # Panics
+    /// Panics when `dims.len() > MAX_DIMS`.
+    #[inline]
+    pub fn of(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_DIMS,
+            "Shape: {} dims exceed the inline capacity of {MAX_DIMS}",
+            dims.len()
+        );
+        let mut s = Shape::scalar();
+        s.len = dims.len() as u8;
+        s.dims[..dims.len()].copy_from_slice(dims);
+        s
+    }
+
+    /// Appends a trailing dimension.
+    ///
+    /// # Panics
+    /// Panics when the shape is already at [`MAX_DIMS`] dimensions.
+    #[inline]
+    pub fn push(&mut self, d: usize) {
+        assert!((self.len as usize) < MAX_DIMS, "Shape: push beyond {MAX_DIMS} dims");
+        self.dims[self.len as usize] = d;
+        self.len += 1;
+    }
+
+    /// Total element count (product of dimensions; 1 for a scalar).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.as_slice().iter().product()
+    }
+
+    /// The dimensions as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.len as usize]
+    }
+}
+
+impl Deref for Shape {
+    type Target = [usize];
+    #[inline]
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for Shape {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [usize] {
+        let n = self.len as usize;
+        &mut self.dims[..n]
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_slice())
+    }
+}
+
+impl From<&[usize]> for Shape {
+    #[inline]
+    fn from(dims: &[usize]) -> Self {
+        Shape::of(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    #[inline]
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::of(&dims)
+    }
+}
+
+impl From<&Vec<usize>> for Shape {
+    #[inline]
+    fn from(dims: &Vec<usize>) -> Self {
+        Shape::of(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    #[inline]
+    fn from(dims: [usize; N]) -> Self {
+        Shape::of(&dims)
+    }
+}
+
+impl PartialEq<[usize]> for Shape {
+    #[inline]
+    fn eq(&self, other: &[usize]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[usize; N]> for Shape {
+    #[inline]
+    fn eq(&self, other: &[usize; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<usize>> for Shape {
+    #[inline]
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_compare() {
+        let s = Shape::of(&[2, 3]);
+        assert_eq!(s.numel(), 6);
+        assert_eq!(&s[..], &[2, 3]);
+        assert_eq!(s, [2, 3]);
+        assert_eq!(s, vec![2, 3]);
+        assert_eq!(s, Shape::from(vec![2, 3]));
+        assert_eq!(format!("{s:?}"), "[2, 3]");
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.numel(), 1);
+        assert!(s.is_empty());
+        assert_eq!(s, Shape::of(&[]));
+    }
+
+    #[test]
+    fn push_and_mutate() {
+        let mut s = Shape::of(&[4]);
+        s.push(5);
+        assert_eq!(s, [4, 5]);
+        s[0] = 7;
+        assert_eq!(s, [7, 5]);
+        s.swap(0, 1);
+        assert_eq!(s, [5, 7]);
+    }
+
+    #[test]
+    fn equality_ignores_inactive_slots() {
+        // A shape shrunk by construction must equal one that never had the
+        // extra dims: inactive slots stay zero.
+        let a = Shape::of(&[3, 3]);
+        let mut b = Shape::of(&[3]);
+        b.push(3);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |s: &Shape| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "inline capacity")]
+    fn too_many_dims() {
+        Shape::of(&[1, 2, 3, 4, 5]);
+    }
+}

@@ -236,7 +236,7 @@ fn gc_concat_slice_reshape() {
         |g, v| {
             let c = g.concat_last(&[v[0], v[1]]);
             let s = g.slice_last(c, 1, 3);
-            let s = g.reshape(s, vec![6]);
+            let s = g.reshape(s, &[6]);
             let y = g.mul(s, s);
             g.sum_all(y)
         },

@@ -4,9 +4,10 @@
 #
 #   ./scripts/bench_compare.sh [--warn-only]
 #
-# Inputs (written by `serve_bench` / `gateway_bench`):
+# Inputs (written by `serve_bench` / `gateway_bench` / `kernel_bench`):
 #   results/BENCH_serve.json      vs  results/BENCH_serve.baseline.json
 #   results/BENCH_gateway.json    vs  results/BENCH_gateway.baseline.json
+#   results/BENCH_kernels.json    vs  results/BENCH_kernels.baseline.json
 #
 # For every run/path label present in both files the script prints the
 # requests/second and p95 latency deltas. A path whose rps drops more than
@@ -79,6 +80,7 @@ compare_file() {
 
 compare_file results/BENCH_serve.json results/BENCH_serve.baseline.json serve
 compare_file results/BENCH_gateway.json results/BENCH_gateway.baseline.json gateway
+compare_file results/BENCH_kernels.json results/BENCH_kernels.baseline.json kernels
 
 if [ "$fail" -ne 0 ]; then
     if [ "$WARN_ONLY" -eq 1 ]; then

@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ALLOWLIST=scripts/panic_allowlist.txt
-AUDITED_DIRS=(crates/nn/src crates/core/src crates/data/src crates/serve/src crates/gateway/src crates/obs/src)
+AUDITED_DIRS=(crates/nn/src crates/core/src crates/data/src crates/serve/src crates/gateway/src crates/obs/src crates/tensor/src)
 
 count_panics() {
     # Library-code unwrap/expect count for one file (0 if none).
@@ -54,6 +54,10 @@ ZERO_TOLERANCE=(
     crates/serve/src/replica.rs
     crates/serve/src/breaker.rs
     crates/serve/src/fallback.rs
+    # The arena hands out scratch storage on every request of every serving
+    # worker; a panic here (e.g. on a poisoned pool) would take down the
+    # replica, so it gets the same zero-panic bar as the allocator hooks.
+    crates/tensor/src/arena.rs
 )
 
 fail=0

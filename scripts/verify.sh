@@ -19,6 +19,10 @@ cargo test -q --release -p stisan-core --test gradcheck_blocks
 cargo test -q --release -p stisan --test property_tests
 cargo test -q --release -p stisan-eval --test golden_metrics
 
+echo "== kernels & arena: blocked/naive bit-parity, arena reuse, zero-alloc gate"
+cargo test -q --release -p stisan-tensor --test kernel_diff --test arena
+cargo test -q --release -p stisan-serve --test arena_parity --test zero_alloc
+
 echo "== gateway: protocol corruption, batcher property, and e2e suites"
 cargo test -q --release -p stisan-gateway
 
@@ -28,6 +32,9 @@ cargo test -q --release -p stisan-gateway --test retry --test chaos
 
 echo "== serve_bench smoke"
 cargo run --release -p stisan-bench --bin serve_bench -- --smoke
+
+echo "== kernel_bench smoke (blocked vs naive, writes results/BENCH_kernels.json)"
+cargo run --release -p stisan-bench --bin kernel_bench -- --smoke
 
 echo "== gateway_bench smoke (micro-batching >= 1.5x, shedding, tracing overhead < 3%)"
 cargo run --release -p stisan-bench --bin gateway_bench -- --smoke
@@ -42,7 +49,7 @@ cargo run --release -p stisan-bench --bin expo_check -- results/metrics_scrape.p
 echo "== bench regression compare (warn-only: smoke numbers are noisy on shared hosts)"
 ./scripts/bench_compare.sh --warn-only
 
-echo "== panic audit (crates/nn, core, data, serve, gateway, obs)"
+echo "== panic audit (crates/nn, core, data, serve, gateway, obs, tensor)"
 ./scripts/panic_audit.sh
 
 echo "== cargo clippy --workspace -- -D warnings"

@@ -1,6 +1,7 @@
 //! Offline stand-in for the subset of proptest this workspace uses:
 //! the `proptest!` macro with `#![proptest_config(...)]`, range
-//! strategies, `prop::collection::vec`, and `prop_assert!` /
+//! strategies, `Just`, `prop::bool::ANY`, `prop_oneof!`,
+//! `prop::collection::vec`, `prop_assume!`, and `prop_assert!` /
 //! `prop_assert_eq!`.
 //!
 //! Cases are sampled with a deterministic per-test RNG (FNV of the test
@@ -51,6 +52,78 @@ pub mod strategy {
         type Value = T;
         fn sample_value(&self, rng: &mut StdRng) -> T {
             rng.gen_range(self.clone())
+        }
+    }
+
+    /// Constant strategy (upstream `Just`): always yields a clone of the
+    /// wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Boxes a strategy for heterogeneous unions (backs `prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            (**self).sample_value(rng)
+        }
+    }
+
+    /// Weighted choice among strategies of a common value type (the
+    /// `prop_oneof!` runtime).
+    pub struct WeightedUnion<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u32,
+    }
+
+    impl<T> WeightedUnion<T> {
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof!: total weight must be positive");
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<T> Strategy for WeightedUnion<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.sample_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("prop_oneof!: weights exhausted")
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniform boolean strategy (upstream `prop::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
         }
     }
 }
@@ -120,9 +193,11 @@ pub mod __rt {
 }
 
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
     /// `prop::...` paths (e.g. `prop::collection::vec`) resolve through
     /// this crate-root alias, as in upstream's prelude.
     pub use crate as prop;
@@ -172,6 +247,35 @@ macro_rules! __proptest_impl {
     };
 }
 
+/// Weighted (or unweighted) choice among strategies, as in upstream:
+/// `prop_oneof![3 => strat_a, 1 => strat_b]` or `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1u32 => $strat),+]
+    };
+}
+
+/// Skips the current case when its inputs are degenerate (upstream rejects
+/// and resamples; this stand-in just early-exits the case via the
+/// Result-returning body closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => { assert!($cond) };
@@ -207,6 +311,27 @@ mod tests {
             prop_assert!(v.len() >= 2 && v.len() < 7, "len {}", v.len());
             prop_assert_eq!(w.len(), 4);
             prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `Just` is constant, `prop::bool::ANY` hits both values across
+        /// cases, and `prop_oneof!` only yields values from its arms.
+        #[test]
+        fn just_bool_and_oneof(c in Just(7u32), b in prop::bool::ANY,
+                               pick in prop_oneof![4 => 0u8..3, 1 => Just(9u8)]) {
+            prop_assert_eq!(c, 7);
+            prop_assert!(b || !b);
+            prop_assert!(pick < 3 || pick == 9, "pick {}", pick);
+        }
+
+        /// `prop_assume!` early-exits degenerate cases without failing.
+        #[test]
+        fn assume_skips_degenerate_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
         }
     }
 
