@@ -555,6 +555,7 @@ fn run_chaos_smoke(o: &Opts, p: &Processed) {
         workers: 0,
         pruning: PruningPolicy::Full,
         arena: true,
+        ..Default::default()
     };
     let epoch_seed = |e: u64| 500 + e;
     let last_good_epoch = 4u64;
@@ -832,6 +833,7 @@ fn main() {
         workers: 0,
         pruning: PruningPolicy::Full,
         arena: true,
+        ..Default::default()
     };
 
     if o.device_us > 0 {

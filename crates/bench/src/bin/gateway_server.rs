@@ -113,7 +113,13 @@ fn main() {
     let session = InferenceSession::new(
         &model,
         &p,
-        ServeConfig { top_k: o.top_k, workers: 0, pruning: PruningPolicy::Full, arena: true },
+        ServeConfig {
+            top_k: o.top_k,
+            workers: 0,
+            pruning: PruningPolicy::Full,
+            arena: true,
+            ..Default::default()
+        },
     );
     let cfg = GatewayConfig {
         batch: BatchPolicy {

@@ -225,6 +225,7 @@ fn main() {
             workers: 0,
             pruning: PruningPolicy::Radius { km: o.radius_km, min_candidates: o.min_candidates },
             arena: true,
+            ..Default::default()
         },
     );
     let t0 = Instant::now();

@@ -7,20 +7,19 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stisan_data::{
-    iaab_bias, relation_matrix, Batcher, EvalInstance, KnnNegativeSampler, Processed,
+    iaab_bias_into, relation_matrix_into, Batcher, EvalInstance, KnnNegativeSampler, Processed,
     RelationConfig,
 };
 use stisan_eval::{FrozenScorer, Recommender};
 use stisan_geo::quadkey::tokens_for;
-use stisan_geo::GeoEncoder;
+use stisan_geo::{GeoEncoder, GeoPoint};
 use stisan_models::common::{
-    check_finite_step, epoch_rng, interleave_candidates, taad_eval_mask, taad_scores,
+    check_finite_step, epoch_rng, interleave_candidates, taad_eval_mask_into, taad_scores,
     taad_train_mask, SeqBatch, StepOutcome, TrainConfig,
 };
 use stisan_nn::{
-    causal_mask, padding_row_mask, sinusoidal_encoding, tape_positions, vanilla_positions,
-    weighted_bce_loss, Adam, CheckpointError, CheckpointManager, Embedding, FeedForward,
-    LayerNorm, Linear, ParamStore, Session, TrainState,
+    sinusoidal_encoding_into, tape_positions_into, weighted_bce_loss, Adam, CheckpointError,
+    CheckpointManager, Embedding, FeedForward, LayerNorm, Linear, ParamStore, Session, TrainState,
 };
 use stisan_tensor::{Arena, Array, Exec, Var};
 
@@ -138,6 +137,48 @@ pub struct FitSummary {
     pub epochs_run: usize,
     /// The checkpoint file training resumed from, if any.
     pub resumed_from: Option<PathBuf>,
+}
+
+/// Reusable request-prep buffers: everything the embed/position/bias builders
+/// used to allocate fresh per call. All fills have set semantics (cleared or
+/// fully overwritten), so reuse is bit-transparent.
+#[derive(Default)]
+struct PrepBufs {
+    /// Per-row TAPE (or vanilla) positions.
+    pos: Vec<f32>,
+    /// Deduplicated POI ids for the geography encoder.
+    unique: Vec<usize>,
+    /// `id -> index in unique` scatter table.
+    slot: Vec<usize>,
+    /// Quadkey n-gram tokens for the unique ids.
+    tokens: Vec<usize>,
+    /// Gather-back positions (`ids -> unique` index per input slot).
+    gather_pos: Vec<usize>,
+    /// Per-row locations feeding the relation matrix.
+    locs: Vec<GeoPoint>,
+    /// One `n * n` relation matrix, rebuilt per row.
+    rel: Vec<f32>,
+}
+
+/// Everything the frozen scoring path needs per request besides the arena
+/// pools: the eval [`SeqBatch`] and the [`PrepBufs`]. The serving engine
+/// parks one of these in the arena's scratch slot so a warmed-up
+/// `score_frozen_into` call performs zero request-prep allocations.
+#[derive(Default)]
+struct PrepScratch {
+    batch: SeqBatch,
+    ids: Vec<usize>,
+    bufs: PrepBufs,
+}
+
+/// Where candidate representations come from in [`StiSan::score_var_in`].
+enum CandSource<'a> {
+    /// Embed candidates in-graph (tape path — gradients reach the tables).
+    Embed,
+    /// Gather rows from the frozen `[num_pois + 1, d]` candidate table.
+    Table(&'a Array),
+    /// Pre-gathered candidate rows `[m, d]` (dequantized retrieval tables).
+    Rows(&'a Array),
 }
 
 /// One Interval Aware Attention Block (paper Algorithm 2): the interval-aware
@@ -331,81 +372,138 @@ impl StiSan {
     /// then the unique encodings are gathered back into position — a pure
     /// optimization with identical outputs and gradients.
     pub fn embed<E: Exec>(&self, sess: &mut Session<'_, E>, ids: &[usize]) -> Var {
+        self.embed_in(sess, ids, &mut PrepBufs::default())
+    }
+
+    /// [`StiSan::embed`] with caller-owned scratch buffers — the single
+    /// implementation both forms share, so they are bit-identical. The
+    /// serving path reuses one [`PrepBufs`] across requests.
+    fn embed_in<E: Exec>(&self, sess: &mut Session<'_, E>, ids: &[usize], bufs: &mut PrepBufs) -> Var {
         match &self.geo_enc {
             None => self.poi_emb.forward(sess, ids, &[ids.len()]),
             Some(enc) => {
-                let mut unique: Vec<usize> = ids.to_vec();
+                let unique = &mut bufs.unique;
+                unique.clear();
+                unique.extend_from_slice(ids);
                 unique.sort_unstable();
                 unique.dedup();
-                let mut slot = vec![usize::MAX; unique.last().map(|&m| m + 1).unwrap_or(0)];
+                let slot = &mut bufs.slot;
+                slot.clear();
+                slot.resize(unique.last().map(|&m| m + 1).unwrap_or(0), usize::MAX);
                 for (i, &u) in unique.iter().enumerate() {
                     slot[u] = i;
                 }
-                let p = self.poi_emb.forward(sess, &unique, &[unique.len()]);
-                let mut tokens = Vec::with_capacity(unique.len() * self.tokens_per_loc);
-                for &id in &unique {
+                let p = self.poi_emb.forward(sess, unique, &[unique.len()]);
+                let tokens = &mut bufs.tokens;
+                tokens.clear();
+                tokens.reserve(unique.len() * self.tokens_per_loc);
+                for &id in unique.iter() {
                     let base = id * self.tokens_per_loc;
                     tokens.extend_from_slice(&self.poi_tokens[base..base + self.tokens_per_loc]);
                 }
-                let g = enc.forward(sess, &tokens, unique.len());
-                let mask: Vec<f32> =
-                    unique.iter().map(|&i| if i == 0 { 0.0 } else { 1.0 }).collect();
-                let g = sess.g.mul_const(g, Array::from_vec(vec![unique.len(), 1], mask));
+                let g = enc.forward(sess, tokens, unique.len());
+                // Arena-backed on the serving backend; fully overwritten, and
+                // `mul_const` recycles the consumed constant.
+                let mut mask = sess.g.scratch_array(&[unique.len(), 1]);
+                for (m, &u) in mask.data_mut().iter_mut().zip(unique.iter()) {
+                    *m = if u == 0 { 0.0 } else { 1.0 };
+                }
+                let g = sess.g.mul_const(g, mask);
                 let table = sess.g.concat_last(&[p, g]); // [U, d]
-                let positions: Vec<usize> = ids.iter().map(|&id| slot[id]).collect();
-                sess.g.gather(table, &positions, &[ids.len()])
+                let gather_pos = &mut bufs.gather_pos;
+                gather_pos.clear();
+                gather_pos.extend(ids.iter().map(|&id| slot[id]));
+                sess.g.gather(table, gather_pos, &[ids.len()])
             }
         }
     }
 
-    /// The TAPE (or vanilla, under variant II) positional matrix `[b, n, d]`.
-    fn position_matrix(&self, batch: &SeqBatch) -> Array {
+    /// The TAPE (or vanilla, under variant II) positional matrix `[b, n, d]`,
+    /// written into arena scratch on the serving backend (every element is
+    /// set; `add_const` recycles the consumed matrix).
+    fn position_matrix_in<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        batch: &SeqBatch,
+        bufs: &mut PrepBufs,
+    ) -> Array {
         let (b, n, d) = (batch.b, batch.n, self.cfg.train.dim);
-        let mut data = Vec::with_capacity(b * n * d);
+        let mut out = sess.g.scratch_array(&[b, n, d]);
+        let data = out.data_mut();
         for row in 0..b {
             let vf = batch.valid_from[row];
-            let pos: Vec<f32> = if self.cfg.use_tape {
-                tape_positions(&batch.time[row * n..(row + 1) * n], vf)
+            let pos = &mut bufs.pos;
+            if self.cfg.use_tape {
+                tape_positions_into(&batch.time[row * n..(row + 1) * n], vf, pos);
             } else {
-                let mut p = vec![0.0f32; n];
-                p[vf..].copy_from_slice(&vanilla_positions(n - vf));
-                p
-            };
-            data.extend_from_slice(sinusoidal_encoding(&pos, d).data());
+                pos.clear();
+                pos.resize(n, 0.0);
+                for (k, p) in pos[vf..].iter_mut().enumerate() {
+                    *p = (k + 1) as f32; // vanilla positions 1..=n-vf
+                }
+            }
+            sinusoidal_encoding_into(pos, d, &mut data[row * n * d..(row + 1) * n * d]);
         }
-        Array::from_vec(vec![b, n, d], data)
+        out
     }
 
     /// Builds the three per-batch attention biases: `Softmax(R)`+mask, plain
-    /// mask, and masked raw `R`.
-    fn biases(&self, data: &Processed, batch: &SeqBatch) -> (Array, Array, Array) {
+    /// mask, and masked raw `R` — all in arena scratch on the serving backend
+    /// (every element is written; the caller recycles them after the blocks).
+    fn biases_in<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        data: &Processed,
+        batch: &SeqBatch,
+        bufs: &mut PrepBufs,
+    ) -> (Array, Array, Array) {
         let (b, n) = (batch.b, batch.n);
-        let mask = causal_mask(b, n).add(&padding_row_mask(&batch.src_valid(), b, n));
-        let mut soft = Vec::with_capacity(b * n * n);
-        let mut raw = Vec::with_capacity(b * n * n);
-        for row in 0..b {
-            let vf = batch.valid_from[row];
-            let times = &batch.time[row * n..(row + 1) * n];
-            let locs: Vec<_> = batch.src[row * n..(row + 1) * n]
-                .iter()
-                .map(|&p| if p == 0 { data.loc(1) } else { data.loc(p as u32) })
-                .collect();
-            let r = relation_matrix(times, &locs, vf, &self.cfg.relation);
-            soft.extend_from_slice(iaab_bias(&r, vf).data());
-            // Raw R with the leak mask for the RelationOnly variant.
-            let mut masked = vec![-1e9f32; n * n];
-            for i in vf..n {
-                for j in vf..=i {
-                    masked[i * n + j] = r.at(&[i, j]);
+        // Combined causal + key-padding mask, summed entry-wise exactly as
+        // `causal_mask(b, n).add(&padding_row_mask(...))` did (0, -1e9, -2e9).
+        let mut mask = sess.g.scratch_array(&[b, n, n]);
+        {
+            let md = mask.data_mut();
+            for row in 0..b {
+                for i in 0..n {
+                    for j in 0..n {
+                        let causal = if j > i { -1e9f32 } else { 0.0 };
+                        let pad = if batch.src[row * n + j] != 0 { 0.0 } else { -1e9f32 };
+                        md[(row * n + i) * n + j] = causal + pad;
+                    }
                 }
             }
-            raw.extend_from_slice(&masked);
         }
-        (
-            Array::from_vec(vec![b, n, n], soft),
-            mask,
-            Array::from_vec(vec![b, n, n], raw),
-        )
+        let mut soft = sess.g.scratch_array(&[b, n, n]);
+        let mut raw = sess.g.scratch_array(&[b, n, n]);
+        {
+            let sd = soft.data_mut();
+            let rd = raw.data_mut();
+            bufs.rel.resize(n * n, 0.0);
+            for row in 0..b {
+                let vf = batch.valid_from[row];
+                let times = &batch.time[row * n..(row + 1) * n];
+                let locs = &mut bufs.locs;
+                locs.clear();
+                locs.extend(batch.src[row * n..(row + 1) * n].iter().map(|&p| {
+                    if p == 0 {
+                        data.loc(1)
+                    } else {
+                        data.loc(p as u32)
+                    }
+                }));
+                relation_matrix_into(times, locs, vf, &self.cfg.relation, &mut bufs.rel);
+                iaab_bias_into(&bufs.rel, n, vf, &mut sd[row * n * n..(row + 1) * n * n]);
+                // Raw R with the leak mask for the RelationOnly variant.
+                let rrow = &mut rd[row * n * n..(row + 1) * n * n];
+                rrow.fill(-1e9);
+                for i in vf..n {
+                    for j in vf..=i {
+                        rrow[i * n + j] = bufs.rel[i * n + j];
+                    }
+                }
+            }
+        }
+        (soft, mask, raw)
     }
 
     /// Encodes a batch into per-step representations `[b, n, d]`; also
@@ -416,19 +514,58 @@ impl StiSan {
         data: &Processed,
         batch: &SeqBatch,
     ) -> (Var, Vec<Var>) {
-        let (b, n, d) = (batch.b, batch.n, self.cfg.train.dim);
-        let e = self.embed(sess, &batch.src);
-        let e = sess.g.reshape(e, &[b, n, d]);
-        let e = sess.g.add_const(e, self.position_matrix(batch)); // E = E + P
-        let mut x = sess.dropout(e, self.cfg.train.dropout);
-        let (soft, mask, raw) = self.biases(data, batch);
+        self.encode_full_in(sess, data, batch, &mut PrepBufs::default())
+    }
+
+    /// [`StiSan::encode_full`] with caller-owned prep scratch — the single
+    /// implementation (the wrapper passes fresh buffers), so both forms are
+    /// bit-identical.
+    fn encode_full_in<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        data: &Processed,
+        batch: &SeqBatch,
+        bufs: &mut PrepBufs,
+    ) -> (Var, Vec<Var>) {
         let mut all_weights = Vec::with_capacity(self.blocks.len());
+        let out = self.encode_core_in(sess, data, batch, bufs, Some(&mut all_weights));
+        (out, all_weights)
+    }
+
+    /// The shared encode body. `weights` optionally collects every block's
+    /// attention weights (the inspection path); the serving path passes
+    /// `None`, which skips the per-request `Vec` allocation — the op sequence
+    /// is identical either way, so both forms stay bit-identical.
+    fn encode_core_in<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        data: &Processed,
+        batch: &SeqBatch,
+        bufs: &mut PrepBufs,
+        mut weights: Option<&mut Vec<Var>>,
+    ) -> Var {
+        let (b, n, d) = (batch.b, batch.n, self.cfg.train.dim);
+        let e = self.embed_in(sess, &batch.src, bufs);
+        let e = sess.g.reshape(e, &[b, n, d]);
+        let pmat = self.position_matrix_in(sess, batch, bufs);
+        let e = sess.g.add_const(e, pmat); // E = E + P
+        let mut x = sess.dropout(e, self.cfg.train.dropout);
+        let (soft, mask, raw) = self.biases_in(sess, data, batch, bufs);
         for blk in &self.blocks {
             let (nx, w) = blk.forward(sess, x, self.cfg.attention, &soft, &mask, &raw);
             x = nx;
-            all_weights.push(w);
+            if let Some(ws) = weights.as_deref_mut() {
+                ws.push(w);
+            }
         }
-        (self.final_ln.forward(sess, x), all_weights)
+        let out = self.final_ln.forward(sess, x);
+        // The per-block clones were consumed above; by now the originals are
+        // unique again (unless a block pinned one, in which case recycling is
+        // refused harmlessly), so hand the buffers back to the serving arena.
+        sess.g.recycle_const(soft);
+        sess.g.recycle_const(mask);
+        sess.g.recycle_const(raw);
+        out
     }
 
     /// [`StiSan::encode_full`] without the inspection weights.
@@ -441,41 +578,65 @@ impl StiSan {
         self.encode_full(sess, data, batch).0
     }
 
+    /// [`StiSan::encode`] with caller-owned prep scratch.
+    fn encode_in<E: Exec>(
+        &self,
+        sess: &mut Session<'_, E>,
+        data: &Processed,
+        batch: &SeqBatch,
+        bufs: &mut PrepBufs,
+    ) -> Var {
+        self.encode_core_in(sess, data, batch, bufs, None)
+    }
+
     /// Backend-generic candidate scoring: one code path serves the tape-based
     /// [`Recommender::score`], the tape-free [`FrozenScorer::score_frozen`],
-    /// and the arena-backed [`FrozenScorer::score_frozen_into`], so the
+    /// the arena-backed [`FrozenScorer::score_frozen_into`], and the
+    /// quantized-retrieval [`FrozenScorer::score_frozen_with_embeds`], so the
     /// serving engine is parity-by-construction with evaluation.
     ///
-    /// `table`: the precomputed candidate-embedding table
-    /// ([`StiSan::candidate_table`]); `None` embeds the candidates in-graph
-    /// (required on the tape, where the table has no gradient path). The two
-    /// produce bit-identical scores.
-    fn score_var<E: Exec>(
+    /// `cand` selects where candidate representations come from (see
+    /// [`CandSource`]); [`CandSource::Embed`] and [`CandSource::Table`]
+    /// produce bit-identical scores, [`CandSource::Rows`] scores whatever
+    /// rows the caller gathered (exact rows → bit-identical, dequantized
+    /// rows → within the codec's documented error bound).
+    fn score_var_in<E: Exec>(
         &self,
         sess: &mut Session<'_, E>,
         data: &Processed,
         inst: &EvalInstance,
         candidates: &[u32],
-        table: Option<&Array>,
+        cand: CandSource<'_>,
+        scratch: &mut PrepScratch,
     ) -> Var {
-        let batch = SeqBatch::from_eval(data, inst);
+        let PrepScratch { batch, ids, bufs } = scratch;
+        batch.fill_eval(data, inst);
         let (n, d) = (batch.n, self.cfg.train.dim);
-        let f = self.encode(sess, data, &batch);
-        let ids: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
-        let c = match table {
-            Some(t) => {
+        let f = self.encode_in(sess, data, batch, bufs);
+        ids.clear();
+        ids.extend(candidates.iter().map(|&c| c as usize));
+        let m = ids.len();
+        let c = match cand {
+            CandSource::Table(t) => {
                 let tv = sess.g.constant(t.clone()); // Arc bump, no copy
-                sess.g.gather(tv, &ids, &[ids.len()])
+                sess.g.gather(tv, ids, &[m])
             }
-            None => self.embed(sess, &ids),
+            CandSource::Embed => self.embed_in(sess, ids, bufs),
+            CandSource::Rows(r) => {
+                assert_eq!(r.shape(), &[m, d], "score_var_in: candidate rows shape mismatch");
+                sess.g.constant(r.clone()) // Arc bump, no copy
+            }
         };
         if self.cfg.use_taad {
-            let c = sess.g.reshape(c, &[1, ids.len(), d]);
-            let mask = taad_eval_mask(ids.len(), n, batch.valid_from[0]);
+            let c = sess.g.reshape(c, &[1, m, d]);
+            // Arena-backed; fully written, consumed (and recycled) by the
+            // `add_const` inside `taad_scores`.
+            let mut mask = sess.g.scratch_array(&[1, m, n]);
+            taad_eval_mask_into(m, n, batch.valid_from[0], mask.data_mut());
             taad_scores(sess, f, c, mask)
         } else {
             let h_last = sess.g.slice_axis1(f, n - 1);
-            let c = sess.g.reshape(c, &[1, ids.len(), d]);
+            let c = sess.g.reshape(c, &[1, m, d]);
             let h3 = sess.g.reshape(h_last, &[1, 1, d]);
             let ct = sess.g.transpose_last2(c);
             sess.g.bmm(h3, ct)
@@ -673,7 +834,8 @@ impl Recommender for StiSan {
 
     fn score(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
         let mut sess = Session::new(&self.store, false, 0);
-        let y = self.score_var(&mut sess, data, inst, candidates, None);
+        let mut scratch = PrepScratch::default();
+        let y = self.score_var_in(&mut sess, data, inst, candidates, CandSource::Embed, &mut scratch);
         sess.g.value(y).data().to_vec()
     }
 }
@@ -682,7 +844,9 @@ impl FrozenScorer for StiSan {
     fn score_frozen(&self, data: &Processed, inst: &EvalInstance, candidates: &[u32]) -> Vec<f32> {
         let table = self.candidate_table();
         let mut sess = Session::frozen(&self.store);
-        let y = self.score_var(&mut sess, data, inst, candidates, Some(table));
+        let mut scratch = PrepScratch::default();
+        let y =
+            self.score_var_in(&mut sess, data, inst, candidates, CandSource::Table(table), &mut scratch);
         sess.g.value(y).data().to_vec()
     }
 
@@ -695,11 +859,40 @@ impl FrozenScorer for StiSan {
         out: &mut Vec<f32>,
     ) {
         let table = self.candidate_table();
+        // The request-prep scratch (SeqBatch + prep buffers) lives in the
+        // arena's type-erased slot, so warmed-up serving allocates nothing
+        // during prep either.
+        let mut scratch: Box<PrepScratch> = arena.take_slot();
         let mut sess = Session::frozen_in(&self.store, std::mem::take(arena));
-        let y = self.score_var(&mut sess, data, inst, candidates, Some(table));
+        let y =
+            self.score_var_in(&mut sess, data, inst, candidates, CandSource::Table(table), &mut scratch);
         out.clear();
         out.extend_from_slice(sess.g.value(y).data());
         *arena = sess.recycle();
+        arena.put_slot(scratch);
+    }
+
+    fn export_candidate_table(&self) -> Option<&Array> {
+        Some(self.candidate_table())
+    }
+
+    fn score_frozen_with_embeds(
+        &self,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+        embeds: &Array,
+        arena: &mut Arena,
+        out: &mut Vec<f32>,
+    ) {
+        let mut scratch: Box<PrepScratch> = arena.take_slot();
+        let mut sess = Session::frozen_in(&self.store, std::mem::take(arena));
+        let y =
+            self.score_var_in(&mut sess, data, inst, candidates, CandSource::Rows(embeds), &mut scratch);
+        out.clear();
+        out.extend_from_slice(sess.g.value(y).data());
+        *arena = sess.recycle();
+        arena.put_slot(scratch);
     }
 }
 

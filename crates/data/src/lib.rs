@@ -27,6 +27,6 @@ pub mod types;
 pub use batch::{Batcher, KnnNegativeSampler};
 pub use io::{load_snap, load_snap_with, save_snap, LoadOptions, ParseError, SnapLoad};
 pub use prep::{preprocess, EvalInstance, PrepConfig, Processed, Seq};
-pub use relation::{iaab_bias, relation_matrix, RelationConfig};
+pub use relation::{iaab_bias, iaab_bias_into, relation_matrix, relation_matrix_into, RelationConfig};
 pub use synth::{generate, DatasetPreset, GenConfig};
 pub use types::{CheckIn, Dataset, DatasetStats, Poi};

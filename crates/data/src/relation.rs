@@ -42,28 +42,47 @@ pub fn relation_matrix(
     cfg: &RelationConfig,
 ) -> Array {
     let n = times.len();
+    let mut r = vec![0.0f32; n * n];
+    relation_matrix_into(times, locs, valid_from, cfg, &mut r);
+    Array::from_vec(vec![n, n], r)
+}
+
+/// [`relation_matrix`] into a caller-provided `n * n` buffer (set semantics:
+/// every element is written). Instead of materializing the intermediate `r̂`
+/// matrix, pass one computes only `r̂_max` and pass two recomputes each entry —
+/// the arithmetic per pair is identical, so the output is bit-identical to the
+/// allocating form while needing no temporary storage.
+pub fn relation_matrix_into(
+    times: &[f64],
+    locs: &[GeoPoint],
+    valid_from: usize,
+    cfg: &RelationConfig,
+    out: &mut [f32],
+) {
+    let n = times.len();
     assert_eq!(locs.len(), n, "relation_matrix: times/locs length mismatch");
-    let mut rhat = vec![0.0f32; n * n];
+    assert_eq!(out.len(), n * n, "relation_matrix_into: buffer length mismatch");
+    let pair = |i: usize, j: usize| -> f32 {
+        let dt = ((times[i] - times[j]).abs() / SECONDS_PER_DAY).min(cfg.k_t_days);
+        let dd = locs[i].distance_km(&locs[j]).min(cfg.k_d_km);
+        (dt + dd) as f32
+    };
     let mut rhat_max = 0.0f32;
     for i in valid_from..n {
         for j in valid_from..=i {
-            let dt = ((times[i] - times[j]).abs() / SECONDS_PER_DAY).min(cfg.k_t_days);
-            let dd = locs[i].distance_km(&locs[j]).min(cfg.k_d_km);
-            let v = (dt + dd) as f32;
-            rhat[i * n + j] = v;
+            let v = pair(i, j);
             if v > rhat_max {
                 rhat_max = v;
             }
         }
     }
-    // Invert: r = r̂_max − r̂ over the valid lower triangle.
-    let mut r = vec![0.0f32; n * n];
+    // Invert: r = r̂_max − r̂ over the valid lower triangle; 0 elsewhere.
+    out.fill(0.0);
     for i in valid_from..n {
         for j in valid_from..=i {
-            r[i * n + j] = rhat_max - rhat[i * n + j];
+            out[i * n + j] = rhat_max - pair(i, j);
         }
     }
-    Array::from_vec(vec![n, n], r)
 }
 
 /// The additive attention bias used by IAAB: row-wise softmax of `R` over the
@@ -76,21 +95,33 @@ pub fn relation_matrix(
 pub fn iaab_bias(relation: &Array, valid_from: usize) -> Array {
     let n = relation.shape()[0];
     assert_eq!(relation.shape(), &[n, n], "iaab_bias: relation must be square");
-    let mut out = vec![-1e9f32; n * n];
+    let mut out = vec![0.0f32; n * n];
+    iaab_bias_into(relation.data(), n, valid_from, &mut out);
+    Array::from_vec(vec![n, n], out)
+}
+
+/// [`iaab_bias`] over a flat row-major `n * n` relation slice, into a
+/// caller-provided `n * n` buffer (set semantics: every element is written).
+/// The row softmax streams in three passes — max, exp-sum in the same
+/// left-to-right order the allocating form summed its `exps` vector, then
+/// write with each exp recomputed — so the output is bit-identical without a
+/// per-row temporary.
+pub fn iaab_bias_into(relation: &[f32], n: usize, valid_from: usize, out: &mut [f32]) {
+    assert_eq!(relation.len(), n * n, "iaab_bias_into: relation length mismatch");
+    assert_eq!(out.len(), n * n, "iaab_bias_into: buffer length mismatch");
+    out.fill(-1e9);
     for i in valid_from..n {
-        let row = &relation.data()[i * n..(i + 1) * n];
+        let row = &relation[i * n..(i + 1) * n];
         let valid = &row[valid_from..=i];
         let max = valid.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
-        let exps: Vec<f32> = valid.iter().map(|&v| (v - max).exp()).collect();
-        for &e in &exps {
-            sum += e;
+        for &v in valid {
+            sum += (v - max).exp();
         }
-        for (k, &e) in exps.iter().enumerate() {
-            out[i * n + valid_from + k] = e / sum;
+        for (k, &v) in valid.iter().enumerate() {
+            out[i * n + valid_from + k] = (v - max).exp() / sum;
         }
     }
-    Array::from_vec(vec![n, n], out)
 }
 
 #[cfg(test)]

@@ -55,6 +55,35 @@ pub trait FrozenScorer: Recommender {
         out.clear();
         out.extend_from_slice(&scores);
     }
+
+    /// The model's frozen candidate-embedding table `[num_pois + 1, d]`
+    /// (row `p` = `embed(p)`), when the model materializes one. Retrieval
+    /// layers quantize this table; `None` (the default) means the model has
+    /// no gatherable embedding table and two-stage retrieval must fall back
+    /// to [`FrozenScorer::score_frozen_into`].
+    fn export_candidate_table(&self) -> Option<&stisan_tensor::Array> {
+        None
+    }
+
+    /// [`FrozenScorer::score_frozen_into`] with the candidate embeddings
+    /// supplied as pre-gathered rows (`embeds: [candidates.len(), d]`)
+    /// instead of gathered from the model's own table — the entry point for
+    /// quantized retrieval, where the rows come from a dequantized f16/i8
+    /// table. With rows gathered from the model's exact table this must be
+    /// bit-identical to `score_frozen_into`; the default ignores `embeds` and
+    /// delegates (correct for scorers without an embedding table).
+    fn score_frozen_with_embeds(
+        &self,
+        data: &Processed,
+        inst: &EvalInstance,
+        candidates: &[u32],
+        embeds: &stisan_tensor::Array,
+        arena: &mut stisan_tensor::Arena,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = embeds;
+        self.score_frozen_into(data, inst, candidates, arena, out);
+    }
 }
 
 /// Per-instance evaluation candidates: the held-out target plus its

@@ -1,0 +1,151 @@
+//! Flight-recorder dump format regression test.
+//!
+//! `tests/fixtures/flightrec_first_shed.json` is a trimmed real dump from a
+//! `gateway_server` overload run (the first-shed trigger), kept in-tree as
+//! the schema contract for `FlightRecorder::dump_json`. Dumps themselves are
+//! runtime debris and stay out of version control (gitignored under
+//! `results/`); this one small fixture is what postmortem tooling parses
+//! against. The test:
+//!
+//! * parses the fixture with no JSON library (the same contract external
+//!   tooling holds: flat objects, fixed key order within an event);
+//! * checks the ring's ordering invariants (tickets strictly increasing,
+//!   event clock monotone) and the stage/outcome vocabulary;
+//! * replays the events into a live [`FlightRecorder`] and re-dumps,
+//!   asserting the produced JSON still carries the same schema — so a
+//!   producer-side format change breaks this test instead of the tooling.
+
+use stisan_obs::ring::NO_REPLICA;
+use stisan_obs::{FlightRecorder, Outcome, Stage};
+
+const FIXTURE: &str = include_str!("fixtures/flightrec_first_shed.json");
+
+/// One parsed fixture event (the fields every dump event carries, plus the
+/// optional replica attribution).
+#[derive(Debug, PartialEq, Eq)]
+struct Ev {
+    ticket: u64,
+    trace_id: u64,
+    stage: String,
+    t_us: u64,
+    outcome: String,
+    replica: Option<u16>,
+    epoch: u64,
+}
+
+/// Pulls `"key":<number>` out of a flat JSON object.
+fn num(obj: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Pulls `"key":"value"` out of a flat JSON object.
+fn string(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Splits a dump into its header object and flat per-event objects — the
+/// parse external postmortem tooling performs.
+fn parse_dump(doc: &str) -> (String, Vec<Ev>) {
+    let events_at = doc.find("\"events\":[").expect("dump must carry an events array");
+    let header = doc[..events_at].to_string();
+    let body = &doc[events_at + "\"events\":[".len()..doc.rfind(']').expect("unterminated events")];
+    let mut events = Vec::new();
+    let mut rest = body;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}').expect("unterminated event object") + open;
+        let obj = &rest[open..=close];
+        events.push(Ev {
+            ticket: num(obj, "ticket").expect("ticket"),
+            trace_id: num(obj, "trace_id").expect("trace_id"),
+            stage: string(obj, "stage").expect("stage"),
+            t_us: num(obj, "t_us").expect("t_us"),
+            outcome: string(obj, "outcome").expect("outcome"),
+            replica: num(obj, "replica").map(|r| r as u16),
+            epoch: num(obj, "epoch").unwrap_or(0),
+        });
+        rest = &rest[close + 1..];
+    }
+    (header, events)
+}
+
+fn stage_from_name(name: &str) -> Stage {
+    Stage::all()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| panic!("unknown stage {name:?} in fixture"))
+}
+
+fn outcome_from_name(name: &str) -> Outcome {
+    (0..=4)
+        .filter_map(Outcome::from_u8)
+        .find(|o| o.name() == name)
+        .unwrap_or_else(|| panic!("unknown outcome {name:?} in fixture"))
+}
+
+/// The fixture parses, respects the ring's ordering invariants, and only
+/// uses the documented stage/outcome vocabulary.
+#[test]
+fn fixture_parses_with_ring_invariants() {
+    let (header, events) = parse_dump(FIXTURE);
+    assert_eq!(string(&header, "reason").as_deref(), Some("first_shed"));
+    let total = num(&header, "recorded_total").expect("recorded_total");
+    assert!(!events.is_empty());
+    assert!(total >= events.len() as u64, "ring kept more than it recorded");
+
+    for w in events.windows(2) {
+        assert!(w[0].ticket < w[1].ticket, "tickets must be strictly increasing");
+        assert!(w[0].t_us <= w[1].t_us, "event clock must be monotone");
+    }
+    assert!(events.iter().any(|e| e.outcome == "shed"), "a first-shed dump must hold the shed");
+    assert!(events.iter().any(|e| e.replica.is_some()), "fixture must cover replica attribution");
+    for e in &events {
+        stage_from_name(&e.stage);
+        outcome_from_name(&e.outcome);
+        if e.replica.is_none() {
+            assert_eq!(e.epoch, 0, "epoch only travels with replica attribution");
+        }
+    }
+}
+
+/// Replaying the fixture through a live recorder and dumping again produces
+/// the same logical stream under the same schema: any change to
+/// `dump_json`'s format must update the fixture (and the tooling) on
+/// purpose.
+#[test]
+fn replayed_fixture_round_trips_through_dump_json() {
+    let (_, events) = parse_dump(FIXTURE);
+    let rec = FlightRecorder::with_capacity(64);
+    for e in &events {
+        rec.record_ext(
+            e.trace_id,
+            stage_from_name(&e.stage),
+            outcome_from_name(&e.outcome),
+            e.replica.unwrap_or(NO_REPLICA),
+            e.epoch,
+        );
+    }
+
+    let dumped = rec.dump_json("first_shed");
+    let (header, replayed) = parse_dump(&dumped);
+    assert_eq!(string(&header, "reason").as_deref(), Some("first_shed"));
+    assert_eq!(num(&header, "recorded_total"), Some(events.len() as u64));
+    assert_eq!(replayed.len(), events.len());
+
+    // Same logical stream: trace ids, stages, outcomes, and replica
+    // attribution in order. Tickets renumber from 0 and t_us is the new
+    // recorder's clock — those are per-process, not part of the contract.
+    for (orig, rep) in events.iter().zip(&replayed) {
+        assert_eq!(rep.trace_id, orig.trace_id);
+        assert_eq!(rep.stage, orig.stage);
+        assert_eq!(rep.outcome, orig.outcome);
+        assert_eq!(rep.replica, orig.replica);
+        assert_eq!(rep.epoch, orig.epoch);
+    }
+}

@@ -131,6 +131,23 @@ pub struct SeqBatch {
     pub step_mask: Array,
 }
 
+impl Default for SeqBatch {
+    /// An empty batch whose buffers grow on first [`SeqBatch::fill_eval`] and
+    /// are reused thereafter (the serving path keeps one in arena scratch).
+    fn default() -> Self {
+        SeqBatch {
+            b: 0,
+            n: 0,
+            src: Vec::new(),
+            tgt: Vec::new(),
+            time: Vec::new(),
+            valid_from: Vec::new(),
+            users: Vec::new(),
+            step_mask: Array::zeros(vec![1, 1]),
+        }
+    }
+}
+
 impl SeqBatch {
     /// Builds a batch from training windows (`seq.poi` has length `n+1`).
     pub fn from_train(data: &Processed, idxs: &[usize]) -> SeqBatch {
@@ -172,16 +189,33 @@ impl SeqBatch {
     /// Builds a single-sequence "batch" from an evaluation instance
     /// (`inst.poi` has length `n`; there are no targets).
     pub fn from_eval(data: &Processed, inst: &EvalInstance) -> SeqBatch {
+        let mut batch = SeqBatch::default();
+        batch.fill_eval(data, inst);
+        batch
+    }
+
+    /// Refills `self` as a single-sequence eval "batch", reusing the existing
+    /// buffers (the hot serving path keeps one `SeqBatch` in scratch so
+    /// request prep allocates nothing at steady state). Field-for-field
+    /// identical to [`SeqBatch::from_eval`].
+    pub fn fill_eval(&mut self, data: &Processed, inst: &EvalInstance) {
         let n = data.max_len;
-        SeqBatch {
-            b: 1,
-            n,
-            src: inst.poi.iter().map(|&p| p as usize).collect(),
-            tgt: vec![0; n],
-            time: inst.time.clone(),
-            valid_from: vec![inst.valid_from.min(n)],
-            users: vec![inst.user],
-            step_mask: Array::zeros(vec![1, n]),
+        self.b = 1;
+        self.n = n;
+        self.src.clear();
+        self.src.extend(inst.poi.iter().map(|&p| p as usize));
+        self.tgt.clear();
+        self.tgt.resize(n, 0);
+        self.time.clear();
+        self.time.extend_from_slice(&inst.time);
+        self.valid_from.clear();
+        self.valid_from.push(inst.valid_from.min(n));
+        self.users.clear();
+        self.users.push(inst.user);
+        // Eval batches never read `step_mask` (no loss); it stays an all-zero
+        // `[1, n]` mask, reallocated only when the window length changes.
+        if self.step_mask.shape() != [1, n] {
+            self.step_mask = Array::zeros(vec![1, n]);
         }
     }
 
@@ -375,13 +409,20 @@ pub fn taad_train_mask(b: usize, n: usize, l1: usize, valid_from: &[usize]) -> A
 /// TAAD mask for evaluation: every candidate may attend all real positions.
 /// Shape `[1, m, n]`.
 pub fn taad_eval_mask(m: usize, n: usize, valid_from: usize) -> Array {
-    let mut out = vec![-1e9f32; m * n];
-    for row in 0..m {
-        for j in valid_from..n {
-            out[row * n + j] = 0.0;
-        }
-    }
+    let mut out = vec![0.0f32; m * n];
+    taad_eval_mask_into(m, n, valid_from, &mut out);
     Array::from_vec(vec![1, m, n], out)
+}
+
+/// [`taad_eval_mask`] into a caller-provided `m * n` buffer (set semantics:
+/// every element is written, so recycled scratch memory is safe).
+pub fn taad_eval_mask_into(m: usize, n: usize, valid_from: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), m * n, "taad_eval_mask_into: buffer length mismatch");
+    for row in 0..m {
+        let r = &mut out[row * n..(row + 1) * n];
+        r[..valid_from.min(n)].fill(-1e9);
+        r[valid_from.min(n)..].fill(0.0);
+    }
 }
 
 /// Draws `l` uniform negatives over `1..=num_pois`, excluding `target`.

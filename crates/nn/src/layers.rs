@@ -1,7 +1,7 @@
 //! Core layers: linear, embedding, layer normalization, feed-forward.
 
 use rand::Rng;
-use stisan_tensor::{xavier_uniform, Array, Exec, Var};
+use stisan_tensor::{xavier_uniform, Array, Exec, Var, MAX_DIMS};
 
 use crate::param::{ParamId, ParamStore, Session};
 
@@ -81,11 +81,17 @@ impl Embedding {
         match self.padding_idx {
             None => e,
             Some(p) => {
-                let mut mask_shape = batch_shape.to_vec();
-                mask_shape.push(1);
-                let mask: Vec<f32> =
-                    indices.iter().map(|&i| if i == p { 0.0 } else { 1.0 }).collect();
-                let mask = Array::from_vec(mask_shape, mask);
+                // The mask shape `[*batch_shape, 1]` fits on the stack (rank
+                // is bounded by `MAX_DIMS`), keeping warm serving heap-free.
+                let mut mask_shape = [1usize; MAX_DIMS];
+                mask_shape[..batch_shape.len()].copy_from_slice(batch_shape);
+                let mask_shape = &mask_shape[..batch_shape.len() + 1];
+                // Arena-backed scratch on the serving backend; every element is
+                // written below, and `mul_const` recycles the consumed constant.
+                let mut mask = sess.g.scratch_array(mask_shape);
+                for (m, &i) in mask.data_mut().iter_mut().zip(indices) {
+                    *m = if i == p { 0.0 } else { 1.0 };
+                }
                 sess.g.mul_const(e, mask)
             }
         }

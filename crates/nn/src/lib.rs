@@ -47,6 +47,9 @@ pub use loss::{bce_loss, bpr_loss, weighted_bce_loss};
 pub use masks::{causal_mask, padding_row_mask};
 pub use optim::{Adam, AdamState, Sgd};
 pub use param::{ParamId, ParamStore, Session};
-pub use pos::{sinusoidal_encoding, tape_positions, vanilla_positions};
+pub use pos::{
+    sinusoidal_encoding, sinusoidal_encoding_into, tape_positions, tape_positions_into,
+    vanilla_positions,
+};
 pub use rnn::{GruCell, LstmCell, StgnCell};
 pub use serialize::{crc32, LoadError, TrainState, VERSION};

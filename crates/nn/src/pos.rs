@@ -22,29 +22,41 @@ pub fn vanilla_positions(n: usize) -> Vec<f32> {
 /// by the caller's padding mask). Timestamps must be non-decreasing over the
 /// valid suffix.
 pub fn tape_positions(timestamps: &[f64], valid_from: usize) -> Vec<f32> {
+    let mut pos = Vec::new();
+    tape_positions_into(timestamps, valid_from, &mut pos);
+    pos
+}
+
+/// [`tape_positions`] into a caller-provided buffer (cleared and refilled —
+/// the single implementation both forms share, so they are bit-identical).
+///
+/// The interval mean is streamed in the same left-to-right order the
+/// allocating form summed its `deltas` vector in, so no temporary is needed
+/// and the arithmetic (and rounding) is unchanged.
+pub fn tape_positions_into(timestamps: &[f64], valid_from: usize, pos: &mut Vec<f32>) {
     let n = timestamps.len();
-    let mut pos = vec![0.0f32; n];
+    pos.clear();
+    pos.resize(n, 0.0);
     if valid_from >= n {
-        return pos;
+        return;
     }
     let valid = &timestamps[valid_from..];
     let m = valid.len();
     if m == 1 {
         pos[valid_from] = 1.0;
-        return pos;
+        return;
     }
-    let mut deltas = Vec::with_capacity(m - 1);
+    let mut sum = 0.0f64;
     for w in valid.windows(2) {
-        let dt = (w[1] - w[0]).max(0.0);
-        deltas.push(dt);
+        sum += (w[1] - w[0]).max(0.0);
     }
-    let mean: f64 = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    let mean: f64 = sum / (m - 1) as f64;
     pos[valid_from] = 1.0;
-    for (k, &dt) in deltas.iter().enumerate() {
+    for k in 0..m - 1 {
+        let dt = (valid[k + 1] - valid[k]).max(0.0);
         let norm = if mean > 0.0 { (dt / mean) as f32 } else { 0.0 };
         pos[valid_from + k + 1] = pos[valid_from + k] + norm + 1.0;
     }
-    pos
 }
 
 /// Sinusoidal encoding of arbitrary (possibly fractional) positions into `d`
@@ -56,22 +68,33 @@ pub fn tape_positions(timestamps: &[f64], valid_from: usize) -> Vec<f32> {
 /// Positions equal to `0` (padding) produce all-zero rows so padded check-ins
 /// stay exactly zero after `E = E + P`.
 pub fn sinusoidal_encoding(positions: &[f32], d: usize) -> Array {
-    assert!(d >= 2 && d.is_multiple_of(2), "sinusoidal_encoding: dimension must be even and >= 2, got {d}");
     let n = positions.len();
     let mut data = vec![0.0f32; n * d];
+    sinusoidal_encoding_into(positions, d, &mut data);
+    Array::from_vec(vec![n, d], data)
+}
+
+/// [`sinusoidal_encoding`] into a caller-provided buffer of length
+/// `positions.len() * d` (set semantics: every element is written, padding
+/// rows explicitly zeroed, so recycled scratch memory is safe).
+pub fn sinusoidal_encoding_into(positions: &[f32], d: usize, data: &mut [f32]) {
+    assert!(d >= 2 && d.is_multiple_of(2), "sinusoidal_encoding: dimension must be even and >= 2, got {d}");
+    let n = positions.len();
+    assert_eq!(data.len(), n * d, "sinusoidal_encoding_into: buffer length mismatch");
     let half = d / 2;
     let log_base = -(10000.0f32.ln()) / d as f32;
     for (k, &p) in positions.iter().enumerate() {
+        let row = &mut data[k * d..(k + 1) * d];
         if p == 0.0 {
-            continue; // padding row stays zero
+            row.fill(0.0); // padding row stays zero
+            continue;
         }
         for i in 0..half {
             let div = ((2 * i) as f32 * log_base).exp();
-            data[k * d + 2 * i] = (p * div).sin();
-            data[k * d + 2 * i + 1] = (p * div).cos();
+            row[2 * i] = (p * div).sin();
+            row[2 * i + 1] = (p * div).cos();
         }
     }
-    Array::from_vec(vec![n, d], data)
 }
 
 #[cfg(test)]

@@ -1,13 +1,14 @@
-//! The inference engine: frozen-forward scoring, geo pruning, parallel
-//! batch serving.
+//! The inference engine: frozen-forward scoring, geo pruning, two-stage
+//! retrieval, parallel batch serving.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use stisan_data::{EvalInstance, Processed};
 use stisan_eval::FrozenScorer;
 use stisan_obs::{Stage, TraceCtx};
-use stisan_tensor::{suggested_workers, Arena};
+use stisan_retrieval::{QuantLevel, RetrievalState, RetrievalStats, SeenSet};
+use stisan_tensor::{suggested_workers, Arena, Array};
 
 use crate::topk::{top_k_into, TopKScratch};
 
@@ -29,6 +30,24 @@ pub enum PruningPolicy {
         /// Minimum pool size below which pruning is abandoned.
         min_candidates: usize,
     },
+    /// Two-stage retrieval for million-POI catalogues (DESIGN.md §15):
+    /// stage one generates ~`budget` candidates from a quadkey inverted
+    /// index (the request's own revisits, concentric tile rings around the
+    /// last check-in capped at `max_ring`, and a popularity prior for
+    /// sparse neighbourhoods); stage two scores only those on the frozen
+    /// model, with candidate-embedding rows gathered from the table held at
+    /// [`ServeConfig::quant`] precision.
+    ///
+    /// Falls back to the full catalogue when the model exports no candidate
+    /// table ([`FrozenScorer::export_candidate_table`] is `None`) or the
+    /// session was built without a [`RetrievalState`].
+    TwoStage {
+        /// Target candidate count (ring expansion stops after the first
+        /// completed ring meeting it; popularity tops up to exactly this).
+        budget: usize,
+        /// Hard cap on the Chebyshev tile-ring radius.
+        max_ring: u32,
+    },
 }
 
 /// Serving configuration.
@@ -48,12 +67,26 @@ pub struct ServeConfig {
     /// (the arena parity suite asserts it) — this switch exists for A/B
     /// benchmarking and as an operational escape hatch.
     pub arena: bool,
+    /// Precision of the candidate-embedding table under
+    /// [`PruningPolicy::TwoStage`] (ignored by the other policies):
+    /// `F32` scores exactly through the model's own table; `F16`/`I8`
+    /// gather-dequantize rows from a quantized copy into
+    /// [`FrozenScorer::score_frozen_with_embeds`], trading a documented
+    /// max-abs embedding error for 2×/~3.6× less table memory.
+    pub quant: QuantLevel,
 }
 
 impl Default for ServeConfig {
-    /// Top-10, automatic worker count, no pruning, arena-backed scoring.
+    /// Top-10, automatic worker count, no pruning, arena-backed scoring,
+    /// exact (f32) tables.
     fn default() -> Self {
-        ServeConfig { top_k: 10, workers: 0, pruning: PruningPolicy::Full, arena: true }
+        ServeConfig {
+            top_k: 10,
+            workers: 0,
+            pruning: PruningPolicy::Full,
+            arena: true,
+            quant: QuantLevel::F32,
+        }
     }
 }
 
@@ -71,6 +104,10 @@ pub struct ServeScratch {
     scores: Vec<f32>,
     topk: TopKScratch,
     ranked: Vec<(usize, f32)>,
+    /// Stage-one dedup set for [`PruningPolicy::TwoStage`].
+    seen: SeenSet,
+    /// Candidate ids widened to table-row indices for the dequant gather.
+    rows: Vec<usize>,
 }
 
 impl ServeScratch {
@@ -114,6 +151,10 @@ pub struct InferenceSession<'a, M: FrozenScorer + Sync> {
     model: &'a M,
     data: &'a Processed,
     cfg: ServeConfig,
+    /// Two-stage retrieval state (index + quantized table), shared across
+    /// sessions serving the same model epoch. `None` outside
+    /// [`PruningPolicy::TwoStage`] or when the model exports no table.
+    retrieval: Option<Arc<RetrievalState>>,
     /// Pool of per-request scratch state (arena + engine buffers). Workers
     /// check one out per request and return it warmed, so steady-state
     /// serving reuses buffers instead of allocating.
@@ -121,9 +162,46 @@ pub struct InferenceSession<'a, M: FrozenScorer + Sync> {
 }
 
 impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
-    /// Wraps a model and its dataset context for serving.
+    /// Wraps a model and its dataset context for serving. Under
+    /// [`PruningPolicy::TwoStage`] this builds the retrieval state (quadkey
+    /// index + [`ServeConfig::quant`] table) from the model's exported
+    /// candidate table — an O(catalogue) one-off; callers standing up many
+    /// sessions over one model epoch should build the state once and share
+    /// it via [`InferenceSession::with_retrieval`] instead.
     pub fn new(model: &'a M, data: &'a Processed, cfg: ServeConfig) -> Self {
-        InferenceSession { model, data, cfg, scratch: Mutex::new(Vec::new()) }
+        let retrieval = match cfg.pruning {
+            PruningPolicy::TwoStage { .. } => model
+                .export_candidate_table()
+                .map(|t| Arc::new(RetrievalState::build(data, t, cfg.quant))),
+            _ => None,
+        };
+        Self::with_retrieval(model, data, cfg, retrieval)
+    }
+
+    /// [`InferenceSession::new`] with pre-built (epoch-shared) retrieval
+    /// state — the constructor the replicated engine and hot-reload path
+    /// use, so N replicas hold one index and one quantized table.
+    pub fn with_retrieval(
+        model: &'a M,
+        data: &'a Processed,
+        cfg: ServeConfig,
+        retrieval: Option<Arc<RetrievalState>>,
+    ) -> Self {
+        if let Some(state) = &retrieval {
+            let bytes = state.table_bytes() as f64;
+            stisan_obs::gauge("retrieval.table_bytes", bytes);
+            stisan_obs::gauge(
+                "retrieval.bytes_per_poi",
+                bytes / state.index.num_pois().max(1) as f64,
+            );
+        }
+        InferenceSession { model, data, cfg, retrieval, scratch: Mutex::new(Vec::new()) }
+    }
+
+    /// The two-stage retrieval state, when active (clone the `Arc` to share
+    /// it with further sessions over the same model epoch).
+    pub fn retrieval(&self) -> Option<&Arc<RetrievalState>> {
+        self.retrieval.as_ref()
     }
 
     /// Checks a scratch out of the pool (cold if the pool is empty).
@@ -165,6 +243,19 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
     /// iteration order. The [`PruningPolicy::Full`] path is allocation-free
     /// once `out` has warmed up to catalogue size.
     pub fn candidates_into(&self, inst: &EvalInstance, out: &mut Vec<u32>) {
+        let mut seen = SeenSet::default();
+        self.candidates_with(inst, &mut seen, out);
+    }
+
+    /// [`InferenceSession::candidates_into`] reusing the caller's stage-one
+    /// dedup set (the zero-alloc serving path). Returns the stage-one
+    /// provenance stats when [`PruningPolicy::TwoStage`] actually ran.
+    fn candidates_with(
+        &self,
+        inst: &EvalInstance,
+        seen: &mut SeenSet,
+        out: &mut Vec<u32>,
+    ) -> Option<RetrievalStats> {
         out.clear();
         match self.cfg.pruning {
             PruningPolicy::Full => out.extend(1..=self.data.num_pois as u32),
@@ -173,19 +264,48 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
                 if last == 0 {
                     // Degenerate: empty source sequence.
                     out.extend(1..=self.data.num_pois as u32);
-                    return;
+                    return None;
                 }
                 let anchor = self.data.loc(last);
                 let hits = self.data.index.within_radius(anchor, km);
                 if hits.len() < min_candidates {
                     out.extend(1..=self.data.num_pois as u32);
-                    return;
+                    return None;
                 }
                 // Index entry i is POI id i + 1.
                 out.extend(hits.into_iter().map(|(i, _)| (i + 1) as u32));
                 out.sort_unstable();
             }
+            PruningPolicy::TwoStage { budget, max_ring } => {
+                let last = inst
+                    .poi
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&p| p >= 1 && (p as usize) <= self.data.num_pois)
+                    .unwrap_or(0);
+                let state = match (&self.retrieval, last) {
+                    // No table to retrieve against, or no anchor: degrade to
+                    // the full catalogue rather than guessing.
+                    (None, _) | (_, 0) => {
+                        out.extend(1..=self.data.num_pois as u32);
+                        return None;
+                    }
+                    (Some(state), _) => state,
+                };
+                let recent = &inst.poi[inst.valid_from.min(inst.poi.len())..];
+                let stats = state.index.candidates_into(
+                    self.data.loc(last),
+                    recent,
+                    budget,
+                    max_ring,
+                    seen,
+                    out,
+                );
+                return Some(stats);
+            }
         }
+        None
     }
 
     /// Allocating convenience wrapper over [`InferenceSession::candidates_into`].
@@ -218,8 +338,57 @@ impl<'a, M: FrozenScorer + Sync> InferenceSession<'a, M> {
             None
         };
         let pool = self.data.num_pois;
-        self.candidates_into(inst, &mut scratch.cands);
-        if self.cfg.arena {
+        let stats = self.candidates_with(inst, &mut scratch.seen, &mut scratch.cands);
+        if let Some(st) = stats {
+            stisan_obs::observe("retrieval.candidates", st.candidates as f64);
+            stisan_obs::observe(
+                "retrieval.candidate_fraction",
+                st.candidates as f64 / pool.max(1) as f64,
+            );
+            stisan_obs::observe(
+                "retrieval.revisit_fraction",
+                st.from_revisit as f64 / st.candidates.max(1) as f64,
+            );
+            stisan_obs::counter("retrieval.ring_expansions_total", st.ring_expansions as u64);
+            stisan_obs::counter("retrieval.from_revisit_total", st.from_revisit as u64);
+            stisan_obs::counter("retrieval.from_cells_total", st.from_cells as u64);
+            stisan_obs::counter("retrieval.from_popularity_total", st.from_popularity as u64);
+        }
+        // Quantized two-stage scoring gathers candidate rows from the f16/i8
+        // table and hands them to the model pre-dequantized; every other
+        // combination scores exactly through the model's own table.
+        let quantized = match &self.retrieval {
+            Some(state) if stats.is_some() && state.table.level() != QuantLevel::F32 => {
+                Some(Arc::clone(state))
+            }
+            _ => None,
+        };
+        if let Some(state) = quantized {
+            let (m, d) = (scratch.cands.len(), state.table.dim());
+            scratch.rows.clear();
+            scratch.rows.extend(scratch.cands.iter().map(|&c| c as usize));
+            let mut buf = scratch.arena.take(m * d);
+            match Arc::get_mut(&mut buf) {
+                Some(s) => state.table.dequant_rows_into(&scratch.rows, s),
+                // Unreachable: `Arena::take` hands out unique storage.
+                // Degrade to a fresh buffer rather than scoring stale rows.
+                None => {
+                    let mut v = vec![0.0f32; m * d];
+                    state.table.dequant_rows_into(&scratch.rows, &mut v);
+                    buf = Arc::new(v);
+                }
+            }
+            let embeds = Array::from_shared(vec![m, d], buf);
+            self.model.score_frozen_with_embeds(
+                self.data,
+                inst,
+                &scratch.cands,
+                &embeds,
+                &mut scratch.arena,
+                &mut scratch.scores,
+            );
+            scratch.arena.recycle_array(embeds);
+        } else if self.cfg.arena {
             self.model.score_frozen_into(
                 self.data,
                 inst,

@@ -11,6 +11,11 @@
 //! * **Geo pruning** — [`PruningPolicy::Radius`] restricts candidates to
 //!   POIs near the user's last check-in via the `stisan_geo` grid index,
 //!   falling back to the full catalogue when the radius is too sparse.
+//! * **Two-stage retrieval** — [`PruningPolicy::TwoStage`] generates
+//!   candidates from a `stisan_retrieval` quadkey inverted index (revisits +
+//!   tile rings + popularity prior) and scores them against a candidate-
+//!   embedding table held at [`ServeConfig::quant`] precision
+//!   (f32/f16/int8), the million-POI serving path of DESIGN.md §15.
 //! * **Parallel batches** — [`InferenceSession::serve_batch`] fans requests
 //!   out over crossbeam scoped threads sized by
 //!   [`stisan_tensor::suggested_workers`] (tunable in deployment via the
@@ -55,6 +60,7 @@ mod topk;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use engine::{InferenceSession, PruningPolicy, Recommendation, ServeConfig, ServeScratch};
+pub use stisan_retrieval::{QuantLevel, RetrievalState};
 pub use fallback::FallbackScorer;
 pub use reload::{CanaryConfig, EpochModel, ReloadReport, ReloadWatcher, Reloader, SharedModel};
 pub use replica::{

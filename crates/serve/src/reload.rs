@@ -39,6 +39,7 @@ use std::time::Instant;
 use stisan_data::Processed;
 use stisan_eval::FrozenScorer;
 use stisan_nn::{CheckpointManager, LoadError};
+use stisan_retrieval::{QuantLevel, RetrievalState};
 
 /// A model frozen together with the checkpoint epoch it was loaded from.
 pub struct EpochModel<M> {
@@ -46,6 +47,11 @@ pub struct EpochModel<M> {
     pub epoch: u64,
     /// The immutable weights.
     pub model: M,
+    /// Two-stage retrieval state (quadkey index + quantized table) built
+    /// from this epoch's weights; `None` when retrieval is off, the model
+    /// exports no candidate table, or requantization failed validation
+    /// (serving then degrades to exact full-catalogue scoring).
+    pub retrieval: Option<Arc<RetrievalState>>,
 }
 
 /// The swap cell replicas read from: clone-on-read, atomic publish (see
@@ -61,9 +67,17 @@ impl<M> Clone for SharedModel<M> {
 }
 
 impl<M> SharedModel<M> {
-    /// Wraps the initial model as epoch `epoch`.
+    /// Wraps the initial model as epoch `epoch` (no retrieval state; use
+    /// [`SharedModel::new_with`] to attach one).
     pub fn new(model: M, epoch: u64) -> Self {
-        SharedModel { cell: Arc::new(RwLock::new(Arc::new(EpochModel { epoch, model }))) }
+        Self::new_with(model, epoch, None)
+    }
+
+    /// Wraps the initial model together with its two-stage retrieval state.
+    pub fn new_with(model: M, epoch: u64, retrieval: Option<Arc<RetrievalState>>) -> Self {
+        SharedModel {
+            cell: Arc::new(RwLock::new(Arc::new(EpochModel { epoch, model, retrieval }))),
+        }
     }
 
     /// The current epoch snapshot. Callers score an entire batch against
@@ -84,7 +98,15 @@ impl<M> SharedModel<M> {
     ///
     /// [`current`]: SharedModel::current
     pub fn publish(&self, model: M, epoch: u64) {
-        let fresh = Arc::new(EpochModel { epoch, model });
+        self.publish_with(model, epoch, None);
+    }
+
+    /// [`publish`] carrying the epoch's rebuilt retrieval state (the
+    /// hot-reload watcher's requantize-on-publish path).
+    ///
+    /// [`publish`]: SharedModel::publish
+    pub fn publish_with(&self, model: M, epoch: u64, retrieval: Option<Arc<RetrievalState>>) {
+        let fresh = Arc::new(EpochModel { epoch, model, retrieval });
         *self.cell.write().unwrap_or_else(PoisonError::into_inner) = fresh;
     }
 }
@@ -137,6 +159,9 @@ pub struct ReloadWatcher<'d, M: FrozenScorer> {
     data: &'d Processed,
     loader: LoaderFn<'d, M>,
     canary: CanaryConfig,
+    /// When set, every publish rebuilds + requantizes the two-stage
+    /// retrieval state at this precision (validated before it is attached).
+    requant: Option<QuantLevel>,
 }
 
 impl<'d, M: FrozenScorer + Send + Sync> ReloadWatcher<'d, M> {
@@ -151,7 +176,18 @@ impl<'d, M: FrozenScorer + Send + Sync> ReloadWatcher<'d, M> {
         loader: impl Fn(&Path) -> Result<M, LoadError> + Send + Sync + 'd,
         canary: CanaryConfig,
     ) -> Self {
-        ReloadWatcher { mgr, shared, data, loader: Box::new(loader), canary }
+        ReloadWatcher { mgr, shared, data, loader: Box::new(loader), canary, requant: None }
+    }
+
+    /// Rebuilds the two-stage retrieval state (quadkey index + table
+    /// quantized at `quant`) for every epoch this watcher publishes. The
+    /// requantized table is validated against the exact one (finite error
+    /// bound + dequant spot-check) before it is attached; a failing rebuild
+    /// publishes the weights *without* retrieval state, so serving degrades
+    /// to exact scoring instead of quantized garbage.
+    pub fn with_retrieval(mut self, quant: QuantLevel) -> Self {
+        self.requant = Some(quant);
+        self
     }
 
     /// The managed checkpoint directory (for tests and tooling).
@@ -181,7 +217,8 @@ impl<'d, M: FrozenScorer + Send + Sync> ReloadWatcher<'d, M> {
                             "reload.load_ms",
                             t0.elapsed().as_secs_f64() * 1e3,
                         );
-                        self.shared.publish(model, epoch);
+                        let retrieval = self.build_retrieval(&model);
+                        self.shared.publish_with(model, epoch, retrieval);
                         stisan_obs::counter("reload.published_total", 1);
                         stisan_obs::gauge("reload.epoch", epoch as f64);
                         report.published = Some(epoch);
@@ -240,6 +277,39 @@ impl<'d, M: FrozenScorer + Send + Sync> ReloadWatcher<'d, M> {
             true
         }));
         ok.unwrap_or(false)
+    }
+
+    /// Rebuilds + requantizes the retrieval state for a model about to be
+    /// published, validating the quantized table against the exact one: the
+    /// documented error bound must be finite and a dequantized row
+    /// spot-check must respect it. A failing table is rejected (counted in
+    /// `reload.requantize_rejected_total`) and the epoch publishes without
+    /// retrieval state — exact scoring, never quantized garbage.
+    fn build_retrieval(&self, model: &M) -> Option<Arc<RetrievalState>> {
+        let quant = self.requant?;
+        let table = model.export_candidate_table()?;
+        let _span = stisan_obs::span("reload_requantize");
+        let state = RetrievalState::build(self.data, table, quant);
+        let bound = state.table.max_abs_error_bound();
+        let (rows, d) = (state.table.rows(), state.table.dim());
+        let mut row = vec![0.0f32; d];
+        let valid = bound.is_finite()
+            && (0..rows).step_by((rows / 16).max(1)).all(|r| {
+                state.table.dequant_rows_into(&[r], &mut row);
+                let exact = &table.data()[r * d..(r + 1) * d];
+                exact.iter().zip(&row).all(|(a, b)| (a - b).abs() <= bound)
+            });
+        if valid {
+            stisan_obs::gauge("retrieval.table_bytes", state.table_bytes() as f64);
+            Some(Arc::new(state))
+        } else {
+            stisan_obs::counter("reload.requantize_rejected_total", 1);
+            stisan_obs::warn!(
+                "reload: requantized ({}) table failed validation; publishing without retrieval",
+                quant.label()
+            );
+            None
+        }
     }
 }
 

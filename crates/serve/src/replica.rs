@@ -397,7 +397,14 @@ impl<M: FrozenScorer + Send + Sync> EngineBackend for ReplicatedEngine<'_, M> {
                 let epoch = &epoch;
                 scope.spawn(move |_| {
                     let t0 = Instant::now();
-                    let session = InferenceSession::new(&epoch.model, self.data, self.cfg);
+                    // Epoch-shared retrieval state: replicas never rebuild
+                    // the quadkey index or requantize the table per batch.
+                    let session = InferenceSession::with_retrieval(
+                        &epoch.model,
+                        self.data,
+                        self.cfg,
+                        epoch.retrieval.clone(),
+                    );
                     let caught = catch_unwind(AssertUnwindSafe(|| loop {
                         let item = plock(&g.pending).pop_front();
                         let Some((i, inst, mut tr)) = item else { break };
@@ -464,7 +471,12 @@ impl<M: FrozenScorer + Send + Sync> EngineBackend for ReplicatedEngine<'_, M> {
                 if r as u16 == from || !self.admit(r) {
                     continue;
                 }
-                let session = InferenceSession::new(&epoch.model, self.data, self.cfg);
+                let session = InferenceSession::with_retrieval(
+                    &epoch.model,
+                    self.data,
+                    self.cfg,
+                    epoch.retrieval.clone(),
+                );
                 match catch_unwind(AssertUnwindSafe(|| session.serve_one(inst))) {
                     Ok(rec) => {
                         if let Some(t) = tr.as_mut() {

@@ -3,11 +3,12 @@
 //!
 //! The binary installs [`stisan_obs::alloc::CountingAlloc`] as the global
 //! allocator and measures the thread-local allocation counters around
-//! steady-state serves. The model under test is a dedicated pure-`Exec`
-//! scorer whose `score_frozen_into` runs entirely on [`NoGrad`] + arena —
-//! the full models keep per-request prep allocations (sequence batching,
-//! interval matrices) that are measured in `BENCH_serve.json` instead of
-//! gated here.
+//! steady-state serves. Two models are gated: a dedicated pure-`Exec`
+//! scorer (isolates the engine + backend behavior) and the full STiSAN
+//! model — request prep (sequence batching, positional encodings, interval
+//! matrices, masks) now runs through pooled `_into` buffers held in the
+//! arena's scratch slot, so the *entire* `serve_one_into` call is
+//! allocation-free at steady state, prep included.
 //!
 //! `stisan_obs::init()` is deliberately never called: counters and
 //! histograms are no-ops while disabled, which is exactly the production
@@ -105,8 +106,8 @@ impl FrozenScorer for GateScorer {
 
 /// Measures the thread-local allocation delta across `n` serves of the same
 /// request mix with caller-held scratch.
-fn measure(
-    session: &InferenceSession<GateScorer>,
+fn measure<M: FrozenScorer + Sync>(
+    session: &InferenceSession<M>,
     insts: &[EvalInstance],
     scratch: &mut stisan_serve::ServeScratch,
     rec: &mut Recommendation,
@@ -170,6 +171,48 @@ fn warm_arena_serving_is_allocation_free() {
     assert_eq!(rec.items, baseline_items, "steady-state results drifted");
     arena_on.checkin_scratch(scratch);
     arena_off.checkin_scratch(scratch_off);
+}
+
+/// The same gate against the full STiSAN model: after warm-up, arena-mode
+/// serving — request prep (batching, positions, interval matrices, masks)
+/// *and* the frozen forward — performs zero heap allocations. This is the
+/// production claim for the real model, not a proxy scorer.
+#[test]
+fn warm_stisan_serving_is_allocation_free() {
+    use stisan_core::{StiSan, StisanConfig};
+    use stisan_models::TrainConfig;
+
+    let p = processed();
+    assert!(p.eval.len() >= 2, "need several eval instances");
+    let train = TrainConfig { dim: 16, blocks: 1, epochs: 0, batch: 8, seed: 5, ..Default::default() };
+    let m = StiSan::new(&p, StisanConfig { train, ..Default::default() });
+
+    let session = InferenceSession::new(&m, &p, ServeConfig::default());
+    let mut scratch = session.checkout_scratch();
+    let mut rec = Recommendation::default();
+
+    // Warm-up: sizes the arena classes, the prep scratch slot (SeqBatch,
+    // positional/interval buffers), candidate + score vectors, top-K heap,
+    // and the model's cached candidate table.
+    for _ in 0..3 {
+        for inst in &p.eval {
+            session.serve_one_into(inst, &mut scratch, &mut rec);
+        }
+    }
+    let baseline_items = rec.items.clone();
+
+    stisan_obs::alloc::enable();
+    let (allocs, bytes) = measure(&session, &p.eval, &mut scratch, &mut rec, 8);
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "steady-state full-model serving allocated: {allocs} allocations, {bytes} bytes"
+    );
+
+    // Results did not drift while measuring.
+    session.serve_one_into(p.eval.last().expect("non-empty"), &mut scratch, &mut rec);
+    assert_eq!(rec.items, baseline_items, "steady-state results drifted");
+    session.checkin_scratch(scratch);
 }
 
 /// The gate model itself honors the `score_frozen_into` contract: warm and

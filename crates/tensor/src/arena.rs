@@ -81,6 +81,13 @@ pub struct Arena {
     /// Spare parameter-bind table for `Session` (same capacity-retention
     /// trick, owned here so the pool survives the session).
     spare_bound: Vec<Option<Var>>,
+    /// Type-erased per-model request-prep scratch (sequence batch, interval
+    /// matrices, id buffers). The arena does not know the concrete type —
+    /// models park whatever prep state they need between requests via
+    /// [`Arena::take_slot`] / [`Arena::put_slot`], which keeps the pooling
+    /// contract (“everything a warmed request needs rides in the arena”)
+    /// without a tensor → model dependency.
+    slot: Option<Box<dyn std::any::Any + Send>>,
 }
 
 impl Default for Arena {
@@ -104,6 +111,7 @@ impl Arena {
             stats: ArenaStats::default(),
             spare_vals: Vec::new(),
             spare_bound: Vec::new(),
+            slot: None,
         }
     }
 
@@ -202,6 +210,24 @@ impl Arena {
         self.stats = ArenaStats::default();
         self.spare_vals = Vec::new();
         self.spare_bound = Vec::new();
+        self.slot = None;
+    }
+
+    /// Takes the type-erased prep-scratch slot as a `T`, building a fresh
+    /// default when the slot is empty or currently holds a different type
+    /// (e.g. the arena migrated between models). Warmed steady state — the
+    /// same model taking back the slot it parked — is allocation-free.
+    pub fn take_slot<T: Default + Send + 'static>(&mut self) -> Box<T> {
+        match self.slot.take() {
+            Some(any) => any.downcast::<T>().unwrap_or_else(|_| Box::new(T::default())),
+            None => Box::new(T::default()),
+        }
+    }
+
+    /// Parks a prep-scratch value in the type-erased slot for the next
+    /// request (replacing whatever was there).
+    pub fn put_slot<T: Send + 'static>(&mut self, slot: Box<T>) {
+        self.slot = Some(slot);
     }
 
     /// Overwrites every pooled buffer (to full capacity) with `sentinel`.
@@ -334,6 +360,22 @@ mod tests {
         // Contents are unspecified (poisoned here); length is exact.
         assert_eq!(b.len(), 10);
         assert!(b.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn slot_round_trips_and_tolerates_type_changes() {
+        let mut ar = Arena::new();
+        let mut v: Box<Vec<u32>> = ar.take_slot();
+        assert!(v.is_empty());
+        v.push(7);
+        let ptr = v.as_ptr();
+        ar.put_slot(v);
+        let v2: Box<Vec<u32>> = ar.take_slot();
+        assert_eq!((v2.as_ptr(), v2.as_slice()), (ptr, &[7u32][..]));
+        ar.put_slot(v2);
+        // A different type evicts the old slot and starts from default.
+        let s: Box<String> = ar.take_slot();
+        assert!(s.is_empty());
     }
 
     #[test]

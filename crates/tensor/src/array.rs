@@ -87,6 +87,18 @@ impl Array {
         self.data
     }
 
+    /// Wraps already-shared storage without copying (the public face of
+    /// [`Array::from_arc`] for callers outside the crate, e.g. a serving
+    /// layer viewing an arena buffer it just filled). The storage is still
+    /// recyclable afterwards via [`crate::Arena::recycle_array`] once this
+    /// array is the last owner.
+    ///
+    /// # Panics
+    /// Panics when the storage length does not match the shape.
+    pub fn from_shared(shape: impl Into<Shape>, data: Arc<Vec<f32>>) -> Self {
+        Self::from_arc(shape.into(), data)
+    }
+
     /// A 0-dimensional scalar.
     pub fn scalar(v: f32) -> Self {
         Array { shape: Shape::scalar(), data: Arc::new(vec![v]) }

@@ -127,6 +127,29 @@ pub trait Exec {
     fn slice_axis1(&mut self, v: Var, idx: usize) -> Var;
     /// Sliding-window unfold over axis 1: `[b,n,d] -> [b, n-w+1, w*d]`.
     fn unfold1(&mut self, v: Var, width: usize) -> Var;
+
+    /// A free-standing scratch array for building per-request constants
+    /// (masks, positional matrices, interval biases) that will be fed back
+    /// through [`Exec::mul_const`] / [`Exec::add_const`] / [`Exec::constant`].
+    ///
+    /// **Contents are unspecified** — callers must overwrite every element
+    /// before the array is read (the same set-semantics contract as the
+    /// `_into` kernels). The default allocates fresh zeroed storage;
+    /// [`NoGrad`] overrides it to draw from its arena, which is what makes
+    /// request-prep allocation-free on the serving path. Both sources are
+    /// fully overwritten by the caller, so backends stay bit-identical.
+    fn scratch_array(&mut self, shape: &[usize]) -> Array {
+        Array::zeros(Shape::of(shape))
+    }
+
+    /// Offers a constant array's storage back to the backend once the caller
+    /// no longer needs it (e.g. originals of masks whose clones were consumed
+    /// by `add_const` during the block loop). Default: plain drop. [`NoGrad`]
+    /// recycles unique storages into its arena; shared ones are dropped
+    /// harmlessly.
+    fn recycle_const(&mut self, c: Array) {
+        drop(c);
+    }
 }
 
 impl Exec for Graph {
@@ -820,6 +843,14 @@ impl Exec for NoGrad {
         kernels::unfold1_into(self.value(v).data(), buf_mut(&mut buf), b, n, d, width);
         drop(g);
         self.push(Array::from_arc(Shape::of(&[b, windows, width * d]), buf))
+    }
+    fn scratch_array(&mut self, shape: &[usize]) -> Array {
+        let sh = Shape::of(shape);
+        let buf = self.arena.take(sh.numel());
+        Array::from_arc(sh, buf)
+    }
+    fn recycle_const(&mut self, c: Array) {
+        self.arena.recycle(c.into_data());
     }
 }
 

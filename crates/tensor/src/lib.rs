@@ -44,6 +44,7 @@ mod exec;
 mod graph;
 mod init;
 pub mod kernels;
+pub mod quant;
 mod shape;
 
 pub use arena::{Arena, ArenaStats};

@@ -1,0 +1,214 @@
+//! Differential property suite for the quantized table codecs
+//! (`stisan_tensor::quant`): the fused gather-dequantize kernels must agree
+//! bit-for-bit with the scalar codecs, and every round trip must stay inside
+//! the error bounds the module documents (`f16_bound` / `i8_bound`) — on
+//! ordinary values, signed zeros, subnormals, and rows with extreme outliers.
+
+use proptest::prelude::*;
+use stisan_tensor::quant::{
+    f16_bound, f16_decode, f16_encode, f16_encode_slice, gather_dequant_f16_into,
+    gather_dequant_i8_into, i8_bound, i8_decode, i8_encode_row, RowQuant, F16_MAX, QD_JB,
+};
+
+/// A finite f32 strategy that actually hits the nasty regions: signed zeros,
+/// f16 subnormals, f32 subnormals, the saturation edge, and plain values.
+fn edgy_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        3 => (-100.0f32..100.0),
+        1 => (-1e6f32..1e6),
+        1 => prop_oneof![
+            Just(0.0f32),
+            Just(-0.0f32),
+            Just(f32::MIN_POSITIVE),        // smallest f32 normal
+            Just(-f32::MIN_POSITIVE),
+            Just(1e-41f32),                  // f32 subnormal
+            Just(-1e-41f32),
+            Just(6.0e-5f32),                 // near the f16 normal/subnormal edge
+            Just(5.96e-8f32),                // near the smallest f16 subnormal
+            Just(F16_MAX),
+            Just(-F16_MAX),
+            Just(65505.0f32),                // just past max finite f16
+        ],
+    ]
+}
+
+/// Plants `spike` into `row` when requested: a mostly-small row with one
+/// huge element is the worst case for the per-row affine i8 grid.
+fn with_outlier(mut row: Vec<f32>, use_spike: bool, pos: usize, spike: f32) -> Vec<f32> {
+    if use_spike && !row.is_empty() {
+        let i = pos % row.len();
+        row[i] = spike;
+    }
+    row
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// f16 round trip stays within the documented bound for every finite
+    /// input at or below the saturation point; saturating inputs come back
+    /// as ±F16_MAX.
+    #[test]
+    fn f16_roundtrip_within_bound(v in edgy_f32()) {
+        let rt = f16_decode(f16_encode(v));
+        if v.abs() <= F16_MAX {
+            let err = (rt - v).abs();
+            prop_assert!(
+                err <= f16_bound(v),
+                "v={v:e}: roundtrip {rt:e}, err {err:e} > bound {:e}",
+                f16_bound(v)
+            );
+        } else {
+            prop_assert_eq!(rt.abs(), F16_MAX);
+            prop_assert_eq!(rt.is_sign_negative(), v.is_sign_negative());
+        }
+    }
+
+    /// f16 preserves the sign through underflow: anything too small for a
+    /// half subnormal becomes a zero *of the same sign*, and signed zeros
+    /// round-trip bit-exactly.
+    #[test]
+    fn f16_underflow_keeps_sign(mag in 0.0f32..1e-26) {
+        for v in [mag, -mag, 0.0, -0.0] {
+            let rt = f16_decode(f16_encode(v));
+            if rt == 0.0 {
+                prop_assert_eq!(
+                    rt.is_sign_negative(),
+                    v.is_sign_negative(),
+                    "sign lost on {v:e}"
+                );
+            }
+        }
+    }
+
+    /// f16 decode is monotone over encode's output ordering for same-sign
+    /// finite values (quantization never reorders candidates' magnitudes —
+    /// the property top-K scoring leans on).
+    #[test]
+    fn f16_encode_is_monotone(a in 0.0f32..65504.0, b in 0.0f32..65504.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16_decode(f16_encode(lo)) <= f16_decode(f16_encode(hi)));
+    }
+
+    /// i8 round trip stays within the documented per-row bound, including
+    /// rows with a single large outlier (coarse grids).
+    #[test]
+    fn i8_roundtrip_within_bound(
+        base in prop::collection::vec(-1.0f32..1.0, 1..40),
+        use_spike in prop::bool::ANY,
+        pos in 0usize..40,
+        spike in -1e4f32..1e4,
+    ) {
+        let row = with_outlier(base, use_spike, pos, spike);
+        let mut q = vec![0i8; row.len()];
+        let p = i8_encode_row(&row, &mut q);
+        let bound = i8_bound(p);
+        for (&v, &qi) in row.iter().zip(&q) {
+            let err = (i8_decode(qi, p) - v).abs();
+            prop_assert!(err <= bound, "v={v:e}: err {err:e} > bound {bound:e} (scale {:e})", p.scale);
+        }
+    }
+
+    /// The row extremes always map to the ends of the i8 grid and the grid
+    /// is anchored at the row minimum.
+    #[test]
+    fn i8_grid_is_anchored_at_extremes(
+        base in prop::collection::vec(-1.0f32..1.0, 2..40),
+        use_spike in prop::bool::ANY,
+        pos in 0usize..40,
+        spike in -1e4f32..1e4,
+    ) {
+        let row = with_outlier(base, use_spike, pos, spike);
+        let mut q = vec![0i8; row.len()];
+        let p = i8_encode_row(&row, &mut q);
+        prop_assume!(p.scale > 0.0);
+        let (mut imin, mut imax) = (0usize, 0usize);
+        for (i, &v) in row.iter().enumerate() {
+            if v < row[imin] { imin = i; }
+            if v > row[imax] { imax = i; }
+        }
+        prop_assert_eq!(q[imin], -128, "row min must hit the grid floor");
+        prop_assert_eq!(q[imax], 127, "row max must hit the grid ceiling");
+        prop_assert_eq!(p.zero, row[imin], "grid origin is the row minimum");
+    }
+
+    /// The fused f16 gather-dequantize kernel is bit-identical to the scalar
+    /// decode, across panel-width boundaries and arbitrary (repeating)
+    /// gather orders, over recycled (NaN-poisoned) output storage.
+    #[test]
+    fn gather_f16_matches_scalar_decode(
+        rows in 1usize..6,
+        d in prop_oneof![1usize..8, (QD_JB - 2)..(QD_JB + 3), Just(2 * QD_JB + 1)],
+        seed in 0u64..1000,
+    ) {
+        let src: Vec<f32> = (0..rows * d)
+            .map(|i| (((i as u64 * 2654435761 + seed) % 2001) as f32 - 1000.0) * 0.013)
+            .collect();
+        let mut table = Vec::new();
+        f16_encode_slice(&src, &mut table);
+        let indices: Vec<usize> = (0..rows + 2).map(|k| (k * 7 + seed as usize) % rows).collect();
+        let mut out = vec![f32::NAN; indices.len() * d];
+        gather_dequant_f16_into(&table, rows, d, &indices, &mut out);
+        for (k, &i) in indices.iter().enumerate() {
+            for j in 0..d {
+                let want = f16_decode(table[i * d + j]);
+                prop_assert_eq!(out[k * d + j].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    /// Same differential for the i8 kernel against the scalar `i8_decode`.
+    #[test]
+    fn gather_i8_matches_scalar_decode(
+        rows in 1usize..6,
+        d in prop_oneof![1usize..8, (QD_JB - 2)..(QD_JB + 3), Just(2 * QD_JB + 1)],
+        seed in 0u64..1000,
+    ) {
+        let src: Vec<f32> = (0..rows * d)
+            .map(|i| (((i as u64 * 40503 + seed) % 2001) as f32 - 1000.0) * 0.0041)
+            .collect();
+        let mut table = vec![0i8; rows * d];
+        let params: Vec<RowQuant> = (0..rows)
+            .map(|r| i8_encode_row(&src[r * d..(r + 1) * d], &mut table[r * d..(r + 1) * d]))
+            .collect();
+        let indices: Vec<usize> = (0..rows + 2).map(|k| (k * 5 + seed as usize) % rows).collect();
+        let mut out = vec![f32::NAN; indices.len() * d];
+        gather_dequant_i8_into(&table, &params, rows, d, &indices, &mut out);
+        for (k, &i) in indices.iter().enumerate() {
+            for j in 0..d {
+                let want = i8_decode(table[i * d + j], params[i]);
+                prop_assert_eq!(out[k * d + j].to_bits(), want.to_bits());
+            }
+        }
+    }
+}
+
+/// Deterministic spot check no sampler would keep: every f16 bit pattern
+/// decodes/encodes consistently (exhaustive over the 16-bit space — the
+/// strongest differential available for the codec).
+#[test]
+fn f16_exhaustive_decode_encode_fixpoint() {
+    for h in 0u16..=u16::MAX {
+        let v = f16_decode(h);
+        if v.is_nan() {
+            assert!(f16_decode(f16_encode(v)).is_nan());
+            continue;
+        }
+        // Every non-NaN f16 value is exactly representable in f32, so
+        // encode(decode(h)) must reproduce h exactly.
+        assert_eq!(f16_encode(v), h, "fixpoint broken at {h:#06x} (value {v:e})");
+    }
+}
+
+/// A subnormal-heavy fixed row through the i8 codec: all values collapse to
+/// a near-zero grid whose decode error still honors the bound.
+#[test]
+fn i8_subnormal_row_within_bound() {
+    let row = [1e-41f32, -1e-41, 0.0, -0.0, f32::MIN_POSITIVE, -f32::MIN_POSITIVE];
+    let mut q = [0i8; 6];
+    let p = i8_encode_row(&row, &mut q);
+    let bound = i8_bound(p);
+    for (&v, &qi) in row.iter().zip(&q) {
+        assert!((i8_decode(qi, p) - v).abs() <= bound);
+    }
+}

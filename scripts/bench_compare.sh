@@ -4,16 +4,22 @@
 #
 #   ./scripts/bench_compare.sh [--warn-only]
 #
-# Inputs (written by `serve_bench` / `gateway_bench` / `kernel_bench`):
+# Inputs (written by `serve_bench`/`gateway_bench`/`kernel_bench`/
+# `retrieval_bench`):
 #   results/BENCH_serve.json      vs  results/BENCH_serve.baseline.json
 #   results/BENCH_gateway.json    vs  results/BENCH_gateway.baseline.json
 #   results/BENCH_kernels.json    vs  results/BENCH_kernels.baseline.json
+#   results/BENCH_retrieval.json  vs  results/BENCH_retrieval.baseline.json
 #
 # For every run/path label present in both files the script prints the
 # requests/second and p95 latency deltas. A path whose rps drops more than
-# 15% below baseline fails the gate (exit 1) unless --warn-only is given —
-# verify.sh runs warn-only because smoke-mode numbers on shared CI hosts are
-# noisy; run strict mode manually on a quiet machine before re-baselining.
+# 15% below baseline FAILS the gate (exit 1) for the in-process benches
+# (serve, kernels, retrieval) — these are single-process arithmetic loops
+# and a 15% drop is a real regression, not noise. The gateway bench rides
+# the TCP stack and the thread scheduler, so it stays warn-only. Pass
+# --warn-only to downgrade every category to a warning (the escape hatch
+# for known-noisy hosts; a clean run on a quiet machine is still required
+# before re-baselining).
 #
 # On first run (no baseline yet) the fresh report is copied into place as
 # the baseline candidate; commit it (`git add -f results/*.baseline.json`)
@@ -31,6 +37,7 @@ fi
 
 THRESHOLD_PCT=15
 fail=0
+warned=0
 
 # The run/path entries in both bench JSONs are flat objects, so a
 # brace-free grep pulls each one out whole regardless of field order.
@@ -39,7 +46,8 @@ label_of() { sed -n 's/.*"label":"\([^"]*\)".*/\1/p' <<<"$1"; }
 field() { sed -n 's/.*"'"$2"'":\(-\{0,1\}[0-9.eE+-]*\).*/\1/p' <<<"$1"; }
 
 compare_file() {
-    local fresh=$1 base=$2 name=$3
+    local fresh=$1 base=$2 name=$3 mode=${4:-strict}
+    [ "$WARN_ONLY" -eq 1 ] && mode=warn
     if [ ! -f "$fresh" ]; then
         echo "bench_compare: $name: no fresh report at $fresh (run the bench first); skipping"
         return
@@ -72,23 +80,29 @@ compare_file() {
                        n, l, b, f, drps, bp, fp, dp95
                 exit (drps < -t) ? 1 : 0
             }'; then :; else
-            echo "bench_compare: $name/$label throughput regressed more than ${THRESHOLD_PCT}% vs baseline" >&2
-            fail=1
+            if [ "$mode" = strict ]; then
+                echo "bench_compare: $name/$label throughput regressed more than ${THRESHOLD_PCT}% vs baseline" >&2
+                fail=1
+            else
+                echo "bench_compare: WARN — $name/$label throughput regressed more than ${THRESHOLD_PCT}% vs baseline (warn-only category)"
+                warned=1
+            fi
         fi
     done < <(objects "$fresh")
 }
 
-compare_file results/BENCH_serve.json results/BENCH_serve.baseline.json serve
-compare_file results/BENCH_gateway.json results/BENCH_gateway.baseline.json gateway
-compare_file results/BENCH_kernels.json results/BENCH_kernels.baseline.json kernels
+compare_file results/BENCH_serve.json results/BENCH_serve.baseline.json serve strict
+compare_file results/BENCH_gateway.json results/BENCH_gateway.baseline.json gateway warn
+compare_file results/BENCH_kernels.json results/BENCH_kernels.baseline.json kernels strict
+compare_file results/BENCH_retrieval.json results/BENCH_retrieval.baseline.json retrieval strict
 
 if [ "$fail" -ne 0 ]; then
-    if [ "$WARN_ONLY" -eq 1 ]; then
-        echo "bench_compare: WARN — regression beyond ${THRESHOLD_PCT}% (warn-only mode, not failing)"
-        exit 0
-    fi
     echo "bench_compare: FAILED — throughput regression beyond ${THRESHOLD_PCT}%;" \
          "fix it or re-baseline deliberately (cp results/BENCH_*.json ... .baseline.json)" >&2
     exit 1
 fi
-echo "bench_compare: OK"
+if [ "$warned" -ne 0 ]; then
+    echo "bench_compare: OK (with warnings)"
+else
+    echo "bench_compare: OK"
+fi

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Panic-audit gate for the robustness-critical crates (nn, core, data,
-# serve, gateway, obs).
+# serve, gateway, obs, tensor, retrieval).
 #
 # Counts `.unwrap()` / `.expect(` calls in *library* code — everything above
 # the first `#[cfg(test)]` marker — of each source file and compares against
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ALLOWLIST=scripts/panic_allowlist.txt
-AUDITED_DIRS=(crates/nn/src crates/core/src crates/data/src crates/serve/src crates/gateway/src crates/obs/src crates/tensor/src)
+AUDITED_DIRS=(crates/nn/src crates/core/src crates/data/src crates/serve/src crates/gateway/src crates/obs/src crates/tensor/src crates/retrieval/src)
 
 count_panics() {
     # Library-code unwrap/expect count for one file (0 if none).
@@ -58,6 +58,15 @@ ZERO_TOLERANCE=(
     # worker; a panic here (e.g. on a poisoned pool) would take down the
     # replica, so it gets the same zero-panic bar as the allocator hooks.
     crates/tensor/src/arena.rs
+    # Two-stage retrieval runs inside every request under
+    # PruningPolicy::TwoStage (candidate lookup + gather-dequantize), and
+    # the quant codecs feed the reload watcher's requantize path — a panic
+    # in either turns a malformed table into a replica crash instead of a
+    # rejected epoch.
+    crates/retrieval/src/lib.rs
+    crates/retrieval/src/index.rs
+    crates/retrieval/src/table.rs
+    crates/tensor/src/quant.rs
 )
 
 fail=0
