@@ -4,35 +4,52 @@
 //!
 //! ```text
 //! cargo run --release -p stisan-bench --bin expo_check -- <file.prom>
-//!     [--require <family-prefix>]...
+//!     [--require <family-prefix>]... [--require-suffix <family-suffix>]...
 //! ```
 //!
 //! Each `--require` (repeatable) names a family prefix that must match at
 //! least one declared family — used by `scripts/verify.sh` to assert the
-//! profiling series (`alloc_*`, `prof_*`) actually reach the exposition.
+//! profiling series (`alloc_*`, `prof_*`) and the SLO plane's series
+//! (`slo_*`, `alert_*`) actually reach the exposition. `--require-suffix`
+//! is the same check on family name endings — used for the windowed
+//! quantile gauges (`*_p99_1m`), whose prefixes vary per histogram.
 //!
 //! Exit codes: 0 = well-formed (parses, `# EOF`-terminated, every sample
-//! attached to a declared family, all required prefixes present);
-//! 1 = malformed or missing a required prefix; 2 = usage/IO error.
+//! attached to a declared family, all required prefixes/suffixes present);
+//! 1 = malformed or missing a requirement; 2 = usage/IO error.
 //! `scripts/verify.sh` runs it over the `results/metrics_scrape.prom` that
 //! `gateway_bench --smoke` scrapes from the live admin endpoint, closing
 //! the loop: what the gateway exposes is what a scraper can ingest.
 
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: expo_check <file.prom> [--require <family-prefix>]... \
+                     [--require-suffix <family-suffix>]...";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
-    let mut required: Vec<String> = Vec::new();
+    let mut prefixes: Vec<String> = Vec::new();
+    let mut suffixes: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--require" => {
                 i += 1;
                 match args.get(i) {
-                    Some(p) => required.push(p.clone()),
+                    Some(p) => prefixes.push(p.clone()),
                     None => {
                         eprintln!("expo_check: --require needs a prefix");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--require-suffix" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => suffixes.push(s.clone()),
+                    None => {
+                        eprintln!("expo_check: --require-suffix needs a suffix");
                         return ExitCode::from(2);
                     }
                 }
@@ -42,14 +59,14 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("expo_check: unexpected argument {other}");
-                eprintln!("usage: expo_check <file.prom> [--require <family-prefix>]...");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
         i += 1;
     }
     let Some(path) = path else {
-        eprintln!("usage: expo_check <file.prom> [--require <family-prefix>]...");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -69,7 +86,7 @@ fn main() -> ExitCode {
             ExitCode::from(1)
         }
         Ok(expo) => {
-            for prefix in &required {
+            for prefix in &prefixes {
                 if !expo.families.keys().any(|f| f.starts_with(prefix.as_str())) {
                     eprintln!(
                         "expo_check: {path}: no family matches required prefix {prefix:?}"
@@ -77,14 +94,24 @@ fn main() -> ExitCode {
                     return ExitCode::from(1);
                 }
             }
+            for suffix in &suffixes {
+                if !expo.families.keys().any(|f| f.ends_with(suffix.as_str())) {
+                    eprintln!(
+                        "expo_check: {path}: no family matches required suffix {suffix:?}"
+                    );
+                    return ExitCode::from(1);
+                }
+            }
+            let mut requirements = prefixes.clone();
+            requirements.extend(suffixes.iter().map(|s| format!("*{s}")));
             println!(
                 "expo_check OK: {path}: {} samples across {} families{}",
                 expo.samples.len(),
                 expo.families.len(),
-                if required.is_empty() {
+                if requirements.is_empty() {
                     String::new()
                 } else {
-                    format!(" (required prefixes present: {})", required.join(", "))
+                    format!(" (required families present: {})", requirements.join(", "))
                 }
             );
             ExitCode::SUCCESS

@@ -7,7 +7,7 @@
 //! cargo run --release -p stisan-bench --bin gateway_server -- \
 //!     [--addr 127.0.0.1:7878] [--admin 127.0.0.1:9878] [--scale f]
 //!     [--epochs n] [--batch n] [--wait-us n] [--queue n] [--workers n]
-//!     [--top-k k] [--seed s]
+//!     [--top-k k] [--seed s] [--self-load qps]
 //! ```
 //!
 //! Worker-count precedence: `--workers` > the `STISAN_WORKERS` environment
@@ -15,20 +15,27 @@
 //! network"). Talk to it with `gateway_bench` or any `GatewayClient`.
 //!
 //! `--admin` additionally binds the observability endpoint (`GET /metrics`
-//! in Prometheus text format, `/healthz`, `/flightrec`, `/traces`); flight
-//! recorder dumps land under `results/` on shutdown and on the first
-//! overload shed.
+//! in Prometheus text format, `/healthz`, `/flightrec`, `/traces`, and the
+//! SLO plane's `/timeseries` `/slo` `/alerts`); flight recorder dumps land
+//! under `results/` on shutdown and on the first overload shed.
+//!
+//! `--self-load <qps>` drives loopback demo traffic (eval instances, paced)
+//! so the admin surfaces and `stisan_dash` have live data without an
+//! external load generator.
 
 use std::io::BufRead;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use stisan_bench::prep_config;
 use stisan_core::{StiSan, StisanConfig};
 use stisan_data::{generate, preprocess, DatasetPreset, GenConfig};
 use stisan_eval::Recommender;
-use stisan_gateway::{BatchPolicy, Gateway, GatewayConfig};
+use stisan_gateway::{
+    request_from_instance, BatchPolicy, Gateway, GatewayClient, GatewayConfig,
+};
 use stisan_models::TrainConfig;
 use stisan_serve::{InferenceSession, PruningPolicy, ServeConfig};
 
@@ -43,6 +50,7 @@ struct Opts {
     workers: usize,
     top_k: usize,
     seed: u64,
+    self_load: f64,
 }
 
 fn parse() -> Opts {
@@ -57,6 +65,7 @@ fn parse() -> Opts {
         workers: 0,
         top_k: 10,
         seed: 42,
+        self_load: 0.0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -77,9 +86,10 @@ fn parse() -> Opts {
             "--workers" => o.workers = take(&mut i).parse().expect("bad --workers"),
             "--top-k" => o.top_k = take(&mut i).parse().expect("bad --top-k"),
             "--seed" => o.seed = take(&mut i).parse().expect("bad --seed"),
+            "--self-load" => o.self_load = take(&mut i).parse().expect("bad --self-load"),
             other => panic!(
                 "unknown flag {other}; supported: --addr --admin --scale --epochs --batch \
-                 --wait-us --queue --workers --top-k --seed"
+                 --wait-us --queue --workers --top-k --seed --self-load"
             ),
         }
         i += 1;
@@ -131,6 +141,7 @@ fn main() {
         read_timeout: Duration::from_secs(30),
         admin: o.admin,
         flight_dir: Some(PathBuf::from("results")),
+        slo: Some(Default::default()),
     };
     let gw = Gateway::bind(o.addr.as_str(), cfg).expect("bind gateway address");
     let handle = gw.handle();
@@ -143,15 +154,39 @@ fn main() {
         o.queue
     );
     if let Some(admin) = gw.admin_addr() {
-        println!("admin endpoint on http://{admin} (/metrics /healthz /flightrec /traces)");
+        println!(
+            "admin endpoint on http://{admin} (/metrics /healthz /flightrec /traces \
+             /timeseries /slo /alerts)"
+        );
     }
 
+    let serve_addr = gw.local_addr();
+    let load_stop = AtomicBool::new(false);
     std::thread::scope(|s| {
         let server = s.spawn(|| gw.serve(&session).expect("gateway serve"));
+        if o.self_load > 0.0 && !p.eval.is_empty() {
+            let (p, load_stop) = (&p, &load_stop);
+            let (top_k, qps) = (o.top_k as u16, o.self_load);
+            s.spawn(move || {
+                let pause = Duration::from_secs_f64(1.0 / qps.max(0.1));
+                let Ok(mut client) = GatewayClient::connect(serve_addr) else { return };
+                let _ = client.set_timeout(Some(Duration::from_secs(5)));
+                let mut r = 0usize;
+                while !load_stop.load(Ordering::SeqCst) {
+                    let req =
+                        request_from_instance(p, &p.eval[r % p.eval.len()], top_k, 0);
+                    let _ = client.recommend(&req);
+                    r += 1;
+                    std::thread::sleep(pause);
+                }
+            });
+            println!("self-load: {} req/s of loopback demo traffic", o.self_load);
+        }
         // Block on stdin: EOF or any line triggers graceful drain.
         let mut line = String::new();
         let _ = std::io::stdin().lock().read_line(&mut line);
         println!("draining...");
+        load_stop.store(true, Ordering::SeqCst);
         handle.shutdown();
         let stats = server.join().expect("server thread");
         println!(

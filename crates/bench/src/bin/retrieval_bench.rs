@@ -304,6 +304,10 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_retrieval.json", json).expect("write BENCH_retrieval.json");
     println!("wrote results/BENCH_retrieval.json");
+    // Headline row: the production path (two-stage int8), the last entry.
+    if let Some(p) = paths.last() {
+        stisan_bench::record_bench_summary("retrieval", p.rps, p.p95_ms);
+    }
 
     if o.smoke {
         println!("smoke OK: {} requests x {} paths", requests.len(), paths.len());

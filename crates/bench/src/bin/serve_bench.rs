@@ -373,6 +373,7 @@ fn main() {
     json.push_str("]}}");
     std::fs::write("results/BENCH_serve.json", json).expect("write BENCH_serve.json");
     println!("wrote results/BENCH_serve.json");
+    stisan_bench::record_bench_summary("serve", engine.rps, engine.p95_ms);
 
     if o.smoke {
         println!("smoke OK: {} requests served", recs.len());

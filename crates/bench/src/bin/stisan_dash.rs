@@ -1,0 +1,296 @@
+//! `stisan_dash` — a std-only live ops dashboard for a running gateway.
+//!
+//! ```text
+//! cargo run --release -p stisan-bench --bin stisan_dash -- <admin-addr>
+//!     [--once] [--interval <ms>]
+//! ```
+//!
+//! Polls the admin listener's SLO-plane routes (`GET /timeseries`, `/slo`,
+//! `/alerts` — see `stisan_gateway::slo`) and renders sparkline panels in
+//! the terminal:
+//!
+//! ```text
+//! stisan dash · 127.0.0.1:9901 · 14:02:11
+//!  rps   ▁▁▂▃▅▇█▇▅▃▂▁…  cur 412.0/s
+//!  p99   ▁▁▁▂▂▇██▂▁▁▁…  cur 3.1ms   (gateway.wait_us)
+//!  shed  ▁▁▁▁▁█▇▁▁▁▁▁…  cur 0.0/s
+//!  burn  availability 0.02×  latency 0.00×
+//!  SLO   availability 99.98% [inactive]   latency 100.00% [inactive]
+//! ```
+//!
+//! `--once` prints a single frame without clearing the screen (useful for
+//! captures and smoke tests); otherwise the screen redraws every
+//! `--interval` (default 1000 ms) until interrupted.
+//!
+//! The JSON handling is a deliberately minimal hand-rolled scanner: both
+//! endpoints are rendered by our own writers (`TimeSeriesStore::render_json`,
+//! `SloEngine::render_slo_json`), whose series names and field keys never
+//! contain escapes — this is a cockpit, not a general JSON client.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Sparkline width: trailing buckets shown per panel.
+const WIDTH: usize = 48;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut once = false;
+    let mut interval = Duration::from_millis(1000);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--once" => once = true,
+            "--interval" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) => interval = Duration::from_millis(ms.max(100)),
+                    None => return usage("--interval needs milliseconds"),
+                }
+            }
+            other if addr.is_none() && !other.starts_with("--") => {
+                addr = Some(other.to_string());
+            }
+            other => return usage(&format!("unexpected argument {other}")),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        return usage("missing <admin-addr>");
+    };
+    loop {
+        let frame = match fetch_frame(&addr) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("stisan_dash: {addr}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if once {
+            print!("{frame}");
+            return ExitCode::SUCCESS;
+        }
+        // Clear + home, then the frame; plain ANSI keeps this std-only.
+        print!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("stisan_dash: {why}");
+    eprintln!("usage: stisan_dash <admin-addr> [--once] [--interval <ms>]");
+    ExitCode::from(2)
+}
+
+/// One rendered dashboard frame from a live admin endpoint.
+fn fetch_frame(addr: &str) -> Result<String, String> {
+    let ts = http_get(addr, "/timeseries")?;
+    let slo = http_get(addr, "/slo")?;
+    let alerts = http_get(addr, "/alerts")?;
+    Ok(render_frame(addr, &ts, &slo, &alerts))
+}
+
+/// Minimal HTTP/1.1 GET returning the response body.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("read {path}: {e}"))?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| format!("{path}: no body"))?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("{path}: HTTP {status}: {}", body.trim()));
+    }
+    Ok(body.to_string())
+}
+
+// ---------------------------------------------------------------- scanning
+
+/// The `points` array of one series in a `/timeseries` body.
+fn series_points(json: &str, name: &str) -> Option<Vec<f64>> {
+    let key = format!("\"{name}\":{{");
+    let at = json.find(&key)?;
+    let obj = &json[at + key.len()..];
+    let pts = obj.find("\"points\":[")?;
+    let rest = &obj[pts + "\"points\":[".len()..];
+    let end = rest.find(']')?;
+    Some(
+        rest[..end]
+            .split(',')
+            .filter_map(|t| t.trim().parse::<f64>().ok())
+            .collect(),
+    )
+}
+
+/// A numeric field out of a flat JSON object fragment.
+fn field_num(obj: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let at = obj.find(&key)?;
+    let rest = &obj[at + key.len()..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<f64>().ok()
+}
+
+/// A string field out of a flat JSON object fragment.
+fn field_str<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
+    let key = format!("\"{field}\":\"");
+    let at = obj.find(&key)?;
+    let rest = &obj[at + key.len()..];
+    rest.split('"').next()
+}
+
+/// One objective row scanned out of `/slo`.
+struct ObjRow {
+    name: String,
+    sli: f64,
+    burn_fast: f64,
+    state: String,
+}
+
+/// The objectives array of a `/slo` body, in declaration order.
+fn scan_objectives(slo_json: &str) -> Vec<ObjRow> {
+    let Some(at) = slo_json.find("\"objectives\":[") else { return Vec::new() };
+    let body = &slo_json[at..];
+    let end = body.find("],\"policy\"").unwrap_or(body.len());
+    body[..end]
+        .split("{\"name\":\"")
+        .skip(1)
+        .filter_map(|frag| {
+            Some(ObjRow {
+                name: frag.split('"').next()?.to_string(),
+                sli: field_num(frag, "sli")?,
+                burn_fast: field_num(frag, "burn_fast_long")?,
+                state: field_str(frag, "state")?.to_string(),
+            })
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- rendering
+
+/// Scales `values` into `SPARKS` glyphs (empty input → empty string; a flat
+/// non-zero series renders mid-height so "steady" and "dead" look
+/// different).
+fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                SPARKS[0]
+            } else {
+                let idx = (v / max * (SPARKS.len() - 1) as f64).round() as usize;
+                SPARKS[idx.clamp(1, SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Last `WIDTH` points, left-padded with zeros so panels align.
+fn tail(points: &[f64]) -> Vec<f64> {
+    let mut t = vec![0.0; WIDTH.saturating_sub(points.len())];
+    t.extend(points.iter().rev().take(WIDTH).rev());
+    t
+}
+
+fn panel(label: &str, points: Option<Vec<f64>>, unit: &str) -> String {
+    match points {
+        Some(p) if !p.is_empty() => {
+            let t = tail(&p);
+            // "Current" skips the newest (still-filling) bucket when a
+            // settled one exists — the live edge always looks like a dip.
+            let cur = if t.len() >= 2 { t[t.len() - 2] } else { t[t.len() - 1] };
+            format!(" {label:<5} {}  cur {cur:.1}{unit}\n", sparkline(&t))
+        }
+        _ => format!(" {label:<5} (no data)\n"),
+    }
+}
+
+fn render_frame(addr: &str, ts_json: &str, slo_json: &str, alerts_json: &str) -> String {
+    let mut out = String::new();
+    let firing = field_num(alerts_json, "firing").unwrap_or(0.0);
+    let banner = if firing > 0.0 { format!("  !! {firing:.0} ALERT(S) FIRING") } else { String::new() };
+    out.push_str(&format!("stisan dash · {addr}{banner}\n"));
+    out.push_str(&panel("rps", series_points(ts_json, "gateway.served_total"), "/s"));
+    // Per-bucket p99 of the queue-wait histogram, µs → ms for the label.
+    let p99 = series_points(ts_json, "gateway.wait_us")
+        .map(|p| p.iter().map(|v| v / 1_000.0).collect::<Vec<_>>());
+    out.push_str(&panel("p99ms", p99, "ms"));
+    out.push_str(&panel("shed", series_points(ts_json, "gateway.shed_total"), "/s"));
+    let objs = scan_objectives(slo_json);
+    if objs.is_empty() {
+        out.push_str(" burn  (no objectives)\n");
+    } else {
+        let burns: Vec<String> =
+            objs.iter().map(|o| format!("{} {:.2}×", o.name, o.burn_fast)).collect();
+        out.push_str(&format!(" burn  {}\n", burns.join("   ")));
+        let slis: Vec<String> = objs
+            .iter()
+            .map(|o| format!("{} {:.2}% [{}]", o.name, o.sli * 100.0, o.state))
+            .collect();
+        out.push_str(&format!(" SLO   {}\n", slis.join("   ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TS: &str = r#"{"now_ms":5000,"bucket_ms":1000,"len":120,"series":{"gateway.served_total":{"kind":"counter","points":[0,10,20,30,5]},"gateway.wait_us":{"kind":"hist","points":[0,1000,2000,90000,1000],"counts":[0,4,4,4,4]}},"series_count":2,"dropped_events":0,"sketch_rel_err":0.075}"#;
+
+    const SLO: &str = r#"{"now_ms":5000,"objectives":[{"name":"availability","kind":"availability","target":0.99,"sli":0.9987,"burn_fast_long":0.13,"burn_fast_short":0,"burn_slow_long":0.1,"burn_slow_short":0,"state":"inactive","fired_total":0},{"name":"latency","kind":"latency_under","target":0.99,"sli":1,"burn_fast_long":0,"burn_fast_short":0,"burn_slow_long":0,"burn_slow_short":0,"state":"firing","fired_total":1}],"policy":{"fast":{"long_ms":300000,"short_ms":60000,"factor":14.4},"slow":{"long_ms":1800000,"short_ms":300000,"factor":3},"pending_ms":0,"resolve_ms":60000},"evals":5}"#;
+
+    #[test]
+    fn sparkline_scales_to_glyphs() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[0.0, 50.0, 100.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        // A flat non-zero series is full-height, not floor-height.
+        assert_eq!(sparkline(&[7.0, 7.0]), "██");
+    }
+
+    #[test]
+    fn series_points_scan_the_right_series() {
+        let rps = series_points(TS, "gateway.served_total").unwrap();
+        assert_eq!(rps, vec![0.0, 10.0, 20.0, 30.0, 5.0]);
+        let wait = series_points(TS, "gateway.wait_us").unwrap();
+        assert_eq!(wait[3], 90_000.0);
+        assert!(series_points(TS, "no.such.series").is_none());
+    }
+
+    #[test]
+    fn objectives_scan_names_slis_and_states() {
+        let objs = scan_objectives(SLO);
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0].name, "availability");
+        assert!((objs[0].sli - 0.9987).abs() < 1e-12);
+        assert!((objs[0].burn_fast - 0.13).abs() < 1e-12);
+        assert_eq!(objs[1].state, "firing");
+    }
+
+    #[test]
+    fn frame_renders_all_panels() {
+        let alerts = r#"{"now_ms":5000,"firing":1,"alerts":[],"log":[]}"#;
+        let frame = render_frame("127.0.0.1:9901", TS, SLO, alerts);
+        assert!(frame.contains("ALERT(S) FIRING"), "{frame}");
+        for label in ["rps", "p99ms", "shed", "burn", "SLO"] {
+            assert!(frame.contains(label), "missing panel {label}:\n{frame}");
+        }
+        assert!(frame.contains("[firing]"));
+        // The µs→ms conversion reaches the p99 panel: "current" is the
+        // second-newest bucket (90000 µs → 90 ms), not the still-filling
+        // newest one.
+        assert!(frame.contains("cur 90.0ms"), "{frame}");
+    }
+}

@@ -15,6 +15,9 @@
 //!   plus automatic resume from the newest valid checkpoint.
 
 pub mod paper;
+pub mod summary;
+
+pub use summary::record_bench_summary;
 
 use stisan_core::{CheckpointConfig, StiSan, StisanConfig};
 use stisan_data::{generate, preprocess, DatasetPreset, PrepConfig, Processed, RelationConfig};

@@ -1,0 +1,222 @@
+//! Merged bench-summary ledger: `results/BENCH_summary.json`.
+//!
+//! Each bench binary writes its own detailed `results/BENCH_<name>.json`;
+//! this module additionally folds one headline row per bench — run id,
+//! requests/second, p95 latency — into a single top-level summary file so a
+//! fleet operator (or `scripts/verify.sh`) can read every bench's health at
+//! a glance without opening N files.
+//!
+//! Merge semantics: the file is read-modify-write. A bench's entry replaces
+//! any previous entry with the same `bench` name; entries from other benches
+//! are preserved verbatim, so running `serve_bench` never loses the last
+//! `gateway_bench` row. Entries are kept sorted by bench name so the file is
+//! diff-stable across runs. Std-only, hand-rolled JSON like the rest of the
+//! repo's artifact writers.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One bench's headline row in the summary ledger.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SummaryEntry {
+    /// Bench name (`serve`, `gateway`, `retrieval`, ...).
+    pub bench: String,
+    /// Run id: unix seconds + pid, unique enough to correlate with logs.
+    pub run: String,
+    /// Headline throughput, requests/second.
+    pub rps: f64,
+    /// Headline p95 latency in milliseconds.
+    pub p95_ms: f64,
+}
+
+impl SummaryEntry {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":{},\"run\":{},\"rps\":{},\"p95_ms\":{}}}",
+            json_str(&self.bench),
+            json_str(&self.run),
+            json_num(self.rps),
+            json_num(self.p95_ms),
+        )
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A fresh run id for this process: `<unix-seconds>-<pid>`.
+pub fn run_id() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    format!("{secs}-{}", std::process::id())
+}
+
+/// Pure merge: parse the previous summary (if any), replace/insert `entry`,
+/// and render the new file body. Unparseable previous content is discarded
+/// rather than poisoning future runs.
+pub fn merge_summary(existing: Option<&str>, entry: &SummaryEntry) -> String {
+    let mut entries: Vec<SummaryEntry> =
+        existing.map(parse_entries).unwrap_or_default().into_iter().filter(|e| e.bench != entry.bench).collect();
+    entries.push(entry.clone());
+    entries.sort_by(|a, b| a.bench.cmp(&b.bench));
+    let mut out = String::from("{\"benches\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e.to_json());
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Minimal scanner for the summary file's own output format. Tolerates (by
+/// skipping) entries missing any field.
+fn parse_entries(body: &str) -> Vec<SummaryEntry> {
+    let mut out = Vec::new();
+    for chunk in body.split("{\"bench\":").skip(1) {
+        let Some(bench) = scan_str_at(chunk, 0) else { continue };
+        let Some(run) = field_str(chunk, "run") else { continue };
+        let (Some(rps), Some(p95_ms)) = (field_num(chunk, "rps"), field_num(chunk, "p95_ms"))
+        else {
+            continue;
+        };
+        out.push(SummaryEntry { bench, run, rps, p95_ms });
+    }
+    out
+}
+
+/// Reads a JSON string literal starting at byte offset `at` (must be `"`).
+fn scan_str_at(s: &str, at: usize) -> Option<String> {
+    let rest = s.get(at..)?;
+    let rest = rest.strip_prefix('"')?;
+    // The writer only escapes quote/backslash/control; a raw scan for the
+    // closing quote that honours backslash escapes is enough.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn field_str(s: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":");
+    let at = s.find(&key)? + key.len();
+    scan_str_at(s, at)
+}
+
+fn field_num(s: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let at = s.find(&key)? + key.len();
+    let rest = &s[at..];
+    let end = rest.find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))?;
+    rest[..end].parse().ok()
+}
+
+/// Records one bench's headline numbers into `results/BENCH_summary.json`
+/// (merging with other benches' rows). IO errors are reported, not fatal —
+/// a bench must never fail because the ledger was unwritable.
+pub fn record_bench_summary(bench: &str, rps: f64, p95_ms: f64) {
+    let path = Path::new("results").join("BENCH_summary.json");
+    let entry =
+        SummaryEntry { bench: bench.to_string(), run: run_id(), rps, p95_ms };
+    let existing = std::fs::read_to_string(&path).ok();
+    let body = merge_summary(existing.as_deref(), &entry);
+    if std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, body)).is_err() {
+        eprintln!("warning: could not write {}", path.display());
+    } else {
+        println!("merged {} into results/BENCH_summary.json", bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bench: &str, rps: f64, p95: f64) -> SummaryEntry {
+        SummaryEntry { bench: bench.into(), run: format!("{bench}-run"), rps, p95_ms: p95 }
+    }
+
+    #[test]
+    fn fresh_file_holds_one_entry() {
+        let body = merge_summary(None, &entry("serve", 1234.5, 2.25));
+        assert!(body.contains("\"bench\":\"serve\""), "{body}");
+        assert!(body.contains("\"rps\":1234.5000"), "{body}");
+        assert!(body.contains("\"p95_ms\":2.2500"), "{body}");
+        assert_eq!(parse_entries(&body).len(), 1);
+    }
+
+    #[test]
+    fn merge_replaces_same_bench_and_keeps_others() {
+        let v1 = merge_summary(None, &entry("serve", 100.0, 5.0));
+        let v2 = merge_summary(Some(&v1), &entry("gateway", 900.0, 9.0));
+        let v3 = merge_summary(Some(&v2), &entry("serve", 200.0, 4.0));
+        let got = parse_entries(&v3);
+        assert_eq!(got.len(), 2, "{v3}");
+        // Sorted by bench name; serve's row is the replacement, not v1's.
+        assert_eq!(got[0].bench, "gateway");
+        assert_eq!(got[1].bench, "serve");
+        assert!((got[1].rps - 200.0).abs() < 1e-9);
+        assert!((got[1].p95_ms - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_roundtrips_what_merge_writes() {
+        let mut body = merge_summary(None, &entry("retrieval", 55.5, 0.125));
+        for (name, rps) in [("serve", 1.0), ("gateway", 2.0)] {
+            body = merge_summary(Some(&body), &entry(name, rps, rps * 10.0));
+        }
+        let got = parse_entries(&body);
+        let names: Vec<&str> = got.iter().map(|e| e.bench.as_str()).collect();
+        assert_eq!(names, ["gateway", "retrieval", "serve"]);
+        for e in &got {
+            assert!(e.run.ends_with("-run"), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_previous_content_is_discarded() {
+        let body = merge_summary(Some("not json at all"), &entry("serve", 1.0, 1.0));
+        assert_eq!(parse_entries(&body).len(), 1);
+        // Truncated entries are skipped, valid ones kept.
+        let half = "{\"benches\":[{\"bench\":\"x\",\"run\":\"r\"},\
+                    {\"bench\":\"ok\",\"run\":\"r\",\"rps\":1.0,\"p95_ms\":2.0}]}";
+        let got = parse_entries(half);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].bench, "ok");
+    }
+
+    #[test]
+    fn run_id_is_secs_dash_pid() {
+        let id = run_id();
+        let (secs, pid) = id.split_once('-').expect("dash");
+        assert!(secs.parse::<u64>().is_ok() && pid.parse::<u32>().is_ok(), "{id}");
+    }
+}

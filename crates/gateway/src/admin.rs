@@ -40,7 +40,7 @@ pub(crate) fn serve_admin(listener: TcpListener, shared: &Shared) {
             return;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => handle(stream),
+            Ok((stream, _peer)) => handle(stream, shared),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_IDLE);
             }
@@ -50,12 +50,12 @@ pub(crate) fn serve_admin(listener: TcpListener, shared: &Shared) {
     }
 }
 
-fn handle(mut stream: TcpStream) {
+fn handle(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     match read_request_path(&mut stream) {
         Some(path) => {
-            let (status, ctype, body) = route(&path);
+            let (status, ctype, body) = route(&path, shared);
             respond(&mut stream, status, ctype, &body);
         }
         None => respond(&mut stream, 400, "text/plain", "bad request\n"),
@@ -94,10 +94,23 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     Some(path.split('?').next().unwrap_or(path).to_string())
 }
 
-fn route(path: &str) -> (u16, &'static str, String) {
+fn route(path: &str, shared: &Shared) -> (u16, &'static str, String) {
     let Some(obs) = stisan_obs::global() else {
         return (503, "text/plain", "observability disabled\n".to_string());
     };
+    // The SLO plane's routes, live only while the sampler is enabled.
+    if let "/timeseries" | "/slo" | "/alerts" = path {
+        let Some(rt) = shared.slo() else {
+            return (503, "text/plain", "slo sampler disabled\n".to_string());
+        };
+        let now_ms = shared.now_ms();
+        let body = match path {
+            "/timeseries" => rt.render_timeseries(now_ms),
+            "/slo" => rt.render_slo(now_ms),
+            _ => rt.render_alerts(now_ms),
+        };
+        return (200, "application/json", body);
+    }
     match path {
         "/metrics" => {
             // Fold the profiler's current counters into the registry so
@@ -109,7 +122,7 @@ fn route(path: &str) -> (u16, &'static str, String) {
         "/healthz" => {
             (200, "application/json", stisan_obs::expo::render_healthz(&obs.registry.snapshot()))
         }
-        "/flightrec" => (200, "application/json", obs.flight.dump_json("admin")),
+        "/flightrec" => (200, "application/json", obs.flight.dump_json(stisan_obs::DumpReason::Demand)),
         "/traces" => {
             (200, "application/json", stisan_obs::trace::exemplars_to_json(&obs.traces.exemplars()))
         }

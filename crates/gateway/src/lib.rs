@@ -39,7 +39,11 @@
 //! recorder; protocol v2 frames round-trip the trace id and echo the stage
 //! offsets to the client. When [`GatewayConfig::admin`] is set, an admin
 //! HTTP listener ([`admin`]) exposes `GET /metrics` (Prometheus text
-//! format), `/healthz`, `/flightrec`, and `/traces`.
+//! format), `/healthz`, `/flightrec`, `/traces`, and — while the [`slo`]
+//! sampler is enabled — `/timeseries`, `/slo`, and `/alerts` (the windowed
+//! store, objectives with burn rates, and the alert log; DESIGN.md §16).
+//! The `stisan_dash` binary (`stisan-bench`) renders those three routes as
+//! a live terminal dashboard.
 //!
 //! Responses are bit-identical to direct [`stisan_serve::InferenceSession`]
 //! calls for the same inputs — the e2e suite asserts it across a real
@@ -51,8 +55,10 @@ pub mod batcher;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod slo;
 
 pub use batcher::{BatchPolicy, MicroBatcher, Pending};
+pub use slo::{default_objectives, SloConfig};
 pub use client::{ClientError, GatewayClient, RetryPolicy};
 pub use protocol::{
     DecodeError, ErrorCode, ErrorFrame, Frame, ReadError, Request, Response, TraceEcho, Visit,

@@ -102,15 +102,20 @@ pub struct GatewayConfig {
     /// it. Use port 0 for an ephemeral port and read it back via
     /// [`Gateway::admin_addr`].
     pub admin: Option<SocketAddr>,
-    /// Directory for flight-recorder dumps (written on shutdown and on the
-    /// first `OVERLOADED` shed). `None` disables dump files; the in-memory
-    /// recorder and the `/flightrec` endpoint stay live either way.
+    /// Directory for flight-recorder dumps (written on shutdown, on the
+    /// first `OVERLOADED` shed, and on the first newly-firing alert).
+    /// `None` disables dump files; the in-memory recorder and the
+    /// `/flightrec` endpoint stay live either way.
     pub flight_dir: Option<PathBuf>,
+    /// Sampler + SLO engine configuration (windowed time-series store,
+    /// burn-rate alerting, `GET /timeseries` / `/slo` / `/alerts`). `None`
+    /// disables the sampler thread and those admin routes.
+    pub slo: Option<crate::slo::SloConfig>,
 }
 
 impl Default for GatewayConfig {
     /// Default batching policy, auto worker count, 30 s idle timeout, no
-    /// admin listener, dumps under `results/`.
+    /// admin listener, dumps under `results/`, SLO sampler on.
     fn default() -> Self {
         GatewayConfig {
             batch: BatchPolicy::default(),
@@ -118,6 +123,7 @@ impl Default for GatewayConfig {
             read_timeout: Duration::from_secs(30),
             admin: None,
             flight_dir: Some(PathBuf::from("results")),
+            slo: Some(crate::slo::SloConfig::default()),
         }
     }
 }
@@ -216,6 +222,8 @@ pub(crate) struct Shared {
     /// Whether the first replica-panic flight dump was already written.
     replica_panic_dump: AtomicBool,
     flight_dir: Option<PathBuf>,
+    /// The sampler + SLO engine, when enabled ([`GatewayConfig::slo`]).
+    slo: Option<Arc<crate::slo::SloRuntime>>,
 }
 
 impl Shared {
@@ -223,8 +231,17 @@ impl Shared {
         self.t0.elapsed().as_micros() as u64
     }
 
+    /// Milliseconds on the gateway clock (the sampler/SLO time base).
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.t0.elapsed().as_millis() as u64
+    }
+
     pub(crate) fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn slo(&self) -> Option<&crate::slo::SloRuntime> {
+        self.slo.as_deref()
     }
 }
 
@@ -266,6 +283,11 @@ impl GatewayHandle {
     pub fn stats(&self) -> GatewayStats {
         self.shared.stats.snapshot()
     }
+
+    /// The SLO engine's health signal, when the sampler is enabled.
+    pub fn health_signal(&self) -> Option<stisan_obs::HealthSignal> {
+        self.shared.slo.as_ref().map(|rt| rt.health())
+    }
 }
 
 impl fmt::Debug for GatewayHandle {
@@ -304,6 +326,7 @@ impl Gateway {
             Some(l) => Some(l.local_addr()?),
             None => None,
         };
+        let slo = cfg.slo.as_ref().map(|c| Arc::new(crate::slo::SloRuntime::new(c)));
         let shared = Arc::new(Shared {
             queue: Mutex::new(MicroBatcher::new(cfg.batch)),
             cv: Condvar::new(),
@@ -314,8 +337,17 @@ impl Gateway {
             first_shed_dump: AtomicBool::new(false),
             replica_panic_dump: AtomicBool::new(false),
             flight_dir: cfg.flight_dir.clone(),
+            slo,
         });
         Ok(Gateway { listener, admin, admin_addr, cfg, shared, addr })
+    }
+
+    /// The SLO engine's health signal, when the sampler is enabled — hand
+    /// it to `ReplicatedEngine::with_health` / `ReloadWatcher::with_health`
+    /// before calling [`Gateway::serve`] so firing availability alerts mark
+    /// replicas suspect and veto canary publishes.
+    pub fn health_signal(&self) -> Option<stisan_obs::HealthSignal> {
+        self.shared.slo.as_ref().map(|rt| rt.health())
     }
 
     /// The bound address.
@@ -382,6 +414,9 @@ impl Gateway {
             if let Some((reloader, interval)) = reload {
                 s.spawn(move || reload_loop(shared, reloader, interval));
             }
+            if shared.slo.is_some() {
+                s.spawn(move || slo_loop(shared));
+            }
             loop {
                 if shared.is_shutdown() {
                     break;
@@ -406,7 +441,7 @@ impl Gateway {
         });
         if let (Some(dir), Some(rec)) = (shared.flight_dir.as_ref(), stisan_obs::flight_recorder())
         {
-            let _ = rec.write_dump(dir, "shutdown");
+            let _ = rec.write_dump(dir, stisan_obs::DumpReason::Shutdown);
         }
         Ok(shared.stats.snapshot())
     }
@@ -419,7 +454,7 @@ fn maybe_dump_first_shed(shared: &Shared) {
         return;
     }
     if let (Some(dir), Some(rec)) = (shared.flight_dir.as_ref(), stisan_obs::flight_recorder()) {
-        let _ = rec.write_dump(dir, "first_shed");
+        let _ = rec.write_dump(dir, stisan_obs::DumpReason::FirstShed);
     }
 }
 
@@ -432,8 +467,27 @@ fn maybe_dump_replica_panic(shared: &Shared) {
         return;
     }
     if let (Some(dir), Some(rec)) = (shared.flight_dir.as_ref(), stisan_obs::flight_recorder()) {
-        let _ = rec.write_dump(dir, "replica_panic");
+        let _ = rec.write_dump(dir, stisan_obs::DumpReason::ReplicaPanic);
     }
+}
+
+/// The sampler loop: folds registry snapshots into the windowed store and
+/// evaluates the SLO engine on a fixed cadence until shutdown (short sleep
+/// slices so drain is never delayed). A final tick runs at shutdown so
+/// short runs still leave a consistent last evaluation behind.
+fn slo_loop(shared: &Shared) {
+    let Some(rt) = shared.slo() else { return };
+    let interval = rt.interval();
+    while !shared.is_shutdown() {
+        rt.tick(shared.now_ms(), shared.flight_dir.as_deref());
+        let mut left = interval;
+        while !shared.is_shutdown() && !left.is_zero() {
+            let nap = left.min(POLL_INTERVAL);
+            std::thread::sleep(nap);
+            left = left.saturating_sub(nap);
+        }
+    }
+    rt.tick(shared.now_ms(), shared.flight_dir.as_deref());
 }
 
 /// The hot-reload loop: polls for newly published checkpoints until
@@ -529,6 +583,7 @@ fn dispatcher<B: EngineBackend>(shared: &Shared, backend: &B, workers: usize) {
                         trace: None,
                     };
                     shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                    stisan_obs::counter("gateway.served_total", 1);
                     let replica = if served.degraded { NO_REPLICA } else { served.replica };
                     let _ = reply.send(Reply::Ok(resp, trace, replica, served.epoch));
                 }

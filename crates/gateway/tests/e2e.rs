@@ -514,7 +514,7 @@ fn admin_endpoint_serves_parseable_metrics_health_and_dumps() {
 
         let (status, flight) = http_get(admin, "/flightrec");
         assert!(status.contains("200"), "flightrec status: {status}");
-        assert!(flight.contains("\"reason\":\"admin\"") && flight.contains("\"events\""));
+        assert!(flight.contains("\"reason\":\"demand\"") && flight.contains("\"events\""));
 
         let (status, _) = http_get(admin, "/nope");
         assert!(status.contains("404"), "unknown admin path must 404: {status}");

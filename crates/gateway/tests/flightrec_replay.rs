@@ -132,7 +132,7 @@ fn replayed_fixture_round_trips_through_dump_json() {
         );
     }
 
-    let dumped = rec.dump_json("first_shed");
+    let dumped = rec.dump_json(stisan_obs::DumpReason::FirstShed);
     let (header, replayed) = parse_dump(&dumped);
     assert_eq!(string(&header, "reason").as_deref(), Some("first_shed"));
     assert_eq!(num(&header, "recorded_total"), Some(events.len() as u64));

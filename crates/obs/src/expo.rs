@@ -242,9 +242,41 @@ pub fn parse(text: &str) -> Result<Exposition, String> {
                 return Err(format!("sample {:?} has no TYPE declaration", s.name));
             }
         }
+        // Windowed-quantile gauges (`<hist>_p50_1m` / `_p95_1m` /
+        // `_p99_1m`, published by the time-series sampler) must be gauges
+        // and must shadow a real summary family — a windowed percentile
+        // with no lifetime histogram behind it is a naming bug.
+        for (name, kind) in &doc.families {
+            let Some(base) = WINDOWED_QUANTILE_SUFFIXES
+                .iter()
+                .find_map(|suf| name.strip_suffix(suf))
+            else {
+                continue;
+            };
+            if kind != "gauge" {
+                return Err(format!("windowed quantile {name:?} declared {kind:?}, not gauge"));
+            }
+            match doc.families.get(base) {
+                Some(k) if k == "summary" || k == "histogram" => {}
+                Some(k) => {
+                    return Err(format!(
+                        "windowed quantile {name:?} shadows {base:?} of type {k:?}"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "windowed quantile {name:?} has no base summary {base:?}"
+                    ));
+                }
+            }
+        }
     }
     Ok(doc)
 }
+
+/// Suffixes the time-series sampler appends for windowed quantiles (see
+/// `crate::timeseries::TimeSeriesStore::publish_windowed_gauges`).
+pub const WINDOWED_QUANTILE_SUFFIXES: [&str; 3] = ["_p50_1m", "_p95_1m", "_p99_1m"];
 
 /// Renders a health document as JSON: queue depth, shed counters and
 /// rate, plus fleet state (replica counts, reload epoch, panic totals),
@@ -337,6 +369,47 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "should reject: {why}");
         }
+    }
+
+    #[test]
+    fn windowed_quantile_gauges_render_and_validate() {
+        // The sampler's windowed gauges live beside the lifetime summary;
+        // the rendered scrape must pass the strict validator.
+        let r = Registry::new();
+        for v in 1..=50 {
+            r.observe("serve.latency_ms", v as f64);
+        }
+        let mut ts = crate::timeseries::TimeSeriesStore::new(
+            crate::timeseries::TsConfig::scaled(1_000),
+        );
+        ts.ingest(&r.windows_snapshot(), 0);
+        for v in 1..=50 {
+            r.observe("serve.latency_ms", v as f64);
+        }
+        ts.ingest(&r.windows_snapshot(), 1_000);
+        ts.publish_windowed_gauges(&r, 1_000);
+        let text = render(&r.snapshot());
+        let doc = parse(&text).expect("windowed gauges must validate");
+        assert_eq!(
+            doc.families.get("serve_latency_ms_p99_1m").map(String::as_str),
+            Some("gauge")
+        );
+        assert!(doc.value("serve_latency_ms_p99_1m").is_some_and(|v| v > 0.0));
+    }
+
+    #[test]
+    fn windowed_quantile_without_base_summary_is_rejected() {
+        let orphan = "# TYPE lone_p99_1m gauge\nlone_p99_1m 4\n# EOF\n";
+        let err = parse(orphan).expect_err("orphan windowed quantile must fail");
+        assert!(err.contains("no base summary"), "{err}");
+        let wrong_kind =
+            "# TYPE h counter\nh 1\n# TYPE h_p99_1m gauge\nh_p99_1m 4\n# EOF\n";
+        let err = parse(wrong_kind).expect_err("counter base must fail");
+        assert!(err.contains("shadows"), "{err}");
+        let not_gauge = "# TYPE h summary\nh{quantile=\"0.5\"} 1\nh_sum 1\nh_count 1\n\
+                         # TYPE h_p99_1m counter\nh_p99_1m 4\n# EOF\n";
+        let err = parse(not_gauge).expect_err("non-gauge windowed quantile must fail");
+        assert!(err.contains("not gauge"), "{err}");
     }
 
     #[test]

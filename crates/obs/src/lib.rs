@@ -32,7 +32,9 @@ pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod ring;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,11 +43,15 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 pub use alloc::{AllocStats, CountingAlloc};
 pub use flame::{FrameRow, FrameStats, ServeProfiler};
 pub use log::{level, parse_level, set_level, Level};
-pub use metrics::{HistogramSummary, Registry, Snapshot};
+pub use metrics::{HistogramSummary, LightSnapshot, Registry, SketchSummary, Snapshot};
 pub use profile::{OpKindRow, OpKindStats, TapeProfiler};
 pub use report::{EpochStats, RunReport};
-pub use ring::{FlightEvent, FlightRecorder, Outcome, NO_REPLICA};
+pub use ring::{DumpReason, FlightEvent, FlightRecorder, Outcome, NO_REPLICA};
+pub use slo::{
+    AlertPolicy, AlertState, BurnRule, EvalOutcome, HealthSignal, Objective, Sli, SloEngine,
+};
 pub use span::{span, Span};
+pub use timeseries::{LevelSpec, TimeSeriesStore, TsConfig, WindowSketch, WindowValue};
 pub use trace::{Stage, TraceCtx, TraceExemplar, TraceHub};
 
 /// Locks a mutex, shrugging off poisoning: a panic in another thread must

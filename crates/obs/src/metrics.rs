@@ -22,6 +22,48 @@ use crate::plock;
 /// past this, quantiles are computed over the first `SAMPLE_CAP` values.
 const SAMPLE_CAP: usize = 262_144;
 
+/// Buckets in the fixed log-spaced histogram sketch kept alongside the raw
+/// samples. 160 buckets at [`SKETCH_GAMMA`] starting at [`SKETCH_MIN`]
+/// cover `0.01 ..= ~4e7` — microsecond latencies up to ~40 s and
+/// millisecond latencies up to ~11 h in one geometry.
+pub const SKETCH_BUCKETS: usize = 160;
+
+/// Ratio between consecutive sketch bucket bounds.
+pub const SKETCH_GAMMA: f64 = 1.15;
+
+/// Lower edge of bucket 1; values at or below this (including negatives)
+/// land in bucket 0 and report as `SKETCH_MIN` with absolute error
+/// `SKETCH_MIN`.
+pub const SKETCH_MIN: f64 = 0.01;
+
+/// Documented relative error bound of a sketch quantile vs. the exact
+/// sample quantile: a bucket spans a `GAMMA` ratio and reports its
+/// geometric midpoint, so the estimate is within `sqrt(GAMMA) - 1`
+/// (≈ 7.24%) of some sample in the bucket — rounded up to 7.5% for the
+/// property-test gate. Values above the top bucket saturate there, so
+/// quantiles clamp at ~4e7.
+pub const SKETCH_REL_ERR: f64 = 0.075;
+
+/// The sketch bucket a value falls into.
+pub fn sketch_bucket(value: f64) -> usize {
+    if value.is_nan() || value <= SKETCH_MIN {
+        return 0;
+    }
+    // Bucket i (i >= 1) spans (MIN * g^(i-1), MIN * g^i].
+    let idx = ((value / SKETCH_MIN).ln() / SKETCH_GAMMA.ln()).ceil() as usize;
+    idx.clamp(1, SKETCH_BUCKETS - 1)
+}
+
+/// Representative value for a bucket: the geometric midpoint of its span
+/// (`SKETCH_MIN` for the underflow bucket 0).
+pub fn sketch_value(bucket: usize) -> f64 {
+    if bucket == 0 {
+        return SKETCH_MIN;
+    }
+    // Bucket i spans (MIN * g^(i-1), MIN * g^i]; midpoint is MIN * g^(i-1/2).
+    SKETCH_MIN * SKETCH_GAMMA.powf(bucket as f64 - 0.5)
+}
+
 /// Number of counter stripes. Power of two, comfortably above the
 /// gateway's worker/handler thread counts.
 pub const STRIPES: usize = 16;
@@ -43,12 +85,27 @@ fn stripe_index() -> usize {
     })
 }
 
-#[derive(Default)]
 struct Hist {
     count: u64,
     sum: f64,
     max: f64,
     samples: Vec<f64>,
+    /// Cumulative per-bucket observation counts (log-spaced, see
+    /// [`sketch_bucket`]). Unlike `samples` this never saturates and is
+    /// mergeable, which is what the windowed time-series layer diffs.
+    sketch: Vec<u32>,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+            samples: Vec::new(),
+            sketch: vec![0; SKETCH_BUCKETS],
+        }
+    }
 }
 
 #[derive(Default)]
@@ -109,6 +166,8 @@ impl Registry {
             if h.samples.len() < SAMPLE_CAP {
                 h.samples.push(value);
             }
+            let b = sketch_bucket(value);
+            h.sketch[b] = h.sketch[b].saturating_add(1);
         }
     }
 
@@ -143,6 +202,32 @@ impl Registry {
         Snapshot { counters, gauges, histograms }
     }
 
+    /// A cheap snapshot for the time-series sampler: counters, gauges and
+    /// cumulative histogram sketches, but **no** sample cloning or sorting
+    /// — cost is independent of how many raw samples the histograms hold,
+    /// so a 1 s sampler stays off the serving path's critical sections.
+    pub fn windows_snapshot(&self) -> LightSnapshot {
+        let Some(inner) = &self.inner else { return LightSnapshot::default() };
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for stripe in &inner.counters {
+            for (k, &v) in plock(stripe).iter() {
+                *merged.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        let counters = merged.into_iter().collect();
+        let gauges = plock(&inner.gauges).iter().map(|(k, &v)| (k.clone(), v)).collect();
+        let histograms = plock(&inner.hists)
+            .iter()
+            .map(|(k, h)| SketchSummary {
+                name: k.clone(),
+                count: h.count,
+                sum: h.sum,
+                sketch: h.sketch.clone(),
+            })
+            .collect();
+        LightSnapshot { counters, gauges, histograms }
+    }
+
     /// How many counter stripes hold at least one entry (test/diagnostic
     /// hook for the striping itself).
     pub fn nonempty_counter_stripes(&self) -> usize {
@@ -171,6 +256,26 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, f64)>,
     pub histograms: Vec<HistogramSummary>,
+}
+
+/// Cumulative sketch of one histogram at [`Registry::windows_snapshot`]
+/// time — mergeable and diffable, unlike [`HistogramSummary`].
+#[derive(Clone, Debug)]
+pub struct SketchSummary {
+    pub name: String,
+    pub count: u64,
+    pub sum: f64,
+    /// `SKETCH_BUCKETS` cumulative per-bucket counts.
+    pub sketch: Vec<u32>,
+}
+
+/// The sampler-facing snapshot: like [`Snapshot`] but with cumulative
+/// sketches instead of computed quantiles.
+#[derive(Clone, Debug, Default)]
+pub struct LightSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<SketchSummary>,
 }
 
 /// Nearest-rank quantile of an ascending-sorted slice (0 for empty input).
@@ -282,6 +387,50 @@ mod tests {
             let v = snap.counters.iter().find(|(k, _)| *k == name).map(|&(_, v)| v);
             assert_eq!(v, Some(1), "marker {name}");
         }
+    }
+
+    #[test]
+    fn sketch_bucket_value_round_trip_within_bound() {
+        // Every representable value must map to a bucket whose
+        // representative value is within the documented relative error.
+        let mut v = SKETCH_MIN * 1.001;
+        while v < SKETCH_MIN * SKETCH_GAMMA.powi(SKETCH_BUCKETS as i32 - 2) {
+            let b = sketch_bucket(v);
+            let rep = sketch_value(b);
+            let rel = (rep - v).abs() / v;
+            assert!(rel <= SKETCH_REL_ERR, "v={v} b={b} rep={rep} rel={rel}");
+            v *= 1.07;
+        }
+    }
+
+    #[test]
+    fn sketch_bucket_edges_and_underflow() {
+        assert_eq!(sketch_bucket(0.0), 0);
+        assert_eq!(sketch_bucket(-3.0), 0);
+        assert_eq!(sketch_bucket(f64::NAN), 0);
+        assert_eq!(sketch_bucket(SKETCH_MIN), 0);
+        assert_eq!(sketch_bucket(SKETCH_MIN * 1.01), 1);
+        assert_eq!(sketch_bucket(f64::INFINITY), SKETCH_BUCKETS - 1);
+        assert_eq!(sketch_bucket(1e30), SKETCH_BUCKETS - 1);
+    }
+
+    #[test]
+    fn windows_snapshot_carries_cumulative_sketch() {
+        let r = Registry::new();
+        r.inc("c", 7);
+        r.set_gauge("g", 2.5);
+        for v in [1.0, 10.0, 10.0, 100.0] {
+            r.observe("h", v);
+        }
+        let s = r.windows_snapshot();
+        assert_eq!(s.counters, vec![("c".to_string(), 7)]);
+        assert_eq!(s.gauges, vec![("g".to_string(), 2.5)]);
+        let h = &s.histograms[0];
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 121.0).abs() < 1e-9);
+        assert_eq!(h.sketch.len(), SKETCH_BUCKETS);
+        assert_eq!(h.sketch.iter().map(|&c| c as u64).sum::<u64>(), 4);
+        assert_eq!(h.sketch[sketch_bucket(10.0)], 2);
     }
 
     #[test]

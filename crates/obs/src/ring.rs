@@ -58,6 +58,52 @@ impl Outcome {
     }
 }
 
+/// Why a flight-recorder dump was taken. A **closed** set: every dump
+/// site must pick a variant, so dump filenames and the `reason` header
+/// stay parseable by the replay tooling forever (the exhaustive-match
+/// test below fails to compile if a variant is added without a name, and
+/// fails at runtime if a name stops round-tripping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DumpReason {
+    /// Graceful drain: the gateway dumped on its way out.
+    Shutdown,
+    /// First request shed by admission control this process.
+    FirstShed,
+    /// Operator-requested via `GET /flightrec` (or a test harness).
+    Demand,
+    /// A replica panicked behind the supervision boundary.
+    ReplicaPanic,
+    /// An SLO burn-rate alert entered Firing.
+    Alert,
+}
+
+/// Every reason, for exhaustiveness sweeps.
+pub const DUMP_REASONS: [DumpReason; 5] = [
+    DumpReason::Shutdown,
+    DumpReason::FirstShed,
+    DumpReason::Demand,
+    DumpReason::ReplicaPanic,
+    DumpReason::Alert,
+];
+
+impl DumpReason {
+    /// Stable snake_case name used in dump headers and filenames.
+    pub fn name(self) -> &'static str {
+        match self {
+            DumpReason::Shutdown => "shutdown",
+            DumpReason::FirstShed => "first_shed",
+            DumpReason::Demand => "demand",
+            DumpReason::ReplicaPanic => "replica_panic",
+            DumpReason::Alert => "alert",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name), for replay tooling.
+    pub fn from_name(name: &str) -> Option<DumpReason> {
+        DUMP_REASONS.into_iter().find(|r| r.name() == name)
+    }
+}
+
 /// Sentinel replica id for events that did not pass through a replica
 /// (single-session serving, admission-side events).
 pub const NO_REPLICA: u16 = u16::MAX;
@@ -201,7 +247,7 @@ impl FlightRecorder {
     }
 
     /// Renders a dump as a JSON document.
-    pub fn dump_json(&self, reason: &str) -> String {
+    pub fn dump_json(&self, reason: DumpReason) -> String {
         let events = self.dump();
         let unix_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -209,7 +255,7 @@ impl FlightRecorder {
             .unwrap_or(0);
         let mut s = format!(
             "{{\"reason\":{},\"dumped_at_unix_ms\":{unix_ms},\"recorded_total\":{},\"events\":[",
-            crate::report::json_str(reason),
+            crate::report::json_str(reason.name()),
             self.recorded()
         );
         for (i, e) in events.iter().enumerate() {
@@ -238,7 +284,7 @@ impl FlightRecorder {
     /// sequence number, so two dumps landing in the same millisecond (e.g.
     /// a shed burst triggering several recorders) can never overwrite each
     /// other.
-    pub fn write_dump(&self, dir: impl AsRef<Path>, reason: &str) -> io::Result<PathBuf> {
+    pub fn write_dump(&self, dir: impl AsRef<Path>, reason: DumpReason) -> io::Result<PathBuf> {
         static SEQ: AtomicU64 = AtomicU64::new(0);
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -247,7 +293,7 @@ impl FlightRecorder {
             .map(|d| d.as_millis() as u64)
             .unwrap_or(0);
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-        let path = dir.join(format!("flightrec_{unix_ms}_{seq}_{reason}.json"));
+        let path = dir.join(format!("flightrec_{unix_ms}_{seq}_{}.json", reason.name()));
         std::fs::write(&path, self.dump_json(reason))?;
         Ok(path)
     }
@@ -314,9 +360,9 @@ mod tests {
     fn json_dump_is_well_formed() {
         let r = FlightRecorder::with_capacity(16);
         r.record(42, Stage::Written, Outcome::Ok);
-        let j = r.dump_json("test");
+        let j = r.dump_json(DumpReason::Demand);
         assert!(j.starts_with('{') && j.ends_with('}'));
-        assert!(j.contains("\"reason\":\"test\""));
+        assert!(j.contains("\"reason\":\"demand\""));
         assert!(j.contains("\"trace_id\":42"));
         assert!(j.contains("\"stage\":\"written\""));
         assert!(j.contains("\"outcome\":\"ok\""));
@@ -335,9 +381,34 @@ mod tests {
         assert_eq!((d[0].epoch, d[1].replica, d[1].epoch), (0, Some(3), 17));
         // The 48-bit epoch field saturates at its own width, not u64's.
         assert_eq!((d[2].replica, d[2].epoch), (Some(0), (1 << 48) - 1));
-        let j = r.dump_json("postmortem");
+        let j = r.dump_json(DumpReason::ReplicaPanic);
         assert!(j.contains("\"replica\":3,\"epoch\":17"));
         assert!(j.contains("\"outcome\":\"internal\""));
+    }
+
+    #[test]
+    fn dump_reasons_are_a_closed_round_tripping_set() {
+        // Exhaustive match: adding a variant without extending DUMP_REASONS
+        // and the name table breaks this test at compile or run time.
+        for r in DUMP_REASONS {
+            let expected = match r {
+                DumpReason::Shutdown => "shutdown",
+                DumpReason::FirstShed => "first_shed",
+                DumpReason::Demand => "demand",
+                DumpReason::ReplicaPanic => "replica_panic",
+                DumpReason::Alert => "alert",
+            };
+            assert_eq!(r.name(), expected);
+            assert_eq!(DumpReason::from_name(r.name()), Some(r), "{expected} must round-trip");
+            // Filenames embed the name between underscores; it must stay a
+            // clean snake_case token so the replay tooling can split on it.
+            assert!(r.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        assert_eq!(DumpReason::from_name("postmortem"), None, "free-form reasons are gone");
+        // Distinct names: the set collapses if two variants collide.
+        let names: std::collections::BTreeSet<&str> =
+            DUMP_REASONS.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), DUMP_REASONS.len());
     }
 
     #[test]
@@ -345,7 +416,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("stisan-flightrec-{}", std::process::id()));
         let r = FlightRecorder::with_capacity(16);
         r.record(1, Stage::Admitted, Outcome::Ok);
-        let path = r.write_dump(&dir, "shutdown").expect("write dump");
+        let path = r.write_dump(&dir, DumpReason::Shutdown).expect("write dump");
         let body = std::fs::read_to_string(&path).expect("read dump");
         assert!(body.contains("\"reason\":\"shutdown\""));
         std::fs::remove_dir_all(&dir).ok();
@@ -360,7 +431,7 @@ mod tests {
         // monotonic sequence suffix must keep every path unique.
         let mut paths = std::collections::BTreeSet::new();
         for _ in 0..8 {
-            paths.insert(r.write_dump(&dir, "first_shed").expect("write dump"));
+            paths.insert(r.write_dump(&dir, DumpReason::FirstShed).expect("write dump"));
         }
         assert_eq!(paths.len(), 8, "colliding dump filenames: {paths:?}");
         for p in &paths {

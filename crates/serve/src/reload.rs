@@ -137,6 +137,9 @@ pub struct ReloadReport {
     pub rejected_corrupt: usize,
     /// Candidates quarantined for canary-score failures.
     pub rejected_canary: usize,
+    /// Candidates were present but publication was vetoed by a firing
+    /// availability alert (see [`ReloadWatcher::with_health`]).
+    pub vetoed: bool,
 }
 
 /// Object-safe polling facade, so the gateway can drive a reload loop
@@ -162,6 +165,8 @@ pub struct ReloadWatcher<'d, M: FrozenScorer> {
     /// When set, every publish rebuilds + requantizes the two-stage
     /// retrieval state at this precision (validated before it is attached).
     requant: Option<QuantLevel>,
+    /// When set, publishes are vetoed while an availability alert fires.
+    health: Option<stisan_obs::HealthSignal>,
 }
 
 impl<'d, M: FrozenScorer + Send + Sync> ReloadWatcher<'d, M> {
@@ -176,7 +181,28 @@ impl<'d, M: FrozenScorer + Send + Sync> ReloadWatcher<'d, M> {
         loader: impl Fn(&Path) -> Result<M, LoadError> + Send + Sync + 'd,
         canary: CanaryConfig,
     ) -> Self {
-        ReloadWatcher { mgr, shared, data, loader: Box::new(loader), canary, requant: None }
+        ReloadWatcher {
+            mgr,
+            shared,
+            data,
+            loader: Box::new(loader),
+            canary,
+            requant: None,
+            health: None,
+        }
+    }
+
+    /// Couples the watcher to the SLO engine's [`stisan_obs::HealthSignal`]:
+    /// while an availability alert is **firing**, canary publishes are
+    /// vetoed — candidates stay on disk untouched and publish on a later
+    /// poll once the fleet recovers. Swapping weights into a fleet that is
+    /// actively failing both risks masking the incident's cause and makes
+    /// the canary gate meaningless (a canary passing against a broken
+    /// fleet proves nothing). Vetoes are counted in
+    /// `reload.vetoed_alert_total`.
+    pub fn with_health(mut self, health: stisan_obs::HealthSignal) -> Self {
+        self.health = Some(health);
+        self
     }
 
     /// Rebuilds the two-stage retrieval state (quadkey index + table
@@ -208,6 +234,17 @@ impl<'d, M: FrozenScorer + Send + Sync> ReloadWatcher<'d, M> {
                 return report;
             }
         };
+        if !candidates.is_empty()
+            && self.health.as_ref().is_some_and(|h| h.availability_firing())
+        {
+            stisan_obs::counter("reload.vetoed_alert_total", 1);
+            stisan_obs::warn!(
+                "reload: availability alert firing; vetoing publish of {} candidate(s)",
+                candidates.len()
+            );
+            report.vetoed = true;
+            return report;
+        }
         for (epoch, path) in candidates.into_iter().rev() {
             let t0 = Instant::now();
             match (self.loader)(&path) {

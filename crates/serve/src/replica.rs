@@ -209,6 +209,8 @@ pub struct ReplicatedEngine<'d, M: FrozenScorer + Send + Sync> {
     replicas: Vec<Mutex<ReplicaState>>,
     fallback: FallbackScorer,
     t0: Instant,
+    health: Option<stisan_obs::HealthSignal>,
+    seen_incidents: AtomicU64,
 }
 
 impl<'d, M: FrozenScorer + Send + Sync> ReplicatedEngine<'d, M> {
@@ -235,7 +237,28 @@ impl<'d, M: FrozenScorer + Send + Sync> ReplicatedEngine<'d, M> {
         let fallback = FallbackScorer::build(data);
         stisan_obs::gauge("gateway.replicas_total", sup.replicas as f64);
         stisan_obs::gauge("gateway.replicas_healthy", sup.replicas as f64);
-        ReplicatedEngine { data, cfg, model, sup, replicas, fallback, t0: Instant::now() }
+        ReplicatedEngine {
+            data,
+            cfg,
+            model,
+            sup,
+            replicas,
+            fallback,
+            t0: Instant::now(),
+            health: None,
+            seen_incidents: AtomicU64::new(0),
+        }
+    }
+
+    /// Couples the pool to the SLO engine's [`stisan_obs::HealthSignal`]:
+    /// each availability *incident* (rising edge of the availability burn
+    /// alert) marks every replica suspect — its breaker drops to half-open
+    /// probation, so admitted traffic is probed and further failures trip
+    /// the breaker instead of being trusted.
+    pub fn with_health(mut self, health: stisan_obs::HealthSignal) -> Self {
+        self.seen_incidents = AtomicU64::new(health.incidents());
+        self.health = Some(health);
+        self
     }
 
     /// The shared model handle (clone to publish new epochs).
@@ -278,6 +301,18 @@ impl<'d, M: FrozenScorer + Send + Sync> ReplicatedEngine<'d, M> {
     /// head of every batch; callable directly from tests.
     pub fn tick(&self) {
         let now = self.now_us();
+        // An availability incident (alert rising edge) since the last tick
+        // puts every replica on probation: the breaker re-proves each one
+        // with probes before trusting it with full traffic again.
+        if let Some(h) = &self.health {
+            let inc = h.incidents();
+            if inc > self.seen_incidents.swap(inc, Ordering::SeqCst) {
+                for state in &self.replicas {
+                    plock(state).breaker.begin_probation();
+                }
+                stisan_obs::counter("gateway.replica_suspect_total", self.replicas.len() as u64);
+            }
+        }
         let mut healthy = 0usize;
         for state in &self.replicas {
             let mut s = plock(state);

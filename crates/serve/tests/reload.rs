@@ -206,3 +206,91 @@ fn canary_failure_quarantines_and_watcher_moves_on() {
     assert_eq!(shared.epoch(), 6);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Alert→reload coupling: while an availability alert fires, a perfectly
+/// good candidate is NOT published (vetoed, left on disk); once the alert
+/// resolves, the very next poll publishes it unchanged.
+#[test]
+fn firing_availability_alert_vetoes_publish_until_recovery() {
+    let p = processed();
+    let dir = temp_dir("veto");
+    let shared = SharedModel::new(WeightedPrior::seeded(p.num_pois, 1), 1);
+    let health = stisan_obs::HealthSignal::default();
+    let w = watcher(&dir, shared.clone(), &p).with_health(health.clone());
+
+    WeightedPrior::seeded(p.num_pois, 2).save(w.manager(), 2).unwrap();
+    health.set(true, true); // availability alert firing
+    let report = w.poll();
+    assert!(report.vetoed, "publish must be vetoed while the alert fires");
+    assert_eq!(report.published, None);
+    assert_eq!(shared.epoch(), 1, "live epoch must keep serving");
+    let files = w.manager().list().unwrap();
+    assert!(
+        files.iter().any(|&(e, _)| e == 2),
+        "vetoed candidate must stay on disk, not be quarantined"
+    );
+
+    // Recovery: the alert resolves and the same candidate publishes.
+    health.set(false, false);
+    let report = w.poll();
+    assert!(!report.vetoed);
+    assert_eq!(report.published, Some(2));
+    assert_eq!(shared.epoch(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Alert→breaker coupling: an availability *incident* (rising edge) puts
+/// every replica's breaker into half-open probation on the next tick — the
+/// pool still answers (probes are admitted), and repeated incidents do not
+/// re-trip without a new rising edge.
+#[test]
+fn availability_incident_marks_replicas_suspect() {
+    let p = processed();
+    let shared = SharedModel::new(WeightedPrior::seeded(p.num_pois, 1), 1);
+    let health = stisan_obs::HealthSignal::default();
+    let eng = ReplicatedEngine::new(
+        shared,
+        &p,
+        ServeConfig::default(),
+        SupervisorConfig { replicas: 3, ..SupervisorConfig::default() },
+    )
+    .with_health(health.clone());
+
+    let obs = stisan_obs::init();
+    let suspects = || {
+        obs.registry
+            .snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == "gateway.replica_suspect_total")
+            .map_or(0, |&(_, v)| v)
+    };
+    let before = suspects();
+
+    // No incident yet: ticks change nothing.
+    eng.tick();
+    assert_eq!(suspects(), before);
+
+    // Rising edge → every replica goes on probation (counted once).
+    health.set(true, true);
+    eng.tick();
+    assert_eq!(suspects(), before + 3, "one suspect count per replica");
+
+    // Still firing (no new edge): no re-trip.
+    eng.tick();
+    assert_eq!(suspects(), before + 3);
+
+    // Probation does not take the pool down: probes are admitted, succeed,
+    // and close the breakers again.
+    let mut traces: Vec<TraceCtx> =
+        (0..p.eval.len()).map(|i| TraceCtx::new(i as u64)).collect();
+    let outs = eng.serve_outcomes(&p.eval, 2, &mut traces);
+    assert!(outs.iter().all(|o| o.is_ok()), "suspect pool must still answer via probes");
+    assert_eq!(eng.healthy_count(), 3);
+
+    // Resolve, then a second incident: a fresh rising edge re-trips.
+    health.set(false, false);
+    health.set(true, true);
+    eng.tick();
+    assert_eq!(suspects(), before + 6);
+}

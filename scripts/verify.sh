@@ -36,13 +36,19 @@ echo "== fault tolerance: reload edge cases, client retry, chaos e2e"
 cargo test -q --release -p stisan-serve --test reload
 cargo test -q --release -p stisan-gateway --test retry --test chaos
 
+echo "== SLO plane: windowed-store properties, burn-rate alert lifecycle e2e"
+cargo test -q --release -p stisan-obs
+cargo test -q --release -p stisan-obs --test timeseries_props
+cargo test -q --release -p stisan-gateway --test slo_e2e
+
 echo "== serve_bench smoke"
 cargo run --release -p stisan-bench --bin serve_bench -- --smoke
 
 echo "== kernel_bench smoke (blocked vs naive, writes results/BENCH_kernels.json)"
 cargo run --release -p stisan-bench --bin kernel_bench -- --smoke
 
-echo "== gateway_bench smoke (micro-batching >= 1.5x, shedding, tracing overhead < 3%)"
+echo "== gateway_bench smoke (micro-batching >= 1.5x, shedding, tracing overhead < 3%,"
+echo "   slo_check: sampler overhead < 3% rps, availability >= 99%, zero burn alerts clean)"
 cargo run --release -p stisan-bench --bin gateway_bench -- --smoke
 
 echo "== gateway_bench chaos smoke (availability >= 99%, zero torn reads, process survives)"
@@ -53,7 +59,11 @@ cargo run --release -p stisan-bench --bin retrieval_bench -- --smoke
 
 echo "== exposition check (admin-endpoint scrape must be parseable Prometheus text)"
 cargo run --release -p stisan-bench --bin expo_check -- results/metrics_scrape.prom \
-    --require alloc_ --require prof_
+    --require alloc_ --require prof_ --require slo_ --require alert_ \
+    --require-suffix _p99_1m
+
+echo "== metric-cardinality audit (registry must fit the fixed-memory windowed store)"
+./scripts/cardinality_audit.sh
 
 # bench_compare.sh is strict by default (serve/kernels/retrieval fail on a
 # >15% rps drop; gateway warns). This smoke-mode run on a shared host is the
